@@ -1,0 +1,392 @@
+(* Command-line front end: analyse or simulate the paper's reference
+   system (and parametric variants) without writing OCaml.
+
+   Commands:
+     hem_tool analyse   [--mode flat|flat-stream|hem] [--s3-period N]
+     hem_tool simulate  [--horizon N] [--seed N] [--s3-period N]
+     hem_tool figure4   [--max-dt N] [--step N]
+     hem_tool scaling   [--signals N] *)
+
+module Interval = Timebase.Interval
+module Count = Timebase.Count
+module Stream = Event_model.Stream
+module Spec = Cpa_system.Spec
+module Engine = Cpa_system.Engine
+module Report = Cpa_system.Report
+module Paper = Scenarios.Paper_system
+
+open Cmdliner
+
+let s3_period_arg =
+  let doc = "Period of the pending source S3." in
+  Arg.(value & opt int Paper.s3_period & info [ "s3-period" ] ~docv:"N" ~doc)
+
+let mode_arg =
+  let modes =
+    [ "hem", Engine.Hierarchical; "flat", Engine.Flat_sem;
+      "flat-stream", Engine.Flat_stream ]
+  in
+  let doc = "Analysis mode: hem, flat (SEM baseline), or flat-stream." in
+  Arg.(value & opt (enum modes) Engine.Hierarchical
+       & info [ "mode" ] ~docv:"MODE" ~doc)
+
+let exit_err e =
+  Printf.eprintf "error: %s\n" e;
+  exit 1
+
+(* analyse *)
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  contents
+
+let load_spec = function
+  | None -> Paper.spec (), true
+  | Some path -> begin
+    match Cpa_system.Spec_file.parse (read_file path) with
+    | Ok description -> Cpa_system.Spec_file.to_spec description, false
+    | Error e -> exit_err (Printf.sprintf "%s: %s" path e)
+    | exception Sys_error e -> exit_err e
+  end
+
+let file_arg =
+  let doc =
+    "System description file (S-expression format, see \
+     examples/specs/); defaults to the built-in paper system."
+  in
+  Arg.(value & opt (some string) None & info [ "file" ] ~docv:"FILE" ~doc)
+
+let analyse_cmd =
+  let run mode s3_period file =
+    let spec, is_paper =
+      match file with
+      | None -> Paper.spec ~s3_period (), true
+      | Some _ -> load_spec file
+    in
+    match Engine.analyse ~mode spec with
+    | Error e -> exit_err e
+    | Ok result ->
+      Report.print_outcomes Format.std_formatter result;
+      if mode = Engine.Hierarchical then begin
+        match Engine.analyse ~mode:Engine.Flat_sem spec with
+        | Error e -> exit_err e
+        | Ok flat ->
+          let names =
+            if is_paper then Paper.cpu_tasks
+            else
+              List.filter_map
+                (fun (o : Engine.element_outcome) ->
+                  if List.exists
+                       (fun (k : Spec.task) ->
+                         String.equal k.task_name o.element)
+                       spec.Spec.tasks
+                  then Some o.element
+                  else None)
+                result.Engine.outcomes
+          in
+          Format.printf "@.Comparison against the flat baseline:@.";
+          Report.pp_comparison Format.std_formatter
+            (Report.compare_results ~baseline:flat ~improved:result ~names);
+          Format.printf "@."
+      end
+  in
+  let doc = "Analyse a system (the paper's reference system by default)." in
+  Cmd.v (Cmd.info "analyse" ~doc)
+    Term.(const run $ mode_arg $ s3_period_arg $ file_arg)
+
+(* simulate *)
+
+let simulate_cmd =
+  let run horizon seed s3_period =
+    let spec = Paper.spec ~s3_period () in
+    let generators =
+      [
+        "S1", Des.Gen.periodic ~period:250 ();
+        "S2", Des.Gen.periodic ~period:450 ();
+        "S3", Des.Gen.periodic ~period:s3_period ();
+        "S4", Des.Gen.periodic ~period:400 ();
+      ]
+    in
+    match Des.Simulator.run ~seed ~generators ~horizon spec with
+    | Error e -> exit_err e
+    | Ok trace ->
+      Printf.printf "%-6s %12s %12s %12s\n" "elem" "completions" "best R"
+        "worst R";
+      List.iter
+        (fun name ->
+          let show f = match f with Some v -> string_of_int v | None -> "-" in
+          Printf.printf "%-6s %12d %12s %12s\n" name
+            (Des.Trace.response_count trace name)
+            (show (Des.Trace.best_response trace name))
+            (show (Des.Trace.worst_response trace name)))
+        ("F1" :: "F2" :: Paper.cpu_tasks)
+  in
+  let horizon =
+    Arg.(value & opt int 1_000_000
+         & info [ "horizon" ] ~docv:"N" ~doc:"Simulation horizon.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+  in
+  let doc = "Simulate the paper's reference system." in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const run $ horizon $ seed $ s3_period_arg)
+
+(* figure4 *)
+
+let figure4_cmd =
+  let run max_dt step s3_period =
+    match Engine.analyse ~mode:Engine.Hierarchical (Paper.spec ~s3_period ()) with
+    | Error e -> exit_err e
+    | Ok hem ->
+      let streams =
+        ("F1", hem.Engine.resolve (Spec.From_frame "F1"))
+        :: List.map2
+             (fun task signal ->
+               ( task,
+                 hem.Engine.resolve (Spec.From_signal { frame = "F1"; signal })
+               ))
+             Paper.cpu_tasks
+             [ "sig1"; "sig2"; "sig3" ]
+      in
+      Printf.printf "%-8s" "dt";
+      List.iter (fun (name, _) -> Printf.printf "%8s" name) streams;
+      print_newline ();
+      let rec loop dt =
+        if dt <= max_dt then begin
+          Printf.printf "%-8d" dt;
+          List.iter
+            (fun (_, s) ->
+              Printf.printf "%8s" (Count.to_string (Stream.eta_plus s dt)))
+            streams;
+          print_newline ();
+          loop (dt + step)
+        end
+      in
+      loop step
+  in
+  let max_dt =
+    Arg.(value & opt int 2500
+         & info [ "max-dt" ] ~docv:"N" ~doc:"Largest window size.")
+  in
+  let step =
+    Arg.(value & opt int 125 & info [ "step" ] ~docv:"N" ~doc:"Window step.")
+  in
+  let doc = "Print the eta+ series of Figure 4." in
+  Cmd.v (Cmd.info "figure4" ~doc)
+    Term.(const run $ max_dt $ step $ s3_period_arg)
+
+(* export *)
+
+let export_cmd =
+  let run file horizon seed out_prefix =
+    let spec, _ = load_spec file in
+    (* generators reconstructed from the source streams is not possible in
+       general; periodic generators matching the built-in system are used
+       for the default, and periodic-from-description for files *)
+    let generators =
+      match file with
+      | None ->
+        [
+          "S1", Des.Gen.periodic ~period:250 ();
+          "S2", Des.Gen.periodic ~period:450 ();
+          "S3", Des.Gen.periodic ~period:Paper.s3_period ();
+          "S4", Des.Gen.periodic ~period:400 ();
+        ]
+      | Some path -> begin
+        match Cpa_system.Spec_file.parse (read_file path) with
+        | Error e -> exit_err e
+        | Ok description ->
+          List.map
+            (fun (s : Cpa_system.Spec_file.source) ->
+              let gen =
+                match s.Cpa_system.Spec_file.desc with
+                | Cpa_system.Spec_file.Periodic p -> Des.Gen.periodic ~period:p ()
+                | Cpa_system.Spec_file.Periodic_jitter { period; jitter; _ } ->
+                  Des.Gen.periodic_jitter ~period ~jitter ()
+                | Cpa_system.Spec_file.Sporadic d ->
+                  Des.Gen.sporadic ~d_min:d ~slack:d ()
+                | Cpa_system.Spec_file.Burst { period; burst; d_min } ->
+                  Des.Gen.of_times
+                    (List.concat_map
+                       (fun k ->
+                         List.init burst (fun j -> (k * period) + (j * d_min)))
+                       (List.init ((1_000_000 / period) + 1) Fun.id))
+              in
+              s.Cpa_system.Spec_file.source_name, gen)
+            description.Cpa_system.Spec_file.sources
+      end
+    in
+    match Des.Simulator.run ~seed ~generators ~horizon spec with
+    | Error e -> exit_err e
+    | Ok trace ->
+      let write path contents =
+        let oc = open_out path in
+        output_string oc contents;
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+      in
+      let sources = List.map (fun (n, _) -> Des.Port.source n) spec.Spec.sources in
+      let frames =
+        List.map (fun (f : Spec.frame) -> Des.Port.frame f.frame_name)
+          spec.Spec.frames
+      in
+      let outputs =
+        List.map (fun (k : Spec.task) -> Des.Port.task_output k.task_name)
+          spec.Spec.tasks
+      in
+      let elements =
+        List.map (fun (f : Spec.frame) -> f.Spec.frame_name) spec.Spec.frames
+        @ List.map (fun (k : Spec.task) -> k.Spec.task_name) spec.Spec.tasks
+      in
+      write (out_prefix ^ ".vcd")
+        (Des.Export.vcd trace ~streams:(sources @ frames @ outputs));
+      write (out_prefix ^ "-arrivals.csv")
+        (Des.Export.arrivals_csv trace ~streams:(sources @ frames));
+      write (out_prefix ^ "-responses.csv")
+        (Des.Export.responses_csv trace ~elements)
+  in
+  let horizon =
+    Arg.(value & opt int 100_000
+         & info [ "horizon" ] ~docv:"N" ~doc:"Simulation horizon.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+  in
+  let out_prefix =
+    Arg.(value & opt string "trace"
+         & info [ "out" ] ~docv:"PREFIX" ~doc:"Output file prefix.")
+  in
+  let doc = "Simulate and export VCD + CSV traces." in
+  Cmd.v (Cmd.info "export" ~doc)
+    Term.(const run $ file_arg $ horizon $ seed $ out_prefix)
+
+(* gantt *)
+
+let gantt_cmd =
+  let run from_time width =
+    let spec = Paper.spec () in
+    let generators =
+      [
+        "S1", Des.Gen.periodic ~period:250 ();
+        "S2", Des.Gen.periodic ~period:450 ();
+        "S3", Des.Gen.periodic ~period:Paper.s3_period ();
+        "S4", Des.Gen.periodic ~period:400 ();
+      ]
+    in
+    match
+      Des.Simulator.run ~generators ~horizon:(from_time + width + 1000) spec
+    with
+    | Error e -> exit_err e
+    | Ok trace ->
+      print_string
+        (Des.Export.gantt ~from_time ~width trace
+           ~elements:("F1" :: "F2" :: Paper.cpu_tasks));
+      Printf.printf "\nResponse statistics:\n%-6s %8s %6s %6s %8s %6s\n" "elem"
+        "count" "best" "worst" "mean" "p99";
+      List.iter
+        (fun name ->
+          match Des.Trace.response_stats trace name with
+          | Some s ->
+            Printf.printf "%-6s %8d %6d %6d %8.1f %6d\n" name s.Des.Trace.count
+              s.Des.Trace.best s.Des.Trace.worst s.Des.Trace.mean
+              s.Des.Trace.percentile_99
+          | None -> Printf.printf "%-6s (no completions)\n" name)
+        ("F1" :: "F2" :: Paper.cpu_tasks)
+  in
+  let from_time =
+    Arg.(value & opt int 0 & info [ "from" ] ~docv:"T" ~doc:"Window start.")
+  in
+  let width =
+    Arg.(value & opt int 120 & info [ "width" ] ~docv:"N" ~doc:"Window width.")
+  in
+  let doc = "Simulate and render an ASCII Gantt chart with statistics." in
+  Cmd.v (Cmd.info "gantt" ~doc) Term.(const run $ from_time $ width)
+
+(* headroom *)
+
+let headroom_cmd =
+  let run s3_period =
+    let spec = Paper.spec ~s3_period () in
+    Printf.printf "%-6s %16s %16s\n" "task" "flat headroom" "HEM headroom";
+    List.iter
+      (fun task ->
+        let headroom mode =
+          match Cpa_system.Sensitivity.max_cet_scale ~mode spec ~task with
+          | Some pct -> Printf.sprintf "%d%%" pct
+          | None -> "none"
+        in
+        Printf.printf "%-6s %16s %16s\n" task
+          (headroom Engine.Flat_sem)
+          (headroom Engine.Hierarchical))
+      Paper.cpu_tasks;
+    match Engine.analyse ~mode:Engine.Hierarchical spec with
+    | Error e -> exit_err e
+    | Ok result ->
+      Printf.printf "\nResource load:\n";
+      List.iter
+        (fun (resource, pct) -> Printf.printf "  %-6s %5.1f%%\n" resource pct)
+        (Report.utilizations result)
+  in
+  let doc = "Execution-time headroom per task and resource loads." in
+  Cmd.v (Cmd.info "headroom" ~doc) Term.(const run $ s3_period_arg)
+
+(* data-age *)
+
+let data_age_cmd =
+  let run s3_period =
+    match
+      Engine.analyse ~mode:Engine.Hierarchical (Paper.spec ~s3_period ())
+    with
+    | Error e -> exit_err e
+    | Ok result ->
+      Printf.printf "%-6s %-8s %14s\n" "frame" "signal" "worst data age";
+      List.iter
+        (fun (frame, signal) ->
+          let age =
+            match Report.signal_data_age result ~frame ~signal with
+            | Some t -> Timebase.Time.to_string t
+            | None -> "unbounded"
+          in
+          Printf.printf "%-6s %-8s %14s\n" frame signal age)
+        [ "F1", "sig1"; "F1", "sig2"; "F1", "sig3"; "F2", "sig4" ]
+  in
+  let doc = "Worst-case write-to-delivery age of every COM signal." in
+  Cmd.v (Cmd.info "data-age" ~doc) Term.(const run $ s3_period_arg)
+
+(* scaling *)
+
+let scaling_cmd =
+  let run signals =
+    let spec = Scenarios.Synthetic.fan_in ~signals () in
+    match
+      ( Engine.analyse ~mode:Engine.Flat_sem spec,
+        Engine.analyse ~mode:Engine.Hierarchical spec )
+    with
+    | Ok flat, Ok hem ->
+      Report.pp_comparison Format.std_formatter
+        (Report.compare_results ~baseline:flat ~improved:hem
+           ~names:(List.init signals (fun i -> Printf.sprintf "T%d" (i + 1))));
+      Format.printf "@."
+    | Error e, _ | _, Error e -> exit_err e
+  in
+  let signals =
+    Arg.(value & opt int 4
+         & info [ "signals" ] ~docv:"N" ~doc:"Signals packed into the frame.")
+  in
+  let doc = "Analyse a synthetic fan-in system of N signals." in
+  Cmd.v (Cmd.info "scaling" ~doc) Term.(const run $ signals)
+
+let () =
+  let doc = "hierarchical event model analysis of the DATE'08 reference system" in
+  let info = Cmd.info "hem_tool" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            analyse_cmd; simulate_cmd; figure4_cmd; scaling_cmd; export_cmd;
+            gantt_cmd; headroom_cmd; data_age_cmd;
+          ]))

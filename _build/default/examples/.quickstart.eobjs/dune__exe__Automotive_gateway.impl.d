@@ -1,0 +1,1 @@
+examples/automotive_gateway.ml: Cpa_system Des Event_model Format List Printf Scenarios Timebase

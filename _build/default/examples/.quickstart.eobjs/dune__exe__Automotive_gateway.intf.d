@@ -1,0 +1,1 @@
+examples/automotive_gateway.mli:

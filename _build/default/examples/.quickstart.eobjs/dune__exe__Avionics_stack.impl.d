@@ -1,0 +1,1 @@
+examples/avionics_stack.ml: Cpa_system Des Format List Printf Scenarios Timebase

@@ -1,0 +1,1 @@
+examples/com_stack_demo.ml: Comstack Event_model Format Hem List Printf String Timebase

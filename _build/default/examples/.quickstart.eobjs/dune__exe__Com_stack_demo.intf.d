@@ -1,0 +1,1 @@
+examples/com_stack_demo.mli:

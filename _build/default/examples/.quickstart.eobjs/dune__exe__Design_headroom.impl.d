@@ -1,0 +1,1 @@
+examples/design_headroom.ml: Cpa_system Format List Printf Scenarios Timebase

@@ -1,0 +1,1 @@
+examples/multi_rate_fusion.ml: Cpa_system Event_model Format List Printf Timebase

@@ -1,0 +1,1 @@
+examples/multi_rate_fusion.mli:

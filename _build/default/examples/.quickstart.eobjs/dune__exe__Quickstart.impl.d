@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cpa_system Event_model Format Printf Timebase

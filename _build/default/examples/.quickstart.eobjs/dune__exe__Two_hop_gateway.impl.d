@@ -1,0 +1,1 @@
+examples/two_hop_gateway.ml: Cpa_system Des Filename Format List Printf Scenarios Timebase

@@ -1,0 +1,44 @@
+(* Quickstart: model a two-task CPU fed by a periodic source and a CAN
+   frame, run the compositional analysis, and inspect event streams.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Interval = Timebase.Interval
+module Stream = Event_model.Stream
+module Spec = Cpa_system.Spec
+module Engine = Cpa_system.Engine
+module Report = Cpa_system.Report
+
+let () =
+  (* 1. Describe the system: one source, one CPU, two tasks in a chain. *)
+  let system =
+    Spec.make
+      ~sources:[ "sensor", Stream.periodic ~name:"sensor" ~period:100 ]
+      ~resources:[ { Spec.res_name = "ecu"; scheduler = Spec.Spp } ]
+      ~tasks:
+        [
+          Spec.task ~name:"filter" ~resource:"ecu"
+            ~cet:(Interval.make ~lo:8 ~hi:12) ~priority:1
+            ~activation:(Spec.From_source "sensor") ();
+          Spec.task ~name:"control" ~resource:"ecu"
+            ~cet:(Interval.make ~lo:15 ~hi:25) ~priority:2
+            ~activation:(Spec.From_output "filter") ();
+        ]
+      ()
+  in
+  (* 2. Run the global analysis to the fixed point. *)
+  match Engine.analyse system with
+  | Error e -> Printf.printf "analysis failed: %s\n" e
+  | Ok result ->
+    Format.printf "Response times:@.";
+    Report.print_outcomes Format.std_formatter result;
+    (* 3. Inspect the event stream activating the control task: the
+       filter's response-time jitter has been propagated into it. *)
+    let control_input = result.Engine.resolve (Spec.From_output "filter") in
+    Format.printf "@.Activation stream of 'control':@.%a@." Stream.pp
+      control_input;
+    (* 4. End-to-end latency along the chain. *)
+    (match Report.path_latency result [ "filter"; "control" ] with
+     | Some latency ->
+       Format.printf "@.Sensor-to-actuation latency: %a@." Interval.pp latency
+     | None -> Format.printf "@.Path unbounded@.")

@@ -1,0 +1,38 @@
+; The full-stack integration scenario (see lib/scenarios/avionics.ml):
+; every scheduler of the framework in one system.
+;
+;   dune exec bin/hem_tool.exe -- analyse --file examples/specs/avionics.scm
+(system
+  (source nav (periodic 100))
+  (source imu (periodic-jitter 80 20 0))
+  (source radio (sporadic 500))
+
+  (resource canA spnp)
+  (resource mission edf)
+  (resource backbone tdma)
+  (resource display round-robin)
+
+  (frame FS (bus canA) (send mixed 200) (tx 3 4) (priority 1)
+    (signal sig_nav triggering (source nav))
+    (signal sig_imu pending (source imu)))
+  (frame FR (bus canA) (send direct) (tx 2 2) (priority 2)
+    (signal sig_radio triggering (source radio)))
+
+  (task nav_proc (resource mission) (cet 5 10) (priority 1) (deadline 60)
+    (activation (signal FS sig_nav)))
+  (task imu_proc (resource mission) (cet 4 8) (priority 2) (deadline 80)
+    (activation (signal FS sig_imu)))
+  (task radio_proc (resource mission) (cet 10 20) (priority 3) (deadline 300)
+    (activation (signal FR sig_radio)))
+  (task fusion (resource mission) (cet 6 12) (priority 4) (deadline 200)
+    (activation (and (output nav_proc) (output imu_proc))))
+
+  (task uplink_f (resource backbone) (cet 3 3) (priority 1) (service 4)
+    (activation (output fusion)))
+  (task uplink_r (resource backbone) (cet 2 2) (priority 2) (service 3)
+    (activation (output radio_proc)))
+
+  (task render (resource display) (cet 8 15) (priority 1) (service 5)
+    (activation (output uplink_f)))
+  (task log (resource display) (cet 4 6) (priority 2) (service 3)
+    (activation (output uplink_r))))

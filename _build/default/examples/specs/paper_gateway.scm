@@ -1,0 +1,29 @@
+; The evaluation system of Rox & Ernst, DATE 2008 (section 6, figure 2):
+; four sources, an AUTOSAR-style COM layer packing their signals into two
+; CAN frames, and three receiving tasks on CPU1.
+;
+; Analyse with:
+;   dune exec bin/hem_tool.exe -- analyse --file examples/specs/paper_gateway.scm
+(system
+  (source s1 (periodic 250))
+  (source s2 (periodic 450))
+  (source s3 (periodic 1000))   ; the pending source (period assumed, see DESIGN.md)
+  (source s4 (periodic 400))
+
+  (resource can spnp)
+  (resource cpu1 spp)
+
+  (frame f1 (bus can) (send direct) (tx 4 4) (priority 1)
+    (signal sig1 triggering (source s1))
+    (signal sig2 triggering (source s2))
+    (signal sig3 pending (source s3)))
+
+  (frame f2 (bus can) (send direct) (tx 2 2) (priority 2)
+    (signal sig4 triggering (source s4)))
+
+  (task t1 (resource cpu1) (cet 24 24) (priority 1)
+    (activation (signal f1 sig1)))
+  (task t2 (resource cpu1) (cet 32 32) (priority 2)
+    (activation (signal f1 sig2)))
+  (task t3 (resource cpu1) (cet 40 40) (priority 3)
+    (activation (signal f1 sig3))))

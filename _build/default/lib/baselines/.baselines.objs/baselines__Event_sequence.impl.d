@@ -1,0 +1,1 @@
+lib/baselines/event_sequence.ml: Array Event_model Stdlib Timebase

@@ -1,0 +1,1 @@
+lib/baselines/event_sequence.mli: Event_model Timebase

@@ -1,0 +1,1 @@
+lib/baselines/event_vector.ml: Event_model Format List Stdlib Timebase

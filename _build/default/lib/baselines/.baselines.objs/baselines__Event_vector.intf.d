@@ -1,0 +1,1 @@
+lib/baselines/event_vector.mli: Event_model Format Timebase

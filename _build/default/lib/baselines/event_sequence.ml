@@ -1,0 +1,66 @@
+module Time = Timebase.Time
+
+type t = {
+  outer_period : int;
+  outer_jitter : int;
+  offsets : int array;
+}
+
+let make ~outer_period ?(outer_jitter = 0) ~inner_offsets () =
+  if outer_period < 1 then invalid_arg "Event_sequence.make: outer_period < 1";
+  if outer_jitter < 0 then invalid_arg "Event_sequence.make: outer_jitter < 0";
+  (match inner_offsets with
+   | [] -> invalid_arg "Event_sequence.make: empty inner sequence"
+   | first :: _ ->
+     if first <> 0 then
+       invalid_arg "Event_sequence.make: inner sequence must start at 0");
+  let rec check_sorted = function
+    | a :: (b :: _ as rest) ->
+      if a > b then invalid_arg "Event_sequence.make: unsorted offsets"
+      else check_sorted rest
+    | [ last ] ->
+      if last >= outer_period then
+        invalid_arg "Event_sequence.make: inner sequence overruns the period"
+    | [] -> ()
+  in
+  check_sorted inner_offsets;
+  { outer_period; outer_jitter; offsets = Array.of_list inner_offsets }
+
+let inner_length t = Array.length t.offsets
+
+(* nominal position of the j-th event of the composite pattern *)
+let position t j =
+  let m = Array.length t.offsets in
+  ((j / m) * t.outer_period) + t.offsets.(j mod m)
+
+let same_replay t a b =
+  let m = Array.length t.offsets in
+  a / m = b / m
+
+(* Distances are periodic in the start index with period [inner_length];
+   per-replay jitter widens (resp. tightens) spans that cross a replay
+   boundary by up to the jitter. *)
+let span_over_starts t n pick jitter_sign =
+  let m = Array.length t.offsets in
+  let span s =
+    let last = s + n - 1 in
+    let nominal = position t last - position t s in
+    if same_replay t s last then nominal
+    else Stdlib.max 0 (nominal + (jitter_sign * t.outer_jitter))
+  in
+  let rec scan s best = if s >= m then best else scan (s + 1) (pick best (span s)) in
+  scan 1 (span 0)
+
+let delta_min t n =
+  if n <= 1 then Time.zero
+  else Time.of_int (span_over_starts t n Stdlib.min (-1))
+
+let delta_plus t n =
+  if n <= 1 then Time.zero
+  else Time.of_int (span_over_starts t n Stdlib.max 1)
+
+let to_stream ?(name = "event-sequence") t =
+  Event_model.Stream.make ~name ~delta_min:(delta_min t)
+    ~delta_plus:(delta_plus t)
+
+let sem_approximation t = Event_model.Sem.fit (to_stream t)

@@ -1,0 +1,38 @@
+(** Hierarchical event sequences for a single stream (related work,
+    reference [1] of the paper: Albers, Bodmann, Slomka).
+
+    A finite {e inner} event sequence is embedded into an {e outer}
+    sequence: every outer event stands for one complete replay of the
+    inner sequence.  Unlike the paper's hierarchical event models — which
+    embed {e independent} streams and keep them separable — this model
+    describes a single stream's complex pattern more precisely than a
+    standard event model can.  It is implemented here as the
+    related-work baseline: the comparison bench shows where it helps
+    (accurate single-stream bursts) and what it cannot do (per-signal
+    unpacking after combination). *)
+
+type t
+
+val make : outer_period:int -> ?outer_jitter:int -> inner_offsets:int list -> unit -> t
+(** [make ~outer_period ~inner_offsets ()] embeds the inner sequence with
+    the given event offsets (sorted, first must be [0]) into a periodic
+    outer sequence; [outer_jitter] (default 0) jitters every replay as a
+    whole.
+    @raise Invalid_argument if offsets are unsorted, negative, don't
+    start at [0], or overrun the outer period. *)
+
+val inner_length : t -> int
+
+val delta_min : t -> int -> Timebase.Time.t
+(** Exact minimum span of [n] consecutive events of the composite
+    pattern, minimized over all start positions within the inner
+    sequence and tightened by the outer jitter. *)
+
+val delta_plus : t -> int -> Timebase.Time.t
+
+val to_stream : ?name:string -> t -> Event_model.Stream.t
+
+val sem_approximation : t -> Event_model.Sem.t
+(** The best standard event model upper bound of the same pattern
+    (fitted on the distance curve) — what a flat analysis would have to
+    use; the comparison baseline of the accuracy bench. *)

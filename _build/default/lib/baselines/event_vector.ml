@@ -1,0 +1,108 @@
+module Time = Timebase.Time
+
+type element = {
+  offset : int;
+  cycle : Time.t;
+}
+
+type t = element list
+
+let make elements =
+  if elements = [] then invalid_arg "Event_vector.make: no elements";
+  List.iter
+    (fun e ->
+      if e.offset < 0 then invalid_arg "Event_vector.make: negative offset";
+      match e.cycle with
+      | Time.Fin c when c < 1 ->
+        invalid_arg "Event_vector.make: non-positive cycle"
+      | Time.Fin _ | Time.Inf -> ())
+    elements;
+  elements
+
+let elements t = t
+
+let of_periodic ~period = make [ { offset = 0; cycle = Time.of_int period } ]
+
+let of_periodic_burst ~period ~burst ~d_min =
+  if burst < 1 then invalid_arg "Event_vector.of_periodic_burst: burst < 1";
+  if d_min < 0 then invalid_arg "Event_vector.of_periodic_burst: d_min < 0";
+  if (burst - 1) * d_min >= period then
+    invalid_arg "Event_vector.of_periodic_burst: burst does not fit";
+  make
+    (List.init burst (fun k ->
+       { offset = k * d_min; cycle = Time.of_int period }))
+
+let element_count e dt =
+  (* events of one element in a half-open window of size dt *)
+  if dt <= e.offset then 0
+  else
+    match e.cycle with
+    | Time.Inf -> 1
+    | Time.Fin c -> ((dt - 1 - e.offset) / c) + 1
+
+let eta_plus t dt =
+  if dt <= 0 then 0
+  else List.fold_left (fun acc e -> acc + element_count e dt) 0 t
+
+let max_events t =
+  (* finite only when every element is one-shot *)
+  if List.for_all (fun e -> e.cycle = Time.Inf) t then Some (List.length t)
+  else None
+
+let delta_min t n =
+  if n <= 1 then Time.zero
+  else begin
+    match max_events t with
+    | Some m when m < n -> Time.Inf
+    | Some _ | None ->
+      (* least span d with eta_plus (d + 1) >= n, by doubling + bisection
+         over the monotone arrival function *)
+      let enough d = eta_plus t (d + 1) >= n in
+      let rec widen d = if enough d then d else widen (Stdlib.max 1 (d * 2)) in
+      let hi = widen 1 in
+      let rec bisect lo hi =
+        if hi - lo <= 1 then if enough lo then lo else hi
+        else
+          let mid = lo + ((hi - lo) / 2) in
+          if enough mid then bisect lo mid else bisect mid hi
+      in
+      Time.of_int (if enough 0 then 0 else bisect 0 hi)
+  end
+
+let to_stream ?(name = "event-vector") t =
+  Event_model.Stream.make ~name ~delta_min:(delta_min t)
+    ~delta_plus:(fun _ -> Time.Inf)
+
+type demand_source = {
+  events : t;
+  deadline : int;
+  wcet : int;
+}
+
+let demand_bound sources dt =
+  let contribution s =
+    if dt < s.deadline then 0
+    else s.wcet * eta_plus s.events (dt - s.deadline + 1)
+  in
+  List.fold_left (fun acc s -> acc + contribution s) 0 sources
+
+let edf_feasible ?(horizon = 100_000) sources =
+  List.iter
+    (fun s ->
+      if s.deadline < 1 then invalid_arg "Event_vector.edf_feasible: deadline < 1";
+      if s.wcet < 1 then invalid_arg "Event_vector.edf_feasible: wcet < 1")
+    sources;
+  let rec scan dt =
+    if dt > horizon then Ok ()
+    else if demand_bound sources dt > dt then Error dt
+    else scan (dt + 1)
+  in
+  scan 1
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>{%a}@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       (fun ppf e ->
+         Format.fprintf ppf "(a=%d, z=%s)" e.offset (Time.to_string e.cycle)))
+    t

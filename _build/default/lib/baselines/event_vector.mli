@@ -1,0 +1,65 @@
+(** Gresser's event vector model (related work, reference [4] of the
+    paper).
+
+    An event stream is described by a set of cyclic elements; element
+    [(offset, cycle)] contributes events at [offset + k * cycle] relative
+    to the worst-case window start.  The union of the elements upper-
+    bounds the number of events in any window, which makes demand bound
+    functions — and with them EDF feasibility tests — directly
+    computable.  This module provides the model, its arrival function,
+    the demand bound function, and the embedding into the generic
+    {!Event_model.Stream} representation, so it can serve as a baseline
+    against the standard and hierarchical event models. *)
+
+type element = {
+  offset : int;  (** first event, relative to the window start; >= 0 *)
+  cycle : Timebase.Time.t;  (** [Inf] for a one-shot element *)
+}
+
+type t
+
+val make : element list -> t
+(** @raise Invalid_argument on an empty list, a negative offset, or a
+    non-positive finite cycle. *)
+
+val elements : t -> element list
+
+val of_periodic : period:int -> t
+
+val of_periodic_burst : period:int -> burst:int -> d_min:int -> t
+(** [burst] elements at offsets [0, d_min, 2 d_min, ...], each cycling
+    with [period] — the classic event-vector encoding of a bursty
+    stream. *)
+
+val eta_plus : t -> int -> int
+(** Maximum number of events in any half-open window of size [dt]:
+    [sum over elements of max 0 (floor ((dt - 1 - offset) / cycle) + 1)]. *)
+
+val delta_min : t -> int -> Timebase.Time.t
+(** Pseudo-inverse of {!eta_plus}: the least span containing [n] events.
+    [Inf] when the stream never produces [n] events (all elements
+    one-shot). *)
+
+val to_stream : ?name:string -> t -> Event_model.Stream.t
+(** The stream with [delta_min] from this model and unbounded
+    [delta_plus] (event vectors carry no lower arrival bound). *)
+
+(** {1 Demand bound functions (EDF feasibility)} *)
+
+type demand_source = {
+  events : t;
+  deadline : int;  (** relative deadline, >= 1 *)
+  wcet : int;  (** worst-case execution time, >= 1 *)
+}
+
+val demand_bound : demand_source list -> int -> int
+(** [demand_bound sources dt]: total execution demand that must complete
+    within any window of size [dt] —
+    [sum_i wcet_i * eta_plus_i (dt - deadline_i + 1)]. *)
+
+val edf_feasible : ?horizon:int -> demand_source list -> (unit, int) result
+(** Processor-demand test: [Ok ()] if [demand_bound dt <= dt] for every
+    [dt] up to [horizon] (default 100_000); [Error dt] gives the first
+    violating window size. *)
+
+val pp : Format.formatter -> t -> unit

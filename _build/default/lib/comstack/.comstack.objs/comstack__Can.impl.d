@@ -1,0 +1,1 @@
+lib/comstack/can.ml: Timebase

@@ -1,0 +1,1 @@
+lib/comstack/frame.ml: Event_model Format Hem List Printf Scheduling Signal String Timebase

@@ -1,0 +1,1 @@
+lib/comstack/frame.mli: Format Hem Scheduling Signal Timebase

@@ -1,0 +1,1 @@
+lib/comstack/latency.ml: Event_model Hem Timebase

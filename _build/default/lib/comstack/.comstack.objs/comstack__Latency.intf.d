@@ -1,0 +1,1 @@
+lib/comstack/latency.mli: Hem Timebase

@@ -1,0 +1,1 @@
+lib/comstack/layout.ml: Can Format List Printf String

@@ -1,0 +1,1 @@
+lib/comstack/layout.mli: Can Format Timebase

@@ -1,0 +1,1 @@
+lib/comstack/signal.ml: Event_model Format Hem

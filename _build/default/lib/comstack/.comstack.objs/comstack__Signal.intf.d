@@ -1,0 +1,1 @@
+lib/comstack/signal.mli: Event_model Format Hem

@@ -1,0 +1,30 @@
+type id_format =
+  | Standard
+  | Extended
+
+let header_bits = function
+  | Standard -> 34
+  | Extended -> 54
+
+let check_bytes data_bytes =
+  if data_bytes < 0 || data_bytes > 8 then
+    invalid_arg "Can: data_bytes must be within 0..8"
+
+let unstuffed_bits format data_bytes =
+  (8 * data_bytes) + header_bits format + 13
+
+let frame_bits ?(format = Standard) ~data_bytes () =
+  check_bytes data_bytes;
+  let g = header_bits format in
+  unstuffed_bits format data_bytes + ((g + (8 * data_bytes) - 1) / 4)
+
+let transmission_time ?format ~data_bytes ~bit_time () =
+  if bit_time < 1 then invalid_arg "Can.transmission_time: bit_time < 1";
+  frame_bits ?format ~data_bytes () * bit_time
+
+let tx_interval ?(format = Standard) ~data_bytes ~bit_time () =
+  if bit_time < 1 then invalid_arg "Can.tx_interval: bit_time < 1";
+  check_bytes data_bytes;
+  Timebase.Interval.make
+    ~lo:(unstuffed_bits format data_bytes * bit_time)
+    ~hi:(frame_bits ~format ~data_bytes () * bit_time)

@@ -1,0 +1,27 @@
+(** CAN frame transmission times.
+
+    Worst-case frame length on a CAN bus including the maximum number of
+    stuff bits (Davis/Burns/Bril/Lukkien formulation): a data frame with
+    [n] payload bytes occupies at most [8n + g + 13 + floor ((g + 8n - 1) / 4)]
+    bit times, where [g = 34] for standard (11-bit) identifiers and
+    [g = 54] for extended (29-bit) identifiers; the 13 covers the
+    non-stuffable tail (CRC delimiter, ACK, EOF, interframe space). *)
+
+type id_format =
+  | Standard  (** 11-bit identifiers *)
+  | Extended  (** 29-bit identifiers *)
+
+val frame_bits : ?format:id_format -> data_bytes:int -> unit -> int
+(** Worst-case frame length in bit times.  [format] defaults to
+    [Standard].
+    @raise Invalid_argument unless [0 <= data_bytes <= 8]. *)
+
+val transmission_time :
+  ?format:id_format -> data_bytes:int -> bit_time:int -> unit -> int
+(** [frame_bits * bit_time], for integer time units per bit. *)
+
+val tx_interval :
+  ?format:id_format -> data_bytes:int -> bit_time:int -> unit ->
+  Timebase.Interval.t
+(** Transmission-time interval: the best case assumes no stuff bits, the
+    worst case the maximum number. *)

@@ -1,0 +1,70 @@
+module Stream = Event_model.Stream
+
+type send_type =
+  | Periodic of int
+  | Direct
+  | Mixed of int
+
+type t = {
+  name : string;
+  send_type : send_type;
+  signals : Signal.t list;
+  tx_time : Timebase.Interval.t;
+  priority : int;
+}
+
+let has_triggering_signal signals =
+  List.exists
+    (fun (s : Signal.t) -> s.property = Hem.Model.Triggering)
+    signals
+
+let make ~name ~send_type ~signals ~tx_time ~priority =
+  if signals = [] then invalid_arg "Frame.make: no signals";
+  begin
+    match send_type with
+    | Direct ->
+      if not (has_triggering_signal signals) then
+        invalid_arg "Frame.make: direct frame without triggering signal"
+    | Periodic p | Mixed p ->
+      if p < 1 then invalid_arg "Frame.make: timer period < 1"
+  end;
+  { name; send_type; signals; tx_time; priority }
+
+let timer_label t = t.name ^ ".timer"
+
+let pack_inputs t =
+  let signal_input (s : Signal.t) =
+    (* A periodic frame ignores signal triggers: all signals are packed as
+       pending regardless of their transfer property. *)
+    let kind =
+      match t.send_type with
+      | Periodic _ -> Hem.Model.Pending
+      | Direct | Mixed _ -> s.property
+    in
+    Hem.Pack.input ~kind s.name s.stream
+  in
+  let timer =
+    match t.send_type with
+    | Direct -> []
+    | Periodic p | Mixed p ->
+      [ Hem.Pack.input ~kind:Hem.Model.Triggering (timer_label t)
+          (Stream.periodic ~name:(timer_label t) ~period:p) ]
+  in
+  List.map signal_input t.signals @ timer
+
+let hierarchy t = Hem.Pack.pack ~name:t.name (pack_inputs t)
+
+let message t h =
+  Scheduling.Rt_task.make ~name:t.name ~cet:t.tx_time ~priority:t.priority
+    ~activation:(Hem.Model.outer h)
+
+let pp ppf t =
+  let send_type =
+    match t.send_type with
+    | Periodic p -> Printf.sprintf "periodic(%d)" p
+    | Direct -> "direct"
+    | Mixed p -> Printf.sprintf "mixed(%d)" p
+  in
+  Format.fprintf ppf "frame %s (%s, tx=%a, prio=%d, signals=[%s])" t.name
+    send_type Timebase.Interval.pp t.tx_time t.priority
+    (String.concat "; " (List.map (fun (s : Signal.t) -> s.Signal.name) t.signals))

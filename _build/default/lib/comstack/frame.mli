@@ -1,0 +1,53 @@
+(** Frames of the communication layer (paper, section 4).
+
+    A frame transports the register values of its assigned signals.  The
+    send type decides when a transmission is triggered:
+
+    - [Periodic]: a timer triggers transmissions; signal arrivals never do
+      (all signals effectively behave as pending for the frame timing);
+    - [Direct]: every arrival of a triggering signal sends the frame;
+    - [Mixed]: both — triggering signals and a timer.
+
+    {!hierarchy} builds the frame's hierarchical activation model with the
+    pack-HSC: the timer (if any) is an additional triggering input, so the
+    outer stream is the OR-activation of all effective triggers (paper,
+    eqs. 3-4), and the inner streams follow eqs. 5-8. *)
+
+type send_type =
+  | Periodic of int  (** timer period *)
+  | Direct
+  | Mixed of int  (** timer period *)
+
+type t = {
+  name : string;
+  send_type : send_type;
+  signals : Signal.t list;
+  tx_time : Timebase.Interval.t;  (** transmission time [\[C-:C+\]] *)
+  priority : int;  (** bus priority; smaller = higher *)
+}
+
+val make :
+  name:string ->
+  send_type:send_type ->
+  signals:Signal.t list ->
+  tx_time:Timebase.Interval.t ->
+  priority:int ->
+  t
+(** @raise Invalid_argument if [signals] is empty, if a [Direct] frame has
+    no triggering signal, or if a timer period is [< 1]. *)
+
+val timer_label : t -> string
+(** Label of the implicit timer input of periodic/mixed frames. *)
+
+val hierarchy : t -> Hem.Model.t
+(** The hierarchical event model of the frame's activation stream.  The
+    inner list contains one entry per signal (labelled by signal name)
+    plus, for periodic/mixed frames, the timer entry
+    (labelled {!timer_label}). *)
+
+val message : t -> Hem.Model.t -> Scheduling.Rt_task.t
+(** [message frame h] is the frame as a schedulable bus message: its
+    activation is the outer stream of [h], its execution time the
+    transmission time. *)
+
+val pp : Format.formatter -> t -> unit

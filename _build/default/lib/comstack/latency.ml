@@ -1,0 +1,14 @@
+module Time = Timebase.Time
+module Interval = Timebase.Interval
+
+let sampling_wait ~hierarchy kind =
+  match kind with
+  | Hem.Model.Triggering -> Time.zero
+  | Hem.Model.Pending ->
+    Event_model.Stream.delta_plus (Hem.Model.outer hierarchy) 2
+
+let data_age ~hierarchy ~response ~signal =
+  let inner = Hem.Model.find_inner hierarchy signal in
+  Time.add
+    (sampling_wait ~hierarchy inner.Hem.Model.kind)
+    (Time.of_int (Interval.hi response))

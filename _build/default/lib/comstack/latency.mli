@@ -1,0 +1,27 @@
+(** Worst-case data age through the communication layer.
+
+    The response time of a frame bounds queueing and transmission, but a
+    signal value can additionally sit in its register before any frame
+    picks it up: a triggering signal is picked up immediately; a pending
+    value written just after a transmission waits for the next frame
+    trigger, i.e. up to the maximum distance between two frame
+    activations (the quantity of eq. 7).  The worst-case {e data age} —
+    from register write to delivery at the receiver — is the sampling
+    wait plus the frame's response time. *)
+
+val sampling_wait :
+  hierarchy:Hem.Model.t -> Hem.Model.signal_kind -> Timebase.Time.t
+(** Worst time a fresh register value waits for a frame trigger:
+    [zero] for triggering signals, [delta_plus_out 2] of the pre-bus
+    hierarchy for pending signals ([Inf] if frame triggers have no upper
+    distance bound). *)
+
+val data_age :
+  hierarchy:Hem.Model.t ->
+  response:Timebase.Interval.t ->
+  signal:string ->
+  Timebase.Time.t
+(** [data_age ~hierarchy ~response ~signal]: worst-case write-to-delivery
+    age of [signal], where [hierarchy] is the frame's pre-bus model and
+    [response] the frame's bus response interval.
+    @raise Not_found for an unknown signal label. *)

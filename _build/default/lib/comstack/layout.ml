@@ -1,0 +1,53 @@
+type field = {
+  field_name : string;
+  bits : int;
+}
+
+type t = { packed : (field * int) list  (* field, bit offset *) }
+
+let make ?(max_bytes = 8) fields =
+  if fields = [] then Error "Layout.make: no fields"
+  else if List.exists (fun f -> f.bits < 1) fields then
+    Error "Layout.make: field width < 1"
+  else begin
+    let names = List.map (fun f -> f.field_name) fields in
+    if List.length (List.sort_uniq String.compare names) <> List.length names
+    then Error "Layout.make: duplicate field names"
+    else begin
+      let _, packed =
+        List.fold_left
+          (fun (offset, acc) f -> offset + f.bits, (f, offset) :: acc)
+          (0, []) fields
+      in
+      let total = List.fold_left (fun acc f -> acc + f.bits) 0 fields in
+      if total > max_bytes * 8 then
+        Error
+          (Printf.sprintf "Layout.make: %d bits exceed the %d-byte payload"
+             total max_bytes)
+      else Ok { packed = List.rev packed }
+    end
+  end
+
+let fields t = List.map fst t.packed
+
+let total_bits t = List.fold_left (fun acc (f, _) -> acc + f.bits) 0 t.packed
+
+let data_bytes t = (total_bits t + 7) / 8
+
+let bit_offset t name =
+  let _, offset =
+    List.find (fun (f, _) -> String.equal f.field_name name) t.packed
+  in
+  offset
+
+let tx_interval ?format ~bit_time t =
+  Can.tx_interval ?format ~data_bytes:(data_bytes t) ~bit_time ()
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>layout (%d bytes):@ " (data_bytes t);
+  List.iter
+    (fun (f, offset) ->
+      Format.fprintf ppf "%s: bits [%d, %d)@ " f.field_name offset
+        (offset + f.bits))
+    t.packed;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,36 @@
+(** Frame payload layouts.
+
+    Each signal owns a fixed field in the frame's payload (the "fixed
+    position" of the paper's COM-layer description).  A layout assigns
+    consecutive bit fields, checks the payload limit, and derives the
+    frame's CAN transmission-time interval from its actual size. *)
+
+type field = {
+  field_name : string;
+  bits : int;  (** field width in bits, >= 1 *)
+}
+
+type t
+
+val make : ?max_bytes:int -> field list -> (t, string) result
+(** Packs the fields consecutively.  [max_bytes] defaults to [8] (CAN
+    2.0).  Errors on empty layouts, duplicate names, non-positive widths
+    and payload overflow. *)
+
+val fields : t -> field list
+
+val total_bits : t -> int
+
+val data_bytes : t -> int
+(** Payload size rounded up to whole bytes. *)
+
+val bit_offset : t -> string -> int
+(** Position of a field within the payload.
+    @raise Not_found for unknown field names. *)
+
+val tx_interval : ?format:Can.id_format -> bit_time:int -> t -> Timebase.Interval.t
+(** Transmission-time interval of a frame carrying this payload (best
+    case without stuff bits, worst case with maximum stuffing); plugs
+    directly into {!Frame.make}. *)
+
+val pp : Format.formatter -> t -> unit

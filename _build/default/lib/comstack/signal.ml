@@ -1,0 +1,18 @@
+type t = {
+  name : string;
+  property : Hem.Model.signal_kind;
+  stream : Event_model.Stream.t;
+}
+
+let triggering ~name stream = { name; property = Hem.Model.Triggering; stream }
+
+let pending ~name stream = { name; property = Hem.Model.Pending; stream }
+
+let pp ppf t =
+  let property =
+    match t.property with
+    | Hem.Model.Triggering -> "triggering"
+    | Hem.Model.Pending -> "pending"
+  in
+  Format.fprintf ppf "signal %s (%s, %s)" t.name property
+    (Event_model.Stream.name t.stream)

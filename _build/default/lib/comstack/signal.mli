@@ -1,0 +1,19 @@
+(** Signals of the communication layer (paper, section 4).
+
+    A source task writes its output data into a register provided by the
+    communication layer, overwriting the previous value; each register has
+    a fixed position in a frame.  The {e transfer property} decides
+    whether a fresh value triggers the frame ([Triggering]) or merely
+    waits for the next transmission ([Pending]). *)
+
+type t = {
+  name : string;
+  property : Hem.Model.signal_kind;
+  stream : Event_model.Stream.t;  (** write events into the register *)
+}
+
+val triggering : name:string -> Event_model.Stream.t -> t
+
+val pending : name:string -> Event_model.Stream.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/deconstruct.ml: List Model

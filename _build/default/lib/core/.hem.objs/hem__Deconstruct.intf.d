@@ -1,0 +1,1 @@
+lib/core/deconstruct.mli: Event_model Model

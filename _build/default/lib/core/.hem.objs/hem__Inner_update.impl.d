@@ -1,0 +1,1 @@
+lib/core/inner_update.ml: Event_model Model Printf Timebase

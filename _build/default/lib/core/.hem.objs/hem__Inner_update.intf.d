@@ -1,0 +1,1 @@
+lib/core/inner_update.mli: Event_model Model Timebase

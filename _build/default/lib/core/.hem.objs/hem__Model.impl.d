@@ -1,0 +1,1 @@
+lib/core/model.ml: Event_model Format List String

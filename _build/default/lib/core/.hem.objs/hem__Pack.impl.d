@@ -1,0 +1,1 @@
+lib/core/pack.ml: Event_model List Model Printf String Timebase

@@ -1,0 +1,1 @@
+lib/core/pack.mli: Event_model Model

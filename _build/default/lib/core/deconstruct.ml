@@ -1,0 +1,8 @@
+let unpack h = List.map (fun (i : Model.inner) -> i.stream) (Model.inners h)
+
+let unpack_nth h i =
+  match List.nth_opt (Model.inners h) i with
+  | Some inner -> inner.stream
+  | None -> invalid_arg "Deconstruct.unpack_nth: index out of range"
+
+let unpack_label h label = (Model.find_inner h label).stream

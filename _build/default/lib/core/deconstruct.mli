@@ -1,0 +1,17 @@
+(** The hierarchical event stream deconstructor Psi_pa (paper,
+    Definition 10).
+
+    Applied to the hierarchical output stream of the frame at the
+    receiving side, it extracts the updated flat event models of the
+    individual signal streams, which then activate the receiving tasks. *)
+
+val unpack : Model.t -> Event_model.Stream.t list
+(** All inner event streams, in construction order. *)
+
+val unpack_nth : Model.t -> int -> Event_model.Stream.t
+(** [unpack_nth h i] is the i-th (0-based) element of the inner list L.
+    @raise Invalid_argument if [i] is out of range. *)
+
+val unpack_label : Model.t -> string -> Event_model.Stream.t
+(** Inner stream by the label of the combined input.
+    @raise Not_found if absent. *)

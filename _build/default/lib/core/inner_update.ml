@@ -1,0 +1,41 @@
+module Time = Timebase.Time
+module Count = Timebase.Count
+module Interval = Timebase.Interval
+module Stream = Event_model.Stream
+module Task_op = Event_model.Task_op
+
+let simultaneity s =
+  match Stream.eta_plus s 1 with
+  | Count.Fin n -> n
+  | Count.Inf ->
+    invalid_arg "Inner_update.simultaneity: unbounded simultaneous arrivals"
+
+let update_inner ~spread ~r_minus ~k stream label =
+  let shift = spread + ((k - 1) * r_minus) in
+  let delta_min n =
+    Time.max
+      (Time.sub_clamped (Stream.delta_min stream n) (Time.of_int shift))
+      (Time.of_int ((n - 1) * r_minus))
+  in
+  let delta_plus n = Time.add (Stream.delta_plus stream n) (Time.of_int shift) in
+  Stream.make ~name:(Printf.sprintf "upd(%s)" label) ~delta_min ~delta_plus
+
+let apply_response ?simultaneity:k_override ~response h =
+  match Model.rule h with
+  | Model.Packed ->
+    let r_minus = Interval.lo response in
+    let spread = Interval.width response in
+    let k =
+      match k_override with
+      | Some k when k < 1 ->
+        invalid_arg "Inner_update.apply_response: simultaneity < 1"
+      | Some k -> k
+      | None -> simultaneity (Model.outer h)
+    in
+    let outer = Task_op.output ~response (Model.outer h) in
+    let h' = Model.map_inner_streams
+        (fun (i : Model.inner) ->
+          update_inner ~spread ~r_minus ~k i.stream i.label)
+        h
+    in
+    Model.make ~outer ~inners:(Model.inners h') ~rule:(Model.rule h)

@@ -1,0 +1,33 @@
+(** Inner update functions (paper, Definitions 7 and 9).
+
+    When a stream operation is applied to a hierarchical event stream, the
+    operation itself only transforms the outer stream; the inner update
+    function [B] derives the corresponding changes of the inner streams.
+    This module implements [B] for the response-time operation Theta_tau
+    applied to pack-constructed hierarchies (Definition 9): with
+    response-time interval [\[r-:r+\]] and [k] the maximum number of
+    simultaneous outer events before the operation,
+
+    - [delta_min' n = max (delta_min n - (r+ - r-) - (k-1)*r-) ((n-1)*r-)]
+    - [delta_plus' n = delta_plus n + (r+ - r-) + (k-1)*r-]
+
+    (each previously simultaneous event can be serialized behind [k-1]
+    others, each taking at least [r-]). *)
+
+val simultaneity : Event_model.Stream.t -> int
+(** [simultaneity s] is the maximum number of events of [s] that can
+    arrive at the same instant: the largest [n] with [delta_min s n = 0]
+    (with discrete time, [eta_plus s 1]). *)
+
+val apply_response :
+  ?simultaneity:int -> response:Timebase.Interval.t -> Model.t -> Model.t
+(** [apply_response ~response h] is the hierarchical event model after the
+    analysed component (e.g. the bus transmitting the frame) processed the
+    outer stream with response-time interval [response]: the outer stream
+    becomes the Theta_tau output stream, and every inner stream is adapted
+    by the inner update function matching the model's construction rule.
+
+    [simultaneity] overrides the computed [k] of Definition 9 — an
+    ablation hook used to quantify the serialization term; overriding it
+    below the true value yields optimistic (unsound) inner streams.
+    @raise Invalid_argument if [simultaneity < 1]. *)

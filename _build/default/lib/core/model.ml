@@ -1,0 +1,55 @@
+module Stream = Event_model.Stream
+
+type rule = Packed
+
+type signal_kind =
+  | Triggering
+  | Pending
+
+type inner = {
+  label : string;
+  kind : signal_kind;
+  stream : Stream.t;
+}
+
+type t = {
+  outer : Stream.t;
+  inners : inner list;
+  rule : rule;
+}
+
+let make ~outer ~inners ~rule =
+  if inners = [] then invalid_arg "Hem.Model.make: no inner streams";
+  let labels = List.map (fun i -> i.label) inners in
+  let sorted = List.sort_uniq String.compare labels in
+  if List.length sorted <> List.length labels then
+    invalid_arg "Hem.Model.make: duplicate inner labels";
+  { outer; inners; rule }
+
+let outer t = t.outer
+
+let inners t = t.inners
+
+let rule t = t.rule
+
+let find_inner t label =
+  List.find (fun i -> String.equal i.label label) t.inners
+
+let arity t = List.length t.inners
+
+let map_inner_streams f t =
+  { t with inners = List.map (fun i -> { i with stream = f i }) t.inners }
+
+let pp_kind ppf = function
+  | Triggering -> Format.pp_print_string ppf "triggering"
+  | Pending -> Format.pp_print_string ppf "pending"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>hierarchical stream (outer %s):@ "
+    (Stream.name t.outer);
+  List.iter
+    (fun i ->
+      Format.fprintf ppf "inner %s (%a): %s@ " i.label pp_kind i.kind
+        (Stream.name i.stream))
+    t.inners;
+  Format.fprintf ppf "@]"

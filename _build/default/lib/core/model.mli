@@ -1,0 +1,54 @@
+(** Hierarchical event models (paper, Definitions 3-5).
+
+    A hierarchical event stream results from combining [n] input streams;
+    it has one {e outer} event stream describing the combined events (e.g.
+    frame transmissions) and one {e inner} event stream per combined input
+    (e.g. the signals transported in the frames).  The hierarchical event
+    model is the tuple [H = (F_out, L, C)]: the outer function tuple, the
+    list of inner function tuples, and the construction rule that produced
+    the hierarchy. *)
+
+(** The construction rule [C] recorded in the model.  Operations that
+    modify the outer stream dispatch on this rule to pick the matching
+    inner update function (Definition 7). *)
+type rule = Packed  (** built by the pack-HSC Omega_pa (Definition 8) *)
+
+(** Role of a combined input stream in the communication layer. *)
+type signal_kind =
+  | Triggering  (** each event triggers a combined (outer) event *)
+  | Pending  (** events are latched and ride along with outer events *)
+
+type inner = {
+  label : string;  (** name of the combined input stream *)
+  kind : signal_kind;
+  stream : Event_model.Stream.t;  (** the inner event model F_i *)
+}
+
+type t = {
+  outer : Event_model.Stream.t;  (** F_out *)
+  inners : inner list;  (** L = (F_1, ..., F_n) *)
+  rule : rule;  (** C *)
+}
+
+val make : outer:Event_model.Stream.t -> inners:inner list -> rule:rule -> t
+(** @raise Invalid_argument if [inners] is empty or labels collide. *)
+
+val outer : t -> Event_model.Stream.t
+
+val inners : t -> inner list
+
+val rule : t -> rule
+
+val find_inner : t -> string -> inner
+(** [find_inner t label] is the inner stream combined from input [label].
+    @raise Not_found if no inner stream has that label. *)
+
+val arity : t -> int
+(** Number of inner streams. *)
+
+val map_inner_streams :
+  (inner -> Event_model.Stream.t) -> t -> t
+(** Rebuilds the model with transformed inner streams (outer and rule
+    unchanged).  Building block for inner update functions. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+module Time = Timebase.Time
+module Stream = Event_model.Stream
+module Combine = Event_model.Combine
+
+type input = {
+  label : string;
+  kind : Model.signal_kind;
+  stream : Stream.t;
+}
+
+let input ?(kind = Model.Triggering) label stream = { label; kind; stream }
+
+let pack ?name inputs =
+  if inputs = [] then invalid_arg "Pack.pack: no inputs";
+  let triggering =
+    List.filter_map
+      (fun i ->
+        match i.kind with
+        | Model.Triggering -> Some i.stream
+        | Model.Pending -> None)
+      inputs
+  in
+  if triggering = [] then
+    invalid_arg "Pack.pack: a frame needs at least one triggering input";
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+      Printf.sprintf "pack(%s)"
+        (String.concat "," (List.map (fun i -> i.label) inputs))
+  in
+  let outer = Combine.or_combine ~name triggering in
+  (* eq. (7) uses the maximum distance between two frames. *)
+  let frame_gap = Stream.delta_plus outer 2 in
+  let inner_of_input i =
+    match i.kind with
+    | Model.Triggering ->
+      (* eqs. (5)-(6): frames carrying this signal inherit its timing *)
+      { Model.label = i.label; kind = i.kind; stream = i.stream }
+    | Model.Pending ->
+      let delta_min n =
+        (* eq. (7): the first of n pending values may just miss a frame and
+           wait a full frame gap; the frames themselves are spaced at least
+           delta_min_out n apart. *)
+        Time.max
+          (Time.sub_clamped (Stream.delta_min i.stream n) frame_gap)
+          (Stream.delta_min outer n)
+      in
+      let delta_plus _ = Time.Inf (* eq. (8) *) in
+      let stream =
+        Stream.make
+          ~name:(Printf.sprintf "%s@%s" i.label name)
+          ~delta_min ~delta_plus
+      in
+      { Model.label = i.label; kind = i.kind; stream }
+  in
+  Model.make ~outer ~inners:(List.map inner_of_input inputs) ~rule:Model.Packed

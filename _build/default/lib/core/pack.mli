@@ -1,0 +1,37 @@
+(** The pack hierarchical stream constructor Omega_pa (paper, Definition 8).
+
+    Models a communication layer that packs signals from several input
+    streams into frames.  Triggering inputs cause a frame transmission on
+    every event; pending inputs are latched into a register and transported
+    by whatever frame is sent next.  The outer stream (frame activations)
+    is the OR-combination of the triggering inputs (eqs. 3-4 restricted to
+    the triggering set T); the inner streams describe, per input, the
+    distance between frames that transport a {e fresh} value of that
+    input:
+
+    - triggering input (eqs. 5-6): the frame distances equal the signal
+      distances;
+    - pending input (eqs. 7-8):
+      [delta_min' n = max (delta_min n - delta_plus_out 2) (delta_min_out n)]
+      and [delta_plus' n = inf] (a pending value may never be refreshed).
+
+    A frame that is also sent periodically (periodic or mixed frame types)
+    is modelled by adding its timer as an additional triggering input. *)
+
+type input = {
+  label : string;
+  kind : Model.signal_kind;
+  stream : Event_model.Stream.t;
+}
+
+val input :
+  ?kind:Model.signal_kind -> string -> Event_model.Stream.t -> input
+(** Convenience constructor; [kind] defaults to [Triggering]. *)
+
+val pack : ?name:string -> input list -> Model.t
+(** [pack inputs] builds the hierarchical event model of the packed frame
+    stream.  [name] names the outer stream (default derived from input
+    labels).
+
+    @raise Invalid_argument if [inputs] is empty or contains no triggering
+    input (a frame with only pending inputs is never transmitted). *)

@@ -1,0 +1,1 @@
+lib/event_model/combine.ml: List Printf Stream String Timebase

@@ -1,0 +1,1 @@
+lib/event_model/curve.mli: Timebase

@@ -1,0 +1,1 @@
+lib/event_model/pattern.ml: Array Format List Sem Stdlib String Timebase

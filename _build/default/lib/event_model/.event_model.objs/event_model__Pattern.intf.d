@@ -1,0 +1,1 @@
+lib/event_model/pattern.mli: Format Sem Timebase

@@ -1,0 +1,1 @@
+lib/event_model/sem.ml: Format Printf Stdlib Stream Timebase

@@ -1,0 +1,1 @@
+lib/event_model/sem.mli: Format Stream Timebase

@@ -1,0 +1,1 @@
+lib/event_model/shaper.ml: Printf Stdlib Stream Timebase

@@ -1,0 +1,1 @@
+lib/event_model/shaper.mli: Stream Timebase

@@ -1,0 +1,1 @@
+lib/event_model/stream.ml: Curve Format List Printf Stdlib String Timebase

@@ -1,0 +1,1 @@
+lib/event_model/stream.mli: Curve Format Timebase

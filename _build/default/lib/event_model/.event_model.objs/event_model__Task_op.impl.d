@@ -1,0 +1,1 @@
+lib/event_model/task_op.ml: Curve Printf Stream Timebase

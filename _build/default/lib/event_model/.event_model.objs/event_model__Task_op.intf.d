@@ -1,0 +1,1 @@
+lib/event_model/task_op.mli: Stream Timebase

@@ -1,0 +1,63 @@
+module Time = Timebase.Time
+
+(* Pairwise OR-combination.  Equation (3) is a (min over decompositions,
+   max over parts) convolution of the delta_min curves; equation (4),
+   rewritten over g_i(k) = delta_plus_i (k + 2), is a (max, min)
+   convolution of the g curves.  Both are associative, so the n-ary
+   combination is a left fold over pairs. *)
+
+let or_pair a b =
+  let dmin_a = Stream.delta_min a
+  and dmin_b = Stream.delta_min b in
+  let delta_min n =
+    let rec scan k best =
+      if k > n then best
+      else scan (k + 1) (Time.min best (Time.max (dmin_a k) (dmin_b (n - k))))
+    in
+    scan 1 (Time.max (dmin_a 0) (dmin_b n))
+  in
+  let g_a k = Stream.delta_plus a (k + 2)
+  and g_b k = Stream.delta_plus b (k + 2) in
+  let delta_plus n =
+    let budget = n - 2 in
+    let rec scan k best =
+      if k > budget then best
+      else scan (k + 1) (Time.max best (Time.min (g_a k) (g_b (budget - k))))
+    in
+    scan 1 (Time.min (g_a 0) (g_b budget))
+  in
+  Stream.make ~name:"or-pair" ~delta_min ~delta_plus
+
+let or_combine ?name streams =
+  match streams with
+  | [] -> invalid_arg "Combine.or_combine: empty stream list"
+  | first :: rest ->
+    let combined = List.fold_left or_pair first rest in
+    let name =
+      match name with
+      | Some n -> n
+      | None ->
+        Printf.sprintf "or(%s)"
+          (String.concat "," (List.map Stream.name streams))
+    in
+    Stream.with_name name combined
+
+let and_combine ?name streams =
+  match streams with
+  | [] -> invalid_arg "Combine.and_combine: empty stream list"
+  | _ :: _ ->
+    let name =
+      match name with
+      | Some n -> n
+      | None ->
+        Printf.sprintf "and(%s)"
+          (String.concat "," (List.map Stream.name streams))
+    in
+    let fold pick f n =
+      match List.map (fun s -> f s n) streams with
+      | [] -> assert false
+      | v :: vs -> List.fold_left pick v vs
+    in
+    Stream.make ~name
+      ~delta_min:(fold Time.min Stream.delta_min)
+      ~delta_plus:(fold Time.max Stream.delta_plus)

@@ -1,0 +1,67 @@
+module Time = Timebase.Time
+
+type t = { eval : int -> Time.t }
+
+exception Unbounded of string
+
+let search_cap = 1 lsl 22
+
+let memoize f =
+  let table = Hashtbl.create 64 in
+  fun n ->
+    match Hashtbl.find_opt table n with
+    | Some v -> v
+    | None ->
+      let v = f n in
+      Hashtbl.add table n v;
+      v
+
+let make f = { eval = memoize f }
+
+(* Self-referential memoization: [f] receives the memoized evaluator, so a
+   recurrence like delta'(n) = g (delta' (n-1)) costs O(n) total. *)
+let make_rec f =
+  let table = Hashtbl.create 64 in
+  let rec eval n =
+    match Hashtbl.find_opt table n with
+    | Some v -> v
+    | None ->
+      let v = f eval n in
+      Hashtbl.add table n v;
+      v
+  in
+  { eval }
+
+let constant v = { eval = (fun _ -> v) }
+
+let eval t n = t.eval n
+
+(* Exponential search for the first index in [lo, cap] satisfying [pred],
+   followed by binary search.  [pred] must be monotone (false then true). *)
+let first_satisfying ~lo pred =
+  if pred lo then lo
+  else begin
+    let rec widen prev cur =
+      if cur > search_cap then raise (Unbounded "Curve: search cap exceeded")
+      else if pred cur then prev, cur
+      else widen cur (cur * 2)
+    in
+    let lo, hi = widen lo (Stdlib.max 2 (lo * 2)) in
+    (* invariant: not (pred lo) && pred hi *)
+    let rec bisect lo hi =
+      if hi - lo <= 1 then hi
+      else
+        let mid = lo + ((hi - lo) / 2) in
+        if pred mid then bisect lo mid else bisect mid hi
+    in
+    bisect lo hi
+  end
+
+let count_lt t limit =
+  if Time.(limit <= Time.zero) then invalid_arg "Curve.count_lt: limit <= 0";
+  (* largest n with eval n < limit = (first n with eval n >= limit) - 1 *)
+  let first_ge = first_satisfying ~lo:2 (fun n -> Time.(eval t n >= limit)) in
+  first_ge - 1
+
+let first_gt t ~offset limit =
+  first_satisfying ~lo:0 (fun n -> Time.(eval t (n + offset) > limit))

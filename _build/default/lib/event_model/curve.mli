@@ -1,0 +1,41 @@
+(** Memoized monotone curves over event indices.
+
+    A curve maps an event count [n >= 0] to a time value, is monotonically
+    non-decreasing, and is evaluated lazily with memoization.  Delta curves
+    of event streams ([delta_min], [delta_plus]) are represented this way;
+    the arrival functions eta_plus / eta_minus are obtained by
+    pseudo-inversion (paper, eqs. 1-2). *)
+
+type t
+
+exception Unbounded of string
+(** Raised when a pseudo-inversion search exceeds the safety cap, i.e. the
+    curve appears bounded so the inverse would be infinite. *)
+
+val make : (int -> Timebase.Time.t) -> t
+(** [make f] memoizes [f].  [f] must be pure and monotone in [n]. *)
+
+val make_rec : ((int -> Timebase.Time.t) -> int -> Timebase.Time.t) -> t
+(** [make_rec f] builds a self-referential curve: [f self n] may call
+    [self] on indices strictly smaller than [n].  Used for recurrences such
+    as the task output model. *)
+
+val constant : Timebase.Time.t -> t
+
+val eval : t -> int -> Timebase.Time.t
+
+val search_cap : int
+(** Safety cap on pseudo-inversion searches (indices explored before
+    {!Unbounded} is raised). *)
+
+val count_lt : t -> Timebase.Time.t -> int
+(** [count_lt c t] is the largest [n >= 1] with [eval c n < t], assuming
+    [eval c 1 = 0] and monotonicity; requires [t > 0].  This is the search
+    kernel of eta_plus (eq. 1).
+    @raise Unbounded if no bounded answer below {!search_cap} exists. *)
+
+val first_gt : t -> offset:int -> Timebase.Time.t -> int
+(** [first_gt c ~offset t] is the least [n >= 0] with
+    [eval c (n + offset) > t].  This is the search kernel of eta_minus
+    (eq. 2, with [offset = 2]).
+    @raise Unbounded if no answer below {!search_cap} exists. *)

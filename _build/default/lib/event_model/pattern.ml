@@ -1,0 +1,132 @@
+module Time = Timebase.Time
+
+type t = {
+  prefix : int array;  (* values for n = 2 .. length + 1 *)
+  repeat_events : int;
+  repeat_increment : int;
+}
+
+let eval t n =
+  if n <= 1 then 0
+  else begin
+    let i = n - 2 in
+    let len = Array.length t.prefix in
+    if i < len then t.prefix.(i)
+    else begin
+      let over = i - (len - 1) in
+      let steps = (over + t.repeat_events - 1) / t.repeat_events in
+      t.prefix.(i - (steps * t.repeat_events)) + (steps * t.repeat_increment)
+    end
+  end
+
+let create ~prefix ~repeat_events ~repeat_increment =
+  if repeat_events < 1 then invalid_arg "Pattern.create: repeat_events < 1";
+  if repeat_increment < 0 then
+    invalid_arg "Pattern.create: negative increment";
+  if List.length prefix < repeat_events then
+    invalid_arg "Pattern.create: prefix shorter than repeat_events";
+  if List.exists (fun v -> v < 0) prefix then
+    invalid_arg "Pattern.create: negative distance";
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | [ _ ] | [] -> true
+  in
+  if not (monotone prefix) then
+    invalid_arg "Pattern.create: non-monotone prefix";
+  let t = { prefix = Array.of_list prefix; repeat_events; repeat_increment } in
+  (* the recurrence must preserve monotonicity across and beyond the
+     prefix boundary *)
+  let len = Array.length t.prefix in
+  let rec check n =
+    if n > len + (2 * repeat_events) + 2 then t
+    else if eval t n < eval t (n - 1) then
+      invalid_arg "Pattern.create: recurrence breaks monotonicity"
+    else check (n + 1)
+  in
+  check 2
+
+let prefix_length t = Array.length t.prefix
+
+let repeat_events t = t.repeat_events
+
+let repeat_increment t = t.repeat_increment
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let equal a b =
+  (* same long-run rate, and identical values over a common period past
+     both prefixes: then the recurrences pin down equality forever *)
+  a.repeat_increment * b.repeat_events = b.repeat_increment * a.repeat_events
+  && begin
+    let lcm =
+      a.repeat_events / gcd a.repeat_events b.repeat_events * b.repeat_events
+    in
+    let bound =
+      2 + Stdlib.max (Array.length a.prefix) (Array.length b.prefix) + lcm
+    in
+    let rec same n = n > bound || (eval a n = eval b n && same (n + 1)) in
+    same 2
+  end
+
+let to_stream_function t n = Time.of_int (eval t n)
+
+let of_sem_delta_min sem =
+  let period = sem.Sem.period
+  and jitter = sem.Sem.jitter
+  and d_min = sem.Sem.d_min in
+  let delta n = Stdlib.max ((n - 1) * d_min) (((n - 1) * period) - jitter) in
+  if d_min = period then
+    create ~prefix:[ period ] ~repeat_events:1 ~repeat_increment:period
+  else begin
+    (* the periodic term dominates once (n-1) (period - d_min) >= jitter *)
+    let crossover = (jitter + (period - d_min) - 1) / (period - d_min) in
+    let len = Stdlib.max 1 crossover in
+    create
+      ~prefix:(List.init len (fun i -> delta (i + 2)))
+      ~repeat_events:1 ~repeat_increment:period
+  end
+
+let detect ?(max_prefix = 256) ?(max_repeat = 64) ?(check = 128) f =
+  let fits rep len =
+    (* candidate increment anchored at the prefix end *)
+    let base = len + 2 in
+    let inc = f base - f (base - rep) in
+    if inc < 0 then None
+    else begin
+      let rec holds j =
+        j > check || (f (base + j) = f (base + j - rep) + inc && holds (j + 1))
+      in
+      if holds 0 then Some inc else None
+    end
+  in
+  let rec try_rep rep =
+    if rep > max_repeat then None
+    else begin
+      let rec try_len len =
+        if len > max_prefix then None
+        else begin
+          match fits rep len with
+          | Some inc -> begin
+            match
+              create
+                ~prefix:(List.init len (fun i -> f (i + 2)))
+                ~repeat_events:rep ~repeat_increment:inc
+            with
+            | t -> Some t
+            | exception Invalid_argument _ -> try_len (len + 1)
+          end
+          | None -> try_len (len + 1)
+        end
+      in
+      match try_len rep with
+      | Some _ as found -> found
+      | None -> try_rep (rep + 1)
+    end
+  in
+  try_rep 1
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>[%s] then +%d per %d events@]"
+    (String.concat "; "
+       (List.map string_of_int (Array.to_list t.prefix)))
+    t.repeat_increment t.repeat_events

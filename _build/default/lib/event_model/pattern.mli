@@ -1,0 +1,60 @@
+(** Eventually-periodic distance curves in closed form.
+
+    Most distance curves arising in practice are {e eventually periodic}:
+    after a finite prefix, [delta (n + repeat_events) = delta n +
+    repeat_increment] (e.g. a standard event model becomes purely
+    periodic once the jitter term dominates, and combinations of such
+    streams repeat at the hyper-structure of their inputs).  This module
+    represents such curves exactly and finitely — enabling O(1)
+    evaluation at any index, decidable equality, and compact printing —
+    and detects the representation from an arbitrary memoized curve. *)
+
+type t
+
+val create :
+  prefix:int list -> repeat_events:int -> repeat_increment:int -> t
+(** [create ~prefix ~repeat_events ~repeat_increment]: [prefix] lists
+    [delta 2, delta 3, ...]; indices past the prefix repeat with the
+    given recurrence.  The prefix must be at least [repeat_events] long
+    so the recurrence base is fully specified.
+    @raise Invalid_argument on an unsatisfied length requirement,
+    non-monotone prefix, negative values, [repeat_events < 1], or a
+    recurrence that would break monotonicity. *)
+
+val eval : t -> int -> int
+(** [eval t n] for any [n >= 0] ([0] for [n <= 1]); O(1). *)
+
+val prefix_length : t -> int
+
+val repeat_events : t -> int
+
+val repeat_increment : t -> int
+
+val equal : t -> t -> bool
+(** Semantic equality: do the two patterns denote the same curve?
+    (Representations may differ in prefix length or repeat multiples.) *)
+
+val to_stream_function : t -> int -> Timebase.Time.t
+(** Adapter for {!Stream.make}. *)
+
+val of_sem_delta_min : Sem.t -> t
+(** The exact pattern of a standard event model's minimum-distance curve
+    (prefix covers the burst regime, recurrence is one event per
+    period). *)
+
+val detect :
+  ?max_prefix:int -> ?max_repeat:int -> ?check:int -> (int -> int) -> t option
+(** [detect f] searches for an eventually-periodic representation of the
+    monotone curve [f] (indexed like [delta], from [n = 2]): the smallest
+    [repeat_events <= max_repeat] (default 64) and prefix length
+    [<= max_prefix] (default 256) whose recurrence reproduces [f] on
+    [check] (default 128) further indices.  [None] if nothing fits —
+    either the curve is not eventually periodic or the bounds are too
+    small.
+
+    The result is {e evidence-bounded}: the recurrence is certified on
+    the checked window only; a curve whose regime switches later than
+    [prefix + check] indices can fool the detection, so pick [check]
+    beyond the last index you rely on. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+(** Standard event models (Richter).
+
+    The parameterized representation (period [P], jitter [J], minimum
+    distance [d_min]) of the four characteristic functions.  Periodic,
+    periodic-with-jitter and sporadic activation patterns are all special
+    cases.  A standard event model admits closed forms for all four
+    characteristic functions, which this module provides; {!to_stream}
+    embeds it into the generic curve representation. *)
+
+type t = private {
+  period : int;  (** P >= 1 *)
+  jitter : int;  (** J >= 0 *)
+  d_min : int;  (** minimum event distance, >= 0 *)
+}
+
+val make : period:int -> ?jitter:int -> ?d_min:int -> unit -> t
+(** [jitter] defaults to [0], [d_min] to [1].
+    @raise Invalid_argument unless [period >= 1], [jitter >= 0],
+    [0 <= d_min <= period] (a minimum distance above the period would
+    contradict the long-run rate). *)
+
+val periodic : int -> t
+(** [periodic p] is [make ~period:p ()]. *)
+
+val delta_min : t -> int -> Timebase.Time.t
+(** Closed form: [max ((n-1) * d_min) ((n-1) * period - jitter)]. *)
+
+val delta_plus : t -> int -> Timebase.Time.t
+(** Closed form: [(n-1) * period + jitter]. *)
+
+val eta_plus : t -> int -> Timebase.Count.t
+(** Closed form of eq. (1) for standard event models. *)
+
+val eta_minus : t -> int -> Timebase.Count.t
+(** Closed form of eq. (2) for standard event models. *)
+
+val to_stream : ?name:string -> t -> Stream.t
+
+val fit : ?horizon:int -> Stream.t -> t
+(** [fit s] computes a standard event model that conservatively
+    upper-bounds the activations of [s] on the sampled prefix
+    [n <= horizon] (default 256): the fitted model satisfies
+    [delta_min fitted n <= Stream.delta_min s n] for all sampled [n], hence
+    [eta_plus fitted >= eta_plus s] on the corresponding window sizes.
+    This is the standard-event-model approximation used by the flat
+    (non-hierarchical) analysis baseline.  Only the lower distance curve is
+    fitted; the upper curve of the result is the standard-event-model
+    closed form and may not dominate [Stream.delta_plus s]. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+module Time = Timebase.Time
+
+let delay_bound ?(horizon = 4096) ~d stream =
+  if d < 1 then invalid_arg "Shaper.delay_bound: d < 1";
+  (* Backlog deficit after q events arriving as fast as possible: the q-th
+     event leaves the shaper no earlier than (q-1)*d after the first, but
+     may arrive as early as delta_min q after it.  If the deficit is still
+     growing at the horizon, the input rate exceeds the shaper rate and
+     the delay is unbounded. *)
+  let rec scan q worst =
+    if q > horizon then worst
+    else
+      match Stream.delta_min stream q with
+      | Time.Inf -> worst
+      | Time.Fin dist -> scan (q + 1) (Stdlib.max worst (((q - 1) * d) - dist))
+  in
+  (* If the input still lags the shaper rate at the horizon, the backlog
+     never drains: the input's long-run rate exceeds 1/d. *)
+  let rate_exceeded =
+    match Stream.delta_min stream horizon with
+    | Time.Inf -> false
+    | Time.Fin dist -> dist < (horizon - 1) * d - (horizon / 2)
+  in
+  if rate_exceeded then Time.Inf else Time.of_int (scan 2 0)
+
+let enforce_min_distance ?name ?horizon ~d stream =
+  if d < 1 then invalid_arg "Shaper.enforce_min_distance: d < 1";
+  let delay = delay_bound ?horizon ~d stream in
+  let delta_min n =
+    Time.max (Stream.delta_min stream n) (Time.of_int ((n - 1) * d))
+  in
+  let delta_plus n = Time.add (Stream.delta_plus stream n) delay in
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "shaped(%s,d=%d)" (Stream.name stream) d
+  in
+  Stream.make ~name ~delta_min ~delta_plus

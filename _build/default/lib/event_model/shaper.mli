@@ -1,0 +1,28 @@
+(** Greedy minimum-distance shapers.
+
+    A shaper delays events just enough to enforce a minimum inter-event
+    distance [d] on its output; shapers are the standard traffic-smoothing
+    stream operation of compositional analysis frameworks. *)
+
+val enforce_min_distance :
+  ?name:string -> ?horizon:int -> d:int -> Stream.t -> Stream.t
+(** [enforce_min_distance ~d stream] is the output of a greedy shaper with
+    minimum distance [d].
+
+    - [delta_min' n = max (delta_min n) ((n-1) * d)]
+    - [delta_plus' n = delta_plus n + delay_bound], where [delay_bound] is
+      the maximum backlog delay
+      [max over q of ((q-1) * d - delta_min q)], evaluated over
+      [q <= horizon] (default 4096).
+
+    The delay bound is exact when the input's long-run rate does not
+    exceed [1/d] and its worst-case burst is reached within [horizon]
+    events (true for standard event models and their combinations); an
+    input rate above [1/d] makes the backlog unbounded and the resulting
+    [delta_plus'] is infinite.
+
+    @raise Invalid_argument if [d < 1]. *)
+
+val delay_bound : ?horizon:int -> d:int -> Stream.t -> Timebase.Time.t
+(** The shaper backlog-delay bound described at
+    {!enforce_min_distance}; [Inf] when the input rate exceeds [1/d]. *)

@@ -1,0 +1,126 @@
+module Time = Timebase.Time
+module Count = Timebase.Count
+
+type t = {
+  name : string;
+  dmin : Curve.t;
+  dplus : Curve.t;
+}
+
+let clamp_low f n = if n <= 1 then Time.zero else f n
+
+let make ~name ~delta_min ~delta_plus =
+  {
+    name;
+    dmin = Curve.make (clamp_low delta_min);
+    dplus = Curve.make (clamp_low delta_plus);
+  }
+
+let of_curves ~name ~delta_min ~delta_plus =
+  {
+    name;
+    dmin = Curve.make (clamp_low (Curve.eval delta_min));
+    dplus = Curve.make (clamp_low (Curve.eval delta_plus));
+  }
+
+let name t = t.name
+
+let with_name name t = { t with name }
+
+let delta_min t n = Curve.eval t.dmin n
+
+let delta_plus t n = Curve.eval t.dplus n
+
+let delta_min_curve t = t.dmin
+
+let delta_plus_curve t = t.dplus
+
+let eta_plus t dt =
+  if dt <= 0 then Count.zero
+  else
+    match Curve.count_lt t.dmin (Time.of_int dt) with
+    | n -> Count.of_int n
+    | exception Curve.Unbounded _ -> Count.Inf
+
+let eta_minus t dt =
+  if dt <= 0 then Count.zero
+  else
+    match Curve.first_gt t.dplus ~offset:2 (Time.of_int dt) with
+    | n -> Count.of_int n
+    | exception Curve.Unbounded _ -> Count.Inf
+
+let periodic ~name ~period =
+  if period < 1 then invalid_arg "Stream.periodic: period < 1";
+  let d n = Time.of_int ((n - 1) * period) in
+  make ~name ~delta_min:d ~delta_plus:d
+
+let sporadic ~name ~d_min =
+  if d_min < 1 then invalid_arg "Stream.sporadic: d_min < 1";
+  make ~name
+    ~delta_min:(fun n -> Time.of_int ((n - 1) * d_min))
+    ~delta_plus:(fun _ -> Time.Inf)
+
+let periodic_jitter ~name ~period ~jitter ?(d_min = 1) () =
+  if period < 1 then invalid_arg "Stream.periodic_jitter: period < 1";
+  if jitter < 0 then invalid_arg "Stream.periodic_jitter: jitter < 0";
+  if d_min < 0 then invalid_arg "Stream.periodic_jitter: d_min < 0";
+  if d_min > period then invalid_arg "Stream.periodic_jitter: d_min > period";
+  make ~name
+    ~delta_min:(fun n ->
+      Time.of_int (Stdlib.max ((n - 1) * d_min) (((n - 1) * period) - jitter)))
+    ~delta_plus:(fun n -> Time.of_int (((n - 1) * period) + jitter))
+
+let periodic_burst ~name ~period ~burst ~d_min =
+  if burst < 1 then invalid_arg "Stream.periodic_burst: burst < 1";
+  if d_min < 0 then invalid_arg "Stream.periodic_burst: d_min < 0";
+  if (burst - 1) * d_min >= period then
+    invalid_arg "Stream.periodic_burst: burst does not fit in period";
+  (* Deterministic pattern: event j (0-based) at time
+     (j / burst) * period + (j mod burst) * d_min, so the distance covering n
+     consecutive events starting at j is position (j+n-1) - position j; the
+     extremes over j are attained at burst boundaries. *)
+  let position j = ((j / burst) * period) + (j mod burst * d_min) in
+  let dist_over_starts n pick =
+    (* distances are periodic in j with period [burst] *)
+    let rec scan j acc =
+      if j >= burst then acc
+      else scan (j + 1) (pick acc (position (j + n - 1) - position j))
+    in
+    scan 1 (position (n - 1) - position 0)
+  in
+  make ~name
+    ~delta_min:(fun n -> Time.of_int (dist_over_starts n Stdlib.min))
+    ~delta_plus:(fun n -> Time.of_int (dist_over_starts n Stdlib.max))
+
+let well_formed ?(horizon = 64) t =
+  let problem = ref None in
+  let fail fmt = Format.kasprintf (fun s -> problem := Some s) fmt in
+  if not (Time.equal (delta_min t 0) Time.zero) then
+    fail "delta_min 0 <> 0"
+  else if not (Time.equal (delta_min t 1) Time.zero) then
+    fail "delta_min 1 <> 0"
+  else
+    for n = 2 to horizon do
+      if !problem = None then begin
+        if Time.(delta_min t n < delta_min t (n - 1)) then
+          fail "delta_min not monotone at n=%d" n
+        else if Time.(delta_plus t n < delta_plus t (n - 1)) then
+          fail "delta_plus not monotone at n=%d" n
+        else if Time.(delta_plus t n < delta_min t n) then
+          fail "delta_plus < delta_min at n=%d" n
+      end
+    done;
+  match !problem with
+  | None -> Ok ()
+  | Some msg -> Error (Printf.sprintf "%s: %s" t.name msg)
+
+let sample_eta_plus t ~dts = List.map (fun dt -> dt, eta_plus t dt) dts
+
+let pp ppf t =
+  let prefix curve =
+    List.init 6 (fun i -> Curve.eval curve (i + 2))
+    |> List.map Time.to_string
+    |> String.concat ", "
+  in
+  Format.fprintf ppf "@[<v 2>stream %s:@ delta_min(2..7) = [%s]@ delta_plus(2..7) = [%s]@]"
+    t.name (prefix t.dmin) (prefix t.dplus)

@@ -1,0 +1,77 @@
+(** Event streams described by distance-function tuples F = (delta_min,
+    delta_plus).
+
+    Following the paper's system model, an event stream is modeled by the
+    two distance functions: [delta_min n] (resp. [delta_plus n]) is the
+    minimum (resp. maximum) distance between any [n] consecutive events.
+    Both are [0] for [n <= 1]; [delta_plus] may be infinite (sporadic
+    streams, pending signals).  The arrival functions eta_plus / eta_minus
+    are derived by pseudo-inversion exactly as in eqs. (1)-(2). *)
+
+type t
+
+val make :
+  name:string ->
+  delta_min:(int -> Timebase.Time.t) ->
+  delta_plus:(int -> Timebase.Time.t) ->
+  t
+(** [make ~name ~delta_min ~delta_plus] wraps the distance functions in
+    memoized curves.  Values at [n <= 1] are forced to [0]; the given
+    functions are only consulted for [n >= 2] and must be monotone. *)
+
+val of_curves : name:string -> delta_min:Curve.t -> delta_plus:Curve.t -> t
+(** Like {!make} for pre-built curves (values at [n <= 1] still forced to
+    [0]). *)
+
+val name : t -> string
+
+val with_name : string -> t -> t
+
+val delta_min : t -> int -> Timebase.Time.t
+(** [delta_min t n]: minimum distance covering [n] consecutive events. *)
+
+val delta_plus : t -> int -> Timebase.Time.t
+(** [delta_plus t n]: maximum distance covering [n] consecutive events. *)
+
+val delta_min_curve : t -> Curve.t
+
+val delta_plus_curve : t -> Curve.t
+
+val eta_plus : t -> int -> Timebase.Count.t
+(** [eta_plus t dt]: maximum number of events in any half-open time window
+    of size [dt] (eq. 1): [max {n | delta_min n < dt}], and [0] for
+    [dt <= 0].  Returns [Inf] when the search cap is exceeded. *)
+
+val eta_minus : t -> int -> Timebase.Count.t
+(** [eta_minus t dt]: minimum number of events in any open window of size
+    [dt] (eq. 2): [min {n >= 0 | delta_plus (n + 2) > dt}]. *)
+
+(** {1 Common stream constructors} *)
+
+val periodic : name:string -> period:int -> t
+(** Strictly periodic stream: [delta_min n = delta_plus n = (n-1) * period]. *)
+
+val sporadic : name:string -> d_min:int -> t
+(** Sporadic stream with minimum inter-arrival [d_min]: [delta_plus = inf]. *)
+
+val periodic_jitter : name:string -> period:int -> jitter:int -> ?d_min:int -> unit -> t
+(** Standard event model as a stream; see {!Sem}. [d_min] defaults to [1]. *)
+
+val periodic_burst :
+  name:string -> period:int -> burst:int -> d_min:int -> t
+(** Deterministic bursty stream: bursts of [burst] events spaced [d_min]
+    apart, burst starts [period] apart.  Requires
+    [(burst - 1) * d_min < period]. *)
+
+(** {1 Validation and display} *)
+
+val well_formed : ?horizon:int -> t -> (unit, string) result
+(** Checks, on the sampled prefix [n <= horizon] (default 64): monotonicity
+    of both curves, [delta_min n <= delta_plus n], and zero values at
+    [n <= 1].  Returns a description of the first violation. *)
+
+val sample_eta_plus : t -> dts:int list -> (int * Timebase.Count.t) list
+(** Evaluation series used by the figure harnesses. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the name and a short prefix of both distance curves. *)

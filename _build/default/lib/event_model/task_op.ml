@@ -1,0 +1,25 @@
+module Time = Timebase.Time
+module Interval = Timebase.Interval
+
+let output ?name ~response stream =
+  let r_minus = Interval.lo response in
+  let spread = Interval.width response in
+  let delta_min =
+    Curve.make_rec (fun self n ->
+      if n <= 1 then Time.zero
+      else
+        Time.max
+          (Time.sub_clamped (Stream.delta_min stream n) (Time.of_int spread))
+          (Time.add (self (n - 1)) (Time.of_int r_minus)))
+  in
+  let delta_plus =
+    Curve.make (fun n ->
+      if n <= 1 then Time.zero
+      else Time.add (Stream.delta_plus stream n) (Time.of_int spread))
+  in
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "out(%s)" (Stream.name stream)
+  in
+  Stream.of_curves ~name ~delta_min ~delta_plus

@@ -1,0 +1,13 @@
+(** Output event-stream calculation for analysed tasks (the operation
+    called Theta_tau in the paper, section 3).
+
+    Once local analysis has produced the response-time interval
+    [\[r-:r+\]] of a task, the timing of its output stream follows from the
+    input stream:
+
+    - [delta_min' n = max (delta_min n - (r+ - r-)) (delta_min' (n-1) + r-)]
+    - [delta_plus' n = delta_plus n + (r+ - r-)] *)
+
+val output : ?name:string -> response:Timebase.Interval.t -> Stream.t -> Stream.t
+(** [output ~response stream] is the output stream of a task with
+    response-time interval [response] processing [stream]. *)

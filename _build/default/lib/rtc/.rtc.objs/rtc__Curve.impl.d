@@ -1,0 +1,1 @@
+lib/rtc/curve.ml: Array Format List Stdlib String

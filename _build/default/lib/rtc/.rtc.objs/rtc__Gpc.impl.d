@@ -1,0 +1,1 @@
+lib/rtc/gpc.ml: Array Curve List Stdlib

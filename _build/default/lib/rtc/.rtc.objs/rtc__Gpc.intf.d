@@ -1,0 +1,1 @@
+lib/rtc/gpc.mli: Curve

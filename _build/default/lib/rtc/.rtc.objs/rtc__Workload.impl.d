@@ -1,0 +1,1 @@
+lib/rtc/workload.ml: Curve Event_model Stdlib Timebase

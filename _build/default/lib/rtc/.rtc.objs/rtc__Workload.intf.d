@@ -1,0 +1,1 @@
+lib/rtc/workload.mli: Curve Event_model

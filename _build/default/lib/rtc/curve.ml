@@ -1,0 +1,156 @@
+type kind =
+  | Upper
+  | Lower
+
+type t = {
+  kind : kind;
+  samples : int array;  (* index dt in 0..horizon *)
+  rate_num : int;
+  rate_den : int;
+}
+
+let create ~kind ~horizon ~tail_rate f =
+  if horizon < 1 then invalid_arg "Rtc.Curve.create: horizon < 1";
+  let rate_num, rate_den = tail_rate in
+  if rate_den < 1 then invalid_arg "Rtc.Curve.create: tail denominator < 1";
+  if rate_num < 0 then invalid_arg "Rtc.Curve.create: negative tail rate";
+  { kind; samples = Array.init (horizon + 1) f; rate_num; rate_den }
+
+let kind t = t.kind
+
+let horizon t = Array.length t.samples - 1
+
+let tail_rate t = t.rate_num, t.rate_den
+
+let ceil_div a b = (a + b - 1) / b
+
+let eval t dt =
+  if dt < 0 then invalid_arg "Rtc.Curve.eval: negative window";
+  let h = horizon t in
+  if dt <= h then t.samples.(dt)
+  else begin
+    let extra = t.rate_num * (dt - h) in
+    let slope =
+      match t.kind with
+      | Upper -> ceil_div extra t.rate_den
+      | Lower -> extra / t.rate_den
+    in
+    t.samples.(h) + slope
+  end
+
+let linear ~kind ~horizon ~rate =
+  let num, den = rate in
+  let f dt =
+    match kind with
+    | Upper -> ceil_div (dt * num) den
+    | Lower -> dt * num / den
+  in
+  create ~kind ~horizon ~tail_rate:rate f
+
+let map2 f tail a b =
+  if a.kind <> b.kind then invalid_arg "Rtc.Curve.map2: kind mismatch";
+  let h = Stdlib.min (horizon a) (horizon b) in
+  let rate = tail (a.rate_num, a.rate_den) (b.rate_num, b.rate_den) in
+  create ~kind:a.kind ~horizon:h ~tail_rate:rate (fun dt ->
+    f (eval a dt) (eval b dt))
+
+(* rate comparison without floats: n1/d1 <= n2/d2 *)
+let rate_le (n1, d1) (n2, d2) = n1 * d2 <= n2 * d1
+
+let tail_add (n1, d1) (n2, d2) = (n1 * d2) + (n2 * d1), d1 * d2
+
+let tail_min a b = if rate_le a b then a else b
+
+let tail_max a b = if rate_le a b then b else a
+
+let add a b = map2 ( + ) tail_add a b
+
+let min a b = map2 Stdlib.min tail_min a b
+
+let max a b = map2 Stdlib.max tail_max a b
+
+let min_plus_conv f g =
+  if f.kind <> g.kind then invalid_arg "Rtc.Curve.min_plus_conv: kind mismatch";
+  let h = Stdlib.min (horizon f) (horizon g) in
+  let value dt =
+    let rec scan s best =
+      if s > dt then best
+      else scan (s + 1) (Stdlib.min best (eval f s + eval g (dt - s)))
+    in
+    scan 1 (eval f 0 + eval g dt)
+  in
+  create ~kind:f.kind ~horizon:h
+    ~tail_rate:(tail_min (f.rate_num, f.rate_den) (g.rate_num, g.rate_den))
+    value
+
+let min_plus_deconv f g =
+  if f.kind <> g.kind then
+    invalid_arg "Rtc.Curve.min_plus_deconv: kind mismatch";
+  let h = Stdlib.min (horizon f) (horizon g) in
+  (* search the shift s through both sampled regions and one horizon of
+     tail; beyond that the difference evolves linearly and is covered by
+     the result's own tail rate *)
+  let search_limit = 2 * Stdlib.max (horizon f) (horizon g) in
+  let value dt =
+    let rec scan s best =
+      if s > search_limit then best
+      else scan (s + 1) (Stdlib.max best (eval f (dt + s) - eval g s))
+    in
+    scan 1 (eval f dt - eval g 0)
+  in
+  create ~kind:f.kind ~horizon:h
+    ~tail_rate:(f.rate_num, f.rate_den)
+    value
+
+(* The deviations account for the half-open arrival-window convention of
+   this library: [upper dt] covers the arrivals at instants
+   [t .. t + dt - 1], so the service available to the last of them by
+   relative instant [t + dt - 1 + tau] is [lower (dt - 1 + tau)]. *)
+
+let vertical_deviation ~upper ~lower =
+  if not (upper.kind = Upper && lower.kind = Lower) then
+    invalid_arg "Rtc.Curve.vertical_deviation: expected (upper, lower)";
+  let limit = 2 * Stdlib.max (horizon upper) (horizon lower) in
+  let rec scan dt best =
+    if dt > limit then best
+    else scan (dt + 1) (Stdlib.max best (eval upper dt - eval lower (dt - 1)))
+  in
+  scan 1 0
+
+let horizontal_deviation ~upper ~lower =
+  if not (upper.kind = Upper && lower.kind = Lower) then
+    invalid_arg "Rtc.Curve.horizontal_deviation: expected (upper, lower)";
+  if not (rate_le (upper.rate_num, upper.rate_den) (lower.rate_num, lower.rate_den))
+  then None
+  else begin
+  let limit = 2 * Stdlib.max (horizon upper) (horizon lower) in
+  (* inf {tau | upper dt <= lower (dt - 1 + tau)} per dt >= 1; the lower
+     curve is monotone so tau is found by forward search *)
+  let delay_at dt =
+    let demand = eval upper dt in
+    let rec advance tau =
+      if tau > 4 * limit then None
+      else if eval lower (dt - 1 + tau) >= demand then Some tau
+      else advance (tau + 1)
+    in
+    advance 0
+  in
+  let rec scan dt best =
+    if dt > limit then Some best
+    else begin
+      match delay_at dt with
+      | None -> None
+      | Some tau -> scan (dt + 1) (Stdlib.max best tau)
+    end
+  in
+  scan 1 0
+  end
+
+let pp ppf t =
+  let h = horizon t in
+  let prefix =
+    List.init (Stdlib.min 8 (h + 1)) (fun i -> string_of_int t.samples.(i))
+  in
+  Format.fprintf ppf "%s curve [%s ...] tail %d/%d"
+    (match t.kind with Upper -> "upper" | Lower -> "lower")
+    (String.concat "; " prefix) t.rate_num t.rate_den

@@ -1,0 +1,68 @@
+(** Numeric real-time-calculus curves.
+
+    The compositional approach of Thiele et al. (the paper's references
+    [3], [10], [11]) describes workload and service as arrival/service
+    curves and couples components with (min,+) algebra.  This module
+    implements curves numerically: exact samples on a finite horizon,
+    extended beyond it by a rational tail rate (rounded up for upper
+    curves, down for lower curves), so deconvolution — which peeks past
+    the horizon — remains sound. *)
+
+type kind =
+  | Upper  (** an upper bound; tail extension rounds up *)
+  | Lower  (** a lower bound; tail extension rounds down *)
+
+type t
+
+val create :
+  kind:kind -> horizon:int -> tail_rate:int * int -> (int -> int) -> t
+(** [create ~kind ~horizon ~tail_rate f] samples [f] on [0..horizon];
+    beyond the horizon the curve continues with slope
+    [fst tail_rate / snd tail_rate].
+    @raise Invalid_argument if [horizon < 1], the denominator is [< 1],
+    or the numerator is negative. *)
+
+val kind : t -> kind
+
+val horizon : t -> int
+
+val tail_rate : t -> int * int
+(** The slope used beyond the horizon, as [(numerator, denominator)]. *)
+
+val eval : t -> int -> int
+(** Defined for every [dt >= 0] (tail extension past the horizon). *)
+
+val linear : kind:kind -> horizon:int -> rate:int * int -> t
+(** The curve [dt * num / den] (a fully available resource has
+    [rate = (1, 1)]). *)
+
+val map2 : (int -> int -> int) -> (int * int -> int * int -> int * int) -> t -> t -> t
+(** [map2 f tail a b] combines pointwise with [f] and combines tail rates
+    with [tail]; the result keeps [a]'s kind and the smaller horizon.
+    @raise Invalid_argument on differing kinds. *)
+
+val add : t -> t -> t
+
+val min : t -> t -> t
+
+val max : t -> t -> t
+
+val min_plus_conv : t -> t -> t
+(** [(f (x) g) dt = min over 0 <= s <= dt of f s + g (dt - s)]. *)
+
+val min_plus_deconv : t -> t -> t
+(** [(f (/) g) dt = max over s >= 0 of f (dt + s) - g s], evaluated with
+    [s] up to both curves' tail regions (one horizon beyond); sound for
+    curves whose deviation is maximal before the tail dominates. *)
+
+val vertical_deviation : upper:t -> lower:t -> int
+(** [sup over dt of upper dt - lower dt] — the buffer/backlog bound.
+    Searched over twice the common horizon; the tail rates must satisfy
+    [rate upper <= rate lower] for the deviation to be finite. *)
+
+val horizontal_deviation : upper:t -> lower:t -> int option
+(** [sup over dt of inf {tau | upper dt <= lower (dt + tau)}] — the delay
+    bound; [None] when no finite bound exists within the searched
+    range. *)
+
+val pp : Format.formatter -> t -> unit

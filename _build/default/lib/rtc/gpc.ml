@@ -1,0 +1,53 @@
+type result = {
+  delay : int option;
+  backlog : int;
+  output_upper : Curve.t;
+  remaining_lower : Curve.t;
+}
+
+let remaining_service ~arrival_upper ~service_lower =
+  (* beta' dt = max over 0 <= s <= dt of (beta s - alpha (s + 1)), clamped
+     at 0 and computed with a running maximum; the [s + 1] closes the
+     half-open arrival window (see {!Curve.horizontal_deviation}) *)
+  let h = Stdlib.min (Curve.horizon service_lower) (Curve.horizon arrival_upper) in
+  let samples = Array.make (h + 1) 0 in
+  let best = ref 0 in
+  for dt = 0 to h do
+    best :=
+      Stdlib.max !best
+        (Curve.eval service_lower dt - Curve.eval arrival_upper (dt + 1));
+    samples.(dt) <- Stdlib.max 0 !best
+  done;
+  (* tail rate: service rate minus arrival rate, floored at zero *)
+  let rate =
+    let tail c = Curve.eval c (2 * h) - Curve.eval c h in
+    Stdlib.max 0 (tail service_lower - tail arrival_upper), Stdlib.max 1 h
+  in
+  Curve.create ~kind:Curve.Lower ~horizon:h ~tail_rate:rate (fun dt ->
+    samples.(dt))
+
+let process ~arrival_upper ~service_lower =
+  {
+    delay = Curve.horizontal_deviation ~upper:arrival_upper ~lower:service_lower;
+    backlog = Curve.vertical_deviation ~upper:arrival_upper ~lower:service_lower;
+    output_upper = Curve.min_plus_deconv arrival_upper
+        (Curve.create ~kind:Curve.Upper
+           ~horizon:(Curve.horizon service_lower)
+           ~tail_rate:(Curve.tail_rate service_lower)
+           (Curve.eval service_lower));
+    remaining_lower = remaining_service ~arrival_upper ~service_lower;
+  }
+
+type fp_task = {
+  name : string;
+  arrival_upper : Curve.t;
+}
+
+let fixed_priority_chain ~service tasks =
+  let rec chain beta acc = function
+    | [] -> List.rev acc
+    | task :: rest ->
+      let result = process ~arrival_upper:task.arrival_upper ~service_lower:beta in
+      chain result.remaining_lower ((task.name, result) :: acc) rest
+  in
+  chain service [] tasks

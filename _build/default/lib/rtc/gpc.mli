@@ -1,0 +1,37 @@
+(** Greedy processing components and fixed-priority chains.
+
+    The basic abstraction of modular performance analysis (Thiele et
+    al.): a component greedily serves the workload bounded by an arrival
+    curve from the service bounded by a service curve.  Delay and backlog
+    are the horizontal and vertical deviations; the remaining (lower)
+    service is what the next-lower priority level receives, which chains
+    components into a fixed-priority resource model. *)
+
+type result = {
+  delay : int option;
+      (** worst-case queueing+processing delay; [None] if unbounded in
+          the searched range *)
+  backlog : int;  (** workload backlog bound *)
+  output_upper : Curve.t;
+      (** upper arrival curve of the processed workload downstream *)
+  remaining_lower : Curve.t;
+      (** lower service curve left for lower-priority components *)
+}
+
+val process : arrival_upper:Curve.t -> service_lower:Curve.t -> result
+(** Standard GPC bounds:
+    [delay = h-deviation], [backlog = v-deviation],
+    [output = arrival (/) service], and
+    [remaining dt = max over 0 <= s <= dt of (service s - arrival s)]. *)
+
+type fp_task = {
+  name : string;
+  arrival_upper : Curve.t;  (** workload-scaled arrival curve *)
+}
+
+val fixed_priority_chain :
+  service:Curve.t -> fp_task list -> (string * result) list
+(** [fixed_priority_chain ~service tasks] processes [tasks] from highest
+    to lowest priority (list order), feeding each level the remaining
+    service of the previous one — the RTC counterpart of the SPP
+    busy-window analysis. *)

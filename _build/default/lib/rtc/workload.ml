@@ -1,0 +1,48 @@
+module Count = Timebase.Count
+module Stream = Event_model.Stream
+
+let events stream dt =
+  match Stream.eta_plus stream dt with
+  | Count.Fin n -> n
+  | Count.Inf -> invalid_arg "Rtc.Workload: unbounded arrivals"
+
+let arrival_upper ~horizon ~wcet stream =
+  if wcet < 1 then invalid_arg "Rtc.Workload.arrival_upper: wcet < 1";
+  (* long-run demand rate from the tail of the sampled range *)
+  let mid = Stdlib.max 1 (horizon / 2) in
+  let tail_events = events stream horizon - events stream mid in
+  let tail_rate = Stdlib.max 1 (tail_events * wcet), horizon - mid in
+  Curve.create ~kind:Curve.Upper ~horizon ~tail_rate (fun dt ->
+    wcet * events stream dt)
+
+let arrival_lower ~horizon ~bcet stream =
+  if bcet < 1 then invalid_arg "Rtc.Workload.arrival_lower: bcet < 1";
+  let floor_events dt =
+    match Stream.eta_minus stream dt with
+    | Count.Fin n -> n
+    | Count.Inf -> invalid_arg "Rtc.Workload: infinite guaranteed arrivals"
+  in
+  let mid = Stdlib.max 1 (horizon / 2) in
+  let tail_events = floor_events horizon - floor_events mid in
+  Curve.create ~kind:Curve.Lower ~horizon
+    ~tail_rate:(tail_events * bcet, horizon - mid)
+    (fun dt -> bcet * floor_events dt)
+
+let service_full ~horizon =
+  Curve.linear ~kind:Curve.Lower ~horizon ~rate:(1, 1)
+
+let service_rate ~horizon ~rate = Curve.linear ~kind:Curve.Lower ~horizon ~rate
+
+let service_tdma ~horizon ~slot ~cycle =
+  if slot < 1 || cycle < slot then
+    invalid_arg "Rtc.Workload.service_tdma: need 1 <= slot <= cycle";
+  Curve.create ~kind:Curve.Lower ~horizon ~tail_rate:(slot, cycle) (fun dt ->
+    let effective = dt - (cycle - slot) in
+    if effective <= 0 then 0
+    else ((effective / cycle) * slot) + Stdlib.min slot (effective mod cycle))
+
+let service_bounded_delay ~horizon ~delay ~rate =
+  if delay < 0 then invalid_arg "Rtc.Workload.service_bounded_delay: delay < 0";
+  let num, den = rate in
+  Curve.create ~kind:Curve.Lower ~horizon ~tail_rate:rate (fun dt ->
+    if dt <= delay then 0 else (dt - delay) * num / den)

@@ -1,0 +1,29 @@
+(** Arrival and service curves for the RTC view of a system.
+
+    Arrival curves here are in {e workload units} (execution demand), not
+    event counts: the event bounds of an {!Event_model.Stream} are scaled
+    by the worst-case execution time, which is the form the greedy
+    processing component consumes. *)
+
+val arrival_upper :
+  horizon:int -> wcet:int -> Event_model.Stream.t -> Curve.t
+(** [eta_plus dt * wcet] sampled on the horizon, with a tail rate
+    estimated from the stream's long-run event rate (rounded up). *)
+
+val arrival_lower :
+  horizon:int -> bcet:int -> Event_model.Stream.t -> Curve.t
+(** [eta_minus dt * bcet] (zero tail when the stream has no lower
+    bound). *)
+
+val service_full : horizon:int -> Curve.t
+(** Unit-rate lower service curve of a fully available resource:
+    [beta dt = dt]. *)
+
+val service_rate : horizon:int -> rate:int * int -> Curve.t
+
+val service_tdma : horizon:int -> slot:int -> cycle:int -> Curve.t
+(** Guaranteed lower service of a TDMA slot under worst alignment (the
+    same bound as {!Scheduling.Tdma.service}). *)
+
+val service_bounded_delay : horizon:int -> delay:int -> rate:int * int -> Curve.t
+(** [beta dt = max 0 ((dt - delay) * rate)]. *)

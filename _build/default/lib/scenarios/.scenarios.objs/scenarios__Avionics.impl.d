@@ -1,0 +1,1 @@
+lib/scenarios/avionics.ml: Comstack Cpa_system Des Event_model Hem Timebase

@@ -1,0 +1,1 @@
+lib/scenarios/avionics.mli: Cpa_system Des

@@ -1,0 +1,1 @@
+lib/scenarios/gateway.ml: Comstack Cpa_system Event_model Timebase

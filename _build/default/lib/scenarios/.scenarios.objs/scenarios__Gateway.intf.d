@@ -1,0 +1,1 @@
+lib/scenarios/gateway.mli: Cpa_system

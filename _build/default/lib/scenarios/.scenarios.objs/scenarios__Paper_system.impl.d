@@ -1,0 +1,1 @@
+lib/scenarios/paper_system.ml: Comstack Cpa_system Event_model Hem Timebase

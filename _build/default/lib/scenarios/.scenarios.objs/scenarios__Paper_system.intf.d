@@ -1,0 +1,1 @@
+lib/scenarios/paper_system.mli: Cpa_system

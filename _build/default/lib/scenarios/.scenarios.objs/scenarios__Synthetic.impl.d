@@ -1,0 +1,1 @@
+lib/scenarios/synthetic.ml: Comstack Cpa_system Event_model Fun List Printf Timebase

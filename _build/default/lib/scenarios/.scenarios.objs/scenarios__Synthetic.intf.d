@@ -1,0 +1,1 @@
+lib/scenarios/synthetic.mli: Cpa_system

@@ -1,0 +1,86 @@
+module Interval = Timebase.Interval
+module Stream = Event_model.Stream
+module Spec = Cpa_system.Spec
+
+let spec () =
+  let sources =
+    [
+      "nav", Stream.periodic ~name:"nav" ~period:100;
+      ( "imu",
+        Stream.periodic_jitter ~name:"imu" ~period:80 ~jitter:20 ~d_min:0 () );
+      "radio", Stream.sporadic ~name:"radio" ~d_min:500;
+    ]
+  in
+  let resources =
+    [
+      { Spec.res_name = "canA"; scheduler = Spec.Spnp };
+      { Spec.res_name = "mission"; scheduler = Spec.Edf };
+      { Spec.res_name = "backbone"; scheduler = Spec.Tdma };
+      { Spec.res_name = "display"; scheduler = Spec.Round_robin };
+    ]
+  in
+  let frames =
+    [
+      (* mixed frame: sent on nav updates AND at least every 200 *)
+      Spec.frame ~name:"FS" ~bus:"canA"
+        ~send_type:(Comstack.Frame.Mixed 200)
+        ~tx_time:(Interval.make ~lo:3 ~hi:4) ~priority:1
+        ~signals:
+          [
+            Spec.signal ~name:"sig_nav" ~origin:(Spec.From_source "nav") ();
+            Spec.signal ~name:"sig_imu" ~property:Hem.Model.Pending
+              ~origin:(Spec.From_source "imu") ();
+          ]
+        ();
+      Spec.frame ~name:"FR" ~bus:"canA" ~send_type:Comstack.Frame.Direct
+        ~tx_time:(Interval.make ~lo:2 ~hi:2) ~priority:2
+        ~signals:
+          [ Spec.signal ~name:"sig_radio" ~origin:(Spec.From_source "radio") () ]
+        ();
+    ]
+  in
+  let tasks =
+    [
+      Spec.task ~name:"nav_proc" ~resource:"mission"
+        ~cet:(Interval.make ~lo:5 ~hi:10) ~priority:1 ~deadline:60
+        ~activation:(Spec.From_signal { frame = "FS"; signal = "sig_nav" })
+        ();
+      Spec.task ~name:"imu_proc" ~resource:"mission"
+        ~cet:(Interval.make ~lo:4 ~hi:8) ~priority:2 ~deadline:80
+        ~activation:(Spec.From_signal { frame = "FS"; signal = "sig_imu" })
+        ();
+      Spec.task ~name:"radio_proc" ~resource:"mission"
+        ~cet:(Interval.make ~lo:10 ~hi:20) ~priority:3 ~deadline:300
+        ~activation:(Spec.From_signal { frame = "FR"; signal = "sig_radio" })
+        ();
+      Spec.task ~name:"fusion" ~resource:"mission"
+        ~cet:(Interval.make ~lo:6 ~hi:12) ~priority:4 ~deadline:200
+        ~activation:
+          (Spec.And_of
+             [ Spec.From_output "nav_proc"; Spec.From_output "imu_proc" ])
+        ();
+      Spec.task ~name:"uplink_f" ~resource:"backbone" ~cet:(Interval.point 3)
+        ~priority:1 ~service:4 ~activation:(Spec.From_output "fusion") ();
+      Spec.task ~name:"uplink_r" ~resource:"backbone" ~cet:(Interval.point 2)
+        ~priority:2 ~service:3 ~activation:(Spec.From_output "radio_proc") ();
+      Spec.task ~name:"render" ~resource:"display"
+        ~cet:(Interval.make ~lo:8 ~hi:15) ~priority:1 ~service:5
+        ~activation:(Spec.From_output "uplink_f") ();
+      Spec.task ~name:"log" ~resource:"display" ~cet:(Interval.make ~lo:4 ~hi:6)
+        ~priority:2 ~service:3 ~activation:(Spec.From_output "uplink_r") ();
+    ]
+  in
+  Spec.make ~sources ~resources ~tasks ~frames ()
+
+let all_elements =
+  [
+    "FS"; "FR"; "nav_proc"; "imu_proc"; "radio_proc"; "fusion"; "uplink_f";
+    "uplink_r"; "render"; "log";
+  ]
+
+let generators () =
+  [
+    "nav", Des.Gen.periodic ~period:100 ();
+    "imu", Des.Gen.periodic_jitter ~period:80 ~jitter:20 ();
+    "radio", Des.Gen.sporadic ~d_min:500 ~slack:400 ();
+  ]

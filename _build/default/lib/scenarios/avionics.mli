@@ -1,0 +1,16 @@
+(** A full-stack integration scenario exercising every scheduler of the
+    framework in one system: sensors feed a mixed CAN frame (timer OR
+    data-triggered), an EDF mission computer consumes the unpacked
+    signals and fuses them with an AND join, its outputs cross a TDMA
+    backbone, and a round-robin display processor consumes the result.
+
+    Used by the integration tests as the "everything at once" system and
+    by the simulator cross-validation. *)
+
+val spec : unit -> Cpa_system.Spec.t
+
+val all_elements : string list
+(** Every task and frame, for response iteration. *)
+
+val generators : unit -> (string * Des.Gen.t) list
+(** Matching simulator generators for every source. *)

@@ -1,0 +1,64 @@
+module Interval = Timebase.Interval
+module Stream = Event_model.Stream
+module Spec = Cpa_system.Spec
+
+let spec ?(s1_period = 250) ?(s2_period = 450) () =
+  let sources =
+    [
+      "S1", Stream.periodic ~name:"S1" ~period:s1_period;
+      "S2", Stream.periodic ~name:"S2" ~period:s2_period;
+    ]
+  in
+  let resources =
+    [
+      { Spec.res_name = "CAN1"; scheduler = Spec.Spnp };
+      { Spec.res_name = "GW"; scheduler = Spec.Spp };
+      { Spec.res_name = "CAN2"; scheduler = Spec.Spnp };
+      { Spec.res_name = "SINK"; scheduler = Spec.Spp };
+    ]
+  in
+  let g1 =
+    Spec.frame ~name:"G1" ~bus:"CAN1" ~send_type:Comstack.Frame.Direct
+      ~tx_time:(Interval.point 4) ~priority:1
+      ~signals:
+        [
+          Spec.signal ~name:"sig1" ~origin:(Spec.From_source "S1") ();
+          Spec.signal ~name:"sig2" ~origin:(Spec.From_source "S2") ();
+        ]
+      ()
+  in
+  let b1 =
+    Spec.frame ~name:"B1" ~bus:"CAN2" ~send_type:Comstack.Frame.Direct
+      ~tx_time:(Interval.point 6) ~priority:1
+      ~signals:
+        [
+          Spec.signal ~name:"gsig1" ~origin:(Spec.From_output "GW1") ();
+          Spec.signal ~name:"gsig2" ~origin:(Spec.From_output "GW2") ();
+        ]
+      ()
+  in
+  let tasks =
+    [
+      Spec.task ~name:"GW1" ~resource:"GW" ~cet:(Interval.make ~lo:3 ~hi:5)
+        ~priority:1
+        ~activation:(Spec.From_signal { frame = "G1"; signal = "sig1" })
+        ();
+      Spec.task ~name:"GW2" ~resource:"GW" ~cet:(Interval.make ~lo:4 ~hi:7)
+        ~priority:2
+        ~activation:(Spec.From_signal { frame = "G1"; signal = "sig2" })
+        ();
+      Spec.task ~name:"D1" ~resource:"SINK" ~cet:(Interval.point 20)
+        ~priority:1
+        ~activation:(Spec.From_signal { frame = "B1"; signal = "gsig1" })
+        ();
+      Spec.task ~name:"D2" ~resource:"SINK" ~cet:(Interval.point 30)
+        ~priority:2
+        ~activation:(Spec.From_signal { frame = "B1"; signal = "gsig2" })
+        ();
+    ]
+  in
+  Spec.make ~sources ~resources ~tasks ~frames:[ g1; b1 ] ()
+
+let receivers = [ "D1"; "D2" ]
+
+let path_s1 = [ "G1"; "GW1"; "B1"; "D1" ]

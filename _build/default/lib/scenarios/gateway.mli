@@ -1,0 +1,19 @@
+(** A two-hop gateway system: signals are packed into a frame, cross a
+    first CAN bus, are consumed by gateway tasks, whose outputs are
+    re-packed into a backbone frame crossing a second bus to the final
+    receivers.
+
+    This exercises the natural extension of the paper's model: the
+    hierarchy is unpacked at the gateway and a {e new} hierarchy is
+    constructed from the gateway outputs, so per-signal timing survives
+    two transport hops. *)
+
+val spec : ?s1_period:int -> ?s2_period:int -> unit -> Cpa_system.Spec.t
+(** Sources default to periods 250 and 450. *)
+
+val receivers : string list
+(** The final receiving tasks, [\["D1"; "D2"\]]. *)
+
+val path_s1 : string list
+(** The element chain of signal 1: frame G1, task GW1, frame B1, task
+    D1 — for end-to-end latency accounting. *)

@@ -1,0 +1,73 @@
+module Interval = Timebase.Interval
+module Stream = Event_model.Stream
+module Spec = Cpa_system.Spec
+
+let fan_in ?base_period ?(cet = 20) ?(tx_time = 4) ~signals ()  =
+  if signals < 1 then invalid_arg "Synthetic.fan_in: signals < 1";
+  let base_period =
+    match base_period with
+    | Some p -> p
+    | None -> 300 * signals
+  in
+  let source_name i = Printf.sprintf "S%d" (i + 1) in
+  let signal_name i = Printf.sprintf "sig%d" (i + 1) in
+  let task_name i = Printf.sprintf "T%d" (i + 1) in
+  let indices = List.init signals Fun.id in
+  let sources =
+    List.map
+      (fun i ->
+        let period = base_period + (50 * i) in
+        source_name i, Stream.periodic ~name:(source_name i) ~period)
+      indices
+  in
+  let frame =
+    Spec.frame ~name:"F" ~bus:"CAN" ~send_type:Comstack.Frame.Direct
+      ~tx_time:(Interval.point tx_time) ~priority:1
+      ~signals:
+        (List.map
+           (fun i ->
+             Spec.signal ~name:(signal_name i)
+               ~origin:(Spec.From_source (source_name i))
+               ())
+           indices)
+      ()
+  in
+  let tasks =
+    List.map
+      (fun i ->
+        Spec.task ~name:(task_name i) ~resource:"CPU" ~cet:(Interval.point cet)
+          ~priority:(i + 1)
+          ~activation:(Spec.From_signal { frame = "F"; signal = signal_name i })
+          ())
+      indices
+  in
+  Spec.make ~sources
+    ~resources:
+      [
+        { Spec.res_name = "CAN"; scheduler = Spec.Spnp };
+        { Spec.res_name = "CPU"; scheduler = Spec.Spp };
+      ]
+    ~tasks ~frames:[ frame ] ()
+
+let chain ?(period = 500) ?(stages = 4) () =
+  if stages < 1 then invalid_arg "Synthetic.chain: stages < 1";
+  let task_name i = Printf.sprintf "stage%d" (i + 1) in
+  let cpu i = Printf.sprintf "cpu%d" (i mod 2) in
+  let tasks =
+    List.init stages (fun i ->
+      let activation =
+        if i = 0 then Spec.From_source "src"
+        else Spec.From_output (task_name (i - 1))
+      in
+      Spec.task ~name:(task_name i) ~resource:(cpu i)
+        ~cet:(Interval.make ~lo:10 ~hi:(20 + (5 * i)))
+        ~priority:(i + 1) ~activation ())
+  in
+  Spec.make
+    ~sources:[ "src", Stream.periodic ~name:"src" ~period ]
+    ~resources:
+      [
+        { Spec.res_name = "cpu0"; scheduler = Spec.Spp };
+        { Spec.res_name = "cpu1"; scheduler = Spec.Spp };
+      ]
+    ~tasks ()

@@ -1,0 +1,28 @@
+(** Parametric synthetic systems for scaling and ablation experiments. *)
+
+val fan_in :
+  ?base_period:int ->
+  ?cet:int ->
+  ?tx_time:int ->
+  signals:int ->
+  unit ->
+  Cpa_system.Spec.t
+(** [fan_in ~signals:n ()] builds a system with [n] periodic sources
+    (periods [base_period], [base_period + 50], ...) whose triggering
+    signals are packed into one direct frame on a CAN bus, received by [n]
+    SPP tasks on one CPU (priorities in source order, core execution time
+    [cet] each).  Used by the scaling experiment A3: the flat baseline
+    activates every receiver with all [n] interleaved signal streams,
+    while the hierarchical analysis unpacks them.
+
+    Defaults: [base_period = 300 * n] (keeps the CPU schedulable as [n]
+    grows), [cet = 20], [tx_time = 4]. *)
+
+val chain :
+  ?period:int ->
+  ?stages:int ->
+  unit ->
+  Cpa_system.Spec.t
+(** [chain ~stages:k ()] builds a pipeline of [k] tasks on alternating
+    CPUs connected by task outputs — a plain CPA system without frames,
+    used to exercise multi-resource fixed-point iteration. *)

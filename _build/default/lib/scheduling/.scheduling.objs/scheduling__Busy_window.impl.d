@@ -1,0 +1,1 @@
+lib/scheduling/busy_window.ml: Event_model Format List Printf Rt_task Stdlib Timebase

@@ -1,0 +1,1 @@
+lib/scheduling/busy_window.mli: Format Rt_task Timebase

@@ -1,0 +1,1 @@
+lib/scheduling/edf.ml: Busy_window Event_model List Option Printf Rt_task Stdlib Timebase

@@ -1,0 +1,1 @@
+lib/scheduling/edf.mli: Busy_window Rt_task

@@ -1,0 +1,1 @@
+lib/scheduling/periodic_resource.ml: Busy_window Edf Event_model Format List Printf Rt_task Stdlib Timebase

@@ -1,0 +1,1 @@
+lib/scheduling/periodic_resource.mli: Busy_window Edf Format Rt_task

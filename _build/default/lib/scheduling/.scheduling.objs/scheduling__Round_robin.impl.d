@@ -1,0 +1,1 @@
+lib/scheduling/round_robin.ml: Busy_window Event_model List Rt_task Stdlib Timebase

@@ -1,0 +1,1 @@
+lib/scheduling/round_robin.mli: Busy_window Rt_task

@@ -1,0 +1,1 @@
+lib/scheduling/rt_task.ml: Event_model Format Timebase

@@ -1,0 +1,1 @@
+lib/scheduling/rt_task.mli: Event_model Format Timebase

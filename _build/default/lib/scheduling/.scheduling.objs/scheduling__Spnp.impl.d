@@ -1,0 +1,1 @@
+lib/scheduling/spnp.ml: Busy_window Event_model List Printf Rt_task Stdlib Timebase

@@ -1,0 +1,1 @@
+lib/scheduling/spnp.mli: Busy_window Rt_task

@@ -1,0 +1,1 @@
+lib/scheduling/spp.ml: Busy_window Event_model List Printf Rt_task Timebase

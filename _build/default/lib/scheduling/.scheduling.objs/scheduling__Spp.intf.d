@@ -1,0 +1,1 @@
+lib/scheduling/spp.mli: Busy_window Rt_task

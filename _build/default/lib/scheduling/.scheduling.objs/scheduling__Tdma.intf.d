@@ -1,0 +1,1 @@
+lib/scheduling/tdma.mli: Busy_window Rt_task

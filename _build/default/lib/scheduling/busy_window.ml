@@ -1,0 +1,108 @@
+module Time = Timebase.Time
+module Count = Timebase.Count
+module Interval = Timebase.Interval
+module Stream = Event_model.Stream
+
+type outcome =
+  | Bounded of Interval.t
+  | Unbounded of string
+
+let pp_outcome ppf = function
+  | Bounded i -> Interval.pp ppf i
+  | Unbounded reason -> Format.fprintf ppf "unbounded (%s)" reason
+
+let response_interval = function
+  | Bounded i -> Some i
+  | Unbounded _ -> None
+
+let default_window_limit = 1_000_000
+
+let default_q_limit = 4096
+
+let fixpoint ~limit ~init f =
+  let rec iterate w =
+    if w > limit then None
+    else
+      let w' = f w in
+      if w' < w then invalid_arg "Busy_window.fixpoint: non-monotone step"
+      else if w' = w then Some w
+      else iterate w'
+  in
+  iterate init
+
+let max_response ?(q_limit = default_q_limit) ~best_case ~arrival ~finish () =
+  let rec loop q worst =
+    if q > q_limit then
+      Unbounded (Printf.sprintf "busy period exceeds %d activations" q_limit)
+    else
+      match arrival q with
+      | Time.Inf ->
+        (* fewer than q activations can share a busy period *)
+        Bounded (Interval.make ~lo:best_case ~hi:worst)
+      | Time.Fin arr -> begin
+        match finish q with
+        | None -> Unbounded "busy window diverges (overload)"
+        | Some fin ->
+          let worst = Stdlib.max worst (fin - arr) in
+          let continue_period =
+            match arrival (q + 1) with
+            | Time.Inf -> false
+            | Time.Fin next -> fin > next
+          in
+          if continue_period then loop (q + 1) worst
+          else Bounded (Interval.make ~lo:best_case ~hi:worst)
+      end
+  in
+  loop 1 0
+
+let max_backlog ?(q_limit = default_q_limit) ~arrival ~arrivals_in ~finish () =
+  let rec loop q worst =
+    if q > q_limit then
+      Error (Printf.sprintf "busy period exceeds %d activations" q_limit)
+    else
+      match arrival q with
+      | Time.Inf -> Ok worst
+      | Time.Fin _ -> begin
+        match finish q with
+        | None -> Error "busy window diverges (overload)"
+        | Some fin -> begin
+          match arrivals_in fin with
+          | Error _ as e -> e
+          | Ok arrived ->
+            let worst = Stdlib.max worst (arrived - (q - 1)) in
+            let continue_period =
+              match arrival (q + 1) with
+              | Time.Inf -> false
+              | Time.Fin next -> fin > next
+            in
+            if continue_period then loop (q + 1) worst else Ok worst
+        end
+      end
+  in
+  loop 1 1
+
+let interference ~tasks ~window =
+  let rec total = function
+    | [] -> Ok 0
+    | (task : Rt_task.t) :: rest -> begin
+      match Stream.eta_plus task.activation window with
+      | Count.Fin n -> begin
+        match total rest with
+        | Ok acc -> Ok (acc + (n * Interval.hi task.cet))
+        | Error _ as e -> e
+      end
+      | Count.Inf ->
+        Error
+          (Printf.sprintf "unbounded arrivals of %s in window %d" task.name
+             window)
+    end
+  in
+  total tasks
+
+let higher_priority ~than tasks =
+  List.filter
+    (fun (t : Rt_task.t) -> t != than && t.priority <= than.Rt_task.priority)
+    tasks
+
+let lower_priority ~than tasks =
+  List.filter (fun (t : Rt_task.t) -> t.priority > than.Rt_task.priority) tasks

@@ -1,0 +1,72 @@
+(** Shared machinery of the busy-window technique (Lehoczky).
+
+    Local analyses compute, per activation index [q], the completion time
+    of the q-th activation within the critical-instant busy period, via a
+    least-fixed-point iteration over a monotone window equation; the
+    worst-case response time is the maximum over all activations inside
+    the busy period. *)
+
+type outcome =
+  | Bounded of Timebase.Interval.t
+      (** best-/worst-case response times [\[r-:r+\]] *)
+  | Unbounded of string
+      (** no bound below the divergence limits (overload), with reason *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val response_interval : outcome -> Timebase.Interval.t option
+
+val default_window_limit : int
+(** Cap on busy-window length before declaring divergence (1_000_000). *)
+
+val default_q_limit : int
+(** Cap on the number of activations examined in one busy period (4096). *)
+
+val fixpoint : limit:int -> init:int -> (int -> int) -> int option
+(** [fixpoint ~limit ~init f] is the least fixed point of the monotone
+    function [f] reached by iterating from [init]; [None] if the iterate
+    exceeds [limit].
+    @raise Invalid_argument if an iterate decreases (non-monotone [f]). *)
+
+val max_response :
+  ?q_limit:int ->
+  best_case:int ->
+  arrival:(int -> Timebase.Time.t) ->
+  finish:(int -> int option) ->
+  unit ->
+  outcome
+(** [max_response ~best_case ~arrival ~finish ()] runs the busy-period
+    enumeration: for [q = 1, 2, ...], [finish q] is the absolute
+    completion time of the q-th activation ([None] = divergent window),
+    [arrival q] its earliest arrival (the activation stream's
+    [delta_min q]).  The enumeration stops at the first [q] whose
+    completion does not overlap the arrival of activation [q + 1].
+    Returns [Bounded [best_case : max_q (finish q - arrival q)]]. *)
+
+val max_backlog :
+  ?q_limit:int ->
+  arrival:(int -> Timebase.Time.t) ->
+  arrivals_in:(int -> (int, string) result) ->
+  finish:(int -> int option) ->
+  unit ->
+  (int, string) result
+(** [max_backlog ~arrival ~arrivals_in ~finish ()] bounds the number of
+    simultaneously pending activations (the activation buffer the
+    element needs): within the critical-instant busy period, while the
+    q-th activation is in service at most [arrivals_in (finish q) - (q - 1)]
+    activations are pending.  [arrivals_in w] is the element's own
+    [eta_plus] over a window of size [w]. *)
+
+val interference :
+  tasks:Rt_task.t list -> window:int -> (int, string) result
+(** [interference ~tasks ~window] is the cumulated worst-case demand
+    [sum_j eta_plus_j window * C+_j] of [tasks] in a window; [Error] if
+    some arrival count is unbounded. *)
+
+val higher_priority : than:Rt_task.t -> Rt_task.t list -> Rt_task.t list
+(** Tasks with priority strictly smaller or equal (but not the task
+    itself, compared physically) — equal priorities are conservatively
+    treated as interference. *)
+
+val lower_priority : than:Rt_task.t -> Rt_task.t list -> Rt_task.t list
+(** Tasks with strictly larger priority value. *)

@@ -1,0 +1,85 @@
+module Count = Timebase.Count
+module Interval = Timebase.Interval
+module Stream = Event_model.Stream
+
+type task = {
+  task : Rt_task.t;
+  deadline : int;
+}
+
+let check_tasks tasks =
+  List.iter
+    (fun t ->
+      if t.deadline < 1 then invalid_arg "Edf: deadline < 1")
+    tasks
+
+let demand_bound tasks dt =
+  let rec total = function
+    | [] -> Ok 0
+    | t :: rest ->
+      if dt < t.deadline then total rest
+      else begin
+        match Stream.eta_plus t.task.Rt_task.activation (dt - t.deadline + 1) with
+        | Count.Fin n -> begin
+          match total rest with
+          | Ok acc -> Ok (acc + (n * Interval.hi t.task.Rt_task.cet))
+          | Error _ as e -> e
+        end
+        | Count.Inf ->
+          Error
+            (Printf.sprintf "unbounded arrivals of %s" t.task.Rt_task.name)
+      end
+  in
+  total tasks
+
+let busy_period ?(window_limit = Busy_window.default_window_limit) tasks =
+  check_tasks tasks;
+  let rt_tasks = List.map (fun t -> t.task) tasks in
+  let failure = ref None in
+  let step w =
+    match Busy_window.interference ~tasks:rt_tasks ~window:w with
+    | Ok demand -> Stdlib.max 1 demand
+    | Error reason ->
+      failure := Some reason;
+      w
+  in
+  match Busy_window.fixpoint ~limit:window_limit ~init:1 step with
+  | Some l when !failure = None -> Ok l
+  | Some _ -> Error (Option.get !failure)
+  | None -> Error "busy period diverges (overload)"
+
+let schedulable ?window_limit tasks =
+  check_tasks tasks;
+  match busy_period ?window_limit tasks with
+  | Error _ as e -> e
+  | Ok l ->
+    let rec scan dt =
+      if dt > l then Ok ()
+      else begin
+        match demand_bound tasks dt with
+        | Ok demand when demand <= dt -> scan (dt + 1)
+        | Ok demand ->
+          Error
+            (Printf.sprintf "demand %d exceeds window %d (busy period %d)"
+               demand dt l)
+        | Error _ as e -> e
+      end
+    in
+    scan 1
+
+let analyse ?window_limit tasks =
+  check_tasks tasks;
+  let verdict = schedulable ?window_limit tasks in
+  List.map
+    (fun t ->
+      let outcome =
+        match verdict with
+        | Ok () ->
+          Busy_window.Bounded
+            (Interval.make
+               ~lo:(Interval.lo t.task.Rt_task.cet)
+               ~hi:t.deadline)
+        | Error reason -> Busy_window.Unbounded reason
+      in
+      t.task, outcome)
+    tasks

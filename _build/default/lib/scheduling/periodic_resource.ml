@@ -1,0 +1,142 @@
+module Interval = Timebase.Interval
+module Stream = Event_model.Stream
+
+type t = {
+  period : int;
+  budget : int;
+}
+
+let make ~period ~budget =
+  if period < 1 then invalid_arg "Periodic_resource.make: period < 1";
+  if budget < 1 || budget > period then
+    invalid_arg "Periodic_resource.make: need 1 <= budget <= period";
+  { period; budget }
+
+(* Shin & Lee supply bound function: the worst window starts right after
+   a budget was delivered as early as possible, yielding an initial
+   blackout of 2 (period - budget). *)
+let supply r t =
+  let blackout = r.period - r.budget in
+  if t <= blackout then 0
+  else begin
+    let k = (t - blackout) / r.period in
+    let partial = t - blackout - (k * r.period) - blackout in
+    (k * r.budget) + Stdlib.max 0 (Stdlib.min r.budget partial)
+  end
+
+let supply_inverse r demand =
+  if demand <= 0 then 0
+  else begin
+    (* supply grows by [budget] every [period]: jump close, then walk *)
+    let blackout = r.period - r.budget in
+    let rec walk t =
+      if supply r t >= demand then t else walk (t + 1)
+    in
+    walk (blackout + (((demand - 1) / r.budget) * r.period))
+  end
+
+let utilization_percent r = 100 * r.budget / r.period
+
+let spp_response_time ?(window_limit = Busy_window.default_window_limit)
+    ?q_limit ~resource ~task ~others () =
+  let hp = Busy_window.higher_priority ~than:task others in
+  let c_plus = Interval.hi task.Rt_task.cet in
+  let finish q =
+    let diverged = ref None in
+    let own = q * c_plus in
+    let step w =
+      match Busy_window.interference ~tasks:hp ~window:w with
+      | Ok demand -> supply_inverse resource (own + demand)
+      | Error reason ->
+        diverged := Some reason;
+        w
+    in
+    match
+      Busy_window.fixpoint ~limit:window_limit
+        ~init:(supply_inverse resource own)
+        step
+    with
+    | Some w when !diverged = None -> Some w
+    | Some _ | None -> None
+  in
+  Busy_window.max_response ?q_limit
+    ~best_case:(Interval.lo task.Rt_task.cet)
+    ~arrival:(Stream.delta_min task.Rt_task.activation)
+    ~finish ()
+
+let edf_schedulable ?window_limit ~resource tasks =
+  (* Scan windows starting from the supply-stretched plain busy period,
+     and keep doubling the horizon until the supply-demand margin stops
+     shrinking — once the supply slope dominates the demand slope the
+     margin grows monotonically and no later window can violate. *)
+  let limit =
+    match window_limit with
+    | Some l -> l
+    | None -> Busy_window.default_window_limit
+  in
+  match Edf.busy_period ~window_limit:limit tasks with
+  | Error _ as e -> e
+  | Ok plain ->
+    let margin t =
+      match Edf.demand_bound tasks t with
+      | Ok demand -> Ok (supply resource t - demand)
+      | Error _ as e -> e
+    in
+    let rec scan t horizon =
+      if t > horizon then begin
+        match margin horizon, margin (2 * horizon) with
+        | Ok m1, Ok m2 when m2 >= m1 -> Ok ()
+        | Ok _, Ok _ ->
+          if 2 * horizon > limit then
+            Error "margin still shrinking at the window limit (overload?)"
+          else scan (horizon + 1) (2 * horizon)
+        | Error e, _ | _, Error e -> Error e
+      end
+      else begin
+        match margin t with
+        | Ok m when m >= 0 -> scan (t + 1) horizon
+        | Ok _ ->
+          Error
+            (Printf.sprintf "demand exceeds supply in window %d" t)
+        | Error _ as e -> e
+      end
+    in
+    scan 1 (Stdlib.max resource.period (supply_inverse resource plain))
+
+let bounded_under budget ~window_limit ~period tasks =
+  let resource = make ~period ~budget in
+  List.for_all
+    (fun task ->
+      let others = List.filter (fun t -> t != task) tasks in
+      match
+        spp_response_time ?window_limit:(Some window_limit) ~resource ~task
+          ~others ()
+      with
+      | Busy_window.Bounded _ -> true
+      | Busy_window.Unbounded _ -> false)
+    tasks
+
+let bisect_min_budget ~period good =
+  if not (good period) then None
+  else begin
+    let rec search lo hi =
+      (* invariant: not (good lo), good hi *)
+      if hi - lo <= 1 then hi
+      else
+        let mid = lo + ((hi - lo) / 2) in
+        if good mid then search lo mid else search mid hi
+    in
+    if good 1 then Some 1 else Some (search 1 period)
+  end
+
+let min_budget_spp ?(window_limit = Busy_window.default_window_limit) ~period
+    tasks =
+  bisect_min_budget ~period (fun budget ->
+    bounded_under budget ~window_limit ~period tasks)
+
+let min_budget_edf ?window_limit ~period tasks =
+  bisect_min_budget ~period (fun budget ->
+    edf_schedulable ?window_limit ~resource:(make ~period ~budget) tasks
+    = Ok ())
+
+let pp ppf r = Format.fprintf ppf "(Pi=%d, Theta=%d)" r.period r.budget

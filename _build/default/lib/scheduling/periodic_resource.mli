@@ -1,0 +1,62 @@
+(** Periodic resource model for compositional hierarchical scheduling
+    (Shin & Lee, RTSS 2003 — reference [8] of the paper).
+
+    The paper's opening observation is that local analysis has been
+    extended to hierarchical {e scheduling} while event streams stayed
+    flat; this module supplies that scheduling side.  A periodic resource
+    Γ = (Π, Θ) guarantees Θ units of service every Π time units; its
+    supply bound function is the worst-case service in any window, with
+    the classic initial blackout of 2(Π − Θ).  Components of tasks are
+    analysed against the supply instead of a dedicated processor, and an
+    interface (the minimum budget for a given period) can be synthesized
+    by bisection. *)
+
+type t = private {
+  period : int;  (** Π >= 1 *)
+  budget : int;  (** Θ, with 1 <= Θ <= Π *)
+}
+
+val make : period:int -> budget:int -> t
+(** @raise Invalid_argument unless [1 <= budget <= period]. *)
+
+val supply : t -> int -> int
+(** [supply r t]: guaranteed service in any window of length [t]
+    (the supply bound function sbf). *)
+
+val supply_inverse : t -> int -> int
+(** Least window length whose supply reaches a demand. *)
+
+val utilization_percent : t -> int
+(** [100 * budget / period], rounded down. *)
+
+(** {1 Component analysis under a periodic resource} *)
+
+val spp_response_time :
+  ?window_limit:int ->
+  ?q_limit:int ->
+  resource:t ->
+  task:Rt_task.t ->
+  others:Rt_task.t list ->
+  unit ->
+  Busy_window.outcome
+(** Static-priority response time inside the component: the busy window
+    must additionally wait for supply —
+    [finish q = supply_inverse (q C+ + interference)] iterated to a
+    fixed point. *)
+
+val edf_schedulable :
+  ?window_limit:int -> resource:t -> Edf.task list -> (unit, string) result
+(** Demand-bound test against the supply bound function:
+    [dbf(t) <= sbf(t)] for every window up to the busy period. *)
+
+val min_budget_spp :
+  ?window_limit:int -> period:int -> Rt_task.t list -> int option
+(** Smallest budget (for the given replenishment period) under which
+    every task of the SPP component remains bounded — the component's
+    interface; [None] if even a dedicated resource ([budget = period])
+    fails. *)
+
+val min_budget_edf :
+  ?window_limit:int -> period:int -> Edf.task list -> int option
+
+val pp : Format.formatter -> t -> unit

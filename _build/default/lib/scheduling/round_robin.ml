@@ -1,0 +1,45 @@
+module Count = Timebase.Count
+module Interval = Timebase.Interval
+module Stream = Event_model.Stream
+
+type share = {
+  task : Rt_task.t;
+  quantum : int;
+}
+
+let response_time ?(window_limit = Busy_window.default_window_limit) ?q_limit
+    ~shares ~task () =
+  let own =
+    match List.find_opt (fun s -> s.task == task) shares with
+    | Some s -> s
+    | None -> invalid_arg "Round_robin.response_time: task has no share"
+  in
+  if own.quantum < 1 then invalid_arg "Round_robin.response_time: quantum < 1";
+  let others = List.filter (fun s -> s.task != task) shares in
+  let c_plus = Interval.hi task.Rt_task.cet in
+  let finish q =
+    let demand = q * c_plus in
+    let rounds = (demand + own.quantum - 1) / own.quantum in
+    let interference_of w (s : share) =
+      match Stream.eta_plus s.task.Rt_task.activation w with
+      | Count.Fin n ->
+        Stdlib.min (n * Interval.hi s.task.Rt_task.cet) (rounds * s.quantum)
+      | Count.Inf ->
+        (* the quantum bound still applies *)
+        rounds * s.quantum
+    in
+    let step w =
+      demand + List.fold_left (fun acc s -> acc + interference_of w s) 0 others
+    in
+    Busy_window.fixpoint ~limit:window_limit ~init:demand step
+  in
+  Busy_window.max_response ?q_limit
+    ~best_case:(Interval.lo task.Rt_task.cet)
+    ~arrival:(Stream.delta_min task.Rt_task.activation)
+    ~finish ()
+
+let analyse ?window_limit ?q_limit shares =
+  List.map
+    (fun s ->
+      s.task, response_time ?window_limit ?q_limit ~shares ~task:s.task ())
+    shares

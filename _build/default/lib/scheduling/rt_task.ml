@@ -1,0 +1,16 @@
+type t = {
+  name : string;
+  cet : Timebase.Interval.t;
+  priority : int;
+  activation : Event_model.Stream.t;
+}
+
+let make ~name ~cet ~priority ~activation =
+  if Timebase.Interval.lo cet < 1 then
+    invalid_arg "Rt_task.make: best-case execution time < 1";
+  { name; cet; priority; activation }
+
+let pp ppf t =
+  Format.fprintf ppf "%s (C=%a, prio=%d, act=%s)" t.name Timebase.Interval.pp
+    t.cet t.priority
+    (Event_model.Stream.name t.activation)

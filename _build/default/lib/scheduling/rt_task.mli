@@ -1,0 +1,23 @@
+(** Tasks as seen by a local scheduling analysis.
+
+    A task has a core execution time interval [\[C-:C+\]] (or transmission
+    time for bus messages), a priority, and an activating event stream.
+    {b Priority convention: a numerically smaller value is a higher
+    priority.} *)
+
+type t = {
+  name : string;
+  cet : Timebase.Interval.t;  (** core execution / transmission time *)
+  priority : int;  (** smaller value = higher priority *)
+  activation : Event_model.Stream.t;
+}
+
+val make :
+  name:string ->
+  cet:Timebase.Interval.t ->
+  priority:int ->
+  activation:Event_model.Stream.t ->
+  t
+(** @raise Invalid_argument if the best-case execution time is [< 1]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+module Count = Timebase.Count
+module Interval = Timebase.Interval
+module Stream = Event_model.Stream
+
+let blocking ~task ~others =
+  Busy_window.lower_priority ~than:task others
+  |> List.fold_left
+       (fun acc (t : Rt_task.t) -> Stdlib.max acc (Interval.hi t.cet))
+       0
+
+(* Completion of the q-th instance: it starts once blocking, the q-1 own
+   predecessors, and all higher-priority arrivals (up to and including the
+   start instant) are served, then transmits non-preemptively. *)
+let completion ~window_limit ~task ~others q =
+  let hp = Busy_window.higher_priority ~than:task others in
+  let c_plus = Interval.hi task.Rt_task.cet in
+  let block = blocking ~task ~others in
+  let diverged = ref None in
+  let own_queued = block + ((q - 1) * c_plus) in
+  let step w =
+    match Busy_window.interference ~tasks:hp ~window:(w + 1) with
+    | Ok demand -> own_queued + demand
+    | Error reason ->
+      diverged := Some reason;
+      w
+  in
+  match Busy_window.fixpoint ~limit:window_limit ~init:own_queued step with
+  | Some start when !diverged = None -> Some (start + c_plus)
+  | Some _ | None -> None
+
+let response_time ?(window_limit = Busy_window.default_window_limit) ?q_limit
+    ~task ~others () =
+  Busy_window.max_response ?q_limit
+    ~best_case:(Interval.lo task.Rt_task.cet)
+    ~arrival:(Stream.delta_min task.Rt_task.activation)
+    ~finish:(completion ~window_limit ~task ~others)
+    ()
+
+let backlog_bound ?(window_limit = Busy_window.default_window_limit) ?q_limit
+    ~task ~others () =
+  let activation = task.Rt_task.activation in
+  let arrivals_in w =
+    match Stream.eta_plus activation w with
+    | Count.Fin n -> Ok n
+    | Count.Inf ->
+      Error
+        (Printf.sprintf "unbounded arrivals of %s in window %d"
+           task.Rt_task.name w)
+  in
+  Busy_window.max_backlog ?q_limit
+    ~arrival:(Stream.delta_min activation)
+    ~arrivals_in
+    ~finish:(completion ~window_limit ~task ~others)
+    ()
+
+let analyse ?window_limit ?q_limit tasks =
+  List.map
+    (fun task ->
+      let others = List.filter (fun t -> t != task) tasks in
+      task, response_time ?window_limit ?q_limit ~task ~others ())
+    tasks

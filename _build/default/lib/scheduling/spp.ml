@@ -1,0 +1,56 @@
+module Count = Timebase.Count
+module Interval = Timebase.Interval
+module Stream = Event_model.Stream
+
+(* Completion time of the q-th activation within the level-i busy
+   period: least fixed point of w = B + q C+ + interference(w), where B
+   is an optional blocking term for shared resources (priority-inversion
+   bound of the locking protocol in use). *)
+let completion ~window_limit ~blocking ~task ~others q =
+  let hp = Busy_window.higher_priority ~than:task others in
+  let c_plus = Interval.hi task.Rt_task.cet in
+  let diverged = ref None in
+  let own = blocking + (q * c_plus) in
+  let step w =
+    match Busy_window.interference ~tasks:hp ~window:w with
+    | Ok demand -> own + demand
+    | Error reason ->
+      diverged := Some reason;
+      w
+  in
+  match Busy_window.fixpoint ~limit:window_limit ~init:own step with
+  | Some w when !diverged = None -> Some w
+  | Some _ | None -> None
+
+let response_time ?(window_limit = Busy_window.default_window_limit) ?q_limit
+    ?(blocking = 0) ~task ~others () =
+  if blocking < 0 then invalid_arg "Spp.response_time: negative blocking";
+  Busy_window.max_response ?q_limit
+    ~best_case:(Interval.lo task.Rt_task.cet)
+    ~arrival:(Stream.delta_min task.Rt_task.activation)
+    ~finish:(completion ~window_limit ~blocking ~task ~others)
+    ()
+
+let backlog_bound ?(window_limit = Busy_window.default_window_limit) ?q_limit
+    ?(blocking = 0) ~task ~others () =
+  let activation = task.Rt_task.activation in
+  let arrivals_in w =
+    match Stream.eta_plus activation w with
+    | Count.Fin n -> Ok n
+    | Count.Inf ->
+      Error
+        (Printf.sprintf "unbounded arrivals of %s in window %d"
+           task.Rt_task.name w)
+  in
+  Busy_window.max_backlog ?q_limit
+    ~arrival:(Stream.delta_min activation)
+    ~arrivals_in
+    ~finish:(completion ~window_limit ~blocking ~task ~others)
+    ()
+
+let analyse ?window_limit ?q_limit tasks =
+  List.map
+    (fun task ->
+      let others = List.filter (fun t -> t != task) tasks in
+      task, response_time ?window_limit ?q_limit ~task ~others ())
+    tasks

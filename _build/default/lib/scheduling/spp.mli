@@ -1,0 +1,41 @@
+(** Static-priority preemptive response-time analysis.
+
+    The classic busy-window analysis for SPP resources (CPUs in the
+    paper's example) with arbitrary activation event streams and arbitrary
+    deadlines: the q-th activation in the level-i busy period completes at
+    the least fixed point of
+    [w = q * C+_i + sum_{j in hp(i)} eta_plus_j(w) * C+_j].
+    Equal priorities are conservatively treated as interference. *)
+
+val response_time :
+  ?window_limit:int ->
+  ?q_limit:int ->
+  ?blocking:int ->
+  task:Rt_task.t ->
+  others:Rt_task.t list ->
+  unit ->
+  Busy_window.outcome
+(** Response-time interval of [task] given the other tasks sharing the
+    resource.  The best case is the task's best-case execution time.
+    [blocking] (default 0) adds a per-busy-window blocking term — the
+    priority-inversion bound of a shared-resource locking protocol. *)
+
+val backlog_bound :
+  ?window_limit:int ->
+  ?q_limit:int ->
+  ?blocking:int ->
+  task:Rt_task.t ->
+  others:Rt_task.t list ->
+  unit ->
+  (int, string) result
+(** Bound on the number of simultaneously pending activations of [task]
+    — the activation queue the task needs (see
+    {!Busy_window.max_backlog}). *)
+
+val analyse :
+  ?window_limit:int ->
+  ?q_limit:int ->
+  Rt_task.t list ->
+  (Rt_task.t * Busy_window.outcome) list
+(** [analyse tasks] runs {!response_time} for every task of an SPP
+    resource. *)

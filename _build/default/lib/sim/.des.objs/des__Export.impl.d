@@ -1,0 +1,1 @@
+lib/sim/export.ml: Buffer Bytes Char Hashtbl List Printf Stdlib String Trace

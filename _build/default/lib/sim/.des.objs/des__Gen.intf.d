@@ -1,0 +1,1 @@
+lib/sim/gen.mli: Random

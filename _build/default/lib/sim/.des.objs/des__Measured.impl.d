@@ -1,0 +1,1 @@
+lib/sim/measured.ml: Array Event_model Option Stdlib Timebase Trace

@@ -1,0 +1,1 @@
+lib/sim/measured.mli: Event_model Trace

@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Comstack Cpa_system Gen Hashtbl Heap Hem List Option Port Printf Queue Random Stdlib String Timebase Trace

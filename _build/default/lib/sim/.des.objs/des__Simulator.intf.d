@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Cpa_system Gen Trace

@@ -1,0 +1,48 @@
+type t = rng:Random.State.t -> horizon:int -> int list
+
+let periodic ?(phase = 0) ~period () =
+  if period < 1 then invalid_arg "Gen.periodic: period < 1";
+  fun ~rng:_ ~horizon ->
+    let rec collect k acc =
+      let time = phase + (k * period) in
+      if time > horizon then List.rev acc else collect (k + 1) (time :: acc)
+    in
+    collect 0 []
+
+let periodic_jitter ?(phase = 0) ~period ~jitter () =
+  if period < 1 then invalid_arg "Gen.periodic_jitter: period < 1";
+  if jitter < 0 then invalid_arg "Gen.periodic_jitter: jitter < 0";
+  fun ~rng ~horizon ->
+    let rec collect k acc =
+      let nominal = phase + (k * period) in
+      if nominal > horizon then List.rev acc
+      else begin
+        let time = nominal + Random.State.int rng (jitter + 1) in
+        collect (k + 1) (time :: acc)
+      end
+    in
+    collect 0 []
+    |> List.filter (fun time -> time <= horizon)
+    |> List.sort compare
+
+let sporadic ?(phase = 0) ~d_min ~slack () =
+  if d_min < 1 then invalid_arg "Gen.sporadic: d_min < 1";
+  if slack < 0 then invalid_arg "Gen.sporadic: slack < 0";
+  fun ~rng ~horizon ->
+    let rec collect time acc =
+      if time > horizon then List.rev acc
+      else
+        let next = time + d_min + Random.State.int rng (slack + 1) in
+        collect next (time :: acc)
+    in
+    collect phase []
+
+let of_times times_list =
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a <= b && sorted rest
+    | [ _ ] | [] -> true
+  in
+  if not (sorted times_list) then invalid_arg "Gen.of_times: unsorted times";
+  fun ~rng:_ ~horizon -> List.filter (fun t -> t <= horizon) times_list
+
+let times t ~rng ~horizon = t ~rng ~horizon

@@ -1,0 +1,26 @@
+(** Arrival-sequence generators for simulated sources.
+
+    A generator produces the concrete arrival times of one source over a
+    simulation horizon.  Randomized generators take the simulation's
+    random state so runs are reproducible from a seed. *)
+
+type t
+
+val periodic : ?phase:int -> period:int -> unit -> t
+(** Arrivals at [phase + k * period].  [phase] defaults to [0]. *)
+
+val periodic_jitter :
+  ?phase:int -> period:int -> jitter:int -> unit -> t
+(** Arrivals at [phase + k * period + u_k] with [u_k] uniform in
+    [\[0, jitter\]], sorted; this realizes the periodic-with-jitter
+    standard event model (with [d_min = 0]). *)
+
+val sporadic : ?phase:int -> d_min:int -> slack:int -> unit -> t
+(** Arrivals separated by [d_min + u_k] with [u_k] uniform in
+    [\[0, slack\]]. *)
+
+val of_times : int list -> t
+(** Explicit arrival times (must be sorted non-decreasing). *)
+
+val times : t -> rng:Random.State.t -> horizon:int -> int list
+(** Concrete arrival times within [\[0, horizon\]]. *)

@@ -1,0 +1,76 @@
+type 'a entry = {
+  time : int;
+  seq : int;
+  payload : 'a;
+}
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable length : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; length = 0; next_seq = 0 }
+
+let is_empty t = t.length = 0
+
+let size t = t.length
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t.data.(i) t.data.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < t.length && less t.data.(left) t.data.(!smallest) then
+    smallest := left;
+  if right < t.length && less t.data.(right) t.data.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t entry =
+  let capacity = Array.length t.data in
+  if t.length = capacity then begin
+    let data = Array.make (Stdlib.max 16 (capacity * 2)) entry in
+    Array.blit t.data 0 data 0 t.length;
+    t.data <- data
+  end
+
+let push t ~time payload =
+  let entry = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  t.data.(t.length) <- entry;
+  t.length <- t.length + 1;
+  sift_up t (t.length - 1)
+
+let pop t =
+  if t.length = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.length <- t.length - 1;
+    if t.length > 0 then begin
+      t.data.(0) <- t.data.(t.length);
+      sift_down t 0
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time t = if t.length = 0 then None else Some t.data.(0).time

@@ -1,0 +1,22 @@
+(** Binary min-heap keyed by [(time, sequence)].
+
+    The event queue of the discrete-event simulator.  The sequence number
+    makes extraction deterministic for simultaneous events (FIFO among
+    equals). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> time:int -> 'a -> unit
+(** Inserts with the next sequence number. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Removes and returns the entry with the smallest [(time, sequence)]
+    key, as [(time, payload)]. *)
+
+val peek_time : 'a t -> int option

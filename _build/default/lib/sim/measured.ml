@@ -1,0 +1,39 @@
+module Time = Timebase.Time
+module Stream = Event_model.Stream
+
+let stream_of_trace ?name trace ~stream =
+  let times = Array.of_list (Trace.arrivals trace stream) in
+  let total = Array.length times in
+  if total < 2 then None
+  else begin
+    let name =
+      match name with
+      | Some n -> n
+      | None -> "measured:" ^ stream
+    in
+    let span n pick init =
+      let best = ref init in
+      for i = 0 to total - n do
+        best := pick !best (times.(i + n - 1) - times.(i))
+      done;
+      !best
+    in
+    let min_gap = span 2 Stdlib.min max_int in
+    let max_gap = span 2 Stdlib.max 0 in
+    let delta_min n =
+      if n <= total then Time.of_int (span n Stdlib.min max_int)
+      else
+        (* extrapolate past the recorded count with the tightest gap *)
+        Time.of_int (span total Stdlib.min max_int + ((n - total) * min_gap))
+    in
+    let delta_plus n =
+      if n <= total then Time.of_int (span n Stdlib.max 0)
+      else Time.of_int (span total Stdlib.max 0 + ((n - total) * max_gap))
+    in
+    Some (Stream.make ~name ~delta_min ~delta_plus)
+  end
+
+let sem_of_trace ?horizon trace ~stream =
+  Option.map
+    (Event_model.Sem.fit ?horizon)
+    (stream_of_trace trace ~stream)

@@ -1,0 +1,26 @@
+(** Measurement-based event models.
+
+    Builds event-stream descriptions from recorded traces — the
+    trace-import workflow of industrial CPA tools: observe a black-box
+    component, derive a descriptive model, feed it to the analysis.
+
+    An observed trace yields {e descriptive} bounds: the distances that
+    actually occurred.  They bound the recorded run exactly but are only
+    an estimate of the black box's true worst case, so treat analyses
+    based on them accordingly (the classic measurement-based-timing
+    caveat). *)
+
+val stream_of_trace :
+  ?name:string -> Trace.t -> stream:string -> Event_model.Stream.t option
+(** [stream_of_trace trace ~stream] is the event stream with
+    [delta_min n] (resp. [delta_plus n]) equal to the smallest (resp.
+    largest) span of [n] consecutive recorded arrivals; distances beyond
+    the recorded count extrapolate with the trace's extreme gaps
+    ([delta_min] keeps growing by the smallest observed gap, [delta_plus]
+    by the largest).  [None] when fewer than two arrivals were
+    recorded. *)
+
+val sem_of_trace :
+  ?horizon:int -> Trace.t -> stream:string -> Event_model.Sem.t option
+(** The standard event model fitted to the measured stream
+    ({!Event_model.Sem.fit}); the compact form of the measurement. *)

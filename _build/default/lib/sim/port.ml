@@ -1,0 +1,9 @@
+let source name = "src:" ^ name
+
+let task_output name = "out:" ^ name
+
+let signal ~frame ~signal = Printf.sprintf "sig:%s/%s" frame signal
+
+let frame name = "frame:" ^ name
+
+let activation name = "act:" ^ name

@@ -1,0 +1,20 @@
+(** Naming scheme for the observable event streams of a simulation.
+
+    Every stream the simulator can observe is identified by a string key;
+    these helpers build the keys consistently for recording and querying. *)
+
+val source : string -> string
+(** Events emitted by a source. *)
+
+val task_output : string -> string
+(** Completion events of a task. *)
+
+val signal : frame:string -> signal:string -> string
+(** Deliveries of a fresh value of a signal at the receiving end of a
+    frame. *)
+
+val frame : string -> string
+(** Frame transmission completions (the outer stream). *)
+
+val activation : string -> string
+(** Activation instants of a task (after OR-combination of its inputs). *)

@@ -1,0 +1,577 @@
+module Spec = Cpa_system.Spec
+module Interval = Timebase.Interval
+
+type cet_policy =
+  | Worst_case
+  | Best_case
+  | Uniform
+
+type sim = {
+  events : (int -> unit) Heap.t;
+  trace : Trace.t;
+  rng : Random.State.t;
+  subscribers : (string, (int -> unit) list ref) Hashtbl.t;
+  horizon : int;
+  frame_loss_percent : int;
+}
+
+let at sim time handler =
+  if time <= sim.horizon then Heap.push sim.events ~time handler
+
+let subscribe sim port handler =
+  let bucket =
+    match Hashtbl.find_opt sim.subscribers port with
+    | Some b -> b
+    | None ->
+      let b = ref [] in
+      Hashtbl.add sim.subscribers port b;
+      b
+  in
+  bucket := handler :: !bucket
+
+let emit sim port time =
+  Trace.record_arrival sim.trace ~stream:port ~time;
+  match Hashtbl.find_opt sim.subscribers port with
+  | None -> ()
+  | Some bucket -> List.iter (fun handler -> handler time) (List.rev !bucket)
+
+let draw_cet sim policy cet =
+  match policy with
+  | Worst_case -> Interval.hi cet
+  | Best_case -> Interval.lo cet
+  | Uniform ->
+    Interval.lo cet + Random.State.int sim.rng (Interval.width cet + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Preemptive dynamic- or static-priority CPU.  The dispatch key makes
+   the same machinery serve both policies: the task priority under SPP,
+   the absolute deadline under EDF; smaller key wins, a strictly smaller
+   key preempts. *)
+
+type job = {
+  owner : string;
+  key : int;
+  activation : int;
+  job_seq : int;
+  mutable remaining : int;
+}
+
+type cpu = {
+  mutable ready : job list;
+  mutable running : (job * int * int) option;  (* job, started_at, token *)
+  mutable next_token : int;
+  mutable next_job_seq : int;
+}
+
+let make_cpu () = { ready = []; running = None; next_token = 0; next_job_seq = 0 }
+
+let job_precedes a b =
+  a.key < b.key
+  || (a.key = b.key
+      && (a.activation < b.activation
+          || (a.activation = b.activation && a.job_seq < b.job_seq)))
+
+let best_ready cpu =
+  match cpu.ready with
+  | [] -> None
+  | first :: rest ->
+    Some (List.fold_left (fun acc j -> if job_precedes j acc then j else acc)
+            first rest)
+
+let remove_job cpu job = cpu.ready <- List.filter (fun j -> j != job) cpu.ready
+
+let rec cpu_start sim cpu job time =
+  remove_job cpu job;
+  let token = cpu.next_token in
+  cpu.next_token <- token + 1;
+  cpu.running <- Some (job, time, token);
+  at sim (time + job.remaining) (cpu_complete sim cpu job token)
+
+and cpu_complete sim cpu job token time =
+  match cpu.running with
+  | Some (running, started, tok) when tok = token && running == job ->
+    cpu.running <- None;
+    Trace.record_segment sim.trace ~element:job.owner ~start:started
+      ~stop:time;
+    Trace.record_response sim.trace ~element:job.owner
+      ~activation:job.activation ~completion:time;
+    emit sim (Port.task_output job.owner) time;
+    cpu_reschedule sim cpu time
+  | Some _ | None -> ()  (* stale completion of a preempted job *)
+
+and cpu_reschedule sim cpu time =
+  match cpu.running, best_ready cpu with
+  | None, Some best -> cpu_start sim cpu best time
+  | Some (current, started, _), Some best when best.key < current.key ->
+    (* preempt: bank the progress and park the current job *)
+    current.remaining <- current.remaining - (time - started);
+    assert (current.remaining >= 0);
+    if time > started then
+      Trace.record_segment sim.trace ~element:current.owner ~start:started
+        ~stop:time;
+    cpu.ready <- current :: cpu.ready;
+    cpu.running <- None;
+    cpu_start sim cpu best time
+  | None, None | Some _, _ -> ()
+
+let cpu_activate sim cpu ~owner ~key ~remaining time =
+  let job_seq = cpu.next_job_seq in
+  cpu.next_job_seq <- job_seq + 1;
+  let job = { owner; key; activation = time; job_seq; remaining } in
+  cpu.ready <- job :: cpu.ready;
+  let depth =
+    List.length (List.filter (fun j -> String.equal j.owner owner) cpu.ready)
+    + (match cpu.running with
+       | Some (j, _, _) when String.equal j.owner owner -> 1
+       | Some _ | None -> 0)
+  in
+  Trace.record_queue_depth sim.trace ~element:owner ~depth;
+  cpu_reschedule sim cpu time
+
+(* ------------------------------------------------------------------ *)
+(* Non-preemptive priority bus with COM-layer frames                   *)
+
+type frame_state = {
+  fspec : Spec.frame;
+  dirty : (string, bool ref) Hashtbl.t;  (* per-signal register freshness *)
+}
+
+type bus_instance = {
+  fstate : frame_state;
+  queued_at : int;
+  inst_seq : int;
+}
+
+type bus = {
+  mutable pending : bus_instance list;
+  mutable current : bus_instance option;
+  mutable next_inst_seq : int;
+}
+
+let make_bus () = { pending = []; current = None; next_inst_seq = 0 }
+
+let instance_precedes a b =
+  let pa = a.fstate.fspec.Spec.frame_priority
+  and pb = b.fstate.fspec.Spec.frame_priority in
+  pa < pb || (pa = pb && a.inst_seq < b.inst_seq)
+
+let best_pending bus =
+  match bus.pending with
+  | [] -> None
+  | first :: rest ->
+    Some
+      (List.fold_left
+         (fun acc i -> if instance_precedes i acc then i else acc)
+         first rest)
+
+let rec bus_start sim policy bus time =
+  match best_pending bus with
+  | None -> ()
+  | Some inst ->
+    bus.pending <- List.filter (fun i -> i != inst) bus.pending;
+    bus.current <- Some inst;
+    (* latch the registers when the frame wins arbitration *)
+    let carried =
+      Hashtbl.fold
+        (fun signal fresh acc ->
+          if !fresh then begin
+            fresh := false;
+            signal :: acc
+          end
+          else acc)
+        inst.fstate.dirty []
+      |> List.sort compare
+    in
+    let tx = draw_cet sim policy inst.fstate.fspec.Spec.tx_time in
+    at sim (time + tx) (bus_complete sim policy bus inst carried ~tx_start:time)
+
+and bus_complete sim policy bus inst carried ~tx_start time =
+  bus.current <- None;
+  let frame = inst.fstate.fspec.Spec.frame_name in
+  Trace.record_segment sim.trace ~element:frame ~start:tx_start ~stop:time;
+  let lost =
+    sim.frame_loss_percent > 0
+    && Random.State.int sim.rng 100 < sim.frame_loss_percent
+  in
+  if lost then
+    (* fault injection: nothing is delivered; the carried values return
+       to their registers so the next transmission picks them up *)
+    List.iter
+      (fun signal -> Hashtbl.find inst.fstate.dirty signal := true)
+      carried
+  else begin
+    Trace.record_response sim.trace ~element:frame ~activation:inst.queued_at
+      ~completion:time;
+    emit sim (Port.frame frame) time;
+    List.iter (fun signal -> emit sim (Port.signal ~frame ~signal) time) carried
+  end;
+  bus_start sim policy bus time
+
+let same_frame a b =
+  String.equal a.fstate.fspec.Spec.frame_name b.fstate.fspec.Spec.frame_name
+
+let queue_frame sim policy bus fstate time =
+  let inst =
+    { fstate; queued_at = time; inst_seq = bus.next_inst_seq }
+  in
+  bus.next_inst_seq <- bus.next_inst_seq + 1;
+  bus.pending <- inst :: bus.pending;
+  let depth =
+    List.length (List.filter (same_frame inst) bus.pending)
+    + (match bus.current with
+       | Some cur when same_frame cur inst -> 1
+       | Some _ | None -> 0)
+  in
+  Trace.record_queue_depth sim.trace
+    ~element:fstate.fspec.Spec.frame_name ~depth;
+  if bus.current = None then bus_start sim policy bus time
+
+(* ------------------------------------------------------------------ *)
+(* TDMA resource: a static slot table; each task is served only inside
+   its own slot, paused work resumes next cycle. *)
+
+type service_job = {
+  s_owner : string;
+  s_activation : int;
+  mutable s_remaining : int;
+}
+
+type tdma_slot = {
+  slot_owner : string;
+  offset : int;
+  length : int;
+  slot_queue : service_job Queue.t;
+}
+
+type tdma = {
+  tdma_slots : tdma_slot list;
+  tdma_cycle : int;
+  mutable tdma_serving : bool;
+}
+
+let make_tdma slots =
+  let cycle, placed =
+    List.fold_left
+      (fun (offset, acc) (owner, length) ->
+        ( offset + length,
+          { slot_owner = owner; offset; length; slot_queue = Queue.create () }
+          :: acc ))
+      (0, []) slots
+  in
+  { tdma_slots = List.rev placed; tdma_cycle = cycle; tdma_serving = false }
+
+(* the slot open at instant [time], with its closing instant *)
+let tdma_open_slot tdma time =
+  let phase = time mod tdma.tdma_cycle in
+  List.find_map
+    (fun slot ->
+      if slot.offset <= phase && phase < slot.offset + slot.length then
+        Some (slot, time - phase + slot.offset + slot.length)
+      else None)
+    tdma.tdma_slots
+
+(* Serve the head of [slot]'s queue until it finishes or the slot closes;
+   chains through the queue within the slot, and when the slot closes (or
+   drains) hands over to whatever slot is open at that instant. *)
+let rec tdma_serve sim tdma slot ~slot_end time =
+  if time >= slot_end || Queue.is_empty slot.slot_queue then begin
+    tdma.tdma_serving <- false;
+    tdma_roll_over sim tdma time
+  end
+  else begin
+    tdma.tdma_serving <- true;
+    let job = Queue.peek slot.slot_queue in
+    let run = Stdlib.min job.s_remaining (slot_end - time) in
+    at sim (time + run) (fun now ->
+      job.s_remaining <- job.s_remaining - run;
+      Trace.record_segment sim.trace ~element:job.s_owner ~start:(now - run)
+        ~stop:now;
+      if job.s_remaining = 0 then begin
+        ignore (Queue.pop slot.slot_queue);
+        Trace.record_response sim.trace ~element:job.s_owner
+          ~activation:job.s_activation ~completion:now;
+        emit sim (Port.task_output job.s_owner) now
+      end;
+      tdma_serve sim tdma slot ~slot_end now)
+  end
+
+and tdma_roll_over sim tdma time =
+  if not tdma.tdma_serving then begin
+    match tdma_open_slot tdma time with
+    | Some (slot, slot_end) ->
+      if not (Queue.is_empty slot.slot_queue) then
+        tdma_serve sim tdma slot ~slot_end time
+    | None -> ()
+  end
+
+let tdma_slot_of tdma owner =
+  List.find (fun s -> String.equal s.slot_owner owner) tdma.tdma_slots
+
+let tdma_activate sim tdma ~owner ~remaining time =
+  let slot = tdma_slot_of tdma owner in
+  Queue.push { s_owner = owner; s_activation = time; s_remaining = remaining }
+    slot.slot_queue;
+  Trace.record_queue_depth sim.trace ~element:owner
+    ~depth:(Queue.length slot.slot_queue);
+  tdma_roll_over sim tdma time
+
+(* schedule the recurring slot-opening events over the horizon *)
+let tdma_schedule_slots sim tdma =
+  let rec cycles base =
+    if base > sim.horizon then ()
+    else begin
+      List.iter
+        (fun slot ->
+          let start = base + slot.offset in
+          at sim start (fun now ->
+            if (not tdma.tdma_serving)
+               && not (Queue.is_empty slot.slot_queue) then
+              tdma_serve sim tdma slot ~slot_end:(start + slot.length) now))
+        tdma.tdma_slots;
+      cycles (base + tdma.tdma_cycle)
+    end
+  in
+  cycles 0
+
+(* ------------------------------------------------------------------ *)
+(* Round-robin resource: rotate over backlogged tasks, each receiving
+   at most its quantum per visit. *)
+
+type rr_share = {
+  rr_owner : string;
+  quantum : int;
+  rr_queue : service_job Queue.t;
+}
+
+type rr = {
+  shares : rr_share array;
+  mutable cursor : int;
+  mutable rr_serving : bool;
+}
+
+let make_rr shares =
+  {
+    shares =
+      Array.of_list
+        (List.map
+           (fun (owner, quantum) ->
+             { rr_owner = owner; quantum; rr_queue = Queue.create () })
+           shares);
+    cursor = 0;
+    rr_serving = false;
+  }
+
+let rec rr_dispatch sim rr time =
+  let n = Array.length rr.shares in
+  let rec find k =
+    if k >= n then None
+    else begin
+      let idx = (rr.cursor + k) mod n in
+      if Queue.is_empty rr.shares.(idx).rr_queue then find (k + 1)
+      else Some idx
+    end
+  in
+  match find 0 with
+  | None -> rr.rr_serving <- false
+  | Some idx ->
+    rr.rr_serving <- true;
+    let share = rr.shares.(idx) in
+    let job = Queue.peek share.rr_queue in
+    let run = Stdlib.min job.s_remaining share.quantum in
+    at sim (time + run) (fun now ->
+      job.s_remaining <- job.s_remaining - run;
+      Trace.record_segment sim.trace ~element:job.s_owner ~start:(now - run)
+        ~stop:now;
+      if job.s_remaining = 0 then begin
+        ignore (Queue.pop share.rr_queue);
+        Trace.record_response sim.trace ~element:job.s_owner
+          ~activation:job.s_activation ~completion:now;
+        emit sim (Port.task_output job.s_owner) now
+      end;
+      rr.cursor <- (idx + 1) mod n;
+      rr_dispatch sim rr now)
+
+let rr_activate sim rr ~owner ~remaining time =
+  let share =
+    let rec find i =
+      if String.equal rr.shares.(i).rr_owner owner then rr.shares.(i)
+      else find (i + 1)
+    in
+    find 0
+  in
+  Queue.push { s_owner = owner; s_activation = time; s_remaining = remaining }
+    share.rr_queue;
+  Trace.record_queue_depth sim.trace ~element:owner
+    ~depth:(Queue.length share.rr_queue);
+  if not rr.rr_serving then rr_dispatch sim rr time
+
+(* ------------------------------------------------------------------ *)
+(* Wiring a specification                                              *)
+
+let rec subscribe_activation sim act handler =
+  match act with
+  | Spec.From_source s -> subscribe sim (Port.source s) handler
+  | Spec.From_output u -> subscribe sim (Port.task_output u) handler
+  | Spec.From_signal { frame; signal } ->
+    subscribe sim (Port.signal ~frame ~signal) handler
+  | Spec.From_frame f -> subscribe sim (Port.frame f) handler
+  | Spec.Or_of acts ->
+    List.iter (fun a -> subscribe_activation sim a handler) acts
+  | Spec.And_of acts ->
+    (* fire once every input has delivered; one event of each input is
+       consumed per firing *)
+    let counts = Array.make (List.length acts) 0 in
+    List.iteri
+      (fun i a ->
+        subscribe_activation sim a (fun time ->
+          counts.(i) <- counts.(i) + 1;
+          if Array.for_all (fun c -> c > 0) counts then begin
+            Array.iteri (fun j c -> counts.(j) <- c - 1) counts;
+            handler time
+          end))
+      acts
+
+let effective_kind (f : Spec.frame) (s : Spec.signal_binding) =
+  match f.send_type with
+  | Comstack.Frame.Periodic _ -> Hem.Model.Pending
+  | Comstack.Frame.Direct | Comstack.Frame.Mixed _ -> s.property
+
+(* Per-resource dispatch target for task activations. *)
+type resource_sim =
+  | Cpu_spp of cpu
+  | Cpu_edf of cpu
+  | Service_tdma of tdma
+  | Service_rr of rr
+
+let run ?(seed = 42) ?(cet_policy = Worst_case) ?(frame_loss_percent = 0)
+    ~generators ~horizon spec =
+  if frame_loss_percent < 0 || frame_loss_percent > 100 then
+    invalid_arg "Simulator.run: frame_loss_percent outside 0..100"
+  else
+  match Spec.validate spec with
+  | Error e -> Error e
+  | Ok () -> begin
+    let missing_generator =
+      List.find_opt
+        (fun (name, _) -> not (List.mem_assoc name generators))
+        spec.Spec.sources
+    in
+    match missing_generator with
+    | Some (name, _) ->
+      Error (Printf.sprintf "no generator for source %s" name)
+    | None ->
+      let sim =
+        {
+          events = Heap.create ();
+          trace = Trace.create ();
+          rng = Random.State.make [| seed |];
+          subscribers = Hashtbl.create 32;
+          horizon;
+          frame_loss_percent;
+        }
+      in
+      (* resources *)
+      let resources = Hashtbl.create 4 in
+      let buses = Hashtbl.create 4 in
+      let tasks_on res =
+        List.filter
+          (fun (k : Spec.task) -> String.equal k.resource res)
+          spec.Spec.tasks
+      in
+      List.iter
+        (fun (r : Spec.resource) ->
+          match r.scheduler with
+          | Spec.Spp -> Hashtbl.add resources r.res_name (Cpu_spp (make_cpu ()))
+          | Spec.Edf -> Hashtbl.add resources r.res_name (Cpu_edf (make_cpu ()))
+          | Spec.Spnp -> Hashtbl.add buses r.res_name (make_bus ())
+          | Spec.Tdma ->
+            let slots =
+              List.map
+                (fun (k : Spec.task) -> k.task_name, Option.get k.service)
+                (tasks_on r.res_name)
+            in
+            let tdma = make_tdma slots in
+            tdma_schedule_slots sim tdma;
+            Hashtbl.add resources r.res_name (Service_tdma tdma)
+          | Spec.Round_robin ->
+            let shares =
+              List.map
+                (fun (k : Spec.task) -> k.task_name, Option.get k.service)
+                (tasks_on r.res_name)
+            in
+            Hashtbl.add resources r.res_name (Service_rr (make_rr shares)))
+        spec.Spec.resources;
+      (* tasks *)
+      List.iter
+        (fun (k : Spec.task) ->
+          let resource = Hashtbl.find resources k.resource in
+          let handler time =
+            Trace.record_arrival sim.trace
+              ~stream:(Port.activation k.task_name) ~time;
+            let remaining = draw_cet sim cet_policy k.cet in
+            match resource with
+            | Cpu_spp cpu ->
+              cpu_activate sim cpu ~owner:k.task_name ~key:k.priority
+                ~remaining time
+            | Cpu_edf cpu ->
+              cpu_activate sim cpu ~owner:k.task_name
+                ~key:(time + Option.get k.deadline)
+                ~remaining time
+            | Service_tdma tdma ->
+              tdma_activate sim tdma ~owner:k.task_name ~remaining time
+            | Service_rr rr ->
+              rr_activate sim rr ~owner:k.task_name ~remaining time
+          in
+          subscribe_activation sim k.activation handler)
+        spec.Spec.tasks;
+      (* frames *)
+      List.iter
+        (fun (f : Spec.frame) ->
+          let bus = Hashtbl.find buses f.bus in
+          let fstate = { fspec = f; dirty = Hashtbl.create 8 } in
+          List.iter
+            (fun (s : Spec.signal_binding) ->
+              let fresh = ref false in
+              Hashtbl.add fstate.dirty s.signal_name fresh;
+              let kind = effective_kind f s in
+              let handler time =
+                fresh := true;
+                match kind with
+                | Hem.Model.Triggering ->
+                  queue_frame sim cet_policy bus fstate time
+                | Hem.Model.Pending -> ()
+              in
+              subscribe_activation sim s.origin handler)
+            f.signals;
+          match f.send_type with
+          | Comstack.Frame.Direct -> ()
+          | Comstack.Frame.Periodic p | Comstack.Frame.Mixed p ->
+            let rec tick k =
+              let time = k * p in
+              if time <= horizon then begin
+                at sim time (fun t -> queue_frame sim cet_policy bus fstate t);
+                tick (k + 1)
+              end
+            in
+            tick 0)
+        spec.Spec.frames;
+      (* sources *)
+      List.iter
+        (fun (name, _) ->
+          let gen = List.assoc name generators in
+          let times = Gen.times gen ~rng:sim.rng ~horizon in
+          List.iter
+            (fun time -> at sim time (fun t -> emit sim (Port.source name) t))
+            times)
+        spec.Spec.sources;
+      (* main loop *)
+      let rec drain () =
+        match Heap.pop sim.events with
+        | None -> ()
+        | Some (time, handler) ->
+          handler time;
+          drain ()
+      in
+      drain ();
+      Ok sim.trace
+  end

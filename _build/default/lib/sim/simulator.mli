@@ -1,0 +1,46 @@
+(** Discrete-event simulation of compositional system specifications.
+
+    Executes a {!Cpa_system.Spec.t} system behaviourally: sources emit
+    concrete event sequences, the communication layer latches signal
+    registers and queues frames, buses arbitrate non-preemptively by
+    priority, CPUs schedule preemptively by static priority.  The
+    resulting {!Trace.t} yields observed response times and observed
+    arrival curves, which must be dominated by the analytic bounds of
+    {!Cpa_system.Engine} — the validation used throughout the test suite.
+
+    All schedulers of {!Cpa_system.Spec} are executable: SPP and EDF
+    (preemptive CPUs), SPNP (buses with COM-layer frames), TDMA slot
+    tables and round-robin rotation. *)
+
+(** How concrete execution times are drawn from [\[C-:C+\]]. *)
+type cet_policy =
+  | Worst_case  (** always C+ (default) *)
+  | Best_case  (** always C- *)
+  | Uniform  (** uniform in [\[C-:C+\]] *)
+
+val run :
+  ?seed:int ->
+  ?cet_policy:cet_policy ->
+  ?frame_loss_percent:int ->
+  generators:(string * Gen.t) list ->
+  horizon:int ->
+  Cpa_system.Spec.t ->
+  (Trace.t, string) result
+(** [run ~generators ~horizon spec] simulates [spec] over
+    [\[0, horizon\]].  [generators] assigns an arrival generator to every
+    source name; a missing assignment is an error.  [seed] (default 42)
+    makes randomized generators and [Uniform] execution times
+    reproducible.
+
+    [frame_loss_percent] (default 0) injects transmission faults: each
+    completed frame is corrupted with the given probability — it is not
+    delivered (no frame or signal events, no response recorded) and the
+    registers of the signals it carried are marked dirty again, so
+    pending values ride the next transmission while triggering events of
+    the lost frame are gone.  Fault injection only removes events, so
+    every analytic bound remains valid for the surviving traffic.
+
+    The trace records, under the keys of {!Port}: source emissions, task
+    activations and completions, frame transmissions and per-signal
+    deliveries, plus the response of every task and frame instance that
+    completed within the horizon. *)

@@ -1,0 +1,151 @@
+type t = {
+  arrivals : (string, int list ref) Hashtbl.t;  (* reverse order *)
+  responses : (string, (int * int) list ref) Hashtbl.t;
+  depths : (string, int ref) Hashtbl.t;
+  exec_segments : (string, (int * int) list ref) Hashtbl.t;
+}
+
+let create () =
+  {
+    arrivals = Hashtbl.create 16;
+    responses = Hashtbl.create 16;
+    depths = Hashtbl.create 16;
+    exec_segments = Hashtbl.create 16;
+  }
+
+let bucket table key =
+  match Hashtbl.find_opt table key with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.add table key r;
+    r
+
+let record_arrival t ~stream ~time =
+  let b = bucket t.arrivals stream in
+  b := time :: !b
+
+let record_response t ~element ~activation ~completion =
+  if completion < activation then
+    invalid_arg "Trace.record_response: completion before activation";
+  let b = bucket t.responses element in
+  b := (activation, completion) :: !b
+
+let record_queue_depth t ~element ~depth =
+  match Hashtbl.find_opt t.depths element with
+  | Some r -> r := Stdlib.max !r depth
+  | None -> Hashtbl.add t.depths element (ref depth)
+
+let max_queue_depth t element =
+  Option.map ( ! ) (Hashtbl.find_opt t.depths element)
+
+let record_segment t ~element ~start ~stop =
+  if stop < start then invalid_arg "Trace.record_segment: stop before start";
+  let b = bucket t.exec_segments element in
+  b := (start, stop) :: !b
+
+let segments t element =
+  match Hashtbl.find_opt t.exec_segments element with
+  | Some r -> List.sort compare !r
+  | None -> []
+
+let arrivals t stream =
+  match Hashtbl.find_opt t.arrivals stream with
+  | Some r -> List.sort compare !r
+  | None -> []
+
+let observed_eta_plus t stream ~dt =
+  if dt <= 0 then 0
+  else begin
+    let times = Array.of_list (arrivals t stream) in
+    let n = Array.length times in
+    (* two-pointer max count of arrivals with span < dt *)
+    let rec scan i j best =
+      if j >= n then best
+      else if times.(j) - times.(i) < dt then
+        scan i (j + 1) (Stdlib.max best (j - i + 1))
+      else scan (i + 1) j best
+    in
+    scan 0 0 0
+  end
+
+let observed_delta_min t stream ~n =
+  if n < 2 then Some 0
+  else begin
+    let times = Array.of_list (arrivals t stream) in
+    let total = Array.length times in
+    if total < n then None
+    else begin
+      let best = ref max_int in
+      for i = 0 to total - n do
+        best := Stdlib.min !best (times.(i + n - 1) - times.(i))
+      done;
+      Some !best
+    end
+  end
+
+let responses t element =
+  match Hashtbl.find_opt t.responses element with
+  | Some r -> List.sort compare !r
+  | None -> []
+
+let fold_responses t element f init =
+  match Hashtbl.find_opt t.responses element with
+  | None -> init
+  | Some r -> List.fold_left f init !r
+
+let worst_response t element =
+  fold_responses t element
+    (fun acc (a, c) ->
+      match acc with
+      | None -> Some (c - a)
+      | Some best -> Some (Stdlib.max best (c - a)))
+    None
+
+let best_response t element =
+  fold_responses t element
+    (fun acc (a, c) ->
+      match acc with
+      | None -> Some (c - a)
+      | Some best -> Some (Stdlib.min best (c - a)))
+    None
+
+let response_count t element =
+  fold_responses t element (fun acc _ -> acc + 1) 0
+
+let streams t = Hashtbl.fold (fun k _ acc -> k :: acc) t.arrivals []
+
+let elements t = Hashtbl.fold (fun k _ acc -> k :: acc) t.responses []
+
+type stats = {
+  count : int;
+  best : int;
+  worst : int;
+  mean : float;
+  percentile_95 : int;
+  percentile_99 : int;
+}
+
+let response_stats t element =
+  match Hashtbl.find_opt t.responses element with
+  | None | Some { contents = [] } -> None
+  | Some r ->
+    let values =
+      List.map (fun (a, c) -> c - a) !r |> List.sort compare |> Array.of_list
+    in
+    let count = Array.length values in
+    let percentile p =
+      (* nearest-rank percentile *)
+      let rank = (p * count + 99) / 100 in
+      values.(Stdlib.max 0 (Stdlib.min (count - 1) (rank - 1)))
+    in
+    let total = Array.fold_left ( + ) 0 values in
+    Some
+      {
+        count;
+        best = values.(0);
+        worst = values.(count - 1);
+        mean = float_of_int total /. float_of_int count;
+        percentile_95 = percentile 95;
+        percentile_99 = percentile 99;
+      }

@@ -1,0 +1,72 @@
+(** Simulation traces: observed arrivals and responses.
+
+    The simulator records the arrival instants of every named stream and
+    the (activation, completion) pairs of every scheduled element.  The
+    accessors compute observed worst-case responses and observed arrival
+    curves, which the validation tests compare against the analytic
+    bounds (observed <= bound must always hold for a sound analysis). *)
+
+type t
+
+val create : unit -> t
+
+val record_arrival : t -> stream:string -> time:int -> unit
+
+val record_response : t -> element:string -> activation:int -> completion:int -> unit
+
+val record_queue_depth : t -> element:string -> depth:int -> unit
+(** Records an instantaneous number of pending activations / queued
+    instances; only the maximum is retained. *)
+
+val record_segment : t -> element:string -> start:int -> stop:int -> unit
+(** Records one contiguous execution/transmission window of an element
+    (a preempted job contributes several segments). *)
+
+val segments : t -> string -> (int * int) list
+(** Execution segments of an element, sorted by start time. *)
+
+val max_queue_depth : t -> string -> int option
+(** Largest recorded queue depth; [None] if never recorded. *)
+
+val arrivals : t -> string -> int list
+(** Arrival instants of a stream, in increasing order.  Empty for unknown
+    streams. *)
+
+val observed_eta_plus : t -> string -> dt:int -> int
+(** Maximum number of recorded arrivals spanning strictly less than [dt]
+    (the observed counterpart of eta_plus). *)
+
+val observed_delta_min : t -> string -> n:int -> int option
+(** Minimum observed span of [n] consecutive arrivals; [None] when fewer
+    than [n] arrivals were recorded. *)
+
+val responses : t -> string -> (int * int) list
+(** All recorded [(activation, completion)] pairs of an element, sorted
+    by activation time.  Empty for unknown elements. *)
+
+val worst_response : t -> string -> int option
+(** Largest observed (completion - activation); [None] if the element
+    never completed. *)
+
+val best_response : t -> string -> int option
+
+val response_count : t -> string -> int
+
+val streams : t -> string list
+
+val elements : t -> string list
+
+(** {1 Response statistics} *)
+
+type stats = {
+  count : int;
+  best : int;
+  worst : int;
+  mean : float;
+  percentile_95 : int;
+  percentile_99 : int;
+}
+
+val response_stats : t -> string -> stats option
+(** Distribution summary of an element's observed response times;
+    [None] if it never completed. *)

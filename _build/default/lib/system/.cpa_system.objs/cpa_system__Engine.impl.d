@@ -1,0 +1,1 @@
+lib/system/engine.ml: Comstack Event_model Format Hashtbl Hem List Logs Option Printf Scheduling Spec String Timebase

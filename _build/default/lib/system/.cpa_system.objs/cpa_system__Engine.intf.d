@@ -1,0 +1,1 @@
+lib/system/engine.mli: Event_model Hem Scheduling Spec Stdlib Timebase

@@ -1,0 +1,1 @@
+lib/system/report.ml: Comstack Engine Event_model Format Hem List Printf Scheduling Spec Timebase

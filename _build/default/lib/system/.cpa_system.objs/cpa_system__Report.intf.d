@@ -1,0 +1,1 @@
+lib/system/report.mli: Engine Format Timebase

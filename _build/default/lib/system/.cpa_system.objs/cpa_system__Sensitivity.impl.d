@@ -1,0 +1,1 @@
+lib/system/sensitivity.ml: Engine List Spec Stdlib String Timebase

@@ -1,0 +1,1 @@
+lib/system/sensitivity.mli: Engine Spec

@@ -1,0 +1,1 @@
+lib/system/spec.ml: Comstack Event_model Format Hem List Printf String Timebase

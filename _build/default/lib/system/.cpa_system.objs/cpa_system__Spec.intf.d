@@ -1,0 +1,1 @@
+lib/system/spec.mli: Comstack Event_model Hem Timebase

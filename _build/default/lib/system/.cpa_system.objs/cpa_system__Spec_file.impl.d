@@ -1,0 +1,1 @@
+lib/system/spec_file.ml: Buffer Comstack Event_model Format Hem List Option Printf Spec String Timebase

@@ -1,0 +1,1 @@
+lib/system/spec_file.mli: Spec

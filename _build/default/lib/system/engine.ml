@@ -1,0 +1,258 @@
+module Interval = Timebase.Interval
+module Stream = Event_model.Stream
+module Sem = Event_model.Sem
+module Combine = Event_model.Combine
+module Task_op = Event_model.Task_op
+module Busy_window = Scheduling.Busy_window
+module Rt_task = Scheduling.Rt_task
+
+let log_src = Logs.Src.create "cpa.engine" ~doc:"global analysis iteration"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type mode =
+  | Hierarchical
+  | Flat_stream
+  | Flat_sem
+
+type element_outcome = {
+  element : string;
+  resource : string;
+  outcome : Busy_window.outcome;
+}
+
+type result = {
+  mode : mode;
+  spec : Spec.t;
+  converged : bool;
+  iterations : int;
+  outcomes : element_outcome list;
+  resolve : Spec.activation -> Stream.t;
+  hierarchy : string -> Hem.Model.t;
+  pre_bus_hierarchy : string -> Hem.Model.t;
+}
+
+exception Cycle of string
+
+(* Resolution context for one global iteration: all streams are derived
+   from the response-time estimates of the previous iteration. *)
+type ctx = {
+  spec : Spec.t;
+  mode : mode;
+  response_of : string -> Interval.t;
+  task_outputs : (string, Stream.t) Hashtbl.t;
+  frames_pre : (string, Hem.Model.t) Hashtbl.t;
+  frames_post : (string, Hem.Model.t) Hashtbl.t;
+  in_progress : (string, unit) Hashtbl.t;
+}
+
+let make_ctx spec mode response_of =
+  {
+    spec;
+    mode;
+    response_of;
+    task_outputs = Hashtbl.create 16;
+    frames_pre = Hashtbl.create 8;
+    frames_post = Hashtbl.create 8;
+    in_progress = Hashtbl.create 16;
+  }
+
+let memo table key compute =
+  match Hashtbl.find_opt table key with
+  | Some v -> v
+  | None ->
+    let v = compute () in
+    Hashtbl.add table key v;
+    v
+
+let guarded ctx key compute =
+  if Hashtbl.mem ctx.in_progress key then raise (Cycle key);
+  Hashtbl.add ctx.in_progress key ();
+  let v = compute () in
+  Hashtbl.remove ctx.in_progress key;
+  v
+
+let find_task spec name =
+  List.find (fun (k : Spec.task) -> String.equal k.task_name name) spec.Spec.tasks
+
+let find_frame spec name =
+  List.find
+    (fun (f : Spec.frame) -> String.equal f.frame_name name)
+    spec.Spec.frames
+
+let rec resolve ctx (act : Spec.activation) =
+  match act with
+  | Spec.From_source s -> List.assoc s ctx.spec.Spec.sources
+  | Spec.From_output name -> task_output ctx name
+  | Spec.From_frame name -> Hem.Model.outer (frame_post ctx name)
+  | Spec.From_signal { frame; signal } -> begin
+    let post = frame_post ctx frame in
+    match ctx.mode with
+    | Hierarchical -> Hem.Deconstruct.unpack_label post signal
+    | Flat_stream -> Hem.Model.outer post
+    | Flat_sem ->
+      let outer = Hem.Model.outer post in
+      Sem.to_stream ~name:(Stream.name outer ^ "~sem") (Sem.fit outer)
+  end
+  | Spec.Or_of acts -> Combine.or_combine (List.map (resolve ctx) acts)
+  | Spec.And_of acts -> Combine.and_combine (List.map (resolve ctx) acts)
+
+and task_output ctx name =
+  memo ctx.task_outputs name (fun () ->
+    guarded ctx ("task:" ^ name) (fun () ->
+      let k = find_task ctx.spec name in
+      let input = resolve ctx k.Spec.activation in
+      Task_op.output ~name:(name ^ ".out") ~response:(ctx.response_of name)
+        input))
+
+and frame_pre ctx name =
+  memo ctx.frames_pre name (fun () ->
+    guarded ctx ("frame:" ^ name) (fun () ->
+      let f = find_frame ctx.spec name in
+      let signals =
+        List.map
+          (fun (s : Spec.signal_binding) ->
+            {
+              Comstack.Signal.name = s.signal_name;
+              property = s.property;
+              stream = resolve ctx s.origin;
+            })
+          f.signals
+      in
+      Comstack.Frame.hierarchy
+        (Comstack.Frame.make ~name:f.frame_name ~send_type:f.send_type
+           ~signals ~tx_time:f.tx_time ~priority:f.frame_priority)))
+
+and frame_post ctx name =
+  memo ctx.frames_post name (fun () ->
+    let pre = frame_pre ctx name in
+    Hem.Inner_update.apply_response ~response:(ctx.response_of name) pre)
+
+(* Local analysis of one resource under the streams of [ctx]. *)
+let analyse_resource ?window_limit ?q_limit ctx (res : Spec.resource) =
+  let tasks =
+    List.filter
+      (fun (k : Spec.task) -> String.equal k.resource res.res_name)
+      ctx.spec.Spec.tasks
+  in
+  let frames =
+    List.filter
+      (fun (f : Spec.frame) -> String.equal f.bus res.res_name)
+      ctx.spec.Spec.frames
+  in
+  let rt_of_task (k : Spec.task) =
+    Rt_task.make ~name:k.task_name ~cet:k.cet ~priority:k.priority
+      ~activation:(resolve ctx k.activation)
+  in
+  let rt_frames =
+    List.map
+      (fun (f : Spec.frame) ->
+        Rt_task.make ~name:f.frame_name ~cet:f.tx_time
+          ~priority:f.frame_priority
+          ~activation:(Hem.Model.outer (frame_pre ctx f.frame_name)))
+      frames
+  in
+  let rt_tasks = List.map rt_of_task tasks @ rt_frames in
+  let outcomes =
+    match res.scheduler with
+    | Spec.Spp -> Scheduling.Spp.analyse ?window_limit ?q_limit rt_tasks
+    | Spec.Spnp -> Scheduling.Spnp.analyse ?window_limit ?q_limit rt_tasks
+    | Spec.Tdma ->
+      let slot_of (k : Spec.task) rt =
+        { Scheduling.Tdma.task = rt; length = Option.get k.service }
+      in
+      let slots = List.map2 slot_of tasks (List.map rt_of_task tasks) in
+      Scheduling.Tdma.analyse ?window_limit ?q_limit slots
+    | Spec.Round_robin ->
+      let share_of (k : Spec.task) rt =
+        { Scheduling.Round_robin.task = rt; quantum = Option.get k.service }
+      in
+      let shares = List.map2 share_of tasks (List.map rt_of_task tasks) in
+      Scheduling.Round_robin.analyse ?window_limit ?q_limit shares
+    | Spec.Edf ->
+      let edf_of (k : Spec.task) rt =
+        { Scheduling.Edf.task = rt; deadline = Option.get k.deadline }
+      in
+      let edf_tasks = List.map2 edf_of tasks (List.map rt_of_task tasks) in
+      Scheduling.Edf.analyse ?window_limit edf_tasks
+  in
+  List.map
+    (fun ((rt : Rt_task.t), outcome) ->
+      { element = rt.Rt_task.name; resource = res.res_name; outcome })
+    outcomes
+
+let analyse ?(mode = Hierarchical) ?(max_iterations = 64) ?window_limit
+    ?q_limit spec =
+  match Spec.validate spec with
+  | Error e -> Error e
+  | Ok () -> begin
+    let zero = Interval.make ~lo:0 ~hi:0 in
+    let responses : (string, Interval.t) Hashtbl.t = Hashtbl.create 16 in
+    let response_of name =
+      Option.value (Hashtbl.find_opt responses name) ~default:zero
+    in
+    let run_iteration () =
+      let ctx = make_ctx spec mode response_of in
+      let outcomes =
+        List.concat_map
+          (analyse_resource ?window_limit ?q_limit ctx)
+          spec.Spec.resources
+      in
+      ctx, outcomes
+    in
+    let rec iterate i =
+      let ctx, outcomes = run_iteration () in
+      Log.debug (fun m ->
+        m "iteration %d: %a" i
+          (Format.pp_print_list ~pp_sep:Format.pp_print_space
+             (fun ppf o ->
+               Format.fprintf ppf "%s=%a" o.element Busy_window.pp_outcome
+                 o.outcome))
+          outcomes);
+      let all_bounded =
+        List.for_all
+          (fun o ->
+            match o.outcome with
+            | Busy_window.Bounded _ -> true
+            | Busy_window.Unbounded _ -> false)
+          outcomes
+      in
+      let changed = ref false in
+      List.iter
+        (fun o ->
+          match o.outcome with
+          | Busy_window.Bounded r ->
+            if not (Interval.equal (response_of o.element) r) then begin
+              changed := true;
+              Hashtbl.replace responses o.element r
+            end
+          | Busy_window.Unbounded _ -> ())
+        outcomes;
+      if (not !changed) || (not all_bounded) || i >= max_iterations then
+        let converged = (not !changed) && all_bounded in
+        ctx, outcomes, converged, i
+      else iterate (i + 1)
+    in
+    match iterate 1 with
+    | ctx, outcomes, converged, iterations ->
+      Ok
+        {
+          mode;
+          spec;
+          converged;
+          iterations;
+          outcomes;
+          resolve = resolve ctx;
+          hierarchy = frame_post ctx;
+          pre_bus_hierarchy = frame_pre ctx;
+        }
+    | exception Cycle name ->
+      Error (Printf.sprintf "cyclic stream dependency involving %s" name)
+  end
+
+let response result name =
+  match
+    List.find (fun o -> String.equal o.element name) result.outcomes
+  with
+  | { outcome = Busy_window.Bounded r; _ } -> Some r
+  | { outcome = Busy_window.Unbounded _; _ } -> None

@@ -1,0 +1,115 @@
+module Interval = Timebase.Interval
+module Busy_window = Scheduling.Busy_window
+
+type comparison_row = {
+  name : string;
+  baseline : Interval.t option;
+  improved : Interval.t option;
+  reduction_pct : float option;
+}
+
+let print_outcomes ppf (result : Engine.result) =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (o : Engine.element_outcome) ->
+      Format.fprintf ppf "%-12s on %-8s R = %a@ " o.element o.resource
+        Busy_window.pp_outcome o.outcome)
+    result.outcomes;
+  Format.fprintf ppf "converged: %b after %d iteration(s)@]@." result.converged
+    result.iterations
+
+let compare_results ~baseline ~improved ~names =
+  let row name =
+    let base = Engine.response baseline name in
+    let better = Engine.response improved name in
+    let reduction_pct =
+      match base, better with
+      | Some b, Some i when Interval.hi b > 0 ->
+        Some
+          (100.0
+          *. float_of_int (Interval.hi b - Interval.hi i)
+          /. float_of_int (Interval.hi b))
+      | _ -> None
+    in
+    { name; baseline = base; improved = better; reduction_pct }
+  in
+  List.map row names
+
+let pp_interval_opt ppf = function
+  | Some i -> Interval.pp ppf i
+  | None -> Format.pp_print_string ppf "unbounded"
+
+let pp_comparison ppf rows =
+  Format.fprintf ppf "@[<v>%-10s %14s %14s %10s@ " "element" "R+ baseline"
+    "R+ improved" "red.";
+  List.iter
+    (fun r ->
+      let reduction =
+        match r.reduction_pct with
+        | Some pct -> Printf.sprintf "%.1f%%" pct
+        | None -> "-"
+      in
+      Format.fprintf ppf "%-10s %14s %14s %10s@ " r.name
+        (Format.asprintf "%a" pp_interval_opt r.baseline)
+        (Format.asprintf "%a" pp_interval_opt r.improved)
+        reduction)
+    rows;
+  Format.fprintf ppf "@]"
+
+let demand_rate stream cet_hi =
+  (* events per time from the arrival curve tail, times the worst case *)
+  let window = 100_000 in
+  let mid = window / 2 in
+  let count dt =
+    match Event_model.Stream.eta_plus stream dt with
+    | Timebase.Count.Fin n -> n
+    | Timebase.Count.Inf -> max_int / 4
+  in
+  float_of_int ((count window - count mid) * cet_hi) /. float_of_int mid
+
+let utilizations (result : Engine.result) =
+  let spec = result.Engine.spec in
+  let of_task (k : Spec.task) =
+    demand_rate (result.Engine.resolve k.activation) (Interval.hi k.cet)
+  in
+  let of_frame (f : Spec.frame) =
+    demand_rate
+      (Hem.Model.outer (result.Engine.pre_bus_hierarchy f.frame_name))
+      (Interval.hi f.tx_time)
+  in
+  List.map
+    (fun (r : Spec.resource) ->
+      let tasks =
+        List.filter (fun (k : Spec.task) -> k.resource = r.res_name)
+          spec.Spec.tasks
+      in
+      let frames =
+        List.filter (fun (f : Spec.frame) -> f.bus = r.res_name)
+          spec.Spec.frames
+      in
+      let total =
+        List.fold_left (fun acc k -> acc +. of_task k) 0.0 tasks
+        +. List.fold_left (fun acc f -> acc +. of_frame f) 0.0 frames
+      in
+      r.res_name, 100.0 *. total)
+    spec.Spec.resources
+
+let signal_data_age (result : Engine.result) ~frame ~signal =
+  let hierarchy = result.Engine.pre_bus_hierarchy frame in
+  (* raise Not_found early for unknown signals, even when unbounded *)
+  ignore (Hem.Model.find_inner hierarchy signal);
+  match Engine.response result frame with
+  | None -> None
+  | Some response ->
+    Some (Comstack.Latency.data_age ~hierarchy ~response ~signal)
+
+let path_latency result names =
+  let rec total acc = function
+    | [] -> Some acc
+    | name :: rest -> begin
+      match Engine.response result name with
+      | Some r -> total (Interval.add acc r) rest
+      | None -> None
+    end
+  in
+  total (Interval.make ~lo:0 ~hi:0) names

@@ -1,0 +1,42 @@
+(** Result presentation and cross-mode comparison helpers. *)
+
+type comparison_row = {
+  name : string;
+  baseline : Timebase.Interval.t option;  (** e.g. flat-mode response *)
+  improved : Timebase.Interval.t option;  (** e.g. hierarchical-mode response *)
+  reduction_pct : float option;
+      (** worst-case response-time reduction in percent, as in the last
+          column of the paper's Table 3 *)
+}
+
+val print_outcomes : Format.formatter -> Engine.result -> unit
+(** One line per analysed element: resource, response interval or
+    divergence reason. *)
+
+val compare_results :
+  baseline:Engine.result -> improved:Engine.result -> names:string list ->
+  comparison_row list
+(** Pairs the response times of the named elements in two analysis
+    results and computes the worst-case reduction. *)
+
+val pp_comparison : Format.formatter -> comparison_row list -> unit
+
+val path_latency : Engine.result -> string list -> Timebase.Interval.t option
+(** Sum of the response intervals of the named elements: a conservative
+    end-to-end latency along a functional path.  [None] if any element is
+    unbounded. *)
+
+val utilizations : Engine.result -> (string * float) list
+(** Long-run load of every resource, in percent: the demand rates of its
+    tasks and frames (activation event rate times worst-case execution /
+    transmission time), estimated from the final activation curves.  A
+    value near or above 100 explains non-convergence. *)
+
+val signal_data_age :
+  Engine.result -> frame:string -> signal:string -> Timebase.Time.t option
+(** Worst-case write-to-delivery age of a COM signal in the analysed
+    system: the register sampling wait (pending signals may wait a full
+    frame gap) plus the frame's bus response (see
+    {!Comstack.Latency.data_age}).  [None] when the frame's response is
+    unbounded.
+    @raise Not_found for unknown frame or signal names. *)

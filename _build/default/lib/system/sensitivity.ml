@@ -1,0 +1,66 @@
+module Interval = Timebase.Interval
+
+let schedulable ?mode spec =
+  match Engine.analyse ?mode spec with
+  | Ok result -> result.Engine.converged
+  | Error _ -> false
+
+let scale_cet spec ~task ~percent =
+  if percent < 1 then invalid_arg "Sensitivity.scale_cet: percent < 1";
+  let found = ref false in
+  let scale v = Stdlib.max 1 ((v * percent + 99) / 100) in
+  let tasks =
+    List.map
+      (fun (k : Spec.task) ->
+        if String.equal k.task_name task then begin
+          found := true;
+          let cet =
+            Interval.make
+              ~lo:(scale (Interval.lo k.cet))
+              ~hi:(scale (Interval.hi k.cet))
+          in
+          { k with cet }
+        end
+        else k)
+      spec.Spec.tasks
+  in
+  if not !found then raise Not_found;
+  { spec with tasks }
+
+(* Largest x in [lo, hi] with [good x], for monotone good (true then
+   false); None when even lo fails. *)
+let bisect_max ~lo ~hi good =
+  if not (good lo) then None
+  else begin
+    let rec search lo hi =
+      (* invariant: good lo, not (good hi) *)
+      if hi - lo <= 1 then lo
+      else
+        let mid = lo + ((hi - lo) / 2) in
+        if good mid then search mid hi else search lo mid
+    in
+    if good hi then Some hi else Some (search lo hi)
+  end
+
+let max_cet_scale ?mode ?(limit_percent = 10_000) spec ~task =
+  let good percent =
+    schedulable ?mode (scale_cet spec ~task ~percent)
+  in
+  bisect_max ~lo:100 ~hi:limit_percent good
+
+let min_source_period ?mode ~rebuild ~lo ~hi () =
+  if lo > hi then invalid_arg "Sensitivity.min_source_period: lo > hi";
+  let good period = schedulable ?mode (rebuild period) in
+  (* smallest good period: mirror of bisect_max *)
+  if not (good hi) then None
+  else if good lo then Some lo
+  else begin
+    let rec search lo hi =
+      (* invariant: not (good lo), good hi *)
+      if hi - lo <= 1 then hi
+      else
+        let mid = lo + ((hi - lo) / 2) in
+        if good mid then search lo mid else search mid hi
+    in
+    Some (search lo hi)
+  end

@@ -1,0 +1,31 @@
+(** Sensitivity analysis on top of the global engine.
+
+    Answers "how much slack does this design have": the largest scaling
+    of a task's execution time, or the smallest period of a source, for
+    which the system still converges to bounded response times.  Both
+    searches exploit that schedulability is monotone in the varied
+    parameter and bisect on it. *)
+
+val schedulable : ?mode:Engine.mode -> Spec.t -> bool
+(** True iff the analysis converges with bounded responses everywhere. *)
+
+val scale_cet : Spec.t -> task:string -> percent:int -> Spec.t
+(** A copy of the system with the named task's execution-time interval
+    scaled to [percent]/100 (rounded up, floored at 1).
+    @raise Not_found for an unknown task name. *)
+
+val max_cet_scale :
+  ?mode:Engine.mode -> ?limit_percent:int -> Spec.t -> task:string ->
+  int option
+(** [max_cet_scale spec ~task] is the largest percentage (searched up to
+    [limit_percent], default 10_000) such that scaling the task's
+    execution time to it keeps the system schedulable; [None] if the
+    system is not schedulable even at the task's current size (100 %). *)
+
+val min_source_period :
+  ?mode:Engine.mode -> rebuild:(int -> Spec.t) -> lo:int -> hi:int ->
+  unit -> int option
+(** [min_source_period ~rebuild ~lo ~hi ()] is the smallest period in
+    [\[lo, hi\]] for which [rebuild period] is schedulable, assuming
+    schedulability is monotone in the period; [None] if even [hi]
+    overloads. *)

@@ -1,0 +1,170 @@
+type activation =
+  | From_source of string
+  | From_output of string
+  | From_signal of {
+      frame : string;
+      signal : string;
+    }
+  | From_frame of string
+  | Or_of of activation list
+  | And_of of activation list
+
+type scheduler =
+  | Spp
+  | Spnp
+  | Tdma
+  | Round_robin
+  | Edf
+
+type resource = {
+  res_name : string;
+  scheduler : scheduler;
+}
+
+type task = {
+  task_name : string;
+  resource : string;
+  cet : Timebase.Interval.t;
+  priority : int;
+  service : int option;
+  deadline : int option;
+  activation : activation;
+}
+
+type signal_binding = {
+  signal_name : string;
+  property : Hem.Model.signal_kind;
+  origin : activation;
+}
+
+type frame = {
+  frame_name : string;
+  bus : string;
+  send_type : Comstack.Frame.send_type;
+  tx_time : Timebase.Interval.t;
+  frame_priority : int;
+  signals : signal_binding list;
+}
+
+type t = {
+  sources : (string * Event_model.Stream.t) list;
+  resources : resource list;
+  tasks : task list;
+  frames : frame list;
+}
+
+let task ~name ~resource ~cet ~priority ?service ?deadline ~activation () =
+  { task_name = name; resource; cet; priority; service; deadline; activation }
+
+let signal ~name ?(property = Hem.Model.Triggering) ~origin () =
+  { signal_name = name; property; origin }
+
+let frame ~name ~bus ~send_type ~tx_time ~priority ~signals () =
+  { frame_name = name; bus; send_type; tx_time; frame_priority = priority;
+    signals }
+
+let make ~sources ~resources ~tasks ?(frames = []) () =
+  { sources; resources; tasks; frames }
+
+let find_duplicate names =
+  let sorted = List.sort String.compare names in
+  let rec scan = function
+    | a :: (b :: _ as rest) -> if String.equal a b then Some a else scan rest
+    | [ _ ] | [] -> None
+  in
+  scan sorted
+
+let validate t =
+  let source_names = List.map fst t.sources in
+  let task_names = List.map (fun k -> k.task_name) t.tasks in
+  let frame_names = List.map (fun f -> f.frame_name) t.frames in
+  let resource_names = List.map (fun r -> r.res_name) t.resources in
+  let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let rec check_activation ctx = function
+    | From_source s ->
+      if List.mem s source_names then Ok ()
+      else fail "%s references unknown source %s" ctx s
+    | From_output name ->
+      if List.mem name task_names then Ok ()
+      else fail "%s references unknown task output %s" ctx name
+    | From_signal { frame; signal } -> begin
+      match List.find_opt (fun f -> String.equal f.frame_name frame) t.frames with
+      | None -> fail "%s references unknown frame %s" ctx frame
+      | Some f ->
+        if List.exists (fun s -> String.equal s.signal_name signal) f.signals
+        then Ok ()
+        else fail "%s references unknown signal %s of frame %s" ctx signal frame
+    end
+    | From_frame frame ->
+      if List.mem frame frame_names then Ok ()
+      else fail "%s references unknown frame %s" ctx frame
+    | Or_of [] -> fail "%s has an empty OR activation" ctx
+    | And_of [] -> fail "%s has an empty AND activation" ctx
+    | Or_of acts | And_of acts ->
+      List.fold_left
+        (fun acc a -> match acc with Ok () -> check_activation ctx a | e -> e)
+        (Ok ()) acts
+  in
+  let check_task k =
+    if not (List.mem k.resource resource_names) then
+      fail "task %s mapped to unknown resource %s" k.task_name k.resource
+    else begin
+      let scheduler =
+        (List.find (fun r -> String.equal r.res_name k.resource) t.resources)
+          .scheduler
+      in
+      match scheduler, k.service, k.deadline with
+      | (Tdma | Round_robin), None, _ ->
+        fail "task %s needs a service parameter on a %s resource" k.task_name
+          k.resource
+      | (Tdma | Round_robin), Some s, _ when s < 1 ->
+        fail "task %s has a service parameter < 1" k.task_name
+      | Edf, _, None ->
+        fail "task %s needs a deadline on the EDF resource %s" k.task_name
+          k.resource
+      | Edf, _, Some d when d < 1 ->
+        fail "task %s has a deadline < 1" k.task_name
+      | (Spp | Spnp | Tdma | Round_robin | Edf), _, _ ->
+        check_activation (Printf.sprintf "task %s" k.task_name) k.activation
+    end
+  in
+  let check_frame f =
+    match List.find_opt (fun r -> String.equal r.res_name f.bus) t.resources with
+    | None -> fail "frame %s mapped to unknown bus %s" f.frame_name f.bus
+    | Some { scheduler = Spnp; _ } ->
+      if f.signals = [] then fail "frame %s has no signals" f.frame_name
+      else begin
+        match find_duplicate (List.map (fun s -> s.signal_name) f.signals) with
+        | Some d -> fail "frame %s has duplicate signal %s" f.frame_name d
+        | None ->
+          List.fold_left
+            (fun acc s ->
+              match acc with
+              | Ok () ->
+                check_activation
+                  (Printf.sprintf "signal %s of frame %s" s.signal_name
+                     f.frame_name)
+                  s.origin
+              | e -> e)
+            (Ok ()) f.signals
+      end
+    | Some { scheduler = Spp | Tdma | Round_robin | Edf; _ } ->
+      fail "frame %s must be mapped to an SPNP bus" f.frame_name
+  in
+  let all_checks =
+    [
+      (fun () ->
+        match find_duplicate (source_names @ task_names @ frame_names) with
+        | Some d -> fail "duplicate element name %s" d
+        | None -> Ok ());
+      (fun () ->
+        match find_duplicate resource_names with
+        | Some d -> fail "duplicate resource name %s" d
+        | None -> Ok ());
+    ]
+    @ List.map (fun k () -> check_task k) t.tasks
+    @ List.map (fun f () -> check_frame f) t.frames
+  in
+  List.fold_left
+    (fun acc check -> match acc with Ok () -> check () | e -> e)
+    (Ok ()) all_checks

@@ -1,0 +1,374 @@
+module Interval = Timebase.Interval
+module Stream = Event_model.Stream
+
+type source_desc =
+  | Periodic of int
+  | Periodic_jitter of {
+      period : int;
+      jitter : int;
+      d_min : int;
+    }
+  | Sporadic of int
+  | Burst of {
+      period : int;
+      burst : int;
+      d_min : int;
+    }
+
+type source = {
+  source_name : string;
+  desc : source_desc;
+}
+
+type t = {
+  sources : source list;
+  resources : Spec.resource list;
+  tasks : Spec.task list;
+  frames : Spec.frame list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* S-expressions *)
+
+type sexp =
+  | Atom of string
+  | List of sexp list
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+let tokenize text =
+  let tokens = ref [] in
+  let buffer = Buffer.create 16 in
+  let flush_atom () =
+    if Buffer.length buffer > 0 then begin
+      tokens := `Atom (Buffer.contents buffer) :: !tokens;
+      Buffer.clear buffer
+    end
+  in
+  let in_comment = ref false in
+  String.iter
+    (fun c ->
+      if !in_comment then begin
+        if c = '\n' then in_comment := false
+      end
+      else
+        match c with
+        | ';' ->
+          flush_atom ();
+          in_comment := true
+        | '(' ->
+          flush_atom ();
+          tokens := `Lparen :: !tokens
+        | ')' ->
+          flush_atom ();
+          tokens := `Rparen :: !tokens
+        | ' ' | '\t' | '\n' | '\r' -> flush_atom ()
+        | c -> Buffer.add_char buffer c)
+    text;
+  flush_atom ();
+  List.rev !tokens
+
+let parse_sexp text =
+  let rec parse_list acc = function
+    | `Rparen :: rest -> List (List.rev acc), rest
+    | tokens ->
+      let item, rest = parse_one tokens in
+      parse_list (item :: acc) rest
+  and parse_one = function
+    | [] -> fail "unexpected end of input"
+    | `Atom a :: rest -> Atom a, rest
+    | `Lparen :: rest -> parse_list [] rest
+    | `Rparen :: _ -> fail "unexpected ')'"
+  in
+  match parse_one (tokenize text) with
+  | sexp, [] -> sexp
+  | _, _ :: _ -> fail "trailing input after the system description"
+
+(* ------------------------------------------------------------------ *)
+(* sexp -> description *)
+
+let as_atom = function
+  | Atom a -> a
+  | List _ -> fail "expected an atom"
+
+let as_int sexp =
+  let a = as_atom sexp in
+  match int_of_string_opt a with
+  | Some n -> n
+  | None -> fail "expected an integer, got %s" a
+
+let parse_source_desc = function
+  | List [ Atom "periodic"; p ] -> Periodic (as_int p)
+  | List (Atom "periodic-jitter" :: p :: j :: rest) ->
+    let d_min =
+      match rest with
+      | [] -> 1
+      | [ d ] -> as_int d
+      | _ :: _ :: _ -> fail "periodic-jitter takes period, jitter [, d-min]"
+    in
+    Periodic_jitter { period = as_int p; jitter = as_int j; d_min }
+  | List [ Atom "sporadic"; d ] -> Sporadic (as_int d)
+  | List [ Atom "burst"; p; b; d ] ->
+    Burst { period = as_int p; burst = as_int b; d_min = as_int d }
+  | _ -> fail "unknown source description"
+
+let parse_scheduler = function
+  | "spp" -> Spec.Spp
+  | "spnp" -> Spec.Spnp
+  | "tdma" -> Spec.Tdma
+  | "round-robin" -> Spec.Round_robin
+  | "edf" -> Spec.Edf
+  | other -> fail "unknown scheduler %s" other
+
+let rec parse_activation = function
+  | List [ Atom "source"; name ] -> Spec.From_source (as_atom name)
+  | List [ Atom "output"; name ] -> Spec.From_output (as_atom name)
+  | List [ Atom "signal"; frame; signal ] ->
+    Spec.From_signal { frame = as_atom frame; signal = as_atom signal }
+  | List [ Atom "frame"; name ] -> Spec.From_frame (as_atom name)
+  | List (Atom "or" :: acts) -> Spec.Or_of (List.map parse_activation acts)
+  | List (Atom "and" :: acts) -> Spec.And_of (List.map parse_activation acts)
+  | _ -> fail "unknown activation"
+
+let field name fields =
+  List.find_map
+    (function
+      | List (Atom key :: rest) when String.equal key name -> Some rest
+      | List _ | Atom _ -> None)
+    fields
+
+let required name context fields =
+  match field name fields with
+  | Some rest -> rest
+  | None -> fail "%s: missing (%s ...)" context name
+
+let parse_interval context = function
+  | [ lo; hi ] -> Interval.make ~lo:(as_int lo) ~hi:(as_int hi)
+  | [ c ] -> Interval.point (as_int c)
+  | _ -> fail "%s: expected one or two integers" context
+
+let parse_task name fields =
+  let context = "task " ^ name in
+  let resource = as_atom (List.nth (required "resource" context fields) 0) in
+  let cet = parse_interval context (required "cet" context fields) in
+  let priority = as_int (List.nth (required "priority" context fields) 0) in
+  let activation =
+    match required "activation" context fields with
+    | [ act ] -> parse_activation act
+    | _ -> fail "%s: activation takes exactly one form" context
+  in
+  let optional_int key =
+    Option.map (fun rest -> as_int (List.nth rest 0)) (field key fields)
+  in
+  {
+    Spec.task_name = name;
+    resource;
+    cet;
+    priority;
+    service = optional_int "service";
+    deadline = optional_int "deadline";
+    activation;
+  }
+
+let parse_signal = function
+  | List [ Atom "signal"; name; Atom property; origin ] ->
+    let property =
+      match property with
+      | "triggering" -> Hem.Model.Triggering
+      | "pending" -> Hem.Model.Pending
+      | other -> fail "unknown signal property %s" other
+    in
+    {
+      Spec.signal_name = as_atom name;
+      property;
+      origin = parse_activation origin;
+    }
+  | _ -> fail "expected (signal NAME triggering|pending ORIGIN)"
+
+let parse_frame name fields =
+  let context = "frame " ^ name in
+  let bus = as_atom (List.nth (required "bus" context fields) 0) in
+  let send_type =
+    match required "send" context fields with
+    | [ Atom "direct" ] -> Comstack.Frame.Direct
+    | [ Atom "periodic"; p ] -> Comstack.Frame.Periodic (as_int p)
+    | [ Atom "mixed"; p ] -> Comstack.Frame.Mixed (as_int p)
+    | _ -> fail "%s: expected (send direct|periodic P|mixed P)" context
+  in
+  let tx_time = parse_interval context (required "tx" context fields) in
+  let priority = as_int (List.nth (required "priority" context fields) 0) in
+  let signals =
+    List.filter_map
+      (function
+        | List (Atom "signal" :: _) as s -> Some (parse_signal s)
+        | List _ | Atom _ -> None)
+      fields
+  in
+  {
+    Spec.frame_name = name;
+    bus;
+    send_type;
+    tx_time;
+    frame_priority = priority;
+    signals;
+  }
+
+let parse_item description = function
+  | List [ Atom "source"; name; desc ] ->
+    {
+      description with
+      sources =
+        description.sources
+        @ [ { source_name = as_atom name; desc = parse_source_desc desc } ];
+    }
+  | List [ Atom "resource"; name; Atom scheduler ] ->
+    {
+      description with
+      resources =
+        description.resources
+        @ [ { Spec.res_name = as_atom name;
+              scheduler = parse_scheduler scheduler } ];
+    }
+  | List (Atom "task" :: name :: fields) ->
+    {
+      description with
+      tasks = description.tasks @ [ parse_task (as_atom name) fields ];
+    }
+  | List (Atom "frame" :: name :: fields) ->
+    {
+      description with
+      frames = description.frames @ [ parse_frame (as_atom name) fields ];
+    }
+  | List (Atom other :: _) -> fail "unknown section %s" other
+  | List _ | Atom _ -> fail "expected a (source|resource|task|frame ...) form"
+
+let parse text =
+  match parse_sexp text with
+  | Atom _ -> Error "expected (system ...)"
+  | List (Atom "system" :: items) -> begin
+    try
+      Ok
+        (List.fold_left parse_item
+           { sources = []; resources = []; tasks = []; frames = [] }
+           items)
+    with
+    | Parse_error e -> Error e
+    | Invalid_argument e -> Error e
+    | Failure e -> Error e  (* e.g. a field with too few operands *)
+  end
+  | List _ -> Error "expected (system ...)"
+  | exception Parse_error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* description -> sexp text *)
+
+let print_activation buffer =
+  let add fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  let rec go = function
+    | Spec.From_source s -> add "(source %s)" s
+    | Spec.From_output t -> add "(output %s)" t
+    | Spec.From_signal { frame; signal } -> add "(signal %s %s)" frame signal
+    | Spec.From_frame f -> add "(frame %s)" f
+    | Spec.Or_of acts ->
+      add "(or";
+      List.iter
+        (fun a ->
+          add " ";
+          go a)
+        acts;
+      add ")"
+    | Spec.And_of acts ->
+      add "(and";
+      List.iter
+        (fun a ->
+          add " ";
+          go a)
+        acts;
+      add ")"
+  in
+  go
+
+let print description =
+  let buffer = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  add "(system\n";
+  List.iter
+    (fun s ->
+      match s.desc with
+      | Periodic p -> add "  (source %s (periodic %d))\n" s.source_name p
+      | Periodic_jitter { period; jitter; d_min } ->
+        add "  (source %s (periodic-jitter %d %d %d))\n" s.source_name period
+          jitter d_min
+      | Sporadic d -> add "  (source %s (sporadic %d))\n" s.source_name d
+      | Burst { period; burst; d_min } ->
+        add "  (source %s (burst %d %d %d))\n" s.source_name period burst d_min)
+    description.sources;
+  List.iter
+    (fun (r : Spec.resource) ->
+      let scheduler =
+        match r.scheduler with
+        | Spec.Spp -> "spp"
+        | Spec.Spnp -> "spnp"
+        | Spec.Tdma -> "tdma"
+        | Spec.Round_robin -> "round-robin"
+        | Spec.Edf -> "edf"
+      in
+      add "  (resource %s %s)\n" r.res_name scheduler)
+    description.resources;
+  List.iter
+    (fun (f : Spec.frame) ->
+      add "  (frame %s (bus %s) (send %s) (tx %d %d) (priority %d)\n"
+        f.frame_name f.bus
+        (match f.send_type with
+         | Comstack.Frame.Direct -> "direct"
+         | Comstack.Frame.Periodic p -> Printf.sprintf "periodic %d" p
+         | Comstack.Frame.Mixed p -> Printf.sprintf "mixed %d" p)
+        (Interval.lo f.tx_time) (Interval.hi f.tx_time) f.frame_priority;
+      List.iter
+        (fun (s : Spec.signal_binding) ->
+          add "    (signal %s %s " s.signal_name
+            (match s.property with
+             | Hem.Model.Triggering -> "triggering"
+             | Hem.Model.Pending -> "pending");
+          print_activation buffer s.origin;
+          add ")\n")
+        f.signals;
+      add "  )\n")
+    description.frames;
+  List.iter
+    (fun (k : Spec.task) ->
+      add "  (task %s (resource %s) (cet %d %d) (priority %d)" k.task_name
+        k.resource (Interval.lo k.cet) (Interval.hi k.cet) k.priority;
+      (match k.service with
+       | Some s -> add " (service %d)" s
+       | None -> ());
+      (match k.deadline with
+       | Some d -> add " (deadline %d)" d
+       | None -> ());
+      add "\n    (activation ";
+      print_activation buffer k.activation;
+      add "))\n")
+    description.tasks;
+  add ")\n";
+  Buffer.contents buffer
+
+let stream_of_desc name = function
+  | Periodic period -> Stream.periodic ~name ~period
+  | Periodic_jitter { period; jitter; d_min } ->
+    Stream.periodic_jitter ~name ~period ~jitter ~d_min ()
+  | Sporadic d_min -> Stream.sporadic ~name ~d_min
+  | Burst { period; burst; d_min } ->
+    Stream.periodic_burst ~name ~period ~burst ~d_min
+
+let to_spec description =
+  Spec.make
+    ~sources:
+      (List.map
+         (fun s -> s.source_name, stream_of_desc s.source_name s.desc)
+         description.sources)
+    ~resources:description.resources ~tasks:description.tasks
+    ~frames:description.frames ()
+
+let equal a b = a = b

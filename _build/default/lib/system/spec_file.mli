@@ -1,0 +1,61 @@
+(** Textual system descriptions.
+
+    A small S-expression language for complete system specifications, so
+    systems can be analysed from files (see [bin/hem_tool.exe analyse
+    --file]).  Example:
+
+    {v
+    (system
+      (source s1 (periodic 250))
+      (source s2 (periodic-jitter 450 30))
+      (source s3 (sporadic 100))
+      (resource can spnp)
+      (resource cpu spp)
+      (frame f1 (bus can) (send direct) (tx 4 4) (priority 1)
+        (signal sig1 triggering (source s1))
+        (signal sig3 pending (source s3)))
+      (task t1 (resource cpu) (cet 24 24) (priority 1)
+        (activation (signal f1 sig1))))
+    v}
+
+    Sources are described syntactically (periodic / periodic-jitter /
+    sporadic / burst), so a parsed description can be printed back;
+    {!to_spec} builds the analysable {!Spec.t}. *)
+
+type source_desc =
+  | Periodic of int
+  | Periodic_jitter of {
+      period : int;
+      jitter : int;
+      d_min : int;
+    }
+  | Sporadic of int
+  | Burst of {
+      period : int;
+      burst : int;
+      d_min : int;
+    }
+
+type source = {
+  source_name : string;
+  desc : source_desc;
+}
+
+type t = {
+  sources : source list;
+  resources : Spec.resource list;
+  tasks : Spec.task list;
+  frames : Spec.frame list;
+}
+
+val parse : string -> (t, string) result
+(** Parses a [(system ...)] description; errors carry a human-readable
+    reason. *)
+
+val print : t -> string
+(** Renders back to the textual format; [parse (print d) = Ok d]. *)
+
+val to_spec : t -> Spec.t
+(** Instantiates the event streams and produces the analysable system. *)
+
+val equal : t -> t -> bool

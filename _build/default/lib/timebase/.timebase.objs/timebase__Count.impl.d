@@ -1,0 +1,1 @@
+lib/timebase/count.ml: Format Stdlib

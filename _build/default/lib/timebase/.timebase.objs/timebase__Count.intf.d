@@ -1,0 +1,1 @@
+lib/timebase/count.mli: Format

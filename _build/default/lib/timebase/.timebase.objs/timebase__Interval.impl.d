@@ -1,0 +1,1 @@
+lib/timebase/interval.ml: Format

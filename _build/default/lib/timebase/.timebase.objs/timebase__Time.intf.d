@@ -1,0 +1,1 @@
+lib/timebase/time.mli: Format

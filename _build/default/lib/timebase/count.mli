@@ -1,0 +1,35 @@
+(** Event counts extended with positive infinity.
+
+    Values of the arrival functions eta_plus / eta_minus.  A count is
+    infinite when an event model admits unboundedly many events in a finite
+    window (pathological, but representable). *)
+
+type t =
+  | Fin of int
+  | Inf
+
+val zero : t
+
+val of_int : int -> t
+(** @raise Invalid_argument on a negative argument. *)
+
+val to_int : t -> int
+(** @raise Invalid_argument on [Inf]. *)
+
+val to_int_opt : t -> int option
+
+val is_finite : t -> bool
+
+val add : t -> t -> t
+
+val min : t -> t -> t
+
+val max : t -> t -> t
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

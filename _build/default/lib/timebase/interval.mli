@@ -1,0 +1,34 @@
+(** Closed integer intervals [\[lo:hi\]].
+
+    Used for core execution times, transmission times and response times,
+    following the paper's [\[C-:C+\]] notation. *)
+
+type t = private {
+  lo : int;
+  hi : int;
+}
+
+val make : lo:int -> hi:int -> t
+(** @raise Invalid_argument unless [0 <= lo <= hi]. *)
+
+val point : int -> t
+(** [point c] is [\[c:c\]]. *)
+
+val lo : t -> int
+
+val hi : t -> int
+
+val width : t -> int
+(** [hi - lo]. *)
+
+val add : t -> t -> t
+(** Componentwise sum. *)
+
+val contains : t -> int -> bool
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints in the paper's [\[lo:hi\]] notation. *)
+
+val to_string : t -> string

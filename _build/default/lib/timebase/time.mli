@@ -1,0 +1,64 @@
+(** Discrete time extended with positive infinity.
+
+    All quantities of the analysis (periods, jitters, distances, response
+    times) are non-negative integers in an arbitrary unit.  Positive infinity
+    is required because the maximum distance [delta_plus] of a sporadic or
+    pending event stream is unbounded (paper, eq. 8). *)
+
+type t =
+  | Fin of int  (** a finite instant / duration *)
+  | Inf  (** positive infinity *)
+
+val zero : t
+
+val one : t
+
+val of_int : int -> t
+(** [of_int d] is the finite duration [d].  Negative values are accepted
+    (intermediate results of subtractions may be negative); most public
+    curves only ever expose non-negative values. *)
+
+val to_int : t -> int
+(** [to_int t] is the integer value of a finite [t].
+    @raise Invalid_argument on [Inf]. *)
+
+val to_int_opt : t -> int option
+
+val is_finite : t -> bool
+
+val add : t -> t -> t
+(** Addition; [Inf] absorbs. *)
+
+val sub : t -> t -> t
+(** [sub x y] is [x - y] for finite [y]; [Inf - y = Inf].
+    @raise Invalid_argument when [y] is [Inf]. *)
+
+val sub_clamped : t -> t -> t
+(** [sub_clamped x y] is [max 0 (x - y)], with the convention that
+    subtracting [Inf] yields [zero].  This matches the use of subtraction
+    inside outer [max] expressions such as eq. (7), where a [-Inf] operand
+    simply never wins the [max] against a non-negative alternative. *)
+
+val scale : int -> t -> t
+(** [scale k t] is [k * t] for [k >= 0].  [scale 0 Inf] is [zero]. *)
+
+val min : t -> t -> t
+
+val max : t -> t -> t
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val ( < ) : t -> t -> bool
+
+val ( <= ) : t -> t -> bool
+
+val ( > ) : t -> t -> bool
+
+val ( >= ) : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints a finite value as its integer and infinity as ["inf"]. *)
+
+val to_string : t -> string

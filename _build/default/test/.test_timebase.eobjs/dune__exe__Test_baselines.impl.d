@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Cpa_system Event_model List Printf QCheck QCheck_alcotest Stdlib Timebase

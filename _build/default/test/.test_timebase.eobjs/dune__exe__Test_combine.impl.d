@@ -1,0 +1,1 @@
+test/test_combine.ml: Alcotest Event_model Fun List Printf QCheck QCheck_alcotest Stdlib Timebase

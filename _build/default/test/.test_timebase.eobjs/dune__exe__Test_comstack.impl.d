@@ -1,0 +1,1 @@
+test/test_comstack.ml: Alcotest Comstack Event_model Format Hem Printf Scheduling Timebase

@@ -1,0 +1,1 @@
+test/test_curve.ml: Alcotest Array Event_model Gen List Printf QCheck QCheck_alcotest Timebase

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Cpa_system Des Event_model List Option Printf Scenarios Scheduling Timebase

@@ -1,0 +1,1 @@
+test/test_hem.ml: Alcotest Event_model Hem List Printf QCheck QCheck_alcotest Stdlib Timebase

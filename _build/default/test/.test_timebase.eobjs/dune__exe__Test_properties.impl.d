@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Event_model Hem List Printf QCheck QCheck_alcotest Random Stdlib Timebase

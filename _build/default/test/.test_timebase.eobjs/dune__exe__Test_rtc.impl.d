@@ -1,0 +1,1 @@
+test/test_rtc.ml: Alcotest Event_model List Printf QCheck QCheck_alcotest Rtc Scheduling Stdlib Timebase

@@ -1,0 +1,1 @@
+test/test_scheduling.ml: Alcotest Event_model List QCheck QCheck_alcotest Scheduling Stdlib Timebase

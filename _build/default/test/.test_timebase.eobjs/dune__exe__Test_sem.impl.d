@@ -1,0 +1,1 @@
+test/test_sem.ml: Alcotest Event_model Format List Printf QCheck QCheck_alcotest Stdlib Timebase

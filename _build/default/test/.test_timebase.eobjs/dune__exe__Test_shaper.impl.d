@@ -1,0 +1,1 @@
+test/test_shaper.ml: Alcotest Event_model List Printf QCheck QCheck_alcotest Stdlib Timebase

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Cpa_system Des Event_model Format List Printf Random Scenarios Stdlib String Timebase

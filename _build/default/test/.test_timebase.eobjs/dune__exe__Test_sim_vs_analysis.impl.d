@@ -1,0 +1,1 @@
+test/test_sim_vs_analysis.ml: Alcotest Comstack Cpa_system Des Event_model Hem List Printf Random Scenarios Timebase

@@ -1,0 +1,1 @@
+test/test_sim_vs_analysis.mli:

@@ -1,0 +1,1 @@
+test/test_spec_file.ml: Alcotest Cpa_system List Option Scenarios Sys Timebase

@@ -1,0 +1,1 @@
+test/test_stream.ml: Alcotest Event_model List Printf QCheck QCheck_alcotest Stdlib Timebase

@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Comstack Cpa_system Des Event_model Float Hem List Option Printf QCheck QCheck_alcotest Scenarios Stdlib String Timebase

@@ -1,0 +1,1 @@
+test/test_task_op.ml: Alcotest Event_model List Printf QCheck QCheck_alcotest Stdlib Timebase

@@ -1,0 +1,1 @@
+test/test_timebase.ml: Alcotest List QCheck QCheck_alcotest Timebase

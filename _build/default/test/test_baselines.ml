@@ -1,0 +1,327 @@
+(* Tests for the related-work baseline models: Gresser's event vectors
+   with demand bound functions (paper reference [4]) and Albers-style
+   hierarchical event sequences for a single stream (paper reference [1]). *)
+
+module Time = Timebase.Time
+module Count = Timebase.Count
+module Stream = Event_model.Stream
+module Event_vector = Baselines.Event_vector
+module Event_sequence = Baselines.Event_sequence
+
+let time = Alcotest.testable Time.pp Time.equal
+
+(* ------------------------------------------------------------------ *)
+(* event vectors *)
+
+let test_ev_periodic () =
+  let ev = Event_vector.of_periodic ~period:100 in
+  Alcotest.(check int) "eta 1" 1 (Event_vector.eta_plus ev 1);
+  Alcotest.(check int) "eta 100" 1 (Event_vector.eta_plus ev 100);
+  Alcotest.(check int) "eta 101" 2 (Event_vector.eta_plus ev 101);
+  Alcotest.(check int) "eta 0" 0 (Event_vector.eta_plus ev 0);
+  (* agrees with the standard event model on every window *)
+  let sem = Event_model.Sem.periodic 100 in
+  for dt = 0 to 500 do
+    Alcotest.(check int)
+      (Printf.sprintf "dt=%d" dt)
+      (Count.to_int (Event_model.Sem.eta_plus sem dt))
+      (Event_vector.eta_plus ev dt)
+  done
+
+let test_ev_burst () =
+  (* 3 events at distance 10, repeating every 200 *)
+  let ev = Event_vector.of_periodic_burst ~period:200 ~burst:3 ~d_min:10 in
+  Alcotest.(check int) "burst inside window" 3 (Event_vector.eta_plus ev 21);
+  Alcotest.(check int) "one burst only" 3 (Event_vector.eta_plus ev 200);
+  Alcotest.(check int) "second burst begins" 4 (Event_vector.eta_plus ev 201);
+  (* matches the deterministic bursty stream of the core library *)
+  let reference =
+    Stream.periodic_burst ~name:"b" ~period:200 ~burst:3 ~d_min:10
+  in
+  List.iter
+    (fun dt ->
+      Alcotest.(check int)
+        (Printf.sprintf "vs stream dt=%d" dt)
+        (Count.to_int (Stream.eta_plus reference dt))
+        (Event_vector.eta_plus ev dt))
+    [ 1; 10; 11; 20; 21; 199; 200; 201; 211; 500 ]
+
+let test_ev_one_shot () =
+  let ev =
+    Event_vector.make
+      [ { Event_vector.offset = 0; cycle = Time.Inf };
+        { Event_vector.offset = 50; cycle = Time.Inf } ]
+  in
+  Alcotest.(check int) "both" 2 (Event_vector.eta_plus ev 51);
+  Alcotest.(check int) "first only" 1 (Event_vector.eta_plus ev 50);
+  Alcotest.check time "delta_min 2" (Time.of_int 50) (Event_vector.delta_min ev 2);
+  Alcotest.check time "delta_min 3 impossible" Time.Inf
+    (Event_vector.delta_min ev 3)
+
+let test_ev_delta_min_inverse () =
+  let ev = Event_vector.of_periodic_burst ~period:200 ~burst:3 ~d_min:10 in
+  Alcotest.check time "n=2" (Time.of_int 10) (Event_vector.delta_min ev 2);
+  Alcotest.check time "n=3" (Time.of_int 20) (Event_vector.delta_min ev 3);
+  Alcotest.check time "n=4" (Time.of_int 200) (Event_vector.delta_min ev 4);
+  (* to_stream embeds consistently *)
+  let s = Event_vector.to_stream ev in
+  for n = 2 to 8 do
+    Alcotest.check time
+      (Printf.sprintf "stream n=%d" n)
+      (Event_vector.delta_min ev n) (Stream.delta_min s n)
+  done;
+  Alcotest.check time "no upper bound" Time.Inf (Stream.delta_plus s 2)
+
+let test_ev_validation () =
+  let raises f = match f () with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "empty" true (raises (fun () -> Event_vector.make []));
+  Alcotest.(check bool) "negative offset" true
+    (raises (fun () ->
+       Event_vector.make [ { Event_vector.offset = -1; cycle = Time.Inf } ]));
+  Alcotest.(check bool) "zero cycle" true
+    (raises (fun () ->
+       Event_vector.make [ { Event_vector.offset = 0; cycle = Time.of_int 0 } ]))
+
+let test_dbf () =
+  (* one periodic task: C=3, D=10, P=20: dbf(dt) = 3 * ceil-ish *)
+  let src =
+    { Event_vector.events = Event_vector.of_periodic ~period:20;
+      deadline = 10; wcet = 3 }
+  in
+  Alcotest.(check int) "before deadline" 0 (Event_vector.demand_bound [ src ] 9);
+  Alcotest.(check int) "at deadline" 3 (Event_vector.demand_bound [ src ] 10);
+  Alcotest.(check int) "second job" 6 (Event_vector.demand_bound [ src ] 30);
+  Alcotest.(check bool) "feasible" true
+    (Event_vector.edf_feasible ~horizon:1000 [ src ] = Ok ())
+
+let test_edf_infeasible () =
+  let overload =
+    [
+      { Event_vector.events = Event_vector.of_periodic ~period:10;
+        deadline = 10; wcet = 6 };
+      { Event_vector.events = Event_vector.of_periodic ~period:10;
+        deadline = 10; wcet = 6 };
+    ]
+  in
+  (match Event_vector.edf_feasible ~horizon:1000 overload with
+   | Error dt -> Alcotest.(check int) "first violation" 10 dt
+   | Ok () -> Alcotest.fail "expected infeasible")
+
+(* ------------------------------------------------------------------ *)
+(* hierarchical event sequences *)
+
+let test_seq_matches_burst_stream () =
+  (* inner sequence with equidistant offsets = periodic burst *)
+  let seq =
+    Event_sequence.make ~outer_period:200 ~inner_offsets:[ 0; 10; 20 ] ()
+  in
+  let reference =
+    Stream.periodic_burst ~name:"b" ~period:200 ~burst:3 ~d_min:10
+  in
+  for n = 2 to 10 do
+    Alcotest.check time
+      (Printf.sprintf "delta_min %d" n)
+      (Stream.delta_min reference n)
+      (Event_sequence.delta_min seq n);
+    Alcotest.check time
+      (Printf.sprintf "delta_plus %d" n)
+      (Stream.delta_plus reference n)
+      (Event_sequence.delta_plus seq n)
+  done
+
+let test_seq_irregular_pattern () =
+  (* the point of [1]: irregular inner sequences a SEM cannot express *)
+  let seq =
+    Event_sequence.make ~outer_period:1000 ~inner_offsets:[ 0; 5; 100 ] ()
+  in
+  Alcotest.(check int) "inner length" 3 (Event_sequence.inner_length seq);
+  Alcotest.check time "tightest pair" (Time.of_int 5)
+    (Event_sequence.delta_min seq 2);
+  Alcotest.check time "whole burst" (Time.of_int 100)
+    (Event_sequence.delta_min seq 3);
+  (* 4 events always span into the next replay; every start yields 1000 *)
+  Alcotest.check time "crossing replays" (Time.of_int 1000)
+    (Event_sequence.delta_min seq 4)
+
+let test_seq_jitter () =
+  let seq =
+    Event_sequence.make ~outer_period:1000 ~outer_jitter:30
+      ~inner_offsets:[ 0; 100 ] ()
+  in
+  (* same replay: exact; crossing replays: +- jitter *)
+  Alcotest.check time "same replay" (Time.of_int 100)
+    (Event_sequence.delta_min seq 2);
+  (* 3 events: s=0: crosses into replay 1: 1000 - 30 = 970;
+     s=1: 100 .. 1100: 1000 - 30 = 970 *)
+  Alcotest.check time "min crossing" (Time.of_int 970)
+    (Event_sequence.delta_min seq 3);
+  Alcotest.check time "max crossing" (Time.of_int 1030)
+    (Event_sequence.delta_plus seq 3)
+
+let test_seq_sem_approximation_is_coarser () =
+  (* the fitted SEM must be conservative and is strictly coarser for
+     irregular sequences: its eta_plus over-counts somewhere *)
+  let seq =
+    Event_sequence.make ~outer_period:1000 ~inner_offsets:[ 0; 5; 100 ] ()
+  in
+  let exact = Event_sequence.to_stream seq in
+  let sem = Event_sequence.sem_approximation seq in
+  let sem_stream = Event_model.Sem.to_stream sem in
+  let coarser = ref false in
+  for dt = 1 to 2000 do
+    let e = Count.to_int (Stream.eta_plus exact dt) in
+    let a = Count.to_int (Stream.eta_plus sem_stream dt) in
+    Alcotest.(check bool)
+      (Printf.sprintf "conservative at %d" dt)
+      true (a >= e);
+    if a > e then coarser := true
+  done;
+  Alcotest.(check bool) "strictly coarser somewhere" true !coarser
+
+let test_seq_validation () =
+  let raises f = match f () with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "empty" true
+    (raises (fun () ->
+       Event_sequence.make ~outer_period:100 ~inner_offsets:[] ()));
+  Alcotest.(check bool) "not starting at 0" true
+    (raises (fun () ->
+       Event_sequence.make ~outer_period:100 ~inner_offsets:[ 5; 10 ] ()));
+  Alcotest.(check bool) "unsorted" true
+    (raises (fun () ->
+       Event_sequence.make ~outer_period:100 ~inner_offsets:[ 0; 20; 10 ] ()));
+  Alcotest.(check bool) "overrun" true
+    (raises (fun () ->
+       Event_sequence.make ~outer_period:100 ~inner_offsets:[ 0; 100 ] ()))
+
+(* ------------------------------------------------------------------ *)
+(* interoperability with the system engine *)
+
+let test_baseline_models_as_sources () =
+  (* both related-work models embed as Stream.t, so they feed the same
+     compositional analysis as native streams *)
+  let vector_source =
+    Event_vector.to_stream ~name:"bursty"
+      (Event_vector.of_periodic_burst ~period:400 ~burst:3 ~d_min:10)
+  in
+  let sequence_source =
+    Event_sequence.to_stream ~name:"pattern"
+      (Event_sequence.make ~outer_period:600 ~inner_offsets:[ 0; 7 ] ())
+  in
+  let spec =
+    Cpa_system.Spec.make
+      ~sources:[ "bursty", vector_source; "pattern", sequence_source ]
+      ~resources:
+        [ { Cpa_system.Spec.res_name = "cpu"; scheduler = Cpa_system.Spec.Spp } ]
+      ~tasks:
+        [
+          Cpa_system.Spec.task ~name:"hp" ~resource:"cpu"
+            ~cet:(Timebase.Interval.point 5) ~priority:1
+            ~activation:(Cpa_system.Spec.From_source "bursty") ();
+          Cpa_system.Spec.task ~name:"lp" ~resource:"cpu"
+            ~cet:(Timebase.Interval.point 20) ~priority:2
+            ~activation:(Cpa_system.Spec.From_source "pattern") ();
+        ]
+      ()
+  in
+  match Cpa_system.Engine.analyse spec with
+  | Error e -> Alcotest.failf "analysis failed: %s" e
+  | Ok result ->
+    Alcotest.(check bool) "converged" true result.Cpa_system.Engine.converged;
+    (* hp: each 5-unit job finishes before the next burst event (10 away) *)
+    (match Cpa_system.Engine.response result "hp" with
+     | Some r -> Alcotest.(check int) "hp burst response" 5
+                   (Timebase.Interval.hi r)
+     | None -> Alcotest.fail "hp unbounded");
+    (* lp: first job suffers the whole burst (20 + 3*5 = 35); the pattern's
+       second event, 7 later, waits behind it: 35 + 20 - 7 = 48 *)
+    (match Cpa_system.Engine.response result "lp" with
+     | Some r -> Alcotest.(check int) "lp response" 48 (Timebase.Interval.hi r)
+     | None -> Alcotest.fail "lp unbounded")
+
+(* ------------------------------------------------------------------ *)
+(* properties *)
+
+let prop_ev_eta_monotone =
+  QCheck.Test.make ~name:"event vector eta_plus monotone" ~count:100
+    (QCheck.pair
+       (QCheck.triple (QCheck.int_range 50 500) (QCheck.int_range 1 5)
+          (QCheck.int_range 1 10))
+       (QCheck.int_range 0 1000))
+    (fun ((p, b, d), dt) ->
+      let p = Stdlib.max 50 p
+      and b = Stdlib.max 1 b
+      and d = Stdlib.max 1 d in
+      QCheck.assume ((b - 1) * d < p);
+      let ev = Event_vector.of_periodic_burst ~period:p ~burst:b ~d_min:d in
+      Event_vector.eta_plus ev dt <= Event_vector.eta_plus ev (dt + 1))
+
+let prop_ev_delta_galois =
+  QCheck.Test.make ~name:"event vector delta_min inverts eta_plus" ~count:100
+    (QCheck.pair
+       (QCheck.pair (QCheck.int_range 50 500) (QCheck.int_range 1 4))
+       (QCheck.int_range 2 12))
+    (fun ((p, b), n) ->
+      let p = Stdlib.max 50 p and b = Stdlib.max 1 b and n = Stdlib.max 2 n in
+      QCheck.assume ((b - 1) * 5 < p);
+      let ev = Event_vector.of_periodic_burst ~period:p ~burst:b ~d_min:5 in
+      match Event_vector.delta_min ev n with
+      | Time.Fin d ->
+        Event_vector.eta_plus ev (d + 1) >= n
+        && (d = 0 || Event_vector.eta_plus ev d < n)
+      | Time.Inf -> false)
+
+let prop_seq_stream_well_formed =
+  QCheck.Test.make ~name:"event sequence streams well formed" ~count:60
+    (QCheck.pair (QCheck.int_range 100 1000)
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 5) (QCheck.int_range 1 80)))
+    (fun (p, raw) ->
+      let p = Stdlib.max 100 p in
+      let offsets =
+        0 :: List.map (fun o -> 1 + (abs o mod (p - 1))) raw
+        |> List.sort_uniq compare
+      in
+      let seq = Event_sequence.make ~outer_period:p ~inner_offsets:offsets () in
+      Stream.well_formed ~horizon:32 (Event_sequence.to_stream seq) = Ok ())
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "event vectors",
+        [
+          Alcotest.test_case "periodic" `Quick test_ev_periodic;
+          Alcotest.test_case "burst" `Quick test_ev_burst;
+          Alcotest.test_case "one shot" `Quick test_ev_one_shot;
+          Alcotest.test_case "delta_min inverse" `Quick test_ev_delta_min_inverse;
+          Alcotest.test_case "validation" `Quick test_ev_validation;
+          Alcotest.test_case "demand bound" `Quick test_dbf;
+          Alcotest.test_case "EDF infeasible" `Quick test_edf_infeasible;
+        ] );
+      ( "event sequences",
+        [
+          Alcotest.test_case "matches burst stream" `Quick
+            test_seq_matches_burst_stream;
+          Alcotest.test_case "irregular pattern" `Quick test_seq_irregular_pattern;
+          Alcotest.test_case "outer jitter" `Quick test_seq_jitter;
+          Alcotest.test_case "SEM approximation coarser" `Quick
+            test_seq_sem_approximation_is_coarser;
+          Alcotest.test_case "validation" `Quick test_seq_validation;
+        ] );
+      ( "interop",
+        [
+          Alcotest.test_case "as engine sources" `Quick
+            test_baseline_models_as_sources;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_ev_eta_monotone;
+            prop_ev_delta_galois;
+            prop_seq_stream_well_formed;
+          ] );
+    ]

@@ -1,0 +1,277 @@
+(* Tests for the AUTOSAR-style COM layer model: signals, frame types and
+   their hierarchical activation models, and CAN transmission times. *)
+
+module Time = Timebase.Time
+module Interval = Timebase.Interval
+module Stream = Event_model.Stream
+module Signal = Comstack.Signal
+module Frame = Comstack.Frame
+module Can = Comstack.Can
+
+let time = Alcotest.testable Time.pp Time.equal
+
+let s_fast = Stream.periodic ~name:"fast" ~period:100
+
+let s_slow = Stream.periodic ~name:"slow" ~period:700
+
+let direct_frame () =
+  Frame.make ~name:"D" ~send_type:Frame.Direct
+    ~signals:[ Signal.triggering ~name:"a" s_fast; Signal.pending ~name:"b" s_slow ]
+    ~tx_time:(Interval.point 4) ~priority:1
+
+(* ------------------------------------------------------------------ *)
+(* frames *)
+
+let test_frame_validation () =
+  let raises f = match f () with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "no signals" true
+    (raises (fun () ->
+       Frame.make ~name:"x" ~send_type:Frame.Direct ~signals:[]
+         ~tx_time:(Interval.point 1) ~priority:1));
+  Alcotest.(check bool) "direct without trigger" true
+    (raises (fun () ->
+       Frame.make ~name:"x" ~send_type:Frame.Direct
+         ~signals:[ Signal.pending ~name:"p" s_fast ]
+         ~tx_time:(Interval.point 1) ~priority:1));
+  Alcotest.(check bool) "periodic zero timer" true
+    (raises (fun () ->
+       Frame.make ~name:"x" ~send_type:(Frame.Periodic 0)
+         ~signals:[ Signal.pending ~name:"p" s_fast ]
+         ~tx_time:(Interval.point 1) ~priority:1));
+  (* periodic frame with only pending signals is fine: the timer triggers *)
+  Alcotest.(check bool) "periodic pending ok" false
+    (raises (fun () ->
+       Frame.make ~name:"x" ~send_type:(Frame.Periodic 50)
+         ~signals:[ Signal.pending ~name:"p" s_fast ]
+         ~tx_time:(Interval.point 1) ~priority:1))
+
+let test_direct_frame_hierarchy () =
+  let h = Frame.hierarchy (direct_frame ()) in
+  (* outer = the triggering signal stream alone *)
+  for n = 2 to 6 do
+    Alcotest.check time
+      (Printf.sprintf "outer %d" n)
+      (Stream.delta_min s_fast n)
+      (Stream.delta_min (Hem.Model.outer h) n)
+  done;
+  Alcotest.(check int) "two inners" 2 (Hem.Model.arity h);
+  (* pending signal: slower than the frames, bound by eq. (7):
+     delta_min' 2 = max (700 - delta_plus_out 2) (outer delta_min 2)
+                  = max (700 - 100) 100 = 600 *)
+  let b = Hem.Deconstruct.unpack_label h "b" in
+  Alcotest.check time "pending bound" (Time.of_int 600) (Stream.delta_min b 2)
+
+let test_periodic_frame_hierarchy () =
+  (* periodic frame: the timer is the only trigger; even a triggering
+     signal is packed as pending *)
+  let f =
+    Frame.make ~name:"P" ~send_type:(Frame.Periodic 50)
+      ~signals:[ Signal.triggering ~name:"a" s_fast ]
+      ~tx_time:(Interval.point 2) ~priority:3
+  in
+  let h = Frame.hierarchy f in
+  Alcotest.(check int) "signal + timer" 2 (Hem.Model.arity h);
+  let timer = Hem.Model.find_inner h (Frame.timer_label f) in
+  Alcotest.(check bool) "timer triggering" true
+    (timer.Hem.Model.kind = Hem.Model.Triggering);
+  (* outer is the 50-periodic timer *)
+  Alcotest.check time "outer period" (Time.of_int 50)
+    (Stream.delta_min (Hem.Model.outer h) 2);
+  (* the signal rides as pending: delta_plus' = inf *)
+  let a = Hem.Deconstruct.unpack_label h "a" in
+  Alcotest.check time "pending plus" Time.Inf (Stream.delta_plus a 2);
+  (* 100-periodic data on a 50-periodic frame: fresh data at most every
+     max (100 - 50) 50 = 50 *)
+  Alcotest.check time "fresh data distance" (Time.of_int 50)
+    (Stream.delta_min a 2)
+
+let test_mixed_frame_hierarchy () =
+  (* mixed: both the triggering signal and the timer send frames *)
+  let f =
+    Frame.make ~name:"M" ~send_type:(Frame.Mixed 300)
+      ~signals:[ Signal.triggering ~name:"a" s_fast ]
+      ~tx_time:(Interval.point 2) ~priority:3
+  in
+  let h = Frame.hierarchy f in
+  let reference =
+    Event_model.Combine.or_combine
+      [ s_fast; Stream.periodic ~name:"t" ~period:300 ]
+  in
+  for n = 2 to 8 do
+    Alcotest.check time
+      (Printf.sprintf "outer %d" n)
+      (Stream.delta_min reference n)
+      (Stream.delta_min (Hem.Model.outer h) n)
+  done
+
+let test_frame_message () =
+  let f = direct_frame () in
+  let h = Frame.hierarchy f in
+  let msg = Frame.message f h in
+  Alcotest.(check string) "name" "D" msg.Scheduling.Rt_task.name;
+  Alcotest.(check int) "priority" 1 msg.Scheduling.Rt_task.priority;
+  Alcotest.(check bool) "cet" true
+    (Interval.equal (Interval.point 4) msg.Scheduling.Rt_task.cet)
+
+let test_timer_label () =
+  Alcotest.(check string) "label" "D.timer" (Frame.timer_label (direct_frame ()))
+
+(* ------------------------------------------------------------------ *)
+(* CAN timing *)
+
+let test_can_frame_bits () =
+  (* Davis et al.: an 8-byte standard frame occupies at most 135 bit
+     times: 8*8 + 34 + 13 + floor((34 + 64 - 1)/4) = 64+47+24 = 135 *)
+  Alcotest.(check int) "8 bytes standard" 135
+    (Can.frame_bits ~data_bytes:8 ());
+  Alcotest.(check int) "0 bytes standard" (47 + 8)
+    (Can.frame_bits ~data_bytes:0 ());
+  (* extended: g = 54: 64 + 54 + 13 + floor(117/4) = 131 + 29 = 160 *)
+  Alcotest.(check int) "8 bytes extended" 160
+    (Can.frame_bits ~format:Can.Extended ~data_bytes:8 ())
+
+let test_can_transmission_time () =
+  Alcotest.(check int) "bit_time scaling" (135 * 2)
+    (Can.transmission_time ~data_bytes:8 ~bit_time:2 ());
+  Alcotest.(check bool) "interval lo < hi" true
+    (let i = Can.tx_interval ~data_bytes:8 ~bit_time:1 () in
+     Interval.lo i = 111 && Interval.hi i = 135)
+
+let test_can_validation () =
+  let raises f = match f () with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "9 bytes" true
+    (raises (fun () -> Can.frame_bits ~data_bytes:9 ()));
+  Alcotest.(check bool) "negative" true
+    (raises (fun () -> Can.frame_bits ~data_bytes:(-1) ()));
+  Alcotest.(check bool) "bit_time 0" true
+    (raises (fun () -> Can.transmission_time ~data_bytes:1 ~bit_time:0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* data age *)
+
+let test_data_age () =
+  let h = Frame.hierarchy (direct_frame ()) in
+  let response = Interval.make ~lo:4 ~hi:9 in
+  (* triggering signal: no sampling wait, age = frame response *)
+  Alcotest.check time "triggering age" (Time.of_int 9)
+    (Comstack.Latency.data_age ~hierarchy:h ~response ~signal:"a");
+  (* pending: waits up to delta_plus_out 2 = 100 for the next trigger *)
+  Alcotest.check time "pending age" (Time.of_int 109)
+    (Comstack.Latency.data_age ~hierarchy:h ~response ~signal:"b");
+  Alcotest.(check bool) "unknown signal" true
+    (match Comstack.Latency.data_age ~hierarchy:h ~response ~signal:"z" with
+     | _ -> false
+     | exception Not_found -> true)
+
+let test_data_age_sporadic_trigger_unbounded () =
+  (* a frame whose triggers have no upper distance bound cannot bound
+     the age of a pending value *)
+  let f =
+    Frame.make ~name:"sp" ~send_type:Frame.Direct
+      ~signals:
+        [
+          Signal.triggering ~name:"t" (Stream.sporadic ~name:"t" ~d_min:50);
+          Signal.pending ~name:"p" s_slow;
+        ]
+      ~tx_time:(Interval.point 2) ~priority:1
+  in
+  let h = Frame.hierarchy f in
+  Alcotest.check time "unbounded age" Time.Inf
+    (Comstack.Latency.data_age ~hierarchy:h ~response:(Interval.point 5)
+       ~signal:"p")
+
+(* ------------------------------------------------------------------ *)
+(* payload layouts *)
+
+let test_layout_packing () =
+  match
+    Comstack.Layout.make
+      [
+        { Comstack.Layout.field_name = "speed"; bits = 12 };
+        { Comstack.Layout.field_name = "flags"; bits = 4 };
+        { Comstack.Layout.field_name = "diag"; bits = 16 };
+      ]
+  with
+  | Error e -> Alcotest.failf "unexpected: %s" e
+  | Ok layout ->
+    Alcotest.(check int) "total bits" 32 (Comstack.Layout.total_bits layout);
+    Alcotest.(check int) "bytes" 4 (Comstack.Layout.data_bytes layout);
+    Alcotest.(check int) "speed at 0" 0 (Comstack.Layout.bit_offset layout "speed");
+    Alcotest.(check int) "flags at 12" 12
+      (Comstack.Layout.bit_offset layout "flags");
+    Alcotest.(check int) "diag at 16" 16
+      (Comstack.Layout.bit_offset layout "diag");
+    (* transmission interval derives from the real payload size *)
+    let tx = Comstack.Layout.tx_interval ~bit_time:1 layout in
+    Alcotest.(check bool) "tx matches Can module" true
+      (Interval.equal tx (Can.tx_interval ~data_bytes:4 ~bit_time:1 ()))
+
+let test_layout_validation () =
+  let fails fields = match Comstack.Layout.make fields with
+    | Error _ -> true
+    | Ok _ -> false
+  in
+  Alcotest.(check bool) "empty" true (fails []);
+  Alcotest.(check bool) "zero width" true
+    (fails [ { Comstack.Layout.field_name = "x"; bits = 0 } ]);
+  Alcotest.(check bool) "duplicate" true
+    (fails
+       [
+         { Comstack.Layout.field_name = "x"; bits = 4 };
+         { Comstack.Layout.field_name = "x"; bits = 4 };
+       ]);
+  Alcotest.(check bool) "overflow" true
+    (fails [ { Comstack.Layout.field_name = "big"; bits = 65 } ]);
+  Alcotest.(check bool) "fits exactly" false
+    (fails [ { Comstack.Layout.field_name = "full"; bits = 64 } ])
+
+(* ------------------------------------------------------------------ *)
+(* signals *)
+
+let test_signal_constructors () =
+  let t = Signal.triggering ~name:"t" s_fast in
+  let p = Signal.pending ~name:"p" s_slow in
+  Alcotest.(check bool) "triggering" true (t.Signal.property = Hem.Model.Triggering);
+  Alcotest.(check bool) "pending" true (p.Signal.property = Hem.Model.Pending);
+  Alcotest.(check string) "pp" "signal t (triggering, fast)"
+    (Format.asprintf "%a" Signal.pp t)
+
+let () =
+  Alcotest.run "comstack"
+    [
+      ( "frames",
+        [
+          Alcotest.test_case "validation" `Quick test_frame_validation;
+          Alcotest.test_case "direct hierarchy" `Quick test_direct_frame_hierarchy;
+          Alcotest.test_case "periodic hierarchy" `Quick
+            test_periodic_frame_hierarchy;
+          Alcotest.test_case "mixed hierarchy" `Quick test_mixed_frame_hierarchy;
+          Alcotest.test_case "bus message" `Quick test_frame_message;
+          Alcotest.test_case "timer label" `Quick test_timer_label;
+        ] );
+      ( "can",
+        [
+          Alcotest.test_case "frame bits" `Quick test_can_frame_bits;
+          Alcotest.test_case "transmission time" `Quick
+            test_can_transmission_time;
+          Alcotest.test_case "validation" `Quick test_can_validation;
+        ] );
+      ( "data age",
+        [
+          Alcotest.test_case "triggering vs pending" `Quick test_data_age;
+          Alcotest.test_case "sporadic trigger unbounded" `Quick
+            test_data_age_sporadic_trigger_unbounded;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "packing" `Quick test_layout_packing;
+          Alcotest.test_case "validation" `Quick test_layout_validation;
+        ] );
+      "signals", [ Alcotest.test_case "constructors" `Quick test_signal_constructors ];
+    ]

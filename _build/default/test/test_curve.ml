@@ -1,0 +1,141 @@
+(* Tests for the memoized curve engine and its pseudo-inversion searches,
+   which implement the eta functions of the paper (eqs. 1-2). *)
+
+module Time = Timebase.Time
+module Curve = Event_model.Curve
+
+let linear slope = Curve.make (fun n -> Time.of_int (n * slope))
+
+let test_eval_memoizes () =
+  let calls = ref 0 in
+  let c =
+    Curve.make (fun n ->
+      incr calls;
+      Time.of_int n)
+  in
+  ignore (Curve.eval c 5);
+  ignore (Curve.eval c 5);
+  ignore (Curve.eval c 5);
+  Alcotest.(check int) "computed once" 1 !calls
+
+let test_make_rec () =
+  (* delta(n) = delta(n-1) + n, a self-referential recurrence *)
+  let c =
+    Curve.make_rec (fun self n ->
+      if n <= 0 then Time.zero else Time.add (self (n - 1)) (Time.of_int n))
+  in
+  Alcotest.(check int) "triangular" 15 (Time.to_int (Curve.eval c 5));
+  Alcotest.(check int) "deep" (100 * 101 / 2) (Time.to_int (Curve.eval c 100))
+
+let test_constant () =
+  let c = Curve.constant (Time.of_int 9) in
+  Alcotest.(check int) "any index" 9 (Time.to_int (Curve.eval c 12345))
+
+(* brute-force reference for count_lt: largest n >= 1 with curve n < limit *)
+let brute_count_lt c limit =
+  let rec scan n best =
+    if n > 4096 then best
+    else if Time.(Curve.eval c n < limit) then scan (n + 1) n
+    else best
+  in
+  scan 1 1
+
+let test_count_lt_linear () =
+  let c = linear 10 in
+  (* curve n = 10n; count_lt limit = largest n with 10n < limit *)
+  List.iter
+    (fun limit ->
+      Alcotest.(check int)
+        (Printf.sprintf "limit %d" limit)
+        (brute_count_lt c (Time.of_int limit))
+        (Curve.count_lt c (Time.of_int limit)))
+    [ 1; 5; 10; 11; 99; 100; 101; 1000; 12345 ]
+
+let test_count_lt_requires_positive () =
+  Alcotest.check_raises "limit 0" (Invalid_argument "Curve.count_lt: limit <= 0")
+    (fun () -> ignore (Curve.count_lt (linear 1) Time.zero))
+
+let test_count_lt_unbounded () =
+  let bounded = Curve.constant (Time.of_int 3) in
+  Alcotest.(check bool) "raises Unbounded" true
+    (match Curve.count_lt bounded (Time.of_int 10) with
+     | _ -> false
+     | exception Curve.Unbounded _ -> true)
+
+let test_first_gt () =
+  let c = linear 10 in
+  (* first n with curve (n + 2) > limit *)
+  let brute limit =
+    let rec scan n =
+      if Time.(Curve.eval c (n + 2) > Time.of_int limit) then n else scan (n + 1)
+    in
+    scan 0
+  in
+  List.iter
+    (fun limit ->
+      Alcotest.(check int)
+        (Printf.sprintf "limit %d" limit)
+        (brute limit)
+        (Curve.first_gt c ~offset:2 (Time.of_int limit)))
+    [ 0; 1; 19; 20; 21; 200; 201; 999 ]
+
+let test_first_gt_inf_curve () =
+  let c = Curve.constant Time.Inf in
+  Alcotest.(check int) "inf exceeds immediately" 0
+    (Curve.first_gt c ~offset:2 (Time.of_int 1000))
+
+(* property: count_lt matches brute force on random step curves *)
+let arb_steps = QCheck.(list_of_size (Gen.int_range 1 30) (int_range 0 20))
+
+let curve_of_steps steps =
+  (* monotone curve built from cumulative non-negative steps *)
+  let arr = Array.of_list steps in
+  Curve.make (fun n ->
+    let rec total i acc =
+      if i >= n || i >= Array.length arr then acc + ((n - i) * 7)
+      else total (i + 1) (acc + arr.(i))
+    in
+    (* extend past the explicit prefix with slope 7 so it diverges *)
+    Time.of_int (total 0 0))
+
+let prop_count_lt_vs_brute =
+  QCheck.Test.make ~name:"count_lt matches brute force" ~count:200
+    (QCheck.pair arb_steps (QCheck.int_range 1 500)) (fun (steps, limit) ->
+      let c = curve_of_steps steps in
+      Curve.count_lt c (Time.of_int limit) = brute_count_lt c (Time.of_int limit))
+
+let prop_first_gt_vs_brute =
+  QCheck.Test.make ~name:"first_gt matches brute force" ~count:200
+    (QCheck.pair arb_steps (QCheck.int_range 0 500)) (fun (steps, limit) ->
+      let c = curve_of_steps steps in
+      let brute =
+        let rec scan n =
+          if Time.(Curve.eval c (n + 2) > Time.of_int limit) then n
+          else scan (n + 1)
+        in
+        scan 0
+      in
+      Curve.first_gt c ~offset:2 (Time.of_int limit) = brute)
+
+let () =
+  Alcotest.run "curve"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "memoization" `Quick test_eval_memoizes;
+          Alcotest.test_case "make_rec" `Quick test_make_rec;
+          Alcotest.test_case "constant" `Quick test_constant;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "count_lt linear" `Quick test_count_lt_linear;
+          Alcotest.test_case "count_lt positive limit" `Quick
+            test_count_lt_requires_positive;
+          Alcotest.test_case "count_lt unbounded" `Quick test_count_lt_unbounded;
+          Alcotest.test_case "first_gt" `Quick test_first_gt;
+          Alcotest.test_case "first_gt inf" `Quick test_first_gt_inf_curve;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_count_lt_vs_brute; prop_first_gt_vs_brute ] );
+    ]

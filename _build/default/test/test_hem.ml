@@ -1,0 +1,339 @@
+(* Tests for the core contribution: hierarchical event models.
+
+   Covers the model container (Defs. 3-5), the pack hierarchical stream
+   constructor Omega_pa (Def. 8 with eqs. 5-8), the inner update function
+   B_{Theta_tau, C_pa} (Def. 9) and the deconstructor Psi_pa (Def. 10). *)
+
+module Time = Timebase.Time
+module Count = Timebase.Count
+module Interval = Timebase.Interval
+module Stream = Event_model.Stream
+module Combine = Event_model.Combine
+module Model = Hem.Model
+module Pack = Hem.Pack
+module Inner_update = Hem.Inner_update
+module Deconstruct = Hem.Deconstruct
+
+let time = Alcotest.testable Time.pp Time.equal
+
+let s1 = Stream.periodic ~name:"S1" ~period:250
+
+let s2 = Stream.periodic ~name:"S2" ~period:450
+
+let s3 = Stream.periodic ~name:"S3" ~period:1000
+
+let paper_pack () =
+  Pack.pack ~name:"F1"
+    [
+      Pack.input "sig1" s1;
+      Pack.input "sig2" s2;
+      Pack.input ~kind:Model.Pending "sig3" s3;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Model *)
+
+let test_model_structure () =
+  let h = paper_pack () in
+  Alcotest.(check int) "arity" 3 (Model.arity h);
+  Alcotest.(check string) "outer name" "F1" (Stream.name (Model.outer h));
+  Alcotest.(check bool) "rule" true (Model.rule h = Model.Packed);
+  let i = Model.find_inner h "sig3" in
+  Alcotest.(check bool) "kind" true (i.Model.kind = Model.Pending);
+  Alcotest.(check bool) "missing" true
+    (match Model.find_inner h "nope" with
+     | _ -> false
+     | exception Not_found -> true)
+
+let test_model_validation () =
+  let inner label =
+    { Model.label; kind = Model.Triggering; stream = s1 }
+  in
+  Alcotest.(check bool) "empty" true
+    (match Model.make ~outer:s1 ~inners:[] ~rule:Model.Packed with
+     | _ -> false
+     | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "duplicate labels" true
+    (match
+       Model.make ~outer:s1 ~inners:[ inner "a"; inner "a" ] ~rule:Model.Packed
+     with
+     | _ -> false
+     | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Pack (Def. 8) *)
+
+let test_pack_outer_is_or_of_triggering () =
+  let h = paper_pack () in
+  let reference = Combine.or_combine [ s1; s2 ] in
+  for n = 0 to 10 do
+    Alcotest.check time
+      (Printf.sprintf "delta_min %d" n)
+      (Stream.delta_min reference n)
+      (Stream.delta_min (Model.outer h) n);
+    Alcotest.check time
+      (Printf.sprintf "delta_plus %d" n)
+      (Stream.delta_plus reference n)
+      (Stream.delta_plus (Model.outer h) n)
+  done
+
+let test_pack_triggering_inner_unchanged () =
+  (* eqs. (5)-(6): triggering signals keep their timing *)
+  let h = paper_pack () in
+  let inner = (Model.find_inner h "sig1").Model.stream in
+  for n = 2 to 8 do
+    Alcotest.check time
+      (Printf.sprintf "delta_min %d" n)
+      (Stream.delta_min s1 n) (Stream.delta_min inner n);
+    Alcotest.check time
+      (Printf.sprintf "delta_plus %d" n)
+      (Stream.delta_plus s1 n) (Stream.delta_plus inner n)
+  done
+
+let test_pack_pending_inner () =
+  (* eq. (7): delta_min' n = max (delta_min n - delta_plus_out 2)
+     (delta_min_out n); eq. (8): delta_plus' = inf.
+     For the paper's sources, delta_plus_out 2 = 250. *)
+  let h = paper_pack () in
+  let inner = (Model.find_inner h "sig3").Model.stream in
+  Alcotest.check time "delta_min 2" (Time.of_int 750) (Stream.delta_min inner 2);
+  Alcotest.check time "delta_min 3" (Time.of_int 1750) (Stream.delta_min inner 3);
+  Alcotest.check time "delta_plus 2" Time.Inf (Stream.delta_plus inner 2);
+  Alcotest.check time "delta_plus 5" Time.Inf (Stream.delta_plus inner 5)
+
+let test_pack_pending_floor_is_outer () =
+  (* a fast pending signal cannot produce fresh frames faster than the
+     frames themselves *)
+  let fast = Stream.periodic ~name:"fast" ~period:10 in
+  let h =
+    Pack.pack [ Pack.input "trig" s1; Pack.input ~kind:Model.Pending "p" fast ]
+  in
+  let inner = (Model.find_inner h "p").Model.stream in
+  for n = 2 to 6 do
+    Alcotest.check time
+      (Printf.sprintf "floored %d" n)
+      (Stream.delta_min (Model.outer h) n)
+      (Stream.delta_min inner n)
+  done
+
+let test_pack_pending_with_sporadic_trigger () =
+  (* delta_plus_out 2 = inf: the subtraction term vanishes and the bound
+     degrades to the frame distance (eq. 7 with sub_clamped) *)
+  let trig = Stream.sporadic ~name:"t" ~d_min:100 in
+  let h =
+    Pack.pack [ Pack.input "t" trig; Pack.input ~kind:Model.Pending "p" s3 ]
+  in
+  let inner = (Model.find_inner h "p").Model.stream in
+  for n = 2 to 5 do
+    Alcotest.check time
+      (Printf.sprintf "degrades to outer %d" n)
+      (Stream.delta_min (Model.outer h) n)
+      (Stream.delta_min inner n)
+  done
+
+let test_pack_validation () =
+  Alcotest.(check bool) "no inputs" true
+    (match Pack.pack [] with
+     | _ -> false
+     | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "only pending" true
+    (match Pack.pack [ Pack.input ~kind:Model.Pending "p" s1 ] with
+     | _ -> false
+     | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Inner update (Def. 9) *)
+
+let test_simultaneity () =
+  let h = paper_pack () in
+  (* S1 and S2 can fire together, S3 is pending: k = 2 *)
+  Alcotest.(check int) "k of paper outer" 2
+    (Inner_update.simultaneity (Model.outer h));
+  Alcotest.(check int) "k of plain periodic" 1 (Inner_update.simultaneity s1);
+  let triple =
+    Combine.or_combine
+      [ s1; Stream.periodic ~name:"x" ~period:300;
+        Stream.periodic ~name:"y" ~period:400 ]
+  in
+  Alcotest.(check int) "k of triple" 3 (Inner_update.simultaneity triple)
+
+let test_inner_update_formulas () =
+  (* Def. 9 with response [4:10]: shift = (r+ - r-) + (k-1) r- = 6 + 4 *)
+  let h = paper_pack () in
+  let response = Interval.make ~lo:4 ~hi:10 in
+  let updated = Inner_update.apply_response ~response h in
+  let inner1 = (Model.find_inner updated "sig1").Model.stream in
+  (* delta_min' n = max (250 (n-1) - 10) ((n-1) * 4) *)
+  Alcotest.check time "sig1 delta_min 2" (Time.of_int 240)
+    (Stream.delta_min inner1 2);
+  Alcotest.check time "sig1 delta_min 3" (Time.of_int 490)
+    (Stream.delta_min inner1 3);
+  (* delta_plus' n = 250 (n-1) + 10 *)
+  Alcotest.check time "sig1 delta_plus 2" (Time.of_int 260)
+    (Stream.delta_plus inner1 2);
+  (* pending stream: delta_min' 2 = max (750 - 10) 4 = 740, delta_plus inf *)
+  let inner3 = (Model.find_inner updated "sig3").Model.stream in
+  Alcotest.check time "sig3 delta_min 2" (Time.of_int 740)
+    (Stream.delta_min inner3 2);
+  Alcotest.check time "sig3 delta_plus 2" Time.Inf (Stream.delta_plus inner3 2)
+
+let test_inner_update_serialization_floor () =
+  (* simultaneous inner events become serialized at r- *)
+  let h =
+    Pack.pack
+      [
+        Pack.input "a" (Stream.periodic ~name:"a" ~period:100);
+        Pack.input "b" (Stream.periodic ~name:"b" ~period:100);
+      ]
+  in
+  let updated =
+    Inner_update.apply_response ~response:(Interval.make ~lo:7 ~hi:7) h
+  in
+  let inner = (Model.find_inner updated "a").Model.stream in
+  (* input delta_min 2 = 100; shift = 0 + (2-1)*7 = 7: max (93) (7) = 93 *)
+  Alcotest.check time "a delta_min 2" (Time.of_int 93)
+    (Stream.delta_min inner 2)
+
+let test_inner_update_outer_is_task_op () =
+  let h = paper_pack () in
+  let response = Interval.make ~lo:4 ~hi:10 in
+  let updated = Inner_update.apply_response ~response h in
+  let reference =
+    Event_model.Task_op.output ~response (Model.outer h)
+  in
+  for n = 2 to 8 do
+    Alcotest.check time
+      (Printf.sprintf "outer %d" n)
+      (Stream.delta_min reference n)
+      (Stream.delta_min (Model.outer updated) n)
+  done
+
+let test_inner_update_identity () =
+  let h = paper_pack () in
+  let updated =
+    Inner_update.apply_response ~response:(Interval.make ~lo:0 ~hi:0) h
+  in
+  let before = (Model.find_inner h "sig1").Model.stream in
+  let after = (Model.find_inner updated "sig1").Model.stream in
+  for n = 2 to 6 do
+    Alcotest.check time
+      (Printf.sprintf "identity %d" n)
+      (Stream.delta_min before n) (Stream.delta_min after n)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Deconstruct (Def. 10) *)
+
+let test_unpack () =
+  let h = paper_pack () in
+  Alcotest.(check int) "all inner streams" 3 (List.length (Deconstruct.unpack h));
+  let by_index = Deconstruct.unpack_nth h 0 in
+  let by_label = Deconstruct.unpack_label h "sig1" in
+  Alcotest.(check string) "same stream" (Stream.name by_index)
+    (Stream.name by_label);
+  Alcotest.(check bool) "out of range" true
+    (match Deconstruct.unpack_nth h 7 with
+     | _ -> false
+     | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "unknown label" true
+    (match Deconstruct.unpack_label h "zz" with
+     | _ -> false
+     | exception Not_found -> true)
+
+let test_unpack_order_matches_construction () =
+  let h = paper_pack () in
+  Alcotest.(check (list string)) "labels in construction order"
+    [ "sig1"; "sig2"; "sig3" ]
+    (List.map (fun (i : Model.inner) -> i.Model.label) (Model.inners h))
+
+(* ------------------------------------------------------------------ *)
+(* properties *)
+
+let arb_period = QCheck.map (Stdlib.max 1) (QCheck.int_range 50 1000)
+
+let prop_pending_dominates_outer =
+  (* eq. (7) result always dominates the outer frame distance *)
+  QCheck.Test.make ~name:"pending inner >= outer distance" ~count:60
+    (QCheck.triple arb_period arb_period (QCheck.int_range 2 8))
+    (fun (p_trig, p_pend, n) ->
+      let h =
+        Pack.pack
+          [
+            Pack.input "t" (Stream.periodic ~name:"t" ~period:p_trig);
+            Pack.input ~kind:Model.Pending "p"
+              (Stream.periodic ~name:"p" ~period:p_pend);
+          ]
+      in
+      let inner = (Model.find_inner h "p").Model.stream in
+      Time.(Stream.delta_min inner n >= Stream.delta_min (Model.outer h) n))
+
+let prop_inner_update_conservative_shift =
+  (* updated distances never shrink by more than the shift *)
+  QCheck.Test.make ~name:"inner update shift bounded" ~count:60
+    (QCheck.triple arb_period (QCheck.int_range 1 20) (QCheck.int_range 2 6))
+    (fun (p, r, n) ->
+      let r = Stdlib.max 1 r in
+      let h =
+        Pack.pack
+          [
+            Pack.input "a" (Stream.periodic ~name:"a" ~period:p);
+            Pack.input "b" (Stream.periodic ~name:"b" ~period:(p + 13));
+          ]
+      in
+      let updated =
+        Inner_update.apply_response ~response:(Interval.make ~lo:r ~hi:(r * 3))
+          h
+      in
+      let before = (Model.find_inner h "a").Model.stream in
+      let after = (Model.find_inner updated "a").Model.stream in
+      (* shift = (r+ - r-) + (k - 1) r- with k = 2 here *)
+      let shift = (r * 2) + r in
+      Time.(
+        Stream.delta_min after n
+        >= Time.sub_clamped (Stream.delta_min before n) (Time.of_int shift))
+      && Time.(
+           Stream.delta_plus after n
+           <= Time.add (Stream.delta_plus before n) (Time.of_int shift)))
+
+let () =
+  Alcotest.run "hem"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "structure" `Quick test_model_structure;
+          Alcotest.test_case "validation" `Quick test_model_validation;
+        ] );
+      ( "pack",
+        [
+          Alcotest.test_case "outer = OR of triggering" `Quick
+            test_pack_outer_is_or_of_triggering;
+          Alcotest.test_case "triggering inner unchanged" `Quick
+            test_pack_triggering_inner_unchanged;
+          Alcotest.test_case "pending inner (eq 7-8)" `Quick
+            test_pack_pending_inner;
+          Alcotest.test_case "pending floored by outer" `Quick
+            test_pack_pending_floor_is_outer;
+          Alcotest.test_case "pending with sporadic trigger" `Quick
+            test_pack_pending_with_sporadic_trigger;
+          Alcotest.test_case "validation" `Quick test_pack_validation;
+        ] );
+      ( "inner update",
+        [
+          Alcotest.test_case "simultaneity" `Quick test_simultaneity;
+          Alcotest.test_case "formulas (Def 9)" `Quick test_inner_update_formulas;
+          Alcotest.test_case "serialization floor" `Quick
+            test_inner_update_serialization_floor;
+          Alcotest.test_case "outer via Theta_tau" `Quick
+            test_inner_update_outer_is_task_op;
+          Alcotest.test_case "identity for [0:0]" `Quick
+            test_inner_update_identity;
+        ] );
+      ( "deconstruct",
+        [
+          Alcotest.test_case "unpack" `Quick test_unpack;
+          Alcotest.test_case "order" `Quick test_unpack_order_matches_construction;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_pending_dominates_outer; prop_inner_update_conservative_shift ] );
+    ]

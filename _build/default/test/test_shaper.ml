@@ -1,0 +1,102 @@
+(* Tests for the greedy minimum-distance shaper. *)
+
+module Time = Timebase.Time
+module Stream = Event_model.Stream
+module Shaper = Event_model.Shaper
+
+let time = Alcotest.testable Time.pp Time.equal
+
+let test_no_delay_when_spaced () =
+  (* a periodic stream already slower than the shaper passes unchanged *)
+  let s = Stream.periodic ~name:"p" ~period:100 in
+  Alcotest.check time "zero delay" Time.zero (Shaper.delay_bound ~d:50 s);
+  let shaped = Shaper.enforce_min_distance ~d:50 s in
+  for n = 2 to 6 do
+    Alcotest.check time
+      (Printf.sprintf "delta_min %d" n)
+      (Stream.delta_min s n) (Stream.delta_min shaped n);
+    Alcotest.check time
+      (Printf.sprintf "delta_plus %d" n)
+      (Stream.delta_plus s n) (Stream.delta_plus shaped n)
+  done
+
+let test_burst_delay () =
+  (* bursts of 3 simultaneous events, every 1000: the third event waits
+     2 * d behind the first *)
+  let s = Stream.periodic_burst ~name:"b" ~period:1000 ~burst:3 ~d_min:0 in
+  Alcotest.check time "delay = 2d" (Time.of_int 40) (Shaper.delay_bound ~d:20 s);
+  let shaped = Shaper.enforce_min_distance ~d:20 s in
+  Alcotest.check time "spacing enforced" (Time.of_int 20)
+    (Stream.delta_min shaped 2);
+  Alcotest.check time "delta_plus grows by delay" (Time.of_int 1040)
+    (Stream.delta_plus shaped 4)
+
+let test_overload_unbounded () =
+  (* input rate above 1/d: the backlog never drains *)
+  let s = Stream.periodic ~name:"fast" ~period:10 in
+  Alcotest.check time "unbounded" Time.Inf (Shaper.delay_bound ~d:20 s)
+
+let test_jitter_absorption () =
+  let s = Stream.periodic_jitter ~name:"pj" ~period:100 ~jitter:150 ~d_min:0 () in
+  (* worst burst: events at distance max(0, (q-1)*100 - 150); deficit for
+     q=2: 10 - 0 = 10 (with d = 10); q=3: 20 - 50 < 0 *)
+  Alcotest.check time "delay" (Time.of_int 10) (Shaper.delay_bound ~d:10 s)
+
+let test_validation () =
+  let s = Stream.periodic ~name:"p" ~period:10 in
+  Alcotest.(check bool) "d < 1 rejected" true
+    (match Shaper.enforce_min_distance ~d:0 s with
+     | _ -> false
+     | exception Invalid_argument _ -> true)
+
+let test_default_name () =
+  let s = Stream.periodic ~name:"p" ~period:100 in
+  Alcotest.(check string) "name" "shaped(p,d=20)"
+    (Stream.name (Shaper.enforce_min_distance ~d:20 s))
+
+(* properties *)
+
+let arb_stream =
+  let open QCheck in
+  map
+    (fun (p, j) ->
+      Stream.periodic_jitter ~name:"s" ~period:(Stdlib.max 20 p)
+        ~jitter:(Stdlib.max 0 j) ~d_min:0 ())
+    (pair (int_range 20 300) (int_range 0 500))
+
+let prop_shaped_enforces_distance =
+  QCheck.Test.make ~name:"shaped stream spaced at least d" ~count:80
+    (QCheck.pair arb_stream (QCheck.int_range 1 19)) (fun (s, d) ->
+      let d = Stdlib.max 1 d in
+      let shaped = Shaper.enforce_min_distance ~d s in
+      List.for_all
+        (fun n ->
+          Time.(Stream.delta_min shaped n >= Time.of_int ((n - 1) * d)))
+        [ 2; 3; 5; 10 ])
+
+let prop_shaped_keeps_input_spacing =
+  QCheck.Test.make ~name:"shaping never tightens distances" ~count:80
+    (QCheck.pair arb_stream (QCheck.int_range 1 19)) (fun (s, d) ->
+      let d = Stdlib.max 1 d in
+      let shaped = Shaper.enforce_min_distance ~d s in
+      List.for_all
+        (fun n -> Time.(Stream.delta_min shaped n >= Stream.delta_min s n))
+        [ 2; 3; 5; 10 ])
+
+let () =
+  Alcotest.run "shaper"
+    [
+      ( "delay bound",
+        [
+          Alcotest.test_case "no delay when spaced" `Quick
+            test_no_delay_when_spaced;
+          Alcotest.test_case "burst delay" `Quick test_burst_delay;
+          Alcotest.test_case "overload unbounded" `Quick test_overload_unbounded;
+          Alcotest.test_case "jitter absorption" `Quick test_jitter_absorption;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "default name" `Quick test_default_name;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_shaped_enforces_distance; prop_shaped_keeps_input_spacing ] );
+    ]

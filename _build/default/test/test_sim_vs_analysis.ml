@@ -1,0 +1,520 @@
+(* Validation experiments: every bound produced by the compositional
+   analysis must dominate the corresponding observation of the
+   discrete-event simulator (experiment V1 in DESIGN.md).
+
+   The comparison runs on the paper's system under several source phasings
+   and on randomized two-frame systems. *)
+
+module Time = Timebase.Time
+module Count = Timebase.Count
+module Interval = Timebase.Interval
+module Stream = Event_model.Stream
+module Spec = Cpa_system.Spec
+module Engine = Cpa_system.Engine
+module Gen = Des.Gen
+module Trace = Des.Trace
+module Port = Des.Port
+module Simulator = Des.Simulator
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "failed: %s" e
+
+(* Check that every simulated response is within the analytic bound and
+   that observed arrival counts never exceed the analytic eta_plus of the
+   matching stream. *)
+let check_responses_dominated ~label result trace names =
+  List.iter
+    (fun name ->
+      match Engine.response result name, Trace.worst_response trace name with
+      | Some bound, Some observed ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: %s observed %d <= bound %d" label name observed
+             (Interval.hi bound))
+          true
+          (observed <= Interval.hi bound);
+        (match Trace.best_response trace name with
+         | Some best ->
+           Alcotest.(check bool)
+             (Printf.sprintf "%s: %s best %d >= bound %d" label name best
+                (Interval.lo bound))
+             true
+             (best >= Interval.lo bound)
+         | None -> ())
+      | Some _, None -> ()  (* nothing completed in the horizon: vacuous *)
+      | None, _ ->
+        Alcotest.failf "%s: %s unbounded in analysis" label name)
+    names
+
+let check_eta_dominated ~label stream trace port =
+  List.iter
+    (fun dt ->
+      let bound = Stream.eta_plus stream dt in
+      let observed = Trace.observed_eta_plus trace port ~dt in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: eta+ %s dt=%d observed %d <= bound %s" label port
+           dt observed (Count.to_string bound))
+        true
+        (Count.compare (Count.of_int observed) bound <= 0))
+    [ 1; 10; 50; 100; 250; 500; 1000; 2500; 5000 ]
+
+(* ------------------------------------------------------------------ *)
+(* the paper's system *)
+
+let paper_generators phases =
+  match phases with
+  | [ p1; p2; p3; p4 ] ->
+    [
+      "S1", Gen.periodic ~phase:p1 ~period:250 ();
+      "S2", Gen.periodic ~phase:p2 ~period:450 ();
+      "S3", Gen.periodic ~phase:p3 ~period:1000 ();
+      "S4", Gen.periodic ~phase:p4 ~period:400 ();
+    ]
+  | _ -> assert false
+
+let run_paper phases =
+  let spec = Scenarios.Paper_system.spec () in
+  let hem = ok (Engine.analyse ~mode:Engine.Hierarchical spec) in
+  let trace =
+    ok (Simulator.run ~generators:(paper_generators phases) ~horizon:500_000 spec)
+  in
+  hem, trace
+
+let phase_sets =
+  [
+    [ 0; 0; 0; 0 ];  (* the critical-instant-like alignment *)
+    [ 0; 3; 7; 11 ];
+    [ 100; 0; 500; 200 ];
+    [ 249; 449; 999; 399 ];
+  ]
+
+let test_paper_responses_conservative () =
+  List.iteri
+    (fun i phases ->
+      let hem, trace = run_paper phases in
+      check_responses_dominated
+        ~label:(Printf.sprintf "phases %d" i)
+        hem trace
+        ("F1" :: "F2" :: Scenarios.Paper_system.cpu_tasks))
+    phase_sets
+
+let test_paper_eta_conservative () =
+  List.iteri
+    (fun i phases ->
+      let hem, trace = run_paper phases in
+      let label = Printf.sprintf "phases %d" i in
+      (* frame arrivals vs the post-bus outer stream *)
+      check_eta_dominated ~label
+        (hem.Engine.resolve (Spec.From_frame "F1"))
+        trace (Port.frame "F1");
+      (* unpacked signal deliveries vs the inner streams *)
+      List.iter
+        (fun signal ->
+          check_eta_dominated ~label
+            (hem.Engine.resolve (Spec.From_signal { frame = "F1"; signal }))
+            trace
+            (Port.signal ~frame:"F1" ~signal))
+        [ "sig1"; "sig2"; "sig3" ])
+    phase_sets
+
+let test_paper_flat_also_conservative () =
+  (* the baseline must of course be conservative too *)
+  let spec = Scenarios.Paper_system.spec () in
+  let flat = ok (Engine.analyse ~mode:Engine.Flat_sem spec) in
+  let trace =
+    ok
+      (Simulator.run
+         ~generators:(paper_generators [ 0; 0; 0; 0 ])
+         ~horizon:500_000 spec)
+  in
+  check_responses_dominated ~label:"flat" flat trace
+    ("F1" :: "F2" :: Scenarios.Paper_system.cpu_tasks)
+
+let test_paper_jittery_sources_conservative () =
+  (* jittered generators stay within the periodic-with-jitter models *)
+  let jitter = 40 in
+  let spec_model =
+    Spec.make
+      ~sources:
+        [
+          ( "S1",
+            Stream.periodic_jitter ~name:"S1" ~period:250 ~jitter ~d_min:0 () );
+          ( "S2",
+            Stream.periodic_jitter ~name:"S2" ~period:450 ~jitter ~d_min:0 () );
+          ( "S3",
+            Stream.periodic_jitter ~name:"S3" ~period:1000 ~jitter ~d_min:0 () );
+          ( "S4",
+            Stream.periodic_jitter ~name:"S4" ~period:400 ~jitter ~d_min:0 () );
+        ]
+      ~resources:(Scenarios.Paper_system.spec ()).Spec.resources
+      ~tasks:(Scenarios.Paper_system.spec ()).Spec.tasks
+      ~frames:(Scenarios.Paper_system.spec ()).Spec.frames ()
+  in
+  let hem = ok (Engine.analyse ~mode:Engine.Hierarchical spec_model) in
+  let generators =
+    [
+      "S1", Gen.periodic_jitter ~period:250 ~jitter ();
+      "S2", Gen.periodic_jitter ~period:450 ~jitter ();
+      "S3", Gen.periodic_jitter ~period:1000 ~jitter ();
+      "S4", Gen.periodic_jitter ~period:400 ~jitter ();
+    ]
+  in
+  List.iter
+    (fun seed ->
+      let trace =
+        ok (Simulator.run ~seed ~generators ~horizon:300_000 spec_model)
+      in
+      check_responses_dominated
+        ~label:(Printf.sprintf "seed %d" seed)
+        hem trace
+        ("F1" :: "F2" :: Scenarios.Paper_system.cpu_tasks))
+    [ 1; 2; 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* randomized systems *)
+
+let random_system rng =
+  let pick lo hi = lo + Random.State.int rng (hi - lo + 1) in
+  let p1 = pick 100 400
+  and p2 = pick 200 800
+  and p3 = pick 500 2000
+  and p4 = pick 150 900 in
+  let sources =
+    [
+      "S1", Stream.periodic ~name:"S1" ~period:p1;
+      "S2", Stream.periodic ~name:"S2" ~period:p2;
+      "S3", Stream.periodic ~name:"S3" ~period:p3;
+      "S4", Stream.periodic ~name:"S4" ~period:p4;
+    ]
+  in
+  let tx1 = pick 2 8 and tx2 = pick 1 4 in
+  let c1 = pick 5 (p1 / 4) and c2 = pick 5 (p2 / 4) and c3 = pick 5 (p3 / 8) in
+  let spec =
+    Spec.make ~sources
+      ~resources:
+        [
+          { Spec.res_name = "CAN"; scheduler = Spec.Spnp };
+          { Spec.res_name = "CPU1"; scheduler = Spec.Spp };
+        ]
+      ~tasks:
+        [
+          Spec.task ~name:"T1" ~resource:"CPU1" ~cet:(Interval.point c1)
+            ~priority:1
+            ~activation:(Spec.From_signal { frame = "F1"; signal = "sig1" })
+            ();
+          Spec.task ~name:"T2" ~resource:"CPU1" ~cet:(Interval.point c2)
+            ~priority:2
+            ~activation:(Spec.From_signal { frame = "F1"; signal = "sig2" })
+            ();
+          Spec.task ~name:"T3" ~resource:"CPU1" ~cet:(Interval.point c3)
+            ~priority:3
+            ~activation:(Spec.From_signal { frame = "F1"; signal = "sig3" })
+            ();
+        ]
+      ~frames:
+        [
+          Spec.frame ~name:"F1" ~bus:"CAN" ~send_type:Comstack.Frame.Direct
+            ~tx_time:(Interval.point tx1) ~priority:1
+            ~signals:
+              [
+                Spec.signal ~name:"sig1" ~origin:(Spec.From_source "S1") ();
+                Spec.signal ~name:"sig2" ~origin:(Spec.From_source "S2") ();
+                Spec.signal ~name:"sig3" ~property:Hem.Model.Pending
+                  ~origin:(Spec.From_source "S3") ();
+              ]
+            ();
+          Spec.frame ~name:"F2" ~bus:"CAN" ~send_type:Comstack.Frame.Direct
+            ~tx_time:(Interval.point tx2) ~priority:2
+            ~signals:
+              [ Spec.signal ~name:"sig4" ~origin:(Spec.From_source "S4") () ]
+            ();
+        ]
+      ()
+  in
+  let generators =
+    [
+      "S1", Gen.periodic ~phase:(pick 0 p1) ~period:p1 ();
+      "S2", Gen.periodic ~phase:(pick 0 p2) ~period:p2 ();
+      "S3", Gen.periodic ~phase:(pick 0 p3) ~period:p3 ();
+      "S4", Gen.periodic ~phase:(pick 0 p4) ~period:p4 ();
+    ]
+  in
+  spec, generators
+
+let test_random_systems_conservative () =
+  let rng = Random.State.make [| 2026 |] in
+  let checked = ref 0 in
+  for trial = 1 to 12 do
+    let spec, generators = random_system rng in
+    match Engine.analyse ~mode:Engine.Hierarchical spec with
+    | Error e -> Alcotest.failf "trial %d: %s" trial e
+    | Ok hem ->
+      if hem.Engine.converged then begin
+        incr checked;
+        let trace = ok (Simulator.run ~generators ~horizon:200_000 spec) in
+        check_responses_dominated
+          ~label:(Printf.sprintf "trial %d" trial)
+          hem trace
+          [ "F1"; "F2"; "T1"; "T2"; "T3" ];
+        List.iter
+          (fun signal ->
+            check_eta_dominated
+              ~label:(Printf.sprintf "trial %d" trial)
+              (hem.Engine.resolve (Spec.From_signal { frame = "F1"; signal }))
+              trace
+              (Port.signal ~frame:"F1" ~signal))
+          [ "sig1"; "sig2"; "sig3" ]
+      end
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "checked %d systems" !checked)
+    true (!checked >= 8)
+
+let test_random_flat_mode_conservative () =
+  (* the SEM baseline is pessimistic: many random systems overload under
+     it, so run more trials to collect enough converging ones *)
+  let rng = Random.State.make [| 4711 |] in
+  let checked = ref 0 in
+  for trial = 1 to 15 do
+    let spec, generators = random_system rng in
+    match Engine.analyse ~mode:Engine.Flat_sem spec with
+    | Error e -> Alcotest.failf "trial %d: %s" trial e
+    | Ok flat ->
+      if flat.Engine.converged then begin
+        incr checked;
+        let trace = ok (Simulator.run ~generators ~horizon:200_000 spec) in
+        check_responses_dominated
+          ~label:(Printf.sprintf "flat trial %d" trial)
+          flat trace
+          [ "F1"; "F2"; "T1"; "T2"; "T3" ]
+      end
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "checked %d systems" !checked)
+    true (!checked >= 3)
+
+(* ------------------------------------------------------------------ *)
+(* other schedulers *)
+
+let service_system scheduler rng =
+  let pick lo hi = lo + Random.State.int rng (hi - lo + 1) in
+  let p1 = pick 60 300
+  and p2 = pick 60 300
+  and p3 = pick 100 500 in
+  let spec =
+    Spec.make
+      ~sources:
+        [
+          "s1", Stream.periodic ~name:"s1" ~period:p1;
+          "s2", Stream.periodic ~name:"s2" ~period:p2;
+          "s3", Stream.periodic ~name:"s3" ~period:p3;
+        ]
+      ~resources:[ { Spec.res_name = "r"; scheduler } ]
+      ~tasks:
+        [
+          Spec.task ~name:"t1" ~resource:"r" ~cet:(Interval.point (pick 2 8))
+            ~priority:1 ~service:(pick 2 6) ~deadline:p1
+            ~activation:(Spec.From_source "s1") ();
+          Spec.task ~name:"t2" ~resource:"r" ~cet:(Interval.point (pick 2 8))
+            ~priority:2 ~service:(pick 2 6) ~deadline:p2
+            ~activation:(Spec.From_source "s2") ();
+          Spec.task ~name:"t3" ~resource:"r" ~cet:(Interval.point (pick 2 8))
+            ~priority:3 ~service:(pick 2 6) ~deadline:p3
+            ~activation:(Spec.From_source "s3") ();
+        ]
+      ()
+  in
+  let generators =
+    [
+      "s1", Gen.periodic ~phase:(pick 0 p1) ~period:p1 ();
+      "s2", Gen.periodic ~phase:(pick 0 p2) ~period:p2 ();
+      "s3", Gen.periodic ~phase:(pick 0 p3) ~period:p3 ();
+    ]
+  in
+  spec, generators
+
+let check_scheduler_conservative ~name scheduler seed_base =
+  let rng = Random.State.make [| seed_base |] in
+  let checked = ref 0 in
+  for trial = 1 to 10 do
+    let spec, generators = service_system scheduler rng in
+    match Engine.analyse spec with
+    | Error e -> Alcotest.failf "%s trial %d: %s" name trial e
+    | Ok result ->
+      if result.Engine.converged then begin
+        incr checked;
+        let trace = ok (Simulator.run ~generators ~horizon:100_000 spec) in
+        check_responses_dominated
+          ~label:(Printf.sprintf "%s trial %d" name trial)
+          result trace [ "t1"; "t2"; "t3" ]
+      end
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: checked %d systems" name !checked)
+    true (!checked >= 4)
+
+let test_gateway_conservative () =
+  (* the two-hop repacking system: bounds hold across both hops *)
+  let rng = Random.State.make [| 99 |] in
+  for trial = 1 to 5 do
+    let p1 = 150 + Random.State.int rng 300 in
+    let p2 = 200 + Random.State.int rng 500 in
+    let spec = Scenarios.Gateway.spec ~s1_period:p1 ~s2_period:p2 () in
+    match Engine.analyse ~mode:Engine.Hierarchical spec with
+    | Error e -> Alcotest.failf "trial %d: %s" trial e
+    | Ok hem ->
+      if hem.Engine.converged then begin
+        let generators =
+          [
+            "S1", Gen.periodic ~phase:(Random.State.int rng p1) ~period:p1 ();
+            "S2", Gen.periodic ~phase:(Random.State.int rng p2) ~period:p2 ();
+          ]
+        in
+        let trace = ok (Simulator.run ~generators ~horizon:300_000 spec) in
+        check_responses_dominated
+          ~label:(Printf.sprintf "gateway %d" trial)
+          hem trace
+          [ "G1"; "GW1"; "GW2"; "B1"; "D1"; "D2" ];
+        (* inner streams survive the second hop conservatively *)
+        List.iter
+          (fun signal ->
+            check_eta_dominated
+              ~label:(Printf.sprintf "gateway %d" trial)
+              (hem.Engine.resolve (Spec.From_signal { frame = "B1"; signal }))
+              trace
+              (Port.signal ~frame:"B1" ~signal))
+          [ "gsig1"; "gsig2" ]
+      end
+  done
+
+let test_and_activation_conservative () =
+  (* AND joins: observed joint activations within the conservative
+     and_combine bounds *)
+  let spec =
+    Spec.make
+      ~sources:
+        [
+          "a", Stream.periodic ~name:"a" ~period:100;
+          "b", Stream.periodic ~name:"b" ~period:100;
+        ]
+      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp } ]
+      ~tasks:
+        [
+          Spec.task ~name:"join" ~resource:"cpu" ~cet:(Interval.point 5)
+            ~priority:1
+            ~activation:
+              (Spec.And_of [ Spec.From_source "a"; Spec.From_source "b" ])
+            ();
+        ]
+      ()
+  in
+  let hem = ok (Engine.analyse spec) in
+  let generators =
+    [
+      "a", Gen.periodic ~period:100 ();
+      "b", Gen.periodic ~phase:40 ~period:100 ();
+    ]
+  in
+  let trace = ok (Simulator.run ~generators ~horizon:100_000 spec) in
+  check_responses_dominated ~label:"and" hem trace [ "join" ];
+  check_eta_dominated ~label:"and"
+    (hem.Engine.resolve
+       (Spec.And_of [ Spec.From_source "a"; Spec.From_source "b" ]))
+    trace
+    (Port.activation "join")
+
+let test_tdma_conservative () =
+  check_scheduler_conservative ~name:"tdma" Spec.Tdma 31
+
+let test_round_robin_conservative () =
+  check_scheduler_conservative ~name:"rr" Spec.Round_robin 32
+
+let test_edf_conservative () =
+  check_scheduler_conservative ~name:"edf" Spec.Edf 33
+
+let test_avionics_full_stack_conservative () =
+  (* every scheduler in one system, several seeds and execution policies *)
+  let spec = Scenarios.Avionics.spec () in
+  let result = ok (Engine.analyse ~mode:Engine.Hierarchical spec) in
+  Alcotest.(check bool) "converged" true result.Engine.converged;
+  List.iter
+    (fun (seed, policy) ->
+      let trace =
+        ok
+          (Simulator.run ~seed ~cet_policy:policy
+             ~generators:(Scenarios.Avionics.generators ())
+             ~horizon:300_000 spec)
+      in
+      check_responses_dominated
+        ~label:(Printf.sprintf "avionics seed %d" seed)
+        result trace Scenarios.Avionics.all_elements)
+    [ 1, Simulator.Worst_case; 2, Simulator.Uniform; 3, Simulator.Uniform ]
+
+(* ------------------------------------------------------------------ *)
+(* negative control: the harness must be able to detect violations *)
+
+let test_model_violation_detected () =
+  (* drive S1 at four times its declared rate: the analytic bounds are
+     computed for the declared model and must be exceeded somewhere,
+     proving the conservativeness checks are not vacuous *)
+  let spec = Scenarios.Paper_system.spec () in
+  let hem = ok (Engine.analyse ~mode:Engine.Hierarchical spec) in
+  let generators =
+    [
+      "S1", Gen.periodic ~period:60 ();  (* declared: 250 *)
+      "S2", Gen.periodic ~period:450 ();
+      "S3", Gen.periodic ~period:1000 ();
+      "S4", Gen.periodic ~period:400 ();
+    ]
+  in
+  let trace = ok (Simulator.run ~generators ~horizon:500_000 spec) in
+  let exceeded =
+    List.exists
+      (fun name ->
+        match Engine.response hem name, Trace.worst_response trace name with
+        | Some bound, Some observed -> observed > Interval.hi bound
+        | _ -> false)
+      Scenarios.Paper_system.cpu_tasks
+  in
+  Alcotest.(check bool) "violation surfaces as exceeded bound" true exceeded
+
+let () =
+  Alcotest.run "sim_vs_analysis"
+    [
+      ( "paper system",
+        [
+          Alcotest.test_case "responses conservative" `Slow
+            test_paper_responses_conservative;
+          Alcotest.test_case "arrival curves conservative" `Slow
+            test_paper_eta_conservative;
+          Alcotest.test_case "flat baseline conservative" `Slow
+            test_paper_flat_also_conservative;
+          Alcotest.test_case "jittered sources" `Slow
+            test_paper_jittery_sources_conservative;
+        ] );
+      ( "randomized",
+        [
+          Alcotest.test_case "hierarchical mode" `Slow
+            test_random_systems_conservative;
+          Alcotest.test_case "flat mode" `Slow test_random_flat_mode_conservative;
+        ] );
+      ( "other schedulers",
+        [
+          Alcotest.test_case "tdma" `Slow test_tdma_conservative;
+          Alcotest.test_case "round robin" `Slow test_round_robin_conservative;
+          Alcotest.test_case "edf" `Slow test_edf_conservative;
+        ] );
+      ( "topologies",
+        [
+          Alcotest.test_case "two-hop gateway" `Slow test_gateway_conservative;
+          Alcotest.test_case "AND activation" `Slow
+            test_and_activation_conservative;
+          Alcotest.test_case "avionics full stack" `Slow
+            test_avionics_full_stack_conservative;
+        ] );
+      ( "negative control",
+        [
+          Alcotest.test_case "model violation detected" `Slow
+            test_model_violation_detected;
+        ] );
+    ]

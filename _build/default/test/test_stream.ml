@@ -1,0 +1,252 @@
+(* Tests for event streams: distance curves, the arrival functions
+   eta_plus / eta_minus (paper, eqs. 1-2), stream builders and validation. *)
+
+module Time = Timebase.Time
+module Count = Timebase.Count
+module Stream = Event_model.Stream
+
+let time = Alcotest.testable Time.pp Time.equal
+
+let count = Alcotest.testable Count.pp Count.equal
+
+(* Brute-force eta_plus per eq. (1): max {n >= 1 | delta_min n < dt}. *)
+let brute_eta_plus s dt =
+  if dt <= 0 then Count.zero
+  else begin
+    let rec scan n best =
+      if n > 4096 then Count.Inf
+      else if Time.(Stream.delta_min s n < Time.of_int dt) then scan (n + 1) n
+      else Count.of_int best
+    in
+    scan 1 1
+  end
+
+(* Brute-force eta_minus per eq. (2): min {n >= 0 | delta_plus (n+2) > dt}. *)
+let brute_eta_minus s dt =
+  if dt <= 0 then Count.zero
+  else begin
+    let rec scan n =
+      if n > 4096 then Count.Inf
+      else if Time.(Stream.delta_plus s (n + 2) > Time.of_int dt) then
+        Count.of_int n
+      else scan (n + 1)
+    in
+    scan 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* builders *)
+
+let test_periodic () =
+  let s = Stream.periodic ~name:"p" ~period:100 in
+  Alcotest.check time "delta_min 1" Time.zero (Stream.delta_min s 1);
+  Alcotest.check time "delta_min 2" (Time.of_int 100) (Stream.delta_min s 2);
+  Alcotest.check time "delta_min 5" (Time.of_int 400) (Stream.delta_min s 5);
+  Alcotest.check time "delta_plus 5" (Time.of_int 400) (Stream.delta_plus s 5);
+  Alcotest.check count "eta_plus 100" (Count.of_int 1) (Stream.eta_plus s 100);
+  Alcotest.check count "eta_plus 101" (Count.of_int 2) (Stream.eta_plus s 101);
+  Alcotest.check count "eta_plus 0" Count.zero (Stream.eta_plus s 0)
+
+let test_sporadic () =
+  let s = Stream.sporadic ~name:"s" ~d_min:10 in
+  Alcotest.check time "delta_min 3" (Time.of_int 20) (Stream.delta_min s 3);
+  Alcotest.check time "delta_plus 2" Time.Inf (Stream.delta_plus s 2);
+  Alcotest.check count "eta_minus any" Count.zero (Stream.eta_minus s 100000);
+  Alcotest.check count "eta_plus 25" (Count.of_int 3) (Stream.eta_plus s 25)
+
+let test_periodic_jitter () =
+  let s = Stream.periodic_jitter ~name:"pj" ~period:100 ~jitter:30 () in
+  (* delta_min n = max ((n-1)*1) ((n-1)*100 - 30) *)
+  Alcotest.check time "delta_min 2" (Time.of_int 70) (Stream.delta_min s 2);
+  Alcotest.check time "delta_plus 2" (Time.of_int 130) (Stream.delta_plus s 2);
+  Alcotest.check count "eta_plus 71" (Count.of_int 2) (Stream.eta_plus s 71);
+  Alcotest.check count "eta_plus 70" (Count.of_int 1) (Stream.eta_plus s 70)
+
+let test_periodic_burst () =
+  let s = Stream.periodic_burst ~name:"pb" ~period:100 ~burst:3 ~d_min:5 in
+  (* events at 0,5,10, 100,105,110, 200,... *)
+  Alcotest.check time "delta_min 3" (Time.of_int 10) (Stream.delta_min s 3);
+  (* any 4 consecutive events of the deterministic pattern span exactly
+     one burst boundary: 100 regardless of the start index *)
+  Alcotest.check time "delta_min 4" (Time.of_int 100) (Stream.delta_min s 4);
+  Alcotest.check time "delta_plus 4" (Time.of_int 100) (Stream.delta_plus s 4);
+  Alcotest.check count "eta_plus 11" (Count.of_int 3) (Stream.eta_plus s 11);
+  Alcotest.(check bool) "well formed" true
+    (Stream.well_formed s ~horizon:40 = Ok ())
+
+let test_builder_validation () =
+  let raises f = match f () with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "periodic 0" true
+    (raises (fun () -> Stream.periodic ~name:"x" ~period:0));
+  Alcotest.(check bool) "sporadic 0" true
+    (raises (fun () -> Stream.sporadic ~name:"x" ~d_min:0));
+  Alcotest.(check bool) "jitter neg" true
+    (raises (fun () ->
+       Stream.periodic_jitter ~name:"x" ~period:5 ~jitter:(-1) ()));
+  Alcotest.(check bool) "burst too large" true
+    (raises (fun () ->
+       Stream.periodic_burst ~name:"x" ~period:10 ~burst:3 ~d_min:5))
+
+(* ------------------------------------------------------------------ *)
+(* eta functions *)
+
+let test_eta_plus_vs_brute () =
+  let streams =
+    [
+      Stream.periodic ~name:"a" ~period:17;
+      Stream.periodic_jitter ~name:"b" ~period:50 ~jitter:120 ();
+      Stream.sporadic ~name:"c" ~d_min:7;
+      Stream.periodic_burst ~name:"d" ~period:60 ~burst:4 ~d_min:3;
+    ]
+  in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun dt ->
+          Alcotest.check count
+            (Printf.sprintf "%s dt=%d" (Stream.name s) dt)
+            (brute_eta_plus s dt) (Stream.eta_plus s dt))
+        [ 0; 1; 2; 16; 17; 18; 50; 100; 119; 120; 121; 500 ])
+    streams
+
+let test_eta_minus_vs_brute () =
+  let streams =
+    [
+      Stream.periodic ~name:"a" ~period:17;
+      Stream.periodic_jitter ~name:"b" ~period:50 ~jitter:20 ();
+      Stream.sporadic ~name:"c" ~d_min:7;
+    ]
+  in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun dt ->
+          Alcotest.check count
+            (Printf.sprintf "%s dt=%d" (Stream.name s) dt)
+            (brute_eta_minus s dt) (Stream.eta_minus s dt))
+        [ 0; 1; 17; 34; 50; 70; 71; 500 ])
+    streams
+
+let test_low_index_clamp () =
+  let s =
+    Stream.make ~name:"weird"
+      ~delta_min:(fun n -> Time.of_int (n * 100))
+      ~delta_plus:(fun n -> Time.of_int (n * 100))
+  in
+  Alcotest.check time "n=0" Time.zero (Stream.delta_min s 0);
+  Alcotest.check time "n=1" Time.zero (Stream.delta_min s 1);
+  Alcotest.check time "n=1 plus" Time.zero (Stream.delta_plus s 1)
+
+let test_well_formed_detects () =
+  let bad =
+    Stream.make ~name:"bad"
+      ~delta_min:(fun n -> Time.of_int (100 * n))
+      ~delta_plus:(fun n -> Time.of_int (10 * n))
+  in
+  Alcotest.(check bool) "delta_plus < delta_min" true
+    (match Stream.well_formed bad with Error _ -> true | Ok () -> false);
+  let shrinking =
+    Stream.make ~name:"shrink"
+      ~delta_min:(fun n -> Time.of_int (Stdlib.max 0 (100 - n)))
+      ~delta_plus:(fun _ -> Time.Inf)
+  in
+  Alcotest.(check bool) "non-monotone" true
+    (match Stream.well_formed shrinking with Error _ -> true | Ok () -> false)
+
+let test_sample_eta_plus () =
+  let s = Stream.periodic ~name:"p" ~period:10 in
+  Alcotest.(check (list (pair int int)))
+    "series"
+    [ 5, 1; 15, 2; 25, 3 ]
+    (Stream.sample_eta_plus s ~dts:[ 5; 15; 25 ]
+    |> List.map (fun (dt, c) -> dt, Count.to_int c))
+
+let test_with_name () =
+  let s = Stream.periodic ~name:"p" ~period:10 in
+  Alcotest.(check string) "renamed" "q" (Stream.name (Stream.with_name "q" s))
+
+(* ------------------------------------------------------------------ *)
+(* properties *)
+
+let arb_sem_params =
+  QCheck.triple (QCheck.int_range 1 500) (QCheck.int_range 0 1000)
+    (QCheck.int_range 0 20)
+
+(* the shrinker may step outside the generator ranges; clamp defensively
+   (and keep d_min <= period, the model invariant) *)
+let stream_of (p, j, d) =
+  let period = Stdlib.max 1 p in
+  Stream.periodic_jitter ~name:"prop" ~period ~jitter:(Stdlib.max 0 j)
+    ~d_min:(Stdlib.min period (Stdlib.max 0 d)) ()
+
+let prop_eta_plus_monotone =
+  QCheck.Test.make ~name:"eta_plus monotone in window size" ~count:100
+    (QCheck.pair arb_sem_params (QCheck.int_range 0 800))
+    (fun (params, dt) ->
+      let s = stream_of params in
+      Count.compare (Stream.eta_plus s dt) (Stream.eta_plus s (dt + 1)) <= 0)
+
+let prop_eta_delta_galois =
+  (* pseudo-inverse consistency: delta_min (eta_plus dt) < dt and
+     delta_min (eta_plus dt + 1) >= dt for dt > 0 *)
+  QCheck.Test.make ~name:"eta_plus/delta_min pseudo-inverse" ~count:100
+    (QCheck.pair arb_sem_params (QCheck.int_range 1 800))
+    (fun (params, dt) ->
+      let s = stream_of params in
+      match Stream.eta_plus s dt with
+      | Count.Inf -> false
+      | Count.Fin n ->
+        Time.(Stream.delta_min s n < Time.of_int dt)
+        && Time.(Stream.delta_min s (n + 1) >= Time.of_int dt))
+
+let prop_eta_minus_le_eta_plus =
+  QCheck.Test.make ~name:"eta_minus <= eta_plus" ~count:100
+    (QCheck.pair arb_sem_params (QCheck.int_range 0 800))
+    (fun (params, dt) ->
+      let s = stream_of params in
+      Count.compare (Stream.eta_minus s dt) (Stream.eta_plus s dt) <= 0)
+
+let prop_delta_min_superadditive_periodic =
+  (* strictly periodic streams have additive distance curves *)
+  QCheck.Test.make ~name:"periodic distances additive" ~count:100
+    (QCheck.triple (QCheck.int_range 1 300) (QCheck.int_range 2 20)
+       (QCheck.int_range 2 20)) (fun (p, a, b) ->
+      let s = Stream.periodic ~name:"p" ~period:p in
+      Time.equal
+        (Stream.delta_min s (a + b - 1))
+        (Time.add (Stream.delta_min s a) (Stream.delta_min s b)))
+
+let () =
+  Alcotest.run "stream"
+    [
+      ( "builders",
+        [
+          Alcotest.test_case "periodic" `Quick test_periodic;
+          Alcotest.test_case "sporadic" `Quick test_sporadic;
+          Alcotest.test_case "periodic_jitter" `Quick test_periodic_jitter;
+          Alcotest.test_case "periodic_burst" `Quick test_periodic_burst;
+          Alcotest.test_case "validation" `Quick test_builder_validation;
+        ] );
+      ( "eta",
+        [
+          Alcotest.test_case "eta_plus vs brute force" `Quick
+            test_eta_plus_vs_brute;
+          Alcotest.test_case "eta_minus vs brute force" `Quick
+            test_eta_minus_vs_brute;
+          Alcotest.test_case "low index clamp" `Quick test_low_index_clamp;
+          Alcotest.test_case "well_formed" `Quick test_well_formed_detects;
+          Alcotest.test_case "sample series" `Quick test_sample_eta_plus;
+          Alcotest.test_case "with_name" `Quick test_with_name;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_eta_plus_monotone;
+            prop_eta_delta_galois;
+            prop_eta_minus_le_eta_plus;
+            prop_delta_min_superadditive_periodic;
+          ] );
+    ]

@@ -1,0 +1,145 @@
+(* Tests for the output event-stream operation Theta_tau (paper,
+   section 3): jitter amplification by the response-time spread and
+   serialization at the best-case response time. *)
+
+module Time = Timebase.Time
+module Interval = Timebase.Interval
+module Stream = Event_model.Stream
+module Task_op = Event_model.Task_op
+
+let time = Alcotest.testable Time.pp Time.equal
+
+let test_identity_for_zero_response () =
+  let input = Stream.periodic_jitter ~name:"in" ~period:100 ~jitter:20 () in
+  let out = Task_op.output ~response:(Interval.make ~lo:0 ~hi:0) input in
+  for n = 0 to 10 do
+    Alcotest.check time
+      (Printf.sprintf "delta_min %d" n)
+      (Stream.delta_min input n) (Stream.delta_min out n);
+    Alcotest.check time
+      (Printf.sprintf "delta_plus %d" n)
+      (Stream.delta_plus input n) (Stream.delta_plus out n)
+  done
+
+let test_delta_plus_shifted () =
+  let input = Stream.periodic ~name:"in" ~period:100 in
+  let out = Task_op.output ~response:(Interval.make ~lo:5 ~hi:30) input in
+  (* delta_plus' n = delta_plus n + (r+ - r-) *)
+  for n = 2 to 8 do
+    Alcotest.check time
+      (Printf.sprintf "delta_plus %d" n)
+      (Time.add (Stream.delta_plus input n) (Time.of_int 25))
+      (Stream.delta_plus out n)
+  done
+
+let test_delta_min_recurrence () =
+  (* Simultaneous input events are serialized at least r- apart; distant
+     events keep their distance minus the response spread. *)
+  let input =
+    Stream.make ~name:"burst2"
+      ~delta_min:(fun n -> Time.of_int ((n - 1) / 2 * 100))
+      ~delta_plus:(fun n -> Time.of_int (((n - 1) / 2 * 100) + 10))
+  in
+  let out = Task_op.output ~response:(Interval.make ~lo:5 ~hi:30) input in
+  (* n=2: max (0 - 25) (0 + 5) = 5 *)
+  Alcotest.check time "delta_min 2" (Time.of_int 5) (Stream.delta_min out 2);
+  (* n=3: max (100 - 25) (5 + 5) = 75 *)
+  Alcotest.check time "delta_min 3" (Time.of_int 75) (Stream.delta_min out 3);
+  (* n=4: max (100 - 25) (75 + 5) = 80 *)
+  Alcotest.check time "delta_min 4" (Time.of_int 80) (Stream.delta_min out 4)
+
+let test_paper_frame_output () =
+  (* The bus output stream of frame F1 in the paper example: OR(S1,S2)
+     processed with response [4:10]. *)
+  let combined =
+    Event_model.Combine.or_combine
+      [
+        Stream.periodic ~name:"S1" ~period:250;
+        Stream.periodic ~name:"S2" ~period:450;
+      ]
+  in
+  let out = Task_op.output ~response:(Interval.make ~lo:4 ~hi:10) combined in
+  (* two simultaneous triggers leave the bus at least r- = 4 apart *)
+  Alcotest.check time "delta_min 2" (Time.of_int 4) (Stream.delta_min out 2);
+  (* third trigger is 250 after the first: 250 - 6 = 244 *)
+  Alcotest.check time "delta_min 3" (Time.of_int 244) (Stream.delta_min out 3)
+
+let test_infinite_delta_plus_preserved () =
+  let input = Stream.sporadic ~name:"sp" ~d_min:50 in
+  let out = Task_op.output ~response:(Interval.make ~lo:1 ~hi:7) input in
+  Alcotest.check time "inf stays" Time.Inf (Stream.delta_plus out 2)
+
+let test_default_name () =
+  let input = Stream.periodic ~name:"in" ~period:10 in
+  let out = Task_op.output ~response:(Interval.point 3) input in
+  Alcotest.(check string) "name" "out(in)" (Stream.name out)
+
+(* properties *)
+
+let arb_stream =
+  let open QCheck in
+  map
+    (fun (p, j) ->
+      Stream.periodic_jitter ~name:"s" ~period:(Stdlib.max 1 p)
+        ~jitter:(Stdlib.max 0 j) ())
+    (pair (int_range 1 200) (int_range 0 300))
+
+let arb_response =
+  QCheck.map
+    (fun (lo, w) ->
+      Interval.make ~lo:(Stdlib.max 0 lo) ~hi:(Stdlib.max 0 lo + Stdlib.max 0 w))
+    QCheck.(pair (int_range 0 40) (int_range 0 60))
+
+let prop_output_min_distance_r_minus =
+  QCheck.Test.make ~name:"output events >= r- apart" ~count:100
+    (QCheck.pair arb_stream arb_response) (fun (s, r) ->
+      let out = Task_op.output ~response:r s in
+      let r_minus = Interval.lo r in
+      List.for_all
+        (fun n ->
+          Time.(Stream.delta_min out n >= Time.of_int ((n - 1) * r_minus)))
+        [ 2; 3; 4; 5; 8 ])
+
+let prop_output_monotone_delta_min =
+  QCheck.Test.make ~name:"output delta_min monotone" ~count:100
+    (QCheck.pair arb_stream arb_response) (fun (s, r) ->
+      let out = Task_op.output ~response:r s in
+      List.for_all
+        (fun n -> Time.(Stream.delta_min out n <= Stream.delta_min out (n + 1)))
+        [ 1; 2; 3; 4; 5; 6 ])
+
+let prop_output_delta_plus_exact =
+  (* delta_plus' n = delta_plus n + (r+ - r-), verbatim from the paper *)
+  QCheck.Test.make ~name:"output delta_plus shift exact" ~count:100
+    (QCheck.pair arb_stream arb_response) (fun (s, r) ->
+      let out = Task_op.output ~response:r s in
+      List.for_all
+        (fun n ->
+          Time.equal
+            (Stream.delta_plus out n)
+            (Time.add (Stream.delta_plus s n) (Time.of_int (Interval.width r))))
+        [ 2; 3; 5; 9 ])
+
+let () =
+  Alcotest.run "task_op"
+    [
+      ( "output model",
+        [
+          Alcotest.test_case "identity for [0:0]" `Quick
+            test_identity_for_zero_response;
+          Alcotest.test_case "delta_plus shift" `Quick test_delta_plus_shifted;
+          Alcotest.test_case "delta_min recurrence" `Quick
+            test_delta_min_recurrence;
+          Alcotest.test_case "paper frame output" `Quick test_paper_frame_output;
+          Alcotest.test_case "infinite delta_plus" `Quick
+            test_infinite_delta_plus_preserved;
+          Alcotest.test_case "default name" `Quick test_default_name;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_output_min_distance_r_minus;
+            prop_output_monotone_delta_min;
+            prop_output_delta_plus_exact;
+          ] );
+    ]

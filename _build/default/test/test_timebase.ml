@@ -1,0 +1,185 @@
+(* Unit and property tests for the timebase library: extended time,
+   extended counts, and closed integer intervals. *)
+
+module Time = Timebase.Time
+module Count = Timebase.Count
+module Interval = Timebase.Interval
+
+let time_testable = Alcotest.testable Time.pp Time.equal
+
+let count_testable = Alcotest.testable Count.pp Count.equal
+
+let interval_testable = Alcotest.testable Interval.pp Interval.equal
+
+let check_time = Alcotest.check time_testable
+
+let check_count = Alcotest.check count_testable
+
+(* ------------------------------------------------------------------ *)
+(* Time *)
+
+let test_time_constants () =
+  check_time "zero" (Time.of_int 0) Time.zero;
+  check_time "one" (Time.of_int 1) Time.one
+
+let test_time_add () =
+  check_time "fin+fin" (Time.of_int 7) (Time.add (Time.of_int 3) (Time.of_int 4));
+  check_time "fin+inf" Time.Inf (Time.add (Time.of_int 3) Time.Inf);
+  check_time "inf+fin" Time.Inf (Time.add Time.Inf (Time.of_int 3));
+  check_time "inf+inf" Time.Inf (Time.add Time.Inf Time.Inf)
+
+let test_time_sub () =
+  check_time "fin-fin" (Time.of_int (-1)) (Time.sub (Time.of_int 3) (Time.of_int 4));
+  check_time "inf-fin" Time.Inf (Time.sub Time.Inf (Time.of_int 4));
+  Alcotest.check_raises "sub inf" (Invalid_argument "Time.sub: subtrahend is infinite")
+    (fun () -> ignore (Time.sub (Time.of_int 3) Time.Inf))
+
+let test_time_sub_clamped () =
+  check_time "positive" (Time.of_int 2) (Time.sub_clamped (Time.of_int 5) (Time.of_int 3));
+  check_time "clamped" Time.zero (Time.sub_clamped (Time.of_int 3) (Time.of_int 5));
+  check_time "minus inf" Time.zero (Time.sub_clamped (Time.of_int 3) Time.Inf);
+  check_time "inf minus fin" Time.Inf (Time.sub_clamped Time.Inf (Time.of_int 5))
+
+let test_time_scale () =
+  check_time "3*4" (Time.of_int 12) (Time.scale 3 (Time.of_int 4));
+  check_time "0*inf" Time.zero (Time.scale 0 Time.Inf);
+  check_time "2*inf" Time.Inf (Time.scale 2 Time.Inf);
+  Alcotest.check_raises "negative" (Invalid_argument "Time.scale: negative factor")
+    (fun () -> ignore (Time.scale (-1) Time.zero))
+
+let test_time_order () =
+  Alcotest.(check bool) "lt" true Time.(of_int 3 < of_int 4);
+  Alcotest.(check bool) "fin<inf" true Time.(of_int 1000 < Inf);
+  Alcotest.(check bool) "inf<=inf" true Time.(Inf <= Inf);
+  Alcotest.(check bool) "inf>fin" true Time.(Inf > of_int 5);
+  check_time "min" (Time.of_int 3) (Time.min (Time.of_int 3) Time.Inf);
+  check_time "max" Time.Inf (Time.max (Time.of_int 3) Time.Inf)
+
+let test_time_conversions () =
+  Alcotest.(check int) "to_int" 5 (Time.to_int (Time.of_int 5));
+  Alcotest.(check (option int)) "to_int_opt fin" (Some 5)
+    (Time.to_int_opt (Time.of_int 5));
+  Alcotest.(check (option int)) "to_int_opt inf" None (Time.to_int_opt Time.Inf);
+  Alcotest.(check bool) "is_finite" true (Time.is_finite Time.zero);
+  Alcotest.(check bool) "inf not finite" false (Time.is_finite Time.Inf);
+  Alcotest.(check string) "to_string fin" "42" (Time.to_string (Time.of_int 42));
+  Alcotest.(check string) "to_string inf" "inf" (Time.to_string Time.Inf);
+  Alcotest.check_raises "to_int inf" (Invalid_argument "Time.to_int: infinite")
+    (fun () -> ignore (Time.to_int Time.Inf))
+
+(* ------------------------------------------------------------------ *)
+(* Count *)
+
+let test_count_basics () =
+  check_count "zero" (Count.of_int 0) Count.zero;
+  check_count "add" (Count.of_int 5) (Count.add (Count.of_int 2) (Count.of_int 3));
+  check_count "add inf" Count.Inf (Count.add (Count.of_int 2) Count.Inf);
+  Alcotest.(check int) "to_int" 9 (Count.to_int (Count.of_int 9));
+  Alcotest.(check (option int)) "to_int_opt" None (Count.to_int_opt Count.Inf);
+  Alcotest.(check bool) "is_finite" false (Count.is_finite Count.Inf);
+  Alcotest.(check string) "to_string" "inf" (Count.to_string Count.Inf);
+  Alcotest.check_raises "negative" (Invalid_argument "Count.of_int: negative count")
+    (fun () -> ignore (Count.of_int (-1)))
+
+let test_count_order () =
+  check_count "min" (Count.of_int 2) (Count.min (Count.of_int 2) Count.Inf);
+  check_count "max" Count.Inf (Count.max (Count.of_int 2) Count.Inf);
+  Alcotest.(check int) "compare" (-1) (Count.compare (Count.of_int 2) Count.Inf)
+
+(* ------------------------------------------------------------------ *)
+(* Interval *)
+
+let test_interval_make () =
+  let i = Interval.make ~lo:2 ~hi:5 in
+  Alcotest.(check int) "lo" 2 (Interval.lo i);
+  Alcotest.(check int) "hi" 5 (Interval.hi i);
+  Alcotest.(check int) "width" 3 (Interval.width i);
+  Alcotest.check_raises "lo>hi" (Invalid_argument "Interval.make: lo > hi")
+    (fun () -> ignore (Interval.make ~lo:5 ~hi:2));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Interval.make: negative lower bound") (fun () ->
+      ignore (Interval.make ~lo:(-1) ~hi:2))
+
+let test_interval_point () =
+  let p = Interval.point 7 in
+  Alcotest.check interval_testable "point" (Interval.make ~lo:7 ~hi:7) p;
+  Alcotest.(check int) "width" 0 (Interval.width p)
+
+let test_interval_ops () =
+  let a = Interval.make ~lo:1 ~hi:3
+  and b = Interval.make ~lo:2 ~hi:10 in
+  Alcotest.check interval_testable "add" (Interval.make ~lo:3 ~hi:13)
+    (Interval.add a b);
+  Alcotest.(check bool) "contains" true (Interval.contains b 5);
+  Alcotest.(check bool) "not contains" false (Interval.contains a 5);
+  Alcotest.(check string) "to_string" "[1:3]" (Interval.to_string a)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let arb_time =
+  QCheck.map
+    (fun (finite, v) -> if finite then Time.of_int v else Time.Inf)
+    QCheck.(pair bool (int_range (-1000) 1000))
+
+let prop_add_commutative =
+  QCheck.Test.make ~name:"Time.add commutative" ~count:200
+    (QCheck.pair arb_time arb_time) (fun (a, b) ->
+      Time.equal (Time.add a b) (Time.add b a))
+
+let prop_add_associative =
+  QCheck.Test.make ~name:"Time.add associative" ~count:200
+    (QCheck.triple arb_time arb_time arb_time) (fun (a, b, c) ->
+      Time.equal (Time.add (Time.add a b) c) (Time.add a (Time.add b c)))
+
+let prop_max_min_lattice =
+  QCheck.Test.make ~name:"Time.min/max absorb" ~count:200
+    (QCheck.pair arb_time arb_time) (fun (a, b) ->
+      Time.equal (Time.max a (Time.min a b)) a
+      && Time.equal (Time.min a (Time.max a b)) a)
+
+let prop_compare_total =
+  QCheck.Test.make ~name:"Time.compare antisymmetric" ~count:200
+    (QCheck.pair arb_time arb_time) (fun (a, b) ->
+      Time.compare a b = -Time.compare b a)
+
+let prop_sub_clamped_nonneg =
+  QCheck.Test.make ~name:"Time.sub_clamped lower-bounded by zero" ~count:200
+    (QCheck.pair arb_time arb_time) (fun (a, b) ->
+      Time.(sub_clamped a b >= Time.zero))
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest
+      [
+        prop_add_commutative;
+        prop_add_associative;
+        prop_max_min_lattice;
+        prop_compare_total;
+        prop_sub_clamped_nonneg;
+      ]
+  in
+  Alcotest.run "timebase"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "constants" `Quick test_time_constants;
+          Alcotest.test_case "add" `Quick test_time_add;
+          Alcotest.test_case "sub" `Quick test_time_sub;
+          Alcotest.test_case "sub_clamped" `Quick test_time_sub_clamped;
+          Alcotest.test_case "scale" `Quick test_time_scale;
+          Alcotest.test_case "order" `Quick test_time_order;
+          Alcotest.test_case "conversions" `Quick test_time_conversions;
+        ] );
+      ( "count",
+        [
+          Alcotest.test_case "basics" `Quick test_count_basics;
+          Alcotest.test_case "order" `Quick test_count_order;
+        ] );
+      ( "interval",
+        [
+          Alcotest.test_case "make" `Quick test_interval_make;
+          Alcotest.test_case "point" `Quick test_interval_point;
+          Alcotest.test_case "ops" `Quick test_interval_ops;
+        ] );
+      "properties", qsuite;
+    ]
