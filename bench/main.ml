@@ -420,9 +420,101 @@ let validate () =
       ("F1" :: "F2" :: Paper.cpu_tasks)
 
 (* ------------------------------------------------------------------ *)
-(* perf: Bechamel micro-benchmarks                                     *)
+(* perf: incremental engine speedup + Bechamel micro-benchmarks        *)
+
+(* Wall-clock of the best of [runs] executions (discarding one warmup),
+   in milliseconds. *)
+let time_ms ?(runs = 5) f =
+  ignore (f ());
+  let best = ref infinity in
+  for _ = 1 to runs do
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    best := Stdlib.min !best (Unix.gettimeofday () -. t0)
+  done;
+  !best *. 1000.0
+
+let same_outcomes (a : Engine.result) (b : Engine.result) =
+  List.length a.outcomes = List.length b.outcomes
+  && List.for_all2
+       (fun (x : Engine.element_outcome) (y : Engine.element_outcome) ->
+         String.equal x.element y.element
+         && String.equal x.resource y.resource
+         &&
+         match x.outcome, y.outcome with
+         | Scheduling.Busy_window.Bounded i, Scheduling.Busy_window.Bounded j
+           ->
+           Interval.equal i j
+         | Scheduling.Busy_window.Unbounded _, Scheduling.Busy_window.Unbounded _
+           ->
+           true
+         | _ -> false)
+       a.outcomes b.outcomes
+
+let engine_speedup () =
+  banner "perf: incremental fixed-point engine vs full recompute (ms, best of 5)";
+  let cases =
+    [
+      "paper_hierarchical", Paper.spec (), Engine.Hierarchical;
+      "paper_flat_sem", Paper.spec (), Engine.Flat_sem;
+      "gateway_hierarchical", Scenarios.Gateway.spec (), Engine.Hierarchical;
+      "fan_in_8", Scenarios.Synthetic.fan_in ~signals:8 (), Engine.Hierarchical;
+      "chain_16", Scenarios.Synthetic.chain ~stages:16 (), Engine.Hierarchical;
+    ]
+  in
+  Printf.printf "%-22s %10s %10s %8s %6s %9s %9s\n" "system" "full" "incr"
+    "speedup" "iters" "analysed" "reused";
+  let rows =
+    List.map
+      (fun (name, spec, mode) ->
+        let inc = ok (Engine.analyse ~mode ~incremental:true spec) in
+        let full = ok (Engine.analyse ~mode ~incremental:false spec) in
+        if not (same_outcomes inc full) then begin
+          Printf.eprintf "%s: incremental and full outcomes differ!\n" name;
+          exit 1
+        end;
+        let t_inc =
+          time_ms (fun () -> Engine.analyse ~mode ~incremental:true spec)
+        in
+        let t_full =
+          time_ms (fun () -> Engine.analyse ~mode ~incremental:false spec)
+        in
+        let speedup = t_full /. t_inc in
+        Printf.printf "%-22s %9.3f %9.3f %7.2fx %6d %9d %9d\n" name t_full
+          t_inc speedup inc.Engine.iterations inc.Engine.stats.resources_analysed
+          inc.stats.resources_reused;
+        name, t_full, t_inc, speedup, inc)
+      cases
+  in
+  let best = List.fold_left (fun acc (_, _, _, s, _) -> Stdlib.max acc s) 0.0 rows in
+  Printf.printf "(identical outcomes in every case; best speedup %.2fx)\n" best;
+  let oc = open_out "BENCH_1.json" in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"benchmark\": \"incremental engine vs full recompute\",\n";
+  Buffer.add_string buf "  \"unit\": \"ms, best of 5 runs\",\n  \"cases\": [\n";
+  List.iteri
+    (fun i (name, t_full, t_inc, speedup, (inc : Engine.result)) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"full_ms\": %.3f, \"incremental_ms\": %.3f, \
+            \"speedup\": %.2f, \"identical_outcomes\": true, \
+            \"iterations\": %d, \"resources_analysed\": %d, \
+            \"resources_reused\": %d, \"streams_invalidated\": %d, \
+            \"closure_evals\": %d, \"periodic_evals\": %d}%s\n"
+           name t_full t_inc speedup inc.Engine.iterations
+           inc.Engine.stats.resources_analysed inc.stats.resources_reused
+           inc.stats.streams_invalidated inc.stats.curve.closure_evals
+           inc.stats.curve.periodic_evals
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf "  ],\n  \"best_speedup\": %.2f\n}\n" best);
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_1.json\n"
 
 let perf () =
+  engine_speedup ();
   banner "perf: Bechamel micro-benchmarks (ns per run)";
   let open Bechamel in
   let spec = Paper.spec () in

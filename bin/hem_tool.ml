@@ -59,8 +59,34 @@ let file_arg =
   in
   Arg.(value & opt (some string) None & info [ "file" ] ~docv:"FILE" ~doc)
 
+let print_stats (result : Engine.result) =
+  let s = result.Engine.stats in
+  Printf.printf "\nAnalysis effort:\n";
+  Printf.printf "  iterations            %d\n" result.Engine.iterations;
+  Printf.printf "  resources analysed    %d\n" s.Engine.resources_analysed;
+  Printf.printf "  resources reused      %d\n" s.Engine.resources_reused;
+  Printf.printf "  streams invalidated   %d\n" s.Engine.streams_invalidated;
+  Printf.printf "  curve closure evals   %d  (memo hits %d)\n"
+    s.Engine.curve.Event_model.Curve.closure_evals
+    s.Engine.curve.Event_model.Curve.memo_hits;
+  Printf.printf "  curve periodic evals  %d\n"
+    s.Engine.curve.Event_model.Curve.periodic_evals;
+  Printf.printf "  curve searches        %d  (%d probe steps)\n"
+    s.Engine.curve.Event_model.Curve.searches
+    s.Engine.curve.Event_model.Curve.search_steps;
+  Printf.printf "  busy windows          %d  (%d fixpoint steps, %d activations)\n"
+    s.Engine.busy.Scheduling.Busy_window.busy_windows
+    s.Engine.busy.Scheduling.Busy_window.window_iterations
+    s.Engine.busy.Scheduling.Busy_window.activations
+
+let stats_arg =
+  let doc = "Print analysis-effort counters (iterations, reuse, curve and \
+             busy-window work)."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
 let analyse_cmd =
-  let run mode s3_period file =
+  let run mode s3_period file stats =
     let spec, is_paper =
       match file with
       | None -> Paper.spec ~s3_period (), true
@@ -70,6 +96,7 @@ let analyse_cmd =
     | Error e -> exit_err e
     | Ok result ->
       Report.print_outcomes Format.std_formatter result;
+      if stats then print_stats result;
       if mode = Engine.Hierarchical then begin
         match Engine.analyse ~mode:Engine.Flat_sem spec with
         | Error e -> exit_err e
@@ -95,7 +122,7 @@ let analyse_cmd =
   in
   let doc = "Analyse a system (the paper's reference system by default)." in
   Cmd.v (Cmd.info "analyse" ~doc)
-    Term.(const run $ mode_arg $ s3_period_arg $ file_arg)
+    Term.(const run $ mode_arg $ s3_period_arg $ file_arg $ stats_arg)
 
 (* simulate *)
 

@@ -1,49 +1,219 @@
 module Time = Timebase.Time
 
-type t = { eval : int -> Time.t }
-
 exception Unbounded of string
 
 let search_cap = 1 lsl 22
 
-let memoize f =
-  let table = Hashtbl.create 64 in
-  fun n ->
-    match Hashtbl.find_opt table n with
-    | Some v -> v
-    | None ->
-      let v = f n in
-      Hashtbl.add table n v;
-      v
+(* ------------------------------------------------------------------ *)
+(* Observability counters (global, monotone; consumers snapshot and
+   diff around the region they want to attribute) *)
 
-let make f = { eval = memoize f }
+type stats = {
+  closure_evals : int;
+  memo_hits : int;
+  periodic_evals : int;
+  searches : int;
+  search_steps : int;
+}
+
+let n_closure_evals = ref 0
+let n_memo_hits = ref 0
+let n_periodic_evals = ref 0
+let n_searches = ref 0
+let n_search_steps = ref 0
+
+let stats () =
+  {
+    closure_evals = !n_closure_evals;
+    memo_hits = !n_memo_hits;
+    periodic_evals = !n_periodic_evals;
+    searches = !n_searches;
+    search_steps = !n_search_steps;
+  }
+
+let reset_stats () =
+  n_closure_evals := 0;
+  n_memo_hits := 0;
+  n_periodic_evals := 0;
+  n_searches := 0;
+  n_search_steps := 0
+
+let stats_diff a b =
+  {
+    closure_evals = a.closure_evals - b.closure_evals;
+    memo_hits = a.memo_hits - b.memo_hits;
+    periodic_evals = a.periodic_evals - b.periodic_evals;
+    searches = a.searches - b.searches;
+    search_steps = a.search_steps - b.search_steps;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Representation.
+
+   [Closure] memoizes an arbitrary monotone function into a dense int
+   array indexed directly by [n] (amortised O(1) append, cache-friendly,
+   no boxing of the common finite case); probes beyond [dense_cap] spill
+   into a hash table so a single deep pseudo-inversion probe cannot
+   force a huge allocation.
+
+   [Periodic] is the compact backend: an explicit finite prefix
+   (values at n = 2 .. len+1) plus a periodic tail — after the prefix,
+   every [period_events] further events cost [period_time] more.  All
+   standard event models, periodic-with-burst patterns and fitted SEMs
+   have this shape, so evaluation is O(1) at any [n] and
+   pseudo-inversion jumps directly into the right period instead of
+   exponential search. *)
+
+type closure = {
+  mutable f : int -> Time.t;
+  mutable dense : int array;
+  spill : (int, Time.t) Hashtbl.t;
+}
+
+type periodic = {
+  prefix : int array;  (* values for n = 2 .. length + 1; 0 for n <= 1 *)
+  period_events : int;
+  period_time : int;
+}
+
+type t =
+  | Closure of closure
+  | Periodic of periodic
+  | Constant of Time.t
+
+let backend = function
+  | Closure _ -> `Closure
+  | Periodic _ -> `Periodic
+  | Constant _ -> `Constant
+
+(* dense-array memo: [unset] marks a hole, [inf_code] encodes Time.Inf *)
+let dense_cap = 1 lsl 15
+let unset = min_int
+let inf_code = max_int
+
+let encode = function
+  | Time.Fin d ->
+    if d = unset || d = inf_code then
+      invalid_arg "Curve: value out of representable range"
+    else d
+  | Time.Inf -> inf_code
+
+let decode v = if v = inf_code then Time.Inf else Time.Fin v
+
+let rec next_pow2 k n = if k > n then k else next_pow2 (k * 2) n
+
+let eval_closure c n =
+  if n < 0 || n >= dense_cap then begin
+    match Hashtbl.find_opt c.spill n with
+    | Some v ->
+      incr n_memo_hits;
+      v
+    | None ->
+      incr n_closure_evals;
+      let v = c.f n in
+      Hashtbl.add c.spill n v;
+      v
+  end
+  else begin
+    let len = Array.length c.dense in
+    if n >= len then begin
+      let grown = Array.make (Stdlib.max 64 (next_pow2 1 n)) unset in
+      Array.blit c.dense 0 grown 0 len;
+      c.dense <- grown
+    end;
+    let v = c.dense.(n) in
+    if v = unset then begin
+      incr n_closure_evals;
+      let t = c.f n in
+      c.dense.(n) <- encode t;
+      t
+    end
+    else begin
+      incr n_memo_hits;
+      decode v
+    end
+  end
+
+let eval_periodic p n =
+  incr n_periodic_evals;
+  if n <= 1 then Time.zero
+  else begin
+    let i = n - 2 in
+    let len = Array.length p.prefix in
+    if i < len then Time.of_int p.prefix.(i)
+    else begin
+      let over = i - (len - 1) in
+      let steps = (over + p.period_events - 1) / p.period_events in
+      Time.of_int
+        (p.prefix.(i - (steps * p.period_events)) + (steps * p.period_time))
+    end
+  end
+
+let eval t n =
+  match t with
+  | Closure c -> eval_closure c n
+  | Periodic p -> eval_periodic p n
+  | Constant v -> v
+
+(* ------------------------------------------------------------------ *)
+(* Constructors *)
+
+let make f = Closure { f; dense = [||]; spill = Hashtbl.create 8 }
 
 (* Self-referential memoization: [f] receives the memoized evaluator, so a
    recurrence like delta'(n) = g (delta' (n-1)) costs O(n) total. *)
 let make_rec f =
-  let table = Hashtbl.create 64 in
-  let rec eval n =
-    match Hashtbl.find_opt table n with
-    | Some v -> v
-    | None ->
-      let v = f eval n in
-      Hashtbl.add table n v;
-      v
-  in
-  { eval }
+  let c = { f = (fun _ -> Time.zero); dense = [||]; spill = Hashtbl.create 8 } in
+  let self n = eval_closure c n in
+  c.f <- (fun n -> f self n);
+  Closure c
 
-let constant v = { eval = (fun _ -> v) }
+let constant v = Constant v
 
-let eval t n = t.eval n
+let periodic ~prefix ~period_events ~period_time =
+  if period_events < 1 then invalid_arg "Curve.periodic: period_events < 1";
+  if period_time < 0 then invalid_arg "Curve.periodic: negative period_time";
+  if Array.length prefix < period_events then
+    invalid_arg "Curve.periodic: prefix shorter than period_events";
+  if Array.exists (fun v -> v < 0) prefix then
+    invalid_arg "Curve.periodic: negative distance";
+  let len = Array.length prefix in
+  for i = 1 to len - 1 do
+    if prefix.(i) < prefix.(i - 1) then
+      invalid_arg "Curve.periodic: non-monotone prefix"
+  done;
+  let t = { prefix = Array.copy prefix; period_events; period_time } in
+  (* the recurrence must preserve monotonicity across and beyond the
+     prefix boundary; checking two full periods past the prefix pins it
+     down forever (eval (n + period_events) = eval n + period_time) *)
+  for n = 2 to len + (2 * period_events) + 3 do
+    if Time.(eval_periodic t n < eval_periodic t (n - 1)) then
+      invalid_arg "Curve.periodic: recurrence breaks monotonicity"
+  done;
+  Periodic t
+
+let clamp_low t =
+  match t with
+  | Periodic _ -> t (* already 0 for n <= 1 by construction *)
+  | Constant v when Time.equal v Time.zero -> t
+  | _ -> make (fun n -> if n <= 1 then Time.zero else eval t n)
+
+(* ------------------------------------------------------------------ *)
+(* Pseudo-inversion searches *)
 
 (* Exponential search for the first index in [lo, cap] satisfying [pred],
    followed by binary search.  [pred] must be monotone (false then true). *)
 let first_satisfying ~lo pred =
-  if pred lo then lo
+  incr n_searches;
+  let probe n =
+    incr n_search_steps;
+    pred n
+  in
+  if probe lo then lo
   else begin
     let rec widen prev cur =
       if cur > search_cap then raise (Unbounded "Curve: search cap exceeded")
-      else if pred cur then prev, cur
+      else if probe cur then prev, cur
       else widen cur (cur * 2)
     in
     let lo, hi = widen lo (Stdlib.max 2 (lo * 2)) in
@@ -52,16 +222,75 @@ let first_satisfying ~lo pred =
       if hi - lo <= 1 then hi
       else
         let mid = lo + ((hi - lo) / 2) in
-        if pred mid then bisect lo mid else bisect mid hi
+        if probe mid then bisect lo mid else bisect mid hi
     in
     bisect lo hi
   end
 
+(* Least n >= 2 with eval n >= limit (or > limit when [strict]), computed
+   arithmetically: locate the period block containing the answer, then
+   binary-search the (at most period_events wide) window inside it. *)
+let periodic_first p ~strict limit =
+  incr n_searches;
+  let sat v =
+    incr n_search_steps;
+    if strict then v > limit else v >= limit
+  in
+  let len = Array.length p.prefix in
+  let top = p.prefix.(len - 1) in
+  (* first index in [lo, hi] whose value satisfies; requires sat hi *)
+  let rec bfirst value lo hi =
+    if lo >= hi then hi
+    else
+      let mid = (lo + hi) / 2 in
+      if sat (value mid) then bfirst value lo mid else bfirst value (mid + 1) hi
+  in
+  if sat top then bfirst (fun i -> p.prefix.(i)) 0 (len - 1) + 2
+  else if p.period_time <= 0 then
+    raise (Unbounded "Curve: periodic tail never reaches limit")
+  else begin
+    (* smallest block s >= 1 whose largest value top + s * period_time
+       satisfies; earlier blocks are entirely below the limit *)
+    let need = limit - top in
+    let s =
+      if strict then (need / p.period_time) + 1
+      else (need + p.period_time - 1) / p.period_time
+    in
+    let s = Stdlib.max 1 s in
+    let base = s * p.period_time in
+    let j = bfirst (fun j -> p.prefix.(j) + base) (len - p.period_events) (len - 1) in
+    j + (s * p.period_events) + 2
+  end
+
 let count_lt t limit =
   if Time.(limit <= Time.zero) then invalid_arg "Curve.count_lt: limit <= 0";
-  (* largest n with eval n < limit = (first n with eval n >= limit) - 1 *)
-  let first_ge = first_satisfying ~lo:2 (fun n -> Time.(eval t n >= limit)) in
-  first_ge - 1
+  match t with
+  | Periodic p -> begin
+    match limit with
+    | Time.Inf ->
+      (* a periodic-tail curve is finite everywhere, so the count below an
+         infinite limit is unbounded *)
+      raise (Unbounded "Curve.count_lt: infinite limit on a finite curve")
+    | Time.Fin lim -> periodic_first p ~strict:false lim - 1
+  end
+  | Closure _ | Constant _ ->
+    (* largest n with eval n < limit = (first n >= 1 with eval n >= limit) - 1;
+       0 when even eval 1 >= limit *)
+    let first_ge = first_satisfying ~lo:1 (fun n -> Time.(eval t n >= limit)) in
+    first_ge - 1
 
 let first_gt t ~offset limit =
-  first_satisfying ~lo:0 (fun n -> Time.(eval t (n + offset) > limit))
+  match t with
+  | Periodic p -> begin
+    match limit with
+    | Time.Inf ->
+      raise (Unbounded "Curve.first_gt: infinite limit on a finite curve")
+    | Time.Fin lim ->
+      if lim < 0 then 0 (* eval (0 + offset) >= 0 > limit already *)
+      else begin
+        let m = periodic_first p ~strict:true lim in
+        Stdlib.max 0 (m - offset)
+      end
+  end
+  | Closure _ | Constant _ ->
+    first_satisfying ~lo:0 (fun n -> Time.(eval t (n + offset) > limit))

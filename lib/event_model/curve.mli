@@ -1,16 +1,26 @@
 (** Memoized monotone curves over event indices.
 
     A curve maps an event count [n >= 0] to a time value, is monotonically
-    non-decreasing, and is evaluated lazily with memoization.  Delta curves
-    of event streams ([delta_min], [delta_plus]) are represented this way;
-    the arrival functions eta_plus / eta_minus are obtained by
-    pseudo-inversion (paper, eqs. 1-2). *)
+    non-decreasing, and is evaluated lazily.  Delta curves of event streams
+    ([delta_min], [delta_plus]) are represented this way; the arrival
+    functions eta_plus / eta_minus are obtained by pseudo-inversion
+    (paper, eqs. 1-2).
+
+    Two backends coexist.  The {e closure} backend memoizes an arbitrary
+    function into a dense array prefix (amortised O(1) append, spilling to
+    a hash table for very deep probes).  The {e compact periodic} backend
+    ({!periodic}) stores an explicit finite prefix plus a periodic tail
+    [(period_events, period_time)], so standard event models and
+    periodic-with-burst patterns evaluate in O(1) at any [n] and the
+    pseudo-inversion searches jump directly into the right period instead
+    of running an exponential search. *)
 
 type t
 
 exception Unbounded of string
-(** Raised when a pseudo-inversion search exceeds the safety cap, i.e. the
-    curve appears bounded so the inverse would be infinite. *)
+(** Raised when a pseudo-inversion search exceeds the safety cap (or, for
+    compact periodic curves, is provably infinite), i.e. the curve appears
+    bounded so the inverse would be infinite. *)
 
 val make : (int -> Timebase.Time.t) -> t
 (** [make f] memoizes [f].  [f] must be pure and monotone in [n]. *)
@@ -22,16 +32,35 @@ val make_rec : ((int -> Timebase.Time.t) -> int -> Timebase.Time.t) -> t
 
 val constant : Timebase.Time.t -> t
 
+val periodic : prefix:int array -> period_events:int -> period_time:int -> t
+(** [periodic ~prefix ~period_events ~period_time] is the compact curve
+    with [eval t n = 0] for [n <= 1], [eval t n = prefix.(n - 2)] inside
+    the prefix, and beyond it the recurrence
+    [eval t (n + period_events) = eval t n + period_time].  The prefix
+    holds finite, non-negative, monotone values and must be at least
+    [period_events] long.
+    @raise Invalid_argument when the shape or monotonicity constraints are
+    violated. *)
+
+val clamp_low : t -> t
+(** [clamp_low t] forces [eval _ n = 0] for [n <= 1] while preserving a
+    compact backend when [t] already satisfies the constraint. *)
+
 val eval : t -> int -> Timebase.Time.t
 
+val backend : t -> [ `Closure | `Periodic | `Constant ]
+(** Which representation backs the curve (observability / tests). *)
+
 val search_cap : int
-(** Safety cap on pseudo-inversion searches (indices explored before
-    {!Unbounded} is raised). *)
+(** Safety cap on closure-backend pseudo-inversion searches (indices
+    explored before {!Unbounded} is raised).  Compact periodic curves are
+    inverted arithmetically and are not subject to the cap. *)
 
 val count_lt : t -> Timebase.Time.t -> int
-(** [count_lt c t] is the largest [n >= 1] with [eval c n < t], assuming
-    [eval c 1 = 0] and monotonicity; requires [t > 0].  This is the search
-    kernel of eta_plus (eq. 1).
+(** [count_lt c t] is the largest [n >= 1] with [eval c n < t], or [0]
+    when no such [n] exists (i.e. already [eval c 1 >= t]); requires
+    [t > 0].  For delta curves — which satisfy [eval c 1 = 0] — the result
+    is always [>= 1].  This is the search kernel of eta_plus (eq. 1).
     @raise Unbounded if no bounded answer below {!search_cap} exists. *)
 
 val first_gt : t -> offset:int -> Timebase.Time.t -> int
@@ -39,3 +68,21 @@ val first_gt : t -> offset:int -> Timebase.Time.t -> int
     [eval c (n + offset) > t].  This is the search kernel of eta_minus
     (eq. 2, with [offset = 2]).
     @raise Unbounded if no answer below {!search_cap} exists. *)
+
+(** {1 Observability} *)
+
+type stats = {
+  closure_evals : int;  (** underlying closure invocations (memo misses) *)
+  memo_hits : int;  (** dense-array / spill memo hits *)
+  periodic_evals : int;  (** O(1) compact-backend evaluations *)
+  searches : int;  (** pseudo-inversion queries *)
+  search_steps : int;  (** probes across all searches *)
+}
+
+val stats : unit -> stats
+(** Global monotone counters; snapshot and {!stats_diff} to attribute. *)
+
+val reset_stats : unit -> unit
+
+val stats_diff : stats -> stats -> stats
+(** [stats_diff a b] is the per-field difference [a - b]. *)

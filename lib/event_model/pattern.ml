@@ -70,6 +70,10 @@ let equal a b =
 
 let to_stream_function t n = Time.of_int (eval t n)
 
+let to_curve t =
+  Curve.periodic ~prefix:(Array.copy t.prefix) ~period_events:t.repeat_events
+    ~period_time:t.repeat_increment
+
 let of_sem_delta_min sem =
   let period = sem.Sem.period
   and jitter = sem.Sem.jitter

@@ -37,6 +37,10 @@ val equal : t -> t -> bool
 val to_stream_function : t -> int -> Timebase.Time.t
 (** Adapter for {!Stream.make}. *)
 
+val to_curve : t -> Curve.t
+(** The pattern as a compact periodic-tail curve: O(1) evaluation and
+    arithmetic pseudo-inversion (no exponential search). *)
+
 val of_sem_delta_min : Sem.t -> t
 (** The exact pattern of a standard event model's minimum-distance curve
     (prefix covers the burst regime, recurrence is one event per

@@ -58,7 +58,9 @@ let to_stream ?name t =
     | None ->
       Printf.sprintf "sem(P=%d,J=%d,d=%d)" t.period t.jitter t.d_min
   in
-  Stream.make ~name ~delta_min:(delta_min t) ~delta_plus:(delta_plus t)
+  (* compact periodic-tail curves: O(1) evaluation and pseudo-inversion *)
+  Stream.periodic_jitter ~name ~period:t.period ~jitter:t.jitter
+    ~d_min:t.d_min ()
 
 let fit ?(horizon = 256) s =
   if horizon < 3 then invalid_arg "Sem.fit: horizon < 3";

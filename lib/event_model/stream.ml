@@ -19,8 +19,8 @@ let make ~name ~delta_min ~delta_plus =
 let of_curves ~name ~delta_min ~delta_plus =
   {
     name;
-    dmin = Curve.make (clamp_low (Curve.eval delta_min));
-    dplus = Curve.make (clamp_low (Curve.eval delta_plus));
+    dmin = Curve.clamp_low delta_min;
+    dplus = Curve.clamp_low delta_plus;
   }
 
 let name t = t.name
@@ -49,26 +49,53 @@ let eta_minus t dt =
     | n -> Count.of_int n
     | exception Curve.Unbounded _ -> Count.Inf
 
+(* All the standard constructors produce compact periodic-tail curves, so
+   eta queries on them are O(1) arithmetic instead of memoized search. *)
+
 let periodic ~name ~period =
   if period < 1 then invalid_arg "Stream.periodic: period < 1";
-  let d n = Time.of_int ((n - 1) * period) in
-  make ~name ~delta_min:d ~delta_plus:d
+  let c =
+    Curve.periodic ~prefix:[| period |] ~period_events:1 ~period_time:period
+  in
+  { name; dmin = c; dplus = c }
 
 let sporadic ~name ~d_min =
   if d_min < 1 then invalid_arg "Stream.sporadic: d_min < 1";
-  make ~name
-    ~delta_min:(fun n -> Time.of_int ((n - 1) * d_min))
-    ~delta_plus:(fun _ -> Time.Inf)
+  {
+    name;
+    dmin =
+      Curve.periodic ~prefix:[| d_min |] ~period_events:1 ~period_time:d_min;
+    dplus = Curve.make (fun n -> if n <= 1 then Time.zero else Time.Inf);
+  }
+
+(* delta_min of the standard event model (P, J, d_min): the d_min branch
+   dominates until (n-1) (P - d_min) >= J, after which the curve grows by
+   exactly P per event — a compact prefix + period-1 tail. *)
+let sem_delta_min_curve ~period ~jitter ~d_min =
+  let delta n = Stdlib.max ((n - 1) * d_min) (((n - 1) * period) - jitter) in
+  let prefix =
+    if d_min >= period then [| period |]
+    else begin
+      let crossover =
+        (jitter + (period - d_min) - 1) / (period - d_min)
+      in
+      Array.init (Stdlib.max 1 crossover) (fun i -> delta (i + 2))
+    end
+  in
+  Curve.periodic ~prefix ~period_events:1 ~period_time:period
 
 let periodic_jitter ~name ~period ~jitter ?(d_min = 1) () =
   if period < 1 then invalid_arg "Stream.periodic_jitter: period < 1";
   if jitter < 0 then invalid_arg "Stream.periodic_jitter: jitter < 0";
   if d_min < 0 then invalid_arg "Stream.periodic_jitter: d_min < 0";
   if d_min > period then invalid_arg "Stream.periodic_jitter: d_min > period";
-  make ~name
-    ~delta_min:(fun n ->
-      Time.of_int (Stdlib.max ((n - 1) * d_min) (((n - 1) * period) - jitter)))
-    ~delta_plus:(fun n -> Time.of_int (((n - 1) * period) + jitter))
+  {
+    name;
+    dmin = sem_delta_min_curve ~period ~jitter ~d_min;
+    dplus =
+      Curve.periodic ~prefix:[| period + jitter |] ~period_events:1
+        ~period_time:period;
+  }
 
 let periodic_burst ~name ~period ~burst ~d_min =
   if burst < 1 then invalid_arg "Stream.periodic_burst: burst < 1";
@@ -78,7 +105,10 @@ let periodic_burst ~name ~period ~burst ~d_min =
   (* Deterministic pattern: event j (0-based) at time
      (j / burst) * period + (j mod burst) * d_min, so the distance covering n
      consecutive events starting at j is position (j+n-1) - position j; the
-     extremes over j are attained at burst boundaries. *)
+     extremes over j are attained at burst boundaries.  Distances repeat
+     with period [burst] in n (shifting by one burst adds one period), so
+     the first [burst] values plus a (burst, period) tail describe the
+     whole curve. *)
   let position j = ((j / burst) * period) + (j mod burst * d_min) in
   let dist_over_starts n pick =
     (* distances are periodic in j with period [burst] *)
@@ -88,9 +118,17 @@ let periodic_burst ~name ~period ~burst ~d_min =
     in
     scan 1 (position (n - 1) - position 0)
   in
-  make ~name
-    ~delta_min:(fun n -> Time.of_int (dist_over_starts n Stdlib.min))
-    ~delta_plus:(fun n -> Time.of_int (dist_over_starts n Stdlib.max))
+  {
+    name;
+    dmin =
+      Curve.periodic
+        ~prefix:(Array.init burst (fun i -> dist_over_starts (i + 2) Stdlib.min))
+        ~period_events:burst ~period_time:period;
+    dplus =
+      Curve.periodic
+        ~prefix:(Array.init burst (fun i -> dist_over_starts (i + 2) Stdlib.max))
+        ~period_events:burst ~period_time:period;
+  }
 
 let well_formed ?(horizon = 64) t =
   let problem = ref None in

@@ -19,8 +19,40 @@ let default_window_limit = 1_000_000
 
 let default_q_limit = 4096
 
+(* Observability counters (global, monotone; snapshot and diff to
+   attribute work to one analysis). *)
+type counters = {
+  busy_windows : int;
+  window_iterations : int;
+  activations : int;
+}
+
+let n_busy_windows = ref 0
+let n_window_iterations = ref 0
+let n_activations = ref 0
+
+let counters () =
+  {
+    busy_windows = !n_busy_windows;
+    window_iterations = !n_window_iterations;
+    activations = !n_activations;
+  }
+
+let reset_counters () =
+  n_busy_windows := 0;
+  n_window_iterations := 0;
+  n_activations := 0
+
+let counters_diff a b =
+  {
+    busy_windows = a.busy_windows - b.busy_windows;
+    window_iterations = a.window_iterations - b.window_iterations;
+    activations = a.activations - b.activations;
+  }
+
 let fixpoint ~limit ~init f =
   let rec iterate w =
+    incr n_window_iterations;
     if w > limit then None
     else
       let w' = f w in
@@ -31,7 +63,9 @@ let fixpoint ~limit ~init f =
   iterate init
 
 let max_response ?(q_limit = default_q_limit) ~best_case ~arrival ~finish () =
+  incr n_busy_windows;
   let rec loop q worst =
+    incr n_activations;
     if q > q_limit then
       Unbounded (Printf.sprintf "busy period exceeds %d activations" q_limit)
     else
@@ -56,7 +90,9 @@ let max_response ?(q_limit = default_q_limit) ~best_case ~arrival ~finish () =
   loop 1 0
 
 let max_backlog ?(q_limit = default_q_limit) ~arrival ~arrivals_in ~finish () =
+  incr n_busy_windows;
   let rec loop q worst =
+    incr n_activations;
     if q > q_limit then
       Error (Printf.sprintf "busy period exceeds %d activations" q_limit)
     else

@@ -70,3 +70,20 @@ val higher_priority : than:Rt_task.t -> Rt_task.t list -> Rt_task.t list
 
 val lower_priority : than:Rt_task.t -> Rt_task.t list -> Rt_task.t list
 (** Tasks with strictly larger priority value. *)
+
+(** {1 Observability} *)
+
+type counters = {
+  busy_windows : int;  (** {!max_response} / {!max_backlog} invocations *)
+  window_iterations : int;  (** {!fixpoint} steps *)
+  activations : int;  (** busy-period activation indices explored *)
+}
+
+val counters : unit -> counters
+(** Global monotone counters; snapshot and {!counters_diff} to
+    attribute work to one analysis. *)
+
+val reset_counters : unit -> unit
+
+val counters_diff : counters -> counters -> counters
+(** [counters_diff a b] is the per-field difference [a - b]. *)

@@ -1,10 +1,12 @@
 module Interval = Timebase.Interval
 module Stream = Event_model.Stream
 module Sem = Event_model.Sem
+module Curve = Event_model.Curve
 module Combine = Event_model.Combine
 module Task_op = Event_model.Task_op
 module Busy_window = Scheduling.Busy_window
 module Rt_task = Scheduling.Rt_task
+module S = Set.Make (String)
 
 let log_src = Logs.Src.create "cpa.engine" ~doc:"global analysis iteration"
 
@@ -21,12 +23,21 @@ type element_outcome = {
   outcome : Busy_window.outcome;
 }
 
+type stats = {
+  resources_analysed : int;
+  resources_reused : int;
+  streams_invalidated : int;
+  curve : Curve.stats;
+  busy : Busy_window.counters;
+}
+
 type result = {
   mode : mode;
   spec : Spec.t;
   converged : bool;
   iterations : int;
   outcomes : element_outcome list;
+  stats : stats;
   resolve : Spec.activation -> Stream.t;
   hierarchy : string -> Hem.Model.t;
   pre_bus_hierarchy : string -> Hem.Model.t;
@@ -34,16 +45,24 @@ type result = {
 
 exception Cycle of string
 
-(* Resolution context for one global iteration: all streams are derived
-   from the response-time estimates of the previous iteration. *)
+(* Persistent resolution context.  Derived streams are memoized together
+   with the set of response names they (transitively) depend on: a task
+   output depends on that task's response plus whatever its activation
+   depends on; a post-bus frame hierarchy depends on the frame's response
+   plus the dependencies of every packed signal.  Between global
+   iterations only the entries downstream of responses that actually
+   changed are invalidated (pycpa-style dependency-driven propagation);
+   everything else — including the memoized curve prefixes inside the
+   cached streams — survives. *)
 type ctx = {
   spec : Spec.t;
   mode : mode;
   response_of : string -> Interval.t;
-  task_outputs : (string, Stream.t) Hashtbl.t;
-  frames_pre : (string, Hem.Model.t) Hashtbl.t;
-  frames_post : (string, Hem.Model.t) Hashtbl.t;
+  task_outputs : (string, Stream.t * S.t) Hashtbl.t;
+  frames_pre : (string, Hem.Model.t * S.t) Hashtbl.t;
+  frames_post : (string, Hem.Model.t * S.t) Hashtbl.t;
   in_progress : (string, unit) Hashtbl.t;
+  mutable dep_acc : S.t;  (* responses consulted by the ongoing resolution *)
 }
 
 let make_ctx spec mode response_of =
@@ -55,14 +74,24 @@ let make_ctx spec mode response_of =
     frames_pre = Hashtbl.create 8;
     frames_post = Hashtbl.create 8;
     in_progress = Hashtbl.create 16;
+    dep_acc = S.empty;
   }
 
-let memo table key compute =
+(* Memoization that records, per entry, the responses it was derived
+   from; hits replay the recorded dependency set into the accumulator so
+   enclosing computations inherit it. *)
+let memo_deps ctx table key ~extra compute =
   match Hashtbl.find_opt table key with
-  | Some v -> v
+  | Some (v, deps) ->
+    ctx.dep_acc <- S.union ctx.dep_acc deps;
+    v
   | None ->
+    let saved = ctx.dep_acc in
+    ctx.dep_acc <- S.empty;
     let v = compute () in
-    Hashtbl.add table key v;
+    let deps = S.union extra ctx.dep_acc in
+    Hashtbl.add table key (v, deps);
+    ctx.dep_acc <- S.union saved deps;
     v
 
 let guarded ctx key compute =
@@ -98,7 +127,7 @@ let rec resolve ctx (act : Spec.activation) =
   | Spec.And_of acts -> Combine.and_combine (List.map (resolve ctx) acts)
 
 and task_output ctx name =
-  memo ctx.task_outputs name (fun () ->
+  memo_deps ctx ctx.task_outputs name ~extra:(S.singleton name) (fun () ->
     guarded ctx ("task:" ^ name) (fun () ->
       let k = find_task ctx.spec name in
       let input = resolve ctx k.Spec.activation in
@@ -106,7 +135,7 @@ and task_output ctx name =
         input))
 
 and frame_pre ctx name =
-  memo ctx.frames_pre name (fun () ->
+  memo_deps ctx ctx.frames_pre name ~extra:S.empty (fun () ->
     guarded ctx ("frame:" ^ name) (fun () ->
       let f = find_frame ctx.spec name in
       let signals =
@@ -124,12 +153,17 @@ and frame_pre ctx name =
            ~signals ~tx_time:f.tx_time ~priority:f.frame_priority)))
 
 and frame_post ctx name =
-  memo ctx.frames_post name (fun () ->
+  memo_deps ctx ctx.frames_post name ~extra:(S.singleton name) (fun () ->
     let pre = frame_pre ctx name in
     Hem.Inner_update.apply_response ~response:(ctx.response_of name) pre)
 
-(* Local analysis of one resource under the streams of [ctx]. *)
+(* Local analysis of one resource under the streams of [ctx].  Returns
+   the outcomes together with the set of responses the resource's
+   activation streams depend on: the resource needs re-analysis only when
+   one of those changes. *)
 let analyse_resource ?window_limit ?q_limit ctx (res : Spec.resource) =
+  let saved = ctx.dep_acc in
+  ctx.dep_acc <- S.empty;
   let tasks =
     List.filter
       (fun (k : Spec.task) -> String.equal k.resource res.res_name)
@@ -176,32 +210,83 @@ let analyse_resource ?window_limit ?q_limit ctx (res : Spec.resource) =
       let edf_tasks = List.map2 edf_of tasks (List.map rt_of_task tasks) in
       Scheduling.Edf.analyse ?window_limit edf_tasks
   in
-  List.map
-    (fun ((rt : Rt_task.t), outcome) ->
-      { element = rt.Rt_task.name; resource = res.res_name; outcome })
-    outcomes
+  let deps = ctx.dep_acc in
+  ctx.dep_acc <- saved;
+  ( List.map
+      (fun ((rt : Rt_task.t), outcome) ->
+        { element = rt.Rt_task.name; resource = res.res_name; outcome })
+      outcomes,
+    deps )
 
-let analyse ?(mode = Hierarchical) ?(max_iterations = 64) ?window_limit
-    ?q_limit spec =
+let touches dirty deps = S.exists (fun d -> S.mem d dirty) deps
+
+(* Drop every memo entry derived from a response in [dirty]; returns how
+   many entries were invalidated. *)
+let drop_dirty table dirty =
+  let stale =
+    Hashtbl.fold
+      (fun key ((_ : 'a), deps) acc ->
+        if touches dirty deps then key :: acc else acc)
+      table []
+  in
+  List.iter (Hashtbl.remove table) stale;
+  List.length stale
+
+let analyse ?(mode = Hierarchical) ?(incremental = true) ?(max_iterations = 64)
+    ?window_limit ?q_limit spec =
   match Spec.validate spec with
   | Error e -> Error e
   | Ok () -> begin
+    let curve0 = Curve.stats () in
+    let busy0 = Busy_window.counters () in
     let zero = Interval.make ~lo:0 ~hi:0 in
     let responses : (string, Interval.t) Hashtbl.t = Hashtbl.create 16 in
     let response_of name =
       Option.value (Hashtbl.find_opt responses name) ~default:zero
     in
-    let run_iteration () =
-      let ctx = make_ctx spec mode response_of in
-      let outcomes =
-        List.concat_map
-          (analyse_resource ?window_limit ?q_limit ctx)
-          spec.Spec.resources
-      in
-      ctx, outcomes
+    let ctx = make_ctx spec mode response_of in
+    (* last local analysis per resource, with its response dependencies *)
+    let resource_cache : (string, element_outcome list * S.t) Hashtbl.t =
+      Hashtbl.create 8
     in
-    let rec iterate i =
-      let ctx, outcomes = run_iteration () in
+    let analysed = ref 0
+    and reused = ref 0
+    and invalidated = ref 0 in
+    (* [dirty] is the set of elements whose response changed in the
+       previous iteration; only streams and resources downstream of it
+       are re-derived.  The non-incremental path reproduces the original
+       engine exactly: every iteration starts from empty memo tables and
+       re-analyses every resource. *)
+    let run_iteration ~dirty =
+      if not incremental then begin
+        Hashtbl.reset ctx.task_outputs;
+        Hashtbl.reset ctx.frames_pre;
+        Hashtbl.reset ctx.frames_post;
+        Hashtbl.reset resource_cache
+      end
+      else
+        invalidated :=
+          !invalidated
+          + drop_dirty ctx.task_outputs dirty
+          + drop_dirty ctx.frames_pre dirty
+          + drop_dirty ctx.frames_post dirty;
+      List.concat_map
+        (fun (res : Spec.resource) ->
+          match Hashtbl.find_opt resource_cache res.res_name with
+          | Some (outcomes, deps) when not (touches dirty deps) ->
+            incr reused;
+            outcomes
+          | Some _ | None ->
+            let outcomes, deps =
+              analyse_resource ?window_limit ?q_limit ctx res
+            in
+            Hashtbl.replace resource_cache res.res_name (outcomes, deps);
+            incr analysed;
+            outcomes)
+        spec.Spec.resources
+    in
+    let rec iterate i dirty =
+      let outcomes = run_iteration ~dirty in
       Log.debug (fun m ->
         m "iteration %d: %a" i
           (Format.pp_print_list ~pp_sep:Format.pp_print_space
@@ -217,24 +302,33 @@ let analyse ?(mode = Hierarchical) ?(max_iterations = 64) ?window_limit
             | Busy_window.Unbounded _ -> false)
           outcomes
       in
-      let changed = ref false in
+      let changed = ref S.empty in
       List.iter
         (fun o ->
           match o.outcome with
           | Busy_window.Bounded r ->
             if not (Interval.equal (response_of o.element) r) then begin
-              changed := true;
+              changed := S.add o.element !changed;
               Hashtbl.replace responses o.element r
             end
           | Busy_window.Unbounded _ -> ())
         outcomes;
-      if (not !changed) || (not all_bounded) || i >= max_iterations then
-        let converged = (not !changed) && all_bounded in
-        ctx, outcomes, converged, i
-      else iterate (i + 1)
+      if S.is_empty !changed || (not all_bounded) || i >= max_iterations then
+        let converged = S.is_empty !changed && all_bounded in
+        outcomes, converged, i
+      else iterate (i + 1) !changed
     in
-    match iterate 1 with
-    | ctx, outcomes, converged, iterations ->
+    match iterate 1 S.empty with
+    | outcomes, converged, iterations ->
+      let stats =
+        {
+          resources_analysed = !analysed;
+          resources_reused = !reused;
+          streams_invalidated = !invalidated;
+          curve = Curve.stats_diff (Curve.stats ()) curve0;
+          busy = Busy_window.counters_diff (Busy_window.counters ()) busy0;
+        }
+      in
       Ok
         {
           mode;
@@ -242,6 +336,7 @@ let analyse ?(mode = Hierarchical) ?(max_iterations = 64) ?window_limit
           converged;
           iterations;
           outcomes;
+          stats;
           resolve = resolve ctx;
           hierarchy = frame_post ctx;
           pre_bus_hierarchy = frame_pre ctx;

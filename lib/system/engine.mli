@@ -26,12 +26,25 @@ type element_outcome = {
   outcome : Scheduling.Busy_window.outcome;
 }
 
+type stats = {
+  resources_analysed : int;
+      (** local analyses actually executed across all iterations *)
+  resources_reused : int;
+      (** local analyses skipped because no dependency changed *)
+  streams_invalidated : int;
+      (** memoized derived streams dropped by dirty propagation *)
+  curve : Event_model.Curve.stats;  (** curve work during this analysis *)
+  busy : Scheduling.Busy_window.counters;
+      (** busy-window work during this analysis *)
+}
+
 type result = {
   mode : mode;
   spec : Spec.t;  (** the analysed system *)
   converged : bool;
   iterations : int;
   outcomes : element_outcome list;
+  stats : stats;
   resolve : Spec.activation -> Event_model.Stream.t;
       (** resolves an activation against the final fixed point *)
   hierarchy : string -> Hem.Model.t;
@@ -44,6 +57,7 @@ type result = {
 
 val analyse :
   ?mode:mode ->
+  ?incremental:bool ->
   ?max_iterations:int ->
   ?window_limit:int ->
   ?q_limit:int ->
@@ -52,7 +66,16 @@ val analyse :
 (** Runs the global iteration ([max_iterations] defaults to 64).  Returns
     [Error] for invalid specifications or cyclic stream dependencies
     (unsupported).  An overloaded element yields an [Unbounded] outcome
-    and a result with [converged = false]. *)
+    and a result with [converged = false].
+
+    With [incremental] (the default), derived streams and per-resource
+    outcomes persist across iterations together with the set of response
+    times they were derived from; an iteration re-derives only what is
+    downstream of responses that actually changed in the previous one.
+    Reused results are bit-identical to what a recomputation would
+    produce, so outcomes, convergence and iteration counts match
+    [~incremental:false] (the original engine: every iteration starts
+    from scratch) exactly. *)
 
 val response : result -> string -> Timebase.Interval.t option
 (** Response-time interval of a task or frame in the result, if bounded.

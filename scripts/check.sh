@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Full verification: build + tests + the perf benchmark (which also
+# cross-checks incremental vs full engine outcomes and refreshes
+# BENCH_1.json).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+dune build @runtest
+dune exec bench/main.exe -- perf

@@ -31,14 +31,15 @@ let test_constant () =
   let c = Curve.constant (Time.of_int 9) in
   Alcotest.(check int) "any index" 9 (Time.to_int (Curve.eval c 12345))
 
-(* brute-force reference for count_lt: largest n >= 1 with curve n < limit *)
+(* brute-force reference for count_lt: largest n >= 1 with curve n < limit,
+   or 0 when no such n exists (the curve already meets the limit at 1) *)
 let brute_count_lt c limit =
   let rec scan n best =
     if n > 4096 then best
     else if Time.(Curve.eval c n < limit) then scan (n + 1) n
     else best
   in
-  scan 1 1
+  scan 1 0
 
 let test_count_lt_linear () =
   let c = linear 10 in
@@ -54,6 +55,25 @@ let test_count_lt_linear () =
 let test_count_lt_requires_positive () =
   Alcotest.check_raises "limit 0" (Invalid_argument "Curve.count_lt: limit <= 0")
     (fun () -> ignore (Curve.count_lt (linear 1) Time.zero))
+
+(* regression: count_lt used to assume eval c 1 = 0 and start its search
+   at n = 2, silently answering 1 for curves that already meet the limit
+   at n = 1; it now answers 0 there *)
+let test_count_lt_nonzero_at_one () =
+  let c = linear 10 in
+  (* eval c 1 = 10 *)
+  Alcotest.(check int) "limit below eval 1" 0
+    (Curve.count_lt c (Time.of_int 5));
+  Alcotest.(check int) "limit at eval 1" 0
+    (Curve.count_lt c (Time.of_int 10));
+  Alcotest.(check int) "limit just above eval 1" 1
+    (Curve.count_lt c (Time.of_int 11));
+  let offset = Curve.make (fun n -> Time.of_int (3 + n)) in
+  (* eval offset 1 = 4 *)
+  Alcotest.(check int) "offset curve, unreachable limit" 0
+    (Curve.count_lt offset (Time.of_int 2));
+  Alcotest.(check int) "offset curve, reachable limit" 2
+    (Curve.count_lt offset (Time.of_int 6))
 
 let test_count_lt_unbounded () =
   let bounded = Curve.constant (Time.of_int 3) in
@@ -83,6 +103,115 @@ let test_first_gt_inf_curve () =
   let c = Curve.constant Time.Inf in
   Alcotest.(check int) "inf exceeds immediately" 0
     (Curve.first_gt c ~offset:2 (Time.of_int 1000))
+
+(* ------------------------------------------------------------------ *)
+(* compact periodic-tail backend *)
+
+(* closure reference for a (prefix, period_events, period_time) curve *)
+let closure_of_periodic ~prefix ~period_events ~period_time =
+  let len = Array.length prefix in
+  Curve.make (fun n ->
+    if n <= 1 then Time.zero
+    else begin
+      let i = n - 2 in
+      if i < len then Time.of_int prefix.(i)
+      else begin
+        let over = i - (len - 1) in
+        let steps = (over + period_events - 1) / period_events in
+        Time.of_int (prefix.(i - (steps * period_events)) + (steps * period_time))
+      end
+    end)
+
+let test_periodic_eval_matches_closure () =
+  List.iter
+    (fun (prefix, pe, pt) ->
+      let compact =
+        Curve.periodic ~prefix ~period_events:pe ~period_time:pt
+      in
+      let reference =
+        closure_of_periodic ~prefix ~period_events:pe ~period_time:pt
+      in
+      Alcotest.(check bool) "compact backend" true
+        (Curve.backend compact = `Periodic);
+      for n = 0 to 200 do
+        Alcotest.(check int)
+          (Printf.sprintf "eval %d" n)
+          (Time.to_int (Curve.eval reference n))
+          (Time.to_int (Curve.eval compact n))
+      done)
+    [
+      [| 7 |], 1, 7;
+      [| 5; 9; 30 |], 1, 25;
+      [| 0; 0; 100 |], 3, 100;
+      [| 2; 4; 6; 50 |], 2, 60;
+      [| 10; 10; 10 |], 1, 0;
+    ]
+
+let test_periodic_searches_match_closure () =
+  List.iter
+    (fun (prefix, pe, pt) ->
+      let compact = Curve.periodic ~prefix ~period_events:pe ~period_time:pt in
+      let reference =
+        closure_of_periodic ~prefix ~period_events:pe ~period_time:pt
+      in
+      List.iter
+        (fun limit ->
+          let run f c = match f c with v -> Ok v | exception Curve.Unbounded _ -> Error () in
+          Alcotest.(check (result int unit))
+            (Printf.sprintf "count_lt %d" limit)
+            (run (fun c -> Curve.count_lt c (Time.of_int limit)) reference)
+            (run (fun c -> Curve.count_lt c (Time.of_int limit)) compact);
+          Alcotest.(check (result int unit))
+            (Printf.sprintf "first_gt %d" limit)
+            (run (fun c -> Curve.first_gt c ~offset:2 (Time.of_int limit)) reference)
+            (run (fun c -> Curve.first_gt c ~offset:2 (Time.of_int limit)) compact))
+        [ 1; 2; 5; 7; 9; 10; 11; 29; 30; 31; 99; 100; 101; 250; 999; 12345 ])
+    [
+      [| 7 |], 1, 7;
+      [| 5; 9; 30 |], 1, 25;
+      [| 0; 0; 100 |], 3, 100;
+      [| 2; 4; 6; 50 |], 2, 60;
+      [| 10; 10; 10 |], 1, 0;
+    ]
+
+let test_periodic_search_beyond_cap () =
+  (* the arithmetic inversion reaches indices the exponential search
+     cannot: count below 10^12 for a period-5 curve *)
+  let c = Curve.periodic ~prefix:[| 5 |] ~period_events:1 ~period_time:5 in
+  let limit = 1_000_000_000_000 in
+  (* eval n = 5 (n - 1); largest n with 5 (n - 1) < limit *)
+  let expected = ((limit - 1) / 5) + 1 in
+  Alcotest.(check int) "giant inversion" expected
+    (Curve.count_lt c (Time.of_int limit));
+  Alcotest.(check bool) "beyond the closure search cap" true
+    (expected > Curve.search_cap)
+
+let test_periodic_validation () =
+  let invalid f = Alcotest.(check bool) "rejected" true
+    (match f () with _ -> false | exception Invalid_argument _ -> true)
+  in
+  invalid (fun () -> Curve.periodic ~prefix:[| 5 |] ~period_events:0 ~period_time:1);
+  invalid (fun () -> Curve.periodic ~prefix:[| 5 |] ~period_events:2 ~period_time:1);
+  invalid (fun () -> Curve.periodic ~prefix:[| 5; 3 |] ~period_events:1 ~period_time:1);
+  invalid (fun () -> Curve.periodic ~prefix:[| -1 |] ~period_events:1 ~period_time:1);
+  invalid (fun () -> Curve.periodic ~prefix:[| 5 |] ~period_events:1 ~period_time:(-1));
+  (* tail would fall below the prefix top: 0, 10, then 0 + 5 = 5 *)
+  invalid (fun () ->
+    Curve.periodic ~prefix:[| 0; 10 |] ~period_events:2 ~period_time:5)
+
+let test_stats_attribution () =
+  let before = Curve.stats () in
+  let compact = Curve.periodic ~prefix:[| 9 |] ~period_events:1 ~period_time:9 in
+  ignore (Curve.eval compact 1000);
+  let mid = Curve.stats () in
+  let d = Curve.stats_diff mid before in
+  Alcotest.(check bool) "periodic eval counted" true (d.Curve.periodic_evals >= 1);
+  let cl = Curve.make (fun n -> Time.of_int n) in
+  ignore (Curve.eval cl 5);
+  ignore (Curve.eval cl 5);
+  let d2 = Curve.stats_diff (Curve.stats ()) mid in
+  Alcotest.(check int) "one miss" 1 d2.Curve.closure_evals;
+  Alcotest.(check int) "one hit" 1 d2.Curve.memo_hits
 
 (* property: count_lt matches brute force on random step curves *)
 let arb_steps = QCheck.(list_of_size (Gen.int_range 1 30) (int_range 0 20))
@@ -131,9 +260,22 @@ let () =
           Alcotest.test_case "count_lt linear" `Quick test_count_lt_linear;
           Alcotest.test_case "count_lt positive limit" `Quick
             test_count_lt_requires_positive;
+          Alcotest.test_case "count_lt nonzero at n=1" `Quick
+            test_count_lt_nonzero_at_one;
           Alcotest.test_case "count_lt unbounded" `Quick test_count_lt_unbounded;
           Alcotest.test_case "first_gt" `Quick test_first_gt;
           Alcotest.test_case "first_gt inf" `Quick test_first_gt_inf_curve;
+        ] );
+      ( "periodic backend",
+        [
+          Alcotest.test_case "eval matches closure" `Quick
+            test_periodic_eval_matches_closure;
+          Alcotest.test_case "searches match closure" `Quick
+            test_periodic_searches_match_closure;
+          Alcotest.test_case "inversion beyond search cap" `Quick
+            test_periodic_search_beyond_cap;
+          Alcotest.test_case "validation" `Quick test_periodic_validation;
+          Alcotest.test_case "stats attribution" `Quick test_stats_attribution;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -261,6 +261,141 @@ let prop_pending_inner_sound =
           | None, _ -> true)
         [ 2; 3; 5 ])
 
+(* ------------------------------------------------------------------ *)
+(* compact curve backend vs closure twins
+
+   The standard constructors now build array/periodic-tail curves; these
+   properties pin them point-for-point to streams built from the plain
+   closure formulas — directly, through OR/AND combination, and through a
+   packed hierarchy. *)
+
+let closure_pj ~name ~period ~jitter ~d_min =
+  Stream.make ~name
+    ~delta_min:(fun n ->
+      Time.Fin (Stdlib.max ((n - 1) * d_min) (((n - 1) * period) - jitter)))
+    ~delta_plus:(fun n -> Time.Fin (((n - 1) * period) + jitter))
+
+let streams_agree ?(max_n = 130) ?(dts = [ 1; 7; 50; 99; 500; 1234; 9999 ]) a b =
+  let ok = ref true in
+  for n = 0 to max_n do
+    if Stream.delta_min a n <> Stream.delta_min b n then ok := false;
+    if Stream.delta_plus a n <> Stream.delta_plus b n then ok := false
+  done;
+  List.iter
+    (fun dt ->
+      if Stream.eta_plus a dt <> Stream.eta_plus b dt then ok := false;
+      if Stream.eta_minus a dt <> Stream.eta_minus b dt then ok := false)
+    dts;
+  !ok
+
+let arb_pj =
+  QCheck.triple (QCheck.int_range 20 300) (QCheck.int_range 0 400)
+    (QCheck.int_range 1 19)
+
+let pj_of (period, jitter, d_min) =
+  let period = Stdlib.max 20 period in
+  let jitter = Stdlib.max 0 jitter in
+  let d_min = Stdlib.min (Stdlib.max 1 d_min) period in
+  period, jitter, d_min
+
+let prop_compact_sem_matches_closure =
+  QCheck.Test.make ~name:"compact SEM stream = closure twin" ~count:100 arb_pj
+    (fun params ->
+      let period, jitter, d_min = pj_of params in
+      let compact =
+        Stream.periodic_jitter ~name:"c" ~period ~jitter ~d_min ()
+      in
+      let via_sem =
+        Sem.to_stream (Sem.make ~period ~jitter ~d_min ())
+      in
+      let twin = closure_pj ~name:"t" ~period ~jitter ~d_min in
+      (* the optimisation must actually be active on the compact path *)
+      Event_model.Curve.backend (Stream.delta_min_curve compact) = `Periodic
+      && streams_agree compact twin
+      && streams_agree via_sem twin)
+
+let prop_compact_burst_matches_closure =
+  QCheck.Test.make ~name:"compact burst stream = closure twin" ~count:100
+    (QCheck.triple (QCheck.int_range 100 600) (QCheck.int_range 2 6)
+       (QCheck.int_range 1 20))
+    (fun (period, burst, d_min) ->
+      let burst = Stdlib.max 2 burst in
+      let d_min = Stdlib.max 1 d_min in
+      let period = Stdlib.max (((burst - 1) * d_min) + 1) period in
+      (* event i of the deterministic trace, for both extremal phasings *)
+      let pos i = ((i / burst) * period) + (i mod burst * d_min) in
+      let dist reduce n =
+        if n <= 1 then Time.zero
+        else begin
+          let best = ref (pos (n - 1) - pos 0) in
+          for s = 1 to burst - 1 do
+            best := reduce !best (pos (s + n - 1) - pos s)
+          done;
+          Time.Fin !best
+        end
+      in
+      let compact = Stream.periodic_burst ~name:"c" ~period ~burst ~d_min in
+      let twin =
+        Stream.make ~name:"t" ~delta_min:(dist Stdlib.min)
+          ~delta_plus:(dist Stdlib.max)
+      in
+      Event_model.Curve.backend (Stream.delta_min_curve compact) = `Periodic
+      && streams_agree compact twin)
+
+let prop_compact_combine_matches_closure =
+  QCheck.Test.make ~name:"OR/AND of compact streams = OR/AND of twins"
+    ~count:60 (QCheck.pair arb_pj arb_pj)
+    (fun (pa, pb) ->
+      let p1, j1, d1 = pj_of pa and p2, j2, d2 = pj_of pb in
+      let compact =
+        [
+          Stream.periodic_jitter ~name:"a" ~period:p1 ~jitter:j1 ~d_min:d1 ();
+          Stream.periodic_jitter ~name:"b" ~period:p2 ~jitter:j2 ~d_min:d2 ();
+        ]
+      in
+      let twins =
+        [
+          closure_pj ~name:"a" ~period:p1 ~jitter:j1 ~d_min:d1;
+          closure_pj ~name:"b" ~period:p2 ~jitter:j2 ~d_min:d2;
+        ]
+      in
+      streams_agree ~max_n:60
+        (Combine.or_combine compact)
+        (Combine.or_combine twins)
+      && streams_agree ~max_n:60
+           (Combine.and_combine compact)
+           (Combine.and_combine twins))
+
+let prop_compact_pack_matches_closure =
+  QCheck.Test.make ~name:"packed hierarchy of compact streams = of twins"
+    ~count:40 (QCheck.pair arb_pj arb_pj)
+    (fun (pa, pb) ->
+      let p1, j1, d1 = pj_of pa and p2, j2, d2 = pj_of pb in
+      let pack mk =
+        Hem.Pack.pack
+          [
+            Hem.Pack.input "t" (mk ~name:"t" ~period:p1 ~jitter:j1 ~d_min:d1);
+            Hem.Pack.input ~kind:Hem.Model.Pending "p"
+              (mk ~name:"p" ~period:p2 ~jitter:j2 ~d_min:d2);
+          ]
+      in
+      let h_compact =
+        pack (fun ~name ~period ~jitter ~d_min ->
+          Stream.periodic_jitter ~name ~period ~jitter ~d_min ())
+      in
+      let h_twin = pack (fun ~name ~period ~jitter ~d_min ->
+        closure_pj ~name ~period ~jitter ~d_min)
+      in
+      streams_agree ~max_n:60
+        (Hem.Model.outer h_compact)
+        (Hem.Model.outer h_twin)
+      && List.for_all
+           (fun label ->
+             streams_agree ~max_n:60
+               (Hem.Deconstruct.unpack_label h_compact label)
+               (Hem.Deconstruct.unpack_label h_twin label))
+           [ "t"; "p" ])
+
 let () =
   Alcotest.run "properties"
     [
@@ -272,5 +407,13 @@ let () =
             prop_task_output_sound_bursty;
             prop_sem_fit_eta_dominates;
             prop_pending_inner_sound;
+          ] );
+      ( "compact backend agreement",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_compact_sem_matches_closure;
+            prop_compact_burst_matches_closure;
+            prop_compact_combine_matches_closure;
+            prop_compact_pack_matches_closure;
           ] );
     ]
