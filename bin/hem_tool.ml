@@ -2,10 +2,12 @@
    system (and parametric variants) without writing OCaml.
 
    Commands:
-     hem_tool analyse   [--mode flat|flat-stream|hem] [--s3-period N]
-     hem_tool simulate  [--horizon N] [--seed N] [--s3-period N]
-     hem_tool figure4   [--max-dt N] [--step N]
-     hem_tool scaling   [--signals N] *)
+     hem_tool analyse     [--mode flat|flat-stream|hem] [--s3-period N]
+                          [--trace FILE] [--trace-level spans|full]
+     hem_tool convergence [--s3-period N] [--file FILE] [--trace FILE]
+     hem_tool simulate    [--horizon N] [--seed N] [--s3-period N]
+     hem_tool figure4     [--max-dt N] [--step N]
+     hem_tool scaling     [--signals N] *)
 
 module Interval = Timebase.Interval
 module Count = Timebase.Count
@@ -43,8 +45,8 @@ let read_file path =
   close_in ic;
   contents
 
-let load_spec = function
-  | None -> Paper.spec (), true
+let load_spec ?(s3_period = Paper.s3_period) = function
+  | None -> Paper.spec ~s3_period (), true
   | Some path -> begin
     match Cpa_system.Spec_file.parse (read_file path) with
     | Ok description -> Cpa_system.Spec_file.to_spec description, false
@@ -59,70 +61,116 @@ let file_arg =
   in
   Arg.(value & opt (some string) None & info [ "file" ] ~docv:"FILE" ~doc)
 
-let print_stats (result : Engine.result) =
-  let s = result.Engine.stats in
-  Printf.printf "\nAnalysis effort:\n";
-  Printf.printf "  iterations            %d\n" result.Engine.iterations;
-  Printf.printf "  resources analysed    %d\n" s.Engine.resources_analysed;
-  Printf.printf "  resources reused      %d\n" s.Engine.resources_reused;
-  Printf.printf "  streams invalidated   %d\n" s.Engine.streams_invalidated;
-  Printf.printf "  curve closure evals   %d  (memo hits %d)\n"
-    s.Engine.curve.Event_model.Curve.closure_evals
-    s.Engine.curve.Event_model.Curve.memo_hits;
-  Printf.printf "  curve periodic evals  %d\n"
-    s.Engine.curve.Event_model.Curve.periodic_evals;
-  Printf.printf "  curve searches        %d  (%d probe steps)\n"
-    s.Engine.curve.Event_model.Curve.searches
-    s.Engine.curve.Event_model.Curve.search_steps;
-  Printf.printf "  busy windows          %d  (%d fixpoint steps, %d activations)\n"
-    s.Engine.busy.Scheduling.Busy_window.busy_windows
-    s.Engine.busy.Scheduling.Busy_window.window_iterations
-    s.Engine.busy.Scheduling.Busy_window.activations
-
 let stats_arg =
   let doc = "Print analysis-effort counters (iterations, reuse, curve and \
              busy-window work)."
   in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+(* tracing *)
+
+let trace_arg =
+  let doc =
+    "Write a Chrome trace_event file of the analysis (open in \
+     chrome://tracing or ui.perfetto.dev).  A $(b,.jsonl) extension \
+     selects newline-delimited JSON."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_level_arg =
+  let levels = [ "spans", Obs.Sink.Spans; "full", Obs.Sink.Full ] in
+  let doc =
+    "Trace detail: $(b,spans) records span begin/end only, $(b,full) adds \
+     instants and counter samples (residual/dirty tracks)."
+  in
+  Arg.(value & opt (enum levels) Obs.Sink.Full
+       & info [ "trace-level" ] ~docv:"LEVEL" ~doc)
+
+(* Installs a Chrome-trace file sink around [f] when [trace] names a
+   file; without [--trace] no sink is installed and the instrumentation
+   stays on its free path. *)
+let with_trace trace level f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    Obs.Sink.install ~level (Obs.Chrome_trace.file path);
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Sink.uninstall ();
+        Printf.printf "wrote %s\n" path)
+      f
+
+(* Shared per-mode run/report pipeline (used by analyse and convergence):
+   analyse the spec in one mode, print outcomes and the optional effort /
+   convergence blocks. *)
+let run_mode ?(stats = false) ?(convergence = false) ~mode spec =
+  match Engine.analyse ~mode spec with
+  | Error e -> exit_err e
+  | Ok result ->
+    Report.print_outcomes Format.std_formatter result;
+    if convergence then
+      Format.printf "@.Convergence:@.%a@." Report.print_convergence result;
+    if stats then Format.printf "@.%a@." Report.print_effort result;
+    result
+
 let analyse_cmd =
-  let run mode s3_period file stats =
+  let run mode s3_period file stats trace trace_level =
     let spec, is_paper =
       match file with
       | None -> Paper.spec ~s3_period (), true
       | Some _ -> load_spec file
     in
-    match Engine.analyse ~mode spec with
-    | Error e -> exit_err e
-    | Ok result ->
-      Report.print_outcomes Format.std_formatter result;
-      if stats then print_stats result;
-      if mode = Engine.Hierarchical then begin
-        match Engine.analyse ~mode:Engine.Flat_sem spec with
-        | Error e -> exit_err e
-        | Ok flat ->
-          let names =
-            if is_paper then Paper.cpu_tasks
-            else
-              List.filter_map
-                (fun (o : Engine.element_outcome) ->
-                  if List.exists
-                       (fun (k : Spec.task) ->
-                         String.equal k.task_name o.element)
-                       spec.Spec.tasks
-                  then Some o.element
-                  else None)
-                result.Engine.outcomes
-          in
-          Format.printf "@.Comparison against the flat baseline:@.";
-          Report.pp_comparison Format.std_formatter
-            (Report.compare_results ~baseline:flat ~improved:result ~names);
-          Format.printf "@."
-      end
+    with_trace trace trace_level @@ fun () ->
+    let result = run_mode ~stats ~mode spec in
+    if mode = Engine.Hierarchical then begin
+      match Engine.analyse ~mode:Engine.Flat_sem spec with
+      | Error e -> exit_err e
+      | Ok flat ->
+        let names =
+          if is_paper then Paper.cpu_tasks
+          else
+            List.filter_map
+              (fun (o : Engine.element_outcome) ->
+                if List.exists
+                     (fun (k : Spec.task) ->
+                       String.equal k.task_name o.element)
+                     spec.Spec.tasks
+                then Some o.element
+                else None)
+              result.Engine.outcomes
+        in
+        Format.printf "@.Comparison against the flat baseline:@.";
+        Report.pp_comparison Format.std_formatter
+          (Report.compare_results ~baseline:flat ~improved:result ~names);
+        Format.printf "@."
+    end
   in
   let doc = "Analyse a system (the paper's reference system by default)." in
   Cmd.v (Cmd.info "analyse" ~doc)
-    Term.(const run $ mode_arg $ s3_period_arg $ file_arg $ stats_arg)
+    Term.(const run $ mode_arg $ s3_period_arg $ file_arg $ stats_arg
+          $ trace_arg $ trace_level_arg)
+
+(* convergence *)
+
+let convergence_cmd =
+  let run s3_period file stats trace trace_level =
+    let spec, _ = load_spec ~s3_period file in
+    with_trace trace trace_level @@ fun () ->
+    List.iter
+      (fun mode ->
+        Format.printf "== %s ==@." (Engine.mode_name mode);
+        ignore (run_mode ~stats ~convergence:true ~mode spec);
+        Format.printf "@.")
+      [ Engine.Hierarchical; Engine.Flat_stream; Engine.Flat_sem ]
+  in
+  let doc =
+    "Show how the global fixed point converges: the per-iteration residual \
+     table (dirty/changed elements, largest response-bound movement, \
+     incremental reuse) in every analysis mode."
+  in
+  Cmd.v (Cmd.info "convergence" ~doc)
+    Term.(const run $ s3_period_arg $ file_arg $ stats_arg $ trace_arg
+          $ trace_level_arg)
 
 (* simulate *)
 
@@ -414,6 +462,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            analyse_cmd; simulate_cmd; figure4_cmd; scaling_cmd; export_cmd;
-            gantt_cmd; headroom_cmd; data_age_cmd;
+            analyse_cmd; convergence_cmd; simulate_cmd; figure4_cmd;
+            scaling_cmd; export_cmd; gantt_cmd; headroom_cmd; data_age_cmd;
           ]))

@@ -1,8 +1,25 @@
-let unpack h = List.map (fun (i : Model.inner) -> i.stream) (Model.inners h)
+(* Ψ_pa: spans are cheap relative to downstream use of the unpacked
+   streams, but they mark *where* receivers pull inner models out of a
+   hierarchy, which is the interesting propagation point in a trace. *)
+
+let spanned ~label ~arity run =
+  if Obs.Trace.enabled () then
+    Obs.Trace.with_span "hem.unpack"
+      ~attrs:
+        [ "select", Obs.Event.Str label; "inners", Obs.Event.Int arity ]
+      run
+  else run ()
+
+let unpack h =
+  spanned ~label:"*" ~arity:(Model.arity h) (fun () ->
+    List.map (fun (i : Model.inner) -> i.stream) (Model.inners h))
 
 let unpack_nth h i =
-  match List.nth_opt (Model.inners h) i with
-  | Some inner -> inner.stream
-  | None -> invalid_arg "Deconstruct.unpack_nth: index out of range"
+  spanned ~label:(string_of_int i) ~arity:(Model.arity h) (fun () ->
+    match List.nth_opt (Model.inners h) i with
+    | Some inner -> inner.stream
+    | None -> invalid_arg "Deconstruct.unpack_nth: index out of range")
 
-let unpack_label h label = (Model.find_inner h label).stream
+let unpack_label h label =
+  spanned ~label ~arity:(Model.arity h) (fun () ->
+    (Model.find_inner h label).stream)

@@ -25,17 +25,29 @@ let apply_response ?simultaneity:k_override ~response h =
   | Model.Packed ->
     let r_minus = Interval.lo response in
     let spread = Interval.width response in
-    let k =
-      match k_override with
-      | Some k when k < 1 ->
-        invalid_arg "Inner_update.apply_response: simultaneity < 1"
-      | Some k -> k
-      | None -> simultaneity (Model.outer h)
+    let run () =
+      let k =
+        match k_override with
+        | Some k when k < 1 ->
+          invalid_arg "Inner_update.apply_response: simultaneity < 1"
+        | Some k -> k
+        | None -> simultaneity (Model.outer h)
+      in
+      let outer = Task_op.output ~response (Model.outer h) in
+      let h' = Model.map_inner_streams
+          (fun (i : Model.inner) ->
+            update_inner ~spread ~r_minus ~k i.stream i.label)
+          h
+      in
+      Model.make ~outer ~inners:(Model.inners h') ~rule:(Model.rule h)
     in
-    let outer = Task_op.output ~response (Model.outer h) in
-    let h' = Model.map_inner_streams
-        (fun (i : Model.inner) ->
-          update_inner ~spread ~r_minus ~k i.stream i.label)
-        h
-    in
-    Model.make ~outer ~inners:(Model.inners h') ~rule:(Model.rule h)
+    if Obs.Trace.enabled () then
+      Obs.Trace.with_span "hem.inner_update"
+        ~attrs:
+          [
+            "inners", Obs.Event.Int (Model.arity h);
+            "r_minus", Obs.Event.Int r_minus;
+            "spread", Obs.Event.Int spread;
+          ]
+        run
+    else run ()

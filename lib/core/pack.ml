@@ -10,25 +10,8 @@ type input = {
 
 let input ?(kind = Model.Triggering) label stream = { label; kind; stream }
 
-let pack ?name inputs =
-  if inputs = [] then invalid_arg "Pack.pack: no inputs";
-  let triggering =
-    List.filter_map
-      (fun i ->
-        match i.kind with
-        | Model.Triggering -> Some i.stream
-        | Model.Pending -> None)
-      inputs
-  in
-  if triggering = [] then
-    invalid_arg "Pack.pack: a frame needs at least one triggering input";
-  let name =
-    match name with
-    | Some n -> n
-    | None ->
-      Printf.sprintf "pack(%s)"
-        (String.concat "," (List.map (fun i -> i.label) inputs))
-  in
+(* Ω_pa proper: builds the hierarchical model once inputs are validated. *)
+let build ~name ~inputs ~triggering =
   let outer = Combine.or_combine ~name triggering in
   (* eq. (7) uses the maximum distance between two frames. *)
   let frame_gap = Stream.delta_plus outer 2 in
@@ -55,3 +38,36 @@ let pack ?name inputs =
       { Model.label = i.label; kind = i.kind; stream }
   in
   Model.make ~outer ~inners:(List.map inner_of_input inputs) ~rule:Model.Packed
+
+let pack ?name inputs =
+  if inputs = [] then invalid_arg "Pack.pack: no inputs";
+  let triggering =
+    List.filter_map
+      (fun i ->
+        match i.kind with
+        | Model.Triggering -> Some i.stream
+        | Model.Pending -> None)
+      inputs
+  in
+  if triggering = [] then
+    invalid_arg "Pack.pack: a frame needs at least one triggering input";
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+      Printf.sprintf "pack(%s)"
+        (String.concat "," (List.map (fun i -> i.label) inputs))
+  in
+  let run () = build ~name ~inputs ~triggering in
+  if Obs.Trace.enabled () then
+    Obs.Trace.with_span "hem.pack"
+      ~attrs:
+        [
+          "name", Obs.Event.Str name;
+          "inputs", Obs.Event.Int (List.length inputs);
+          "triggering", Obs.Event.Int (List.length triggering);
+          "pending",
+          Obs.Event.Int (List.length inputs - List.length triggering);
+        ]
+      run
+  else run ()

@@ -1,12 +1,24 @@
 module Time = Timebase.Time
+module Metrics = Obs.Metrics
 
 exception Unbounded of string
 
 let search_cap = 1 lsl 22
 
 (* ------------------------------------------------------------------ *)
-(* Observability counters (global, monotone; consumers snapshot and
-   diff around the region they want to attribute) *)
+(* Observability counters, routed through the Obs.Metrics registry.
+   Evaluation work is charged to the scopes that were active when the
+   curve was *created* (falling back to whichever scopes are active at
+   evaluation time for curves built outside any scope, e.g. shared source
+   streams), so lazy evaluations of one analysis's memoized streams never
+   pollute another analysis's counts even when the two interleave. *)
+
+let c_closure_evals = Metrics.counter "curve.closure_evals"
+let c_memo_hits = Metrics.counter "curve.memo_hits"
+let c_periodic_evals = Metrics.counter "curve.periodic_evals"
+let c_searches = Metrics.counter "curve.searches"
+let c_search_steps = Metrics.counter "curve.search_steps"
+let c_spill_probes = Metrics.counter "curve.spill_probes"
 
 type stats = {
   closure_evals : int;
@@ -14,29 +26,8 @@ type stats = {
   periodic_evals : int;
   searches : int;
   search_steps : int;
+  spill_probes : int;
 }
-
-let n_closure_evals = ref 0
-let n_memo_hits = ref 0
-let n_periodic_evals = ref 0
-let n_searches = ref 0
-let n_search_steps = ref 0
-
-let stats () =
-  {
-    closure_evals = !n_closure_evals;
-    memo_hits = !n_memo_hits;
-    periodic_evals = !n_periodic_evals;
-    searches = !n_searches;
-    search_steps = !n_search_steps;
-  }
-
-let reset_stats () =
-  n_closure_evals := 0;
-  n_memo_hits := 0;
-  n_periodic_evals := 0;
-  n_searches := 0;
-  n_search_steps := 0
 
 let stats_diff a b =
   {
@@ -45,6 +36,7 @@ let stats_diff a b =
     periodic_evals = a.periodic_evals - b.periodic_evals;
     searches = a.searches - b.searches;
     search_steps = a.search_steps - b.search_steps;
+    spill_probes = a.spill_probes - b.spill_probes;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -68,12 +60,70 @@ type closure = {
   mutable f : int -> Time.t;
   mutable dense : int array;
   spill : (int, Time.t) Hashtbl.t;
+  att : Metrics.attachment;  (* scopes active at creation *)
+  mutable pending_hits : int;
+      (* memo hits accumulated locally (one field bump: the hit path runs
+         millions of times per analysis and a registry update there costs
+         more than the memoized lookup itself) and flushed to
+         [c_memo_hits] when stats are read *)
 }
+
+(* closures with unflushed hits; emptied by [flush_pending] *)
+let dirty_hits : closure list ref = ref []
+
+let flush_pending () =
+  let dirty = !dirty_hits in
+  dirty_hits := [];
+  List.iter
+    (fun c ->
+      Metrics.add_attached c.att c_memo_hits c.pending_hits;
+      c.pending_hits <- 0)
+    dirty
+
+(* First hit since the last flush: attached curves enrol in the dirty
+   list and defer (their hits are charged to the creation scopes when the
+   flush happens); unattached ones must charge the scopes active *now*,
+   so they pay the direct registry price on every hit and never enrol
+   (pending stays 0). *)
+let[@inline never] count_hit_cold c =
+  if c.att == [] then Metrics.add_attached [] c_memo_hits 1
+  else begin
+    dirty_hits := c :: !dirty_hits;
+    c.pending_hits <- 1
+  end
+
+let[@inline] count_hit c =
+  let p = c.pending_hits in
+  if p > 0 then c.pending_hits <- p + 1 else count_hit_cold c
+
+let stats_of read =
+  flush_pending ();
+  {
+    closure_evals = read c_closure_evals;
+    memo_hits = read c_memo_hits;
+    periodic_evals = read c_periodic_evals;
+    searches = read c_searches;
+    search_steps = read c_search_steps;
+    spill_probes = read c_spill_probes;
+  }
+
+let stats () = stats_of Metrics.total
+
+let stats_in scope = stats_of (Metrics.read scope)
+
+let reset_stats () =
+  flush_pending ();
+  List.iter Metrics.reset_total
+    [
+      c_closure_evals; c_memo_hits; c_periodic_evals; c_searches;
+      c_search_steps; c_spill_probes;
+    ]
 
 type periodic = {
   prefix : int array;  (* values for n = 2 .. length + 1; 0 for n <= 1 *)
   period_events : int;
   period_time : int;
+  p_att : Metrics.attachment;
 }
 
 type t =
@@ -104,12 +154,13 @@ let rec next_pow2 k n = if k > n then k else next_pow2 (k * 2) n
 
 let eval_closure c n =
   if n < 0 || n >= dense_cap then begin
+    Metrics.add_attached c.att c_spill_probes 1;
     match Hashtbl.find_opt c.spill n with
     | Some v ->
-      incr n_memo_hits;
+      count_hit c;
       v
     | None ->
-      incr n_closure_evals;
+      Metrics.add_attached c.att c_closure_evals 1;
       let v = c.f n in
       Hashtbl.add c.spill n v;
       v
@@ -123,19 +174,19 @@ let eval_closure c n =
     end;
     let v = c.dense.(n) in
     if v = unset then begin
-      incr n_closure_evals;
+      Metrics.add_attached c.att c_closure_evals 1;
       let t = c.f n in
       c.dense.(n) <- encode t;
       t
     end
     else begin
-      incr n_memo_hits;
+      count_hit c;
       decode v
     end
   end
 
 let eval_periodic p n =
-  incr n_periodic_evals;
+  Metrics.add_attached p.p_att c_periodic_evals 1;
   if n <= 1 then Time.zero
   else begin
     let i = n - 2 in
@@ -158,12 +209,28 @@ let eval t n =
 (* ------------------------------------------------------------------ *)
 (* Constructors *)
 
-let make f = Closure { f; dense = [||]; spill = Hashtbl.create 8 }
+let make f =
+  Closure
+    {
+      f;
+      dense = [||];
+      spill = Hashtbl.create 8;
+      att = Metrics.attach ();
+      pending_hits = 0;
+    }
 
 (* Self-referential memoization: [f] receives the memoized evaluator, so a
    recurrence like delta'(n) = g (delta' (n-1)) costs O(n) total. *)
 let make_rec f =
-  let c = { f = (fun _ -> Time.zero); dense = [||]; spill = Hashtbl.create 8 } in
+  let c =
+    {
+      f = (fun _ -> Time.zero);
+      dense = [||];
+      spill = Hashtbl.create 8;
+      att = Metrics.attach ();
+      pending_hits = 0;
+    }
+  in
   let self n = eval_closure c n in
   c.f <- (fun n -> f self n);
   Closure c
@@ -182,7 +249,14 @@ let periodic ~prefix ~period_events ~period_time =
     if prefix.(i) < prefix.(i - 1) then
       invalid_arg "Curve.periodic: non-monotone prefix"
   done;
-  let t = { prefix = Array.copy prefix; period_events; period_time } in
+  let t =
+    {
+      prefix = Array.copy prefix;
+      period_events;
+      period_time;
+      p_att = Metrics.attach ();
+    }
+  in
   (* the recurrence must preserve monotonicity across and beyond the
      prefix boundary; checking two full periods past the prefix pins it
      down forever (eval (n + period_events) = eval n + period_time) *)
@@ -203,39 +277,46 @@ let clamp_low t =
 
 (* Exponential search for the first index in [lo, cap] satisfying [pred],
    followed by binary search.  [pred] must be monotone (false then true). *)
+(* The probe count is threaded through the loops and flushed to the
+   registry once per search: a per-probe registry bump would dominate the
+   search loop itself. *)
 let first_satisfying ~lo pred =
-  incr n_searches;
-  let probe n =
-    incr n_search_steps;
-    pred n
+  Metrics.incr c_searches;
+  (* invariant on bisect entry: not (pred lo) && pred hi *)
+  let rec bisect steps lo hi =
+    if hi - lo <= 1 then begin
+      Metrics.add c_search_steps steps;
+      hi
+    end
+    else
+      let mid = lo + ((hi - lo) / 2) in
+      if pred mid then bisect (steps + 1) lo mid else bisect (steps + 1) mid hi
   in
-  if probe lo then lo
-  else begin
-    let rec widen prev cur =
-      if cur > search_cap then raise (Unbounded "Curve: search cap exceeded")
-      else if probe cur then prev, cur
-      else widen cur (cur * 2)
-    in
-    let lo, hi = widen lo (Stdlib.max 2 (lo * 2)) in
-    (* invariant: not (pred lo) && pred hi *)
-    let rec bisect lo hi =
-      if hi - lo <= 1 then hi
-      else
-        let mid = lo + ((hi - lo) / 2) in
-        if probe mid then bisect lo mid else bisect mid hi
-    in
-    bisect lo hi
+  let rec widen steps prev cur =
+    if cur > search_cap then begin
+      Metrics.add c_search_steps steps;
+      raise (Unbounded "Curve: search cap exceeded")
+    end
+    else if pred cur then bisect (steps + 1) prev cur
+    else widen (steps + 1) cur (cur * 2)
+  in
+  if pred lo then begin
+    Metrics.add c_search_steps 1;
+    lo
   end
+  else widen 1 lo (Stdlib.max 2 (lo * 2))
 
 (* Least n >= 2 with eval n >= limit (or > limit when [strict]), computed
    arithmetically: locate the period block containing the answer, then
    binary-search the (at most period_events wide) window inside it. *)
 let periodic_first p ~strict limit =
-  incr n_searches;
+  Metrics.add_attached p.p_att c_searches 1;
+  let steps = ref 0 in
   let sat v =
-    incr n_search_steps;
+    Stdlib.incr steps;
     if strict then v > limit else v >= limit
   in
+  let flush () = Metrics.add_attached p.p_att c_search_steps !steps in
   let len = Array.length p.prefix in
   let top = p.prefix.(len - 1) in
   (* first index in [lo, hi] whose value satisfies; requires sat hi *)
@@ -245,22 +326,30 @@ let periodic_first p ~strict limit =
       let mid = (lo + hi) / 2 in
       if sat (value mid) then bfirst value lo mid else bfirst value (mid + 1) hi
   in
-  if sat top then bfirst (fun i -> p.prefix.(i)) 0 (len - 1) + 2
-  else if p.period_time <= 0 then
-    raise (Unbounded "Curve: periodic tail never reaches limit")
-  else begin
-    (* smallest block s >= 1 whose largest value top + s * period_time
-       satisfies; earlier blocks are entirely below the limit *)
-    let need = limit - top in
-    let s =
-      if strict then (need / p.period_time) + 1
-      else (need + p.period_time - 1) / p.period_time
-    in
-    let s = Stdlib.max 1 s in
-    let base = s * p.period_time in
-    let j = bfirst (fun j -> p.prefix.(j) + base) (len - p.period_events) (len - 1) in
-    j + (s * p.period_events) + 2
-  end
+  let result =
+    if sat top then bfirst (fun i -> p.prefix.(i)) 0 (len - 1) + 2
+    else if p.period_time <= 0 then begin
+      flush ();
+      raise (Unbounded "Curve: periodic tail never reaches limit")
+    end
+    else begin
+      (* smallest block s >= 1 whose largest value top + s * period_time
+         satisfies; earlier blocks are entirely below the limit *)
+      let need = limit - top in
+      let s =
+        if strict then (need / p.period_time) + 1
+        else (need + p.period_time - 1) / p.period_time
+      in
+      let s = Stdlib.max 1 s in
+      let base = s * p.period_time in
+      let j =
+        bfirst (fun j -> p.prefix.(j) + base) (len - p.period_events) (len - 1)
+      in
+      j + (s * p.period_events) + 2
+    end
+  in
+  flush ();
+  result
 
 let count_lt t limit =
   if Time.(limit <= Time.zero) then invalid_arg "Curve.count_lt: limit <= 0";

@@ -69,7 +69,19 @@ val first_gt : t -> offset:int -> Timebase.Time.t -> int
     (eq. 2, with [offset = 2]).
     @raise Unbounded if no answer below {!search_cap} exists. *)
 
-(** {1 Observability} *)
+(** {1 Observability}
+
+    Evaluation and search work is counted through the {!Obs.Metrics}
+    registry (counter names [curve.*]).  Work on a curve is charged to the
+    metrics scopes that were active when the curve was {e created}; curves
+    created outside any scope (shared source streams) charge whichever
+    scopes are active at evaluation time.  This keeps per-analysis
+    attribution exact even when the lazy evaluation of one analysis's
+    memoized streams happens inside another analysis's extent.
+
+    Memo hits are counted per curve and flushed to the registry lazily;
+    every stats read below flushes first, so totals are always exact at
+    observation points. *)
 
 type stats = {
   closure_evals : int;  (** underlying closure invocations (memo misses) *)
@@ -77,12 +89,17 @@ type stats = {
   periodic_evals : int;  (** O(1) compact-backend evaluations *)
   searches : int;  (** pseudo-inversion queries *)
   search_steps : int;  (** probes across all searches *)
+  spill_probes : int;  (** lookups in the deep-probe spill tables *)
 }
 
 val stats : unit -> stats
-(** Global monotone counters; snapshot and {!stats_diff} to attribute. *)
+(** Process-global monotone totals. *)
+
+val stats_in : Obs.Metrics.scope -> stats
+(** Curve work charged to one metrics scope (e.g. one engine analysis). *)
 
 val reset_stats : unit -> unit
+(** Resets the global totals; scoped cells are unaffected. *)
 
 val stats_diff : stats -> stats -> stats
 (** [stats_diff a b] is the per-field difference [a - b]. *)

@@ -1,0 +1,101 @@
+type format =
+  | Json
+  | Jsonl
+
+let add_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let add_value b = function
+  | Event.Str s -> add_json_string b s
+  | Event.Int i -> Buffer.add_string b (string_of_int i)
+  | Event.Float f ->
+    (* JSON has no NaN/infinity literals *)
+    if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.6g" f)
+    else add_json_string b (string_of_float f)
+  | Event.Bool v -> Buffer.add_string b (if v then "true" else "false")
+
+let add_args b attrs =
+  Buffer.add_string b "\"args\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      add_json_string b k;
+      Buffer.add_char b ':';
+      add_value b v)
+    attrs;
+  Buffer.add_char b '}'
+
+let add_event b e =
+  let common name ph ts =
+    Buffer.add_string b "{\"name\":";
+    add_json_string b name;
+    Buffer.add_string b (Printf.sprintf ",\"cat\":\"hem\",\"ph\":%S" ph);
+    Buffer.add_string b (Printf.sprintf ",\"ts\":%.3f,\"pid\":1,\"tid\":1," ts)
+  in
+  (match e with
+  | Event.Span_begin { name; ts; attrs } ->
+    common name "B" ts;
+    add_args b attrs
+  | Event.Span_end { name; ts; attrs } ->
+    common name "E" ts;
+    add_args b attrs
+  | Event.Instant { name; ts; attrs } ->
+    common name "i" ts;
+    Buffer.add_string b "\"s\":\"t\",";
+    add_args b attrs
+  | Event.Counter { name; ts; value } ->
+    common name "C" ts;
+    Buffer.add_string b (Printf.sprintf "\"args\":{\"value\":%d}" value));
+  Buffer.add_char b '}'
+
+let event_json e =
+  let b = Buffer.create 128 in
+  add_event b e;
+  Buffer.contents b
+
+let to_string ?(format = Json) events =
+  let b = Buffer.create 4096 in
+  (match format with
+  | Json ->
+    Buffer.add_string b "{\"traceEvents\":[\n";
+    List.iteri
+      (fun i e ->
+        if i > 0 then Buffer.add_string b ",\n";
+        add_event b e)
+      events;
+    Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n"
+  | Jsonl ->
+    List.iter
+      (fun e ->
+        add_event b e;
+        Buffer.add_char b '\n')
+      events);
+  Buffer.contents b
+
+let file ?format path =
+  let format =
+    match format with
+    | Some f -> f
+    | None -> if Filename.check_suffix path ".jsonl" then Jsonl else Json
+  in
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  let flush () =
+    let oc = open_out path in
+    output_string oc (to_string ~format (List.rev !events));
+    close_out oc
+  in
+  Sink.make ~flush emit

@@ -1,0 +1,127 @@
+type counter = {
+  key : string;
+  id : int;
+  mutable total : int;
+}
+
+type scope = {
+  sname : string;
+  (* per-counter cells indexed by counter id; grown on demand *)
+  mutable cells : int array;
+}
+
+type attachment = scope list
+
+let registry : (string, counter) Hashtbl.t = Hashtbl.create 32
+let next_id = ref 0
+
+let counter key =
+  match Hashtbl.find_opt registry key with
+  | Some c -> c
+  | None ->
+    let c = { key; id = !next_id; total = 0 } in
+    incr next_id;
+    Hashtbl.add registry key c;
+    c
+
+let counter_name c = c.key
+
+let scope sname = { sname; cells = [||] }
+let scope_name s = s.sname
+
+let rec next_pow2 k n = if k > n then k else next_pow2 (k * 2) n
+
+(* Bumps sit on memoization fast paths (millions of calls per analysis),
+   so the common shapes — no scope, one scope — must stay branch-cheap
+   and allocation-free; the cell array is grown out of line. *)
+let[@inline never] grow_and_bump s id n =
+  let len = Array.length s.cells in
+  let grown = Array.make (next_pow2 16 id) 0 in
+  Array.blit s.cells 0 grown 0 len;
+  s.cells <- grown;
+  grown.(id) <- grown.(id) + n
+
+let[@inline] bump s id n =
+  let cells = s.cells in
+  if id < Array.length cells then
+    Array.unsafe_set cells id (Array.unsafe_get cells id + n)
+  else grow_and_bump s id n
+
+let rec bump_rest ss id n =
+  match ss with
+  | [] -> ()
+  | s :: rest ->
+    bump s id n;
+    bump_rest rest id n
+
+let[@inline] bump_all ss id n =
+  match ss with
+  | [] -> ()
+  | [ s ] -> bump s id n
+  | s :: rest ->
+    bump s id n;
+    bump_rest rest id n
+
+let stack : scope list ref = ref []
+
+let in_scope s f =
+  stack := s :: !stack;
+  Fun.protect
+    ~finally:(fun () ->
+      match !stack with
+      | _ :: rest -> stack := rest
+      | [] -> ())
+    f
+
+let active () = !stack
+let attach () = !stack
+
+let[@inline] add c n =
+  c.total <- c.total + n;
+  bump_all !stack c.id n
+
+let[@inline] incr c = add c 1
+
+let[@inline] add_attached att c n =
+  c.total <- c.total + n;
+  match att with
+  | [] -> bump_all !stack c.id n
+  | ss -> bump_all ss c.id n
+
+let total c = c.total
+let reset_total c = c.total <- 0
+
+let read s c = if c.id < Array.length s.cells then s.cells.(c.id) else 0
+
+let snapshot s =
+  Hashtbl.fold
+    (fun key c acc ->
+      let v = read s c in
+      if v <> 0 then (key, v) :: acc else acc)
+    registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* gauges *)
+
+type gauge = {
+  gkey : string;
+  mutable value : int;
+}
+
+let gauge_registry : (string, gauge) Hashtbl.t = Hashtbl.create 16
+
+let gauge gkey =
+  match Hashtbl.find_opt gauge_registry gkey with
+  | Some g -> g
+  | None ->
+    let g = { gkey; value = 0 } in
+    Hashtbl.add gauge_registry gkey g;
+    g
+
+let gauge_name g = g.gkey
+let set g v = g.value <- v
+let get g = g.value
+
+let gauges () =
+  Hashtbl.fold (fun key g acc -> (key, g.value) :: acc) gauge_registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

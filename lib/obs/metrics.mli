@@ -1,0 +1,82 @@
+(** Named counters and gauges with per-scope attribution.
+
+    The registry replaces ad-hoc global counter records: an instrumented
+    module interns a {!counter} once and bumps it on the hot path; a
+    consumer that wants to attribute work to one region (e.g. one engine
+    analysis) opens a {!scope} and reads the counter's per-scope cell
+    afterwards.  Unlike snapshot/diff over global monotone counters, scoped
+    cells stay correct when several attributed regions interleave — work
+    can be charged to the scope that created the data structure doing it
+    (see {!attach}) even if it executes inside another scope's extent.
+
+    Costs are tuned for hot paths: a counter bump with no active scope is
+    one mutable-field increment; with scopes it adds one array store per
+    active scope.  Nothing allocates after counter interning. *)
+
+type counter
+(** A named, process-global monotone counter. *)
+
+type scope
+(** A named accumulation cell set.  Scopes are cheap to create and are
+    meant to be short-lived (one per analysis / request). *)
+
+type attachment = scope list
+(** The scopes captured by {!attach} at data-structure creation time. *)
+
+val counter : string -> counter
+(** [counter key] interns (or retrieves) the counter named [key]. *)
+
+val counter_name : counter -> string
+
+val scope : string -> scope
+(** [scope name] creates a fresh, inactive scope. *)
+
+val scope_name : scope -> string
+
+val in_scope : scope -> (unit -> 'a) -> 'a
+(** [in_scope s f] runs [f] with [s] pushed on the active-scope stack
+    (exception-safe).  Counter bumps during the extent are charged to [s]
+    (and to any enclosing active scopes). *)
+
+val active : unit -> attachment
+(** The currently active scope stack, innermost first. *)
+
+val attach : unit -> attachment
+(** Alias of {!active}, read at data-structure creation time and passed to
+    {!add_attached} later: evaluations of a memoized structure are then
+    charged to the scopes that built it, whenever they happen. *)
+
+val add : counter -> int -> unit
+(** Bump the global total and every active scope. *)
+
+val incr : counter -> unit
+
+val add_attached : attachment -> counter -> int -> unit
+(** Like {!add}, but charge the captured [attachment] scopes instead of the
+    active stack.  An empty attachment (structure created outside any
+    scope, e.g. a shared input stream) falls back to the active stack, so
+    shared-structure work is charged to whoever drives it. *)
+
+val total : counter -> int
+(** Process-global monotone total. *)
+
+val reset_total : counter -> unit
+(** Resets the global total to zero; scope cells are unaffected. *)
+
+val read : scope -> counter -> int
+(** Work charged to [scope] so far. *)
+
+val snapshot : scope -> (string * int) list
+(** All non-zero counters of a scope, sorted by name. *)
+
+(** {1 Gauges} *)
+
+type gauge
+(** A named last-value cell (no scoping). *)
+
+val gauge : string -> gauge
+val gauge_name : gauge -> string
+val set : gauge -> int -> unit
+val get : gauge -> int
+val gauges : unit -> (string * int) list
+(** All gauges with their current values, sorted by name. *)

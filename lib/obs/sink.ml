@@ -1,0 +1,54 @@
+type level =
+  | Spans
+  | Full
+
+type t = {
+  emit : Event.t -> unit;
+  flush : unit -> unit;
+}
+
+let make ?(flush = fun () -> ()) emit = { emit; flush }
+
+let current : t option ref = ref None
+let current_level = ref Full
+
+let flush_current () =
+  match !current with
+  | Some s -> s.flush ()
+  | None -> ()
+
+let install ?(level = Full) s =
+  flush_current ();
+  current := Some s;
+  current_level := level
+
+let uninstall () =
+  flush_current ();
+  current := None;
+  current_level := Full
+
+let installed () = !current
+let enabled () = !current != None
+let level () = !current_level
+
+let enabled_full () =
+  match !current with
+  | Some _ -> !current_level = Full
+  | None -> false
+
+let null = make (fun _ -> ())
+
+let memory ?(capacity = 65536) () =
+  let q : Event.t Queue.t = Queue.create () in
+  let sink =
+    make (fun e ->
+      Queue.push e q;
+      if Queue.length q > capacity then ignore (Queue.pop q))
+  in
+  sink, fun () -> List.of_seq (Queue.to_seq q)
+
+let log_src = Logs.Src.create "obs" ~doc:"observability event bridge"
+
+let logs_bridge ?(src = log_src) () =
+  make (fun e ->
+    Logs.debug ~src (fun m -> m "%a" Event.pp e))

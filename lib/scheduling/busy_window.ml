@@ -19,29 +19,34 @@ let default_window_limit = 1_000_000
 
 let default_q_limit = 4096
 
-(* Observability counters (global, monotone; snapshot and diff to
-   attribute work to one analysis). *)
+(* Observability counters, routed through the Obs.Metrics registry so
+   work is attributable to the metrics scope of the enclosing analysis. *)
+module Metrics = Obs.Metrics
+
+let c_busy_windows = Metrics.counter "busy_window.windows"
+let c_window_iterations = Metrics.counter "busy_window.window_iterations"
+let c_activations = Metrics.counter "busy_window.activations"
+
 type counters = {
   busy_windows : int;
   window_iterations : int;
   activations : int;
 }
 
-let n_busy_windows = ref 0
-let n_window_iterations = ref 0
-let n_activations = ref 0
-
-let counters () =
+let counters_of read =
   {
-    busy_windows = !n_busy_windows;
-    window_iterations = !n_window_iterations;
-    activations = !n_activations;
+    busy_windows = read c_busy_windows;
+    window_iterations = read c_window_iterations;
+    activations = read c_activations;
   }
 
+let counters () = counters_of Metrics.total
+
+let counters_in scope = counters_of (Metrics.read scope)
+
 let reset_counters () =
-  n_busy_windows := 0;
-  n_window_iterations := 0;
-  n_activations := 0
+  List.iter Metrics.reset_total
+    [ c_busy_windows; c_window_iterations; c_activations ]
 
 let counters_diff a b =
   {
@@ -52,7 +57,7 @@ let counters_diff a b =
 
 let fixpoint ~limit ~init f =
   let rec iterate w =
-    incr n_window_iterations;
+    Metrics.incr c_window_iterations;
     if w > limit then None
     else
       let w' = f w in
@@ -62,10 +67,35 @@ let fixpoint ~limit ~init f =
   in
   iterate init
 
-let max_response ?(q_limit = default_q_limit) ~best_case ~arrival ~finish () =
-  incr n_busy_windows;
+(* Wraps one busy-window computation in a span carrying the element name,
+   the q-range explored and the fixpoint/activation work it cost.  The
+   disabled path runs [run] directly: no attribute lists are built and
+   nothing is allocated. *)
+let spanned ?label ~q_reached run =
+  if Obs.Trace.enabled () then begin
+    let w0 = Metrics.total c_window_iterations in
+    let a0 = Metrics.total c_activations in
+    Obs.Trace.with_span "busy_window"
+      ~attrs:
+        [ "element", Obs.Event.Str (Option.value label ~default:"<anon>") ]
+      ~end_attrs:(fun () ->
+        [
+          "q_max", Obs.Event.Int !q_reached;
+          "window_iterations",
+          Obs.Event.Int (Metrics.total c_window_iterations - w0);
+          "activations", Obs.Event.Int (Metrics.total c_activations - a0);
+        ])
+      run
+  end
+  else run ()
+
+let max_response ?label ?(q_limit = default_q_limit) ~best_case ~arrival
+    ~finish () =
+  Metrics.incr c_busy_windows;
+  let q_reached = ref 0 in
   let rec loop q worst =
-    incr n_activations;
+    Metrics.incr c_activations;
+    q_reached := q;
     if q > q_limit then
       Unbounded (Printf.sprintf "busy period exceeds %d activations" q_limit)
     else
@@ -87,12 +117,15 @@ let max_response ?(q_limit = default_q_limit) ~best_case ~arrival ~finish () =
           else Bounded (Interval.make ~lo:best_case ~hi:worst)
       end
   in
-  loop 1 0
+  spanned ?label ~q_reached (fun () -> loop 1 0)
 
-let max_backlog ?(q_limit = default_q_limit) ~arrival ~arrivals_in ~finish () =
-  incr n_busy_windows;
+let max_backlog ?label ?(q_limit = default_q_limit) ~arrival ~arrivals_in
+    ~finish () =
+  Metrics.incr c_busy_windows;
+  let q_reached = ref 0 in
   let rec loop q worst =
-    incr n_activations;
+    Metrics.incr c_activations;
+    q_reached := q;
     if q > q_limit then
       Error (Printf.sprintf "busy period exceeds %d activations" q_limit)
     else
@@ -115,7 +148,7 @@ let max_backlog ?(q_limit = default_q_limit) ~arrival ~arrivals_in ~finish () =
         end
       end
   in
-  loop 1 1
+  spanned ?label ~q_reached (fun () -> loop 1 1)
 
 let interference ~tasks ~window =
   let rec total = function

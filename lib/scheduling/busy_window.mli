@@ -29,6 +29,7 @@ val fixpoint : limit:int -> init:int -> (int -> int) -> int option
     @raise Invalid_argument if an iterate decreases (non-monotone [f]). *)
 
 val max_response :
+  ?label:string ->
   ?q_limit:int ->
   best_case:int ->
   arrival:(int -> Timebase.Time.t) ->
@@ -41,9 +42,15 @@ val max_response :
     [arrival q] its earliest arrival (the activation stream's
     [delta_min q]).  The enumeration stops at the first [q] whose
     completion does not overlap the arrival of activation [q + 1].
-    Returns [Bounded [best_case : max_q (finish q - arrival q)]]. *)
+    Returns [Bounded [best_case : max_q (finish q - arrival q)]].
+
+    When a tracing sink is installed, the computation is wrapped in a
+    ["busy_window"] span labelled with [label] (the element name) and
+    attributed with the explored q-range and fixpoint work; with no sink
+    the span layer is skipped entirely. *)
 
 val max_backlog :
+  ?label:string ->
   ?q_limit:int ->
   arrival:(int -> Timebase.Time.t) ->
   arrivals_in:(int -> (int, string) result) ->
@@ -80,10 +87,13 @@ type counters = {
 }
 
 val counters : unit -> counters
-(** Global monotone counters; snapshot and {!counters_diff} to
-    attribute work to one analysis. *)
+(** Process-global monotone totals (registry counters [busy_window.*]). *)
+
+val counters_in : Obs.Metrics.scope -> counters
+(** Busy-window work charged to one metrics scope. *)
 
 val reset_counters : unit -> unit
+(** Resets the global totals; scoped cells are unaffected. *)
 
 val counters_diff : counters -> counters -> counters
 (** [counters_diff a b] is the per-field difference [a - b]. *)

@@ -50,22 +50,29 @@ let busy_period ?(window_limit = Busy_window.default_window_limit) tasks =
 
 let schedulable ?window_limit tasks =
   check_tasks tasks;
-  match busy_period ?window_limit tasks with
-  | Error _ as e -> e
-  | Ok l ->
-    let rec scan dt =
-      if dt > l then Ok ()
-      else begin
-        match demand_bound tasks dt with
-        | Ok demand when demand <= dt -> scan (dt + 1)
-        | Ok demand ->
-          Error
-            (Printf.sprintf "demand %d exceeds window %d (busy period %d)"
-               demand dt l)
-        | Error _ as e -> e
-      end
-    in
-    scan 1
+  let run () =
+    match busy_period ?window_limit tasks with
+    | Error _ as e -> e
+    | Ok l ->
+      let rec scan dt =
+        if dt > l then Ok ()
+        else begin
+          match demand_bound tasks dt with
+          | Ok demand when demand <= dt -> scan (dt + 1)
+          | Ok demand ->
+            Error
+              (Printf.sprintf "demand %d exceeds window %d (busy period %d)"
+                 demand dt l)
+          | Error _ as e -> e
+        end
+      in
+      scan 1
+  in
+  if Obs.Trace.enabled () then
+    Obs.Trace.with_span "edf.schedulable"
+      ~attrs:[ "tasks", Obs.Event.Int (List.length tasks) ]
+      run
+  else run ()
 
 let analyse ?window_limit tasks =
   check_tasks tasks;

@@ -59,7 +59,7 @@ let spp_response_time ?(window_limit = Busy_window.default_window_limit)
     | Some w when !diverged = None -> Some w
     | Some _ | None -> None
   in
-  Busy_window.max_response ?q_limit
+  Busy_window.max_response ~label:task.Rt_task.name ?q_limit
     ~best_case:(Interval.lo task.Rt_task.cet)
     ~arrival:(Stream.delta_min task.Rt_task.activation)
     ~finish ()

@@ -33,7 +33,7 @@ let response_time ?(window_limit = Busy_window.default_window_limit) ?q_limit
     in
     Busy_window.fixpoint ~limit:window_limit ~init:demand step
   in
-  Busy_window.max_response ?q_limit
+  Busy_window.max_response ~label:task.Rt_task.name ?q_limit
     ~best_case:(Interval.lo task.Rt_task.cet)
     ~arrival:(Stream.delta_min task.Rt_task.activation)
     ~finish ()

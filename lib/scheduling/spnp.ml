@@ -30,7 +30,7 @@ let completion ~window_limit ~task ~others q =
 
 let response_time ?(window_limit = Busy_window.default_window_limit) ?q_limit
     ~task ~others () =
-  Busy_window.max_response ?q_limit
+  Busy_window.max_response ~label:task.Rt_task.name ?q_limit
     ~best_case:(Interval.lo task.Rt_task.cet)
     ~arrival:(Stream.delta_min task.Rt_task.activation)
     ~finish:(completion ~window_limit ~task ~others)
@@ -47,7 +47,7 @@ let backlog_bound ?(window_limit = Busy_window.default_window_limit) ?q_limit
         (Printf.sprintf "unbounded arrivals of %s in window %d"
            task.Rt_task.name w)
   in
-  Busy_window.max_backlog ?q_limit
+  Busy_window.max_backlog ~label:task.Rt_task.name ?q_limit
     ~arrival:(Stream.delta_min activation)
     ~arrivals_in
     ~finish:(completion ~window_limit ~task ~others)

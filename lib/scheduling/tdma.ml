@@ -55,7 +55,7 @@ let response_time ?(window_limit = Busy_window.default_window_limit) ?q_limit
   let finish q =
     invert_service ~slot:own.length ~cycle ~limit:window_limit (q * c_plus)
   in
-  Busy_window.max_response ?q_limit
+  Busy_window.max_response ~label:task.Rt_task.name ?q_limit
     ~best_case:(best_case ~slot:own.length ~cycle (Interval.lo task.Rt_task.cet))
     ~arrival:(Stream.delta_min task.Rt_task.activation)
     ~finish ()

@@ -17,6 +17,11 @@ type mode =
   | Flat_stream
   | Flat_sem
 
+let mode_name = function
+  | Hierarchical -> "hierarchical"
+  | Flat_stream -> "flat_stream"
+  | Flat_sem -> "flat_sem"
+
 type element_outcome = {
   element : string;
   resource : string;
@@ -31,6 +36,16 @@ type stats = {
   busy : Busy_window.counters;
 }
 
+type iteration_stat = {
+  iteration : int;
+  dirty : int;
+  changed : int;
+  residual : int;
+  analysed : int;
+  reused : int;
+  invalidated : int;
+}
+
 type result = {
   mode : mode;
   spec : Spec.t;
@@ -38,6 +53,7 @@ type result = {
   iterations : int;
   outcomes : element_outcome list;
   stats : stats;
+  iteration_stats : iteration_stat list;
   resolve : Spec.activation -> Stream.t;
   hierarchy : string -> Hem.Model.t;
   pre_bus_hierarchy : string -> Hem.Model.t;
@@ -237,8 +253,11 @@ let analyse ?(mode = Hierarchical) ?(incremental = true) ?(max_iterations = 64)
   match Spec.validate spec with
   | Error e -> Error e
   | Ok () -> begin
-    let curve0 = Curve.stats () in
-    let busy0 = Busy_window.counters () in
+    (* Every curve and busy-window counter bump during this analysis is
+       charged to [scope] (curves created here carry the attachment, so
+       even post-convergence evaluations through [result.resolve] keep
+       accruing to the right analysis). *)
+    let scope = Obs.Metrics.scope ("engine:" ^ mode_name mode) in
     let zero = Interval.make ~lo:0 ~hi:0 in
     let responses : (string, Interval.t) Hashtbl.t = Hashtbl.create 16 in
     let response_of name =
@@ -285,7 +304,12 @@ let analyse ?(mode = Hierarchical) ?(incremental = true) ?(max_iterations = 64)
             outcomes)
         spec.Spec.resources
     in
-    let rec iterate i dirty =
+    (* One global iteration: local analyses plus the convergence check.
+       Returns the outcomes, whether every element is bounded, the set of
+       elements whose response changed, and the residual — the largest
+       response-bound movement (max of |Δlo|, |Δhi| over changed
+       elements), i.e. the distance still to the fixed point. *)
+    let step i dirty =
       let outcomes = run_iteration ~dirty in
       Log.debug (fun m ->
         m "iteration %d: %a" i
@@ -303,30 +327,95 @@ let analyse ?(mode = Hierarchical) ?(incremental = true) ?(max_iterations = 64)
           outcomes
       in
       let changed = ref S.empty in
+      let residual = ref 0 in
       List.iter
         (fun o ->
           match o.outcome with
           | Busy_window.Bounded r ->
-            if not (Interval.equal (response_of o.element) r) then begin
+            let prev = response_of o.element in
+            if not (Interval.equal prev r) then begin
               changed := S.add o.element !changed;
+              residual :=
+                Stdlib.max !residual
+                  (Stdlib.max
+                     (abs (Interval.lo r - Interval.lo prev))
+                     (abs (Interval.hi r - Interval.hi prev)));
               Hashtbl.replace responses o.element r
             end
           | Busy_window.Unbounded _ -> ())
         outcomes;
-      if S.is_empty !changed || (not all_bounded) || i >= max_iterations then
-        let converged = S.is_empty !changed && all_bounded in
-        outcomes, converged, i
-      else iterate (i + 1) !changed
+      outcomes, all_bounded, !changed, !residual
     in
-    match iterate 1 S.empty with
-    | outcomes, converged, iterations ->
+    let rec iterate i dirty acc =
+      let a0 = !analysed and r0 = !reused and v0 = !invalidated in
+      let outcomes, all_bounded, changed, residual =
+        if Obs.Trace.enabled () then begin
+          let post = ref (S.empty, 0) in
+          Obs.Trace.with_span "engine.iteration"
+            ~attrs:
+              [
+                "iteration", Obs.Event.Int i;
+                "dirty", Obs.Event.Int (S.cardinal dirty);
+              ]
+            ~end_attrs:(fun () ->
+              let changed, residual = !post in
+              [
+                "changed", Obs.Event.Int (S.cardinal changed);
+                "residual", Obs.Event.Int residual;
+                "analysed", Obs.Event.Int (!analysed - a0);
+                "reused", Obs.Event.Int (!reused - r0);
+                "invalidated", Obs.Event.Int (!invalidated - v0);
+              ])
+            (fun () ->
+              let (_, _, changed, residual) as r = step i dirty in
+              post := (changed, residual);
+              r)
+        end
+        else step i dirty
+      in
+      Obs.Trace.counter "engine.residual" residual;
+      Obs.Trace.counter "engine.dirty" (S.cardinal changed);
+      let stat =
+        {
+          iteration = i;
+          dirty = S.cardinal dirty;
+          changed = S.cardinal changed;
+          residual;
+          analysed = !analysed - a0;
+          reused = !reused - r0;
+          invalidated = !invalidated - v0;
+        }
+      in
+      let acc = stat :: acc in
+      if S.is_empty changed || (not all_bounded) || i >= max_iterations then
+        let converged = S.is_empty changed && all_bounded in
+        outcomes, converged, i, List.rev acc
+      else iterate (i + 1) changed acc
+    in
+    let run () = Obs.Metrics.in_scope scope (fun () -> iterate 1 S.empty []) in
+    let traced () =
+      if Obs.Trace.enabled () then
+        Obs.Trace.with_span "engine.analyse"
+          ~attrs:
+            [
+              "mode", Obs.Event.Str (mode_name mode);
+              "incremental", Obs.Event.Bool incremental;
+              "resources", Obs.Event.Int (List.length spec.Spec.resources);
+              "tasks", Obs.Event.Int (List.length spec.Spec.tasks);
+              "frames", Obs.Event.Int (List.length spec.Spec.frames);
+            ]
+          run
+      else run ()
+    in
+    match traced () with
+    | outcomes, converged, iterations, iteration_stats ->
       let stats =
         {
           resources_analysed = !analysed;
           resources_reused = !reused;
           streams_invalidated = !invalidated;
-          curve = Curve.stats_diff (Curve.stats ()) curve0;
-          busy = Busy_window.counters_diff (Busy_window.counters ()) busy0;
+          curve = Curve.stats_in scope;
+          busy = Busy_window.counters_in scope;
         }
       in
       Ok
@@ -337,6 +426,7 @@ let analyse ?(mode = Hierarchical) ?(incremental = true) ?(max_iterations = 64)
           iterations;
           outcomes;
           stats;
+          iteration_stats;
           resolve = resolve ctx;
           hierarchy = frame_post ctx;
           pre_bus_hierarchy = frame_pre ctx;

@@ -20,6 +20,10 @@ type mode =
   | Flat_stream
   | Flat_sem
 
+val mode_name : mode -> string
+(** ["hierarchical"], ["flat_stream"] or ["flat_sem"] — used for scope
+    and span naming and by the CLI. *)
+
 type element_outcome = {
   element : string;  (** task or frame name *)
   resource : string;
@@ -38,6 +42,19 @@ type stats = {
       (** busy-window work during this analysis *)
 }
 
+type iteration_stat = {
+  iteration : int;  (** 1-based global iteration number *)
+  dirty : int;
+      (** elements whose response changed in the previous iteration *)
+  changed : int;  (** elements whose response changed in this one *)
+  residual : int;
+      (** largest response-bound movement this iteration: max over
+          changed elements of [max |Δlo| |Δhi|]; [0] at the fixed point *)
+  analysed : int;  (** resources re-analysed this iteration *)
+  reused : int;  (** resources served from the iteration cache *)
+  invalidated : int;  (** memoized streams dropped this iteration *)
+}
+
 type result = {
   mode : mode;
   spec : Spec.t;  (** the analysed system *)
@@ -45,6 +62,9 @@ type result = {
   iterations : int;
   outcomes : element_outcome list;
   stats : stats;
+  iteration_stats : iteration_stat list;
+      (** per-iteration convergence telemetry, in iteration order; always
+          populated (cheap to collect), independent of tracing *)
   resolve : Spec.activation -> Event_model.Stream.t;
       (** resolves an activation against the final fixed point *)
   hierarchy : string -> Hem.Model.t;
@@ -75,7 +95,15 @@ val analyse :
     Reused results are bit-identical to what a recomputation would
     produce, so outcomes, convergence and iteration counts match
     [~incremental:false] (the original engine: every iteration starts
-    from scratch) exactly. *)
+    from scratch) exactly.
+
+    Observability: when a {!Obs.Sink} is installed the analysis emits an
+    ["engine.analyse"] span enclosing one ["engine.iteration"] span per
+    global iteration, whose end attributes carry the same fields as
+    {!iteration_stat}.  All curve and busy-window metric bumps are
+    charged to a fresh scope named ["engine:<mode>"]; [stats] reads that
+    scope, so interleaved analyses no longer contaminate each other's
+    effort numbers. *)
 
 val response : result -> string -> Timebase.Interval.t option
 (** Response-time interval of a task or frame in the result, if bounded.

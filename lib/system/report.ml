@@ -18,6 +18,42 @@ let print_outcomes ppf (result : Engine.result) =
   Format.fprintf ppf "converged: %b after %d iteration(s)@]@." result.converged
     result.iterations
 
+let print_effort ppf (result : Engine.result) =
+  let s = result.Engine.stats in
+  let c = s.Engine.curve in
+  let b = s.Engine.busy in
+  Format.fprintf ppf "@[<v>Analysis effort:@ ";
+  Format.fprintf ppf "  iterations            %d@ " result.Engine.iterations;
+  Format.fprintf ppf "  resources analysed    %d@ " s.Engine.resources_analysed;
+  Format.fprintf ppf "  resources reused      %d@ " s.Engine.resources_reused;
+  Format.fprintf ppf "  streams invalidated   %d@ "
+    s.Engine.streams_invalidated;
+  Format.fprintf ppf "  curve closure evals   %d  (memo hits %d)@ "
+    c.Event_model.Curve.closure_evals c.Event_model.Curve.memo_hits;
+  Format.fprintf ppf "  curve periodic evals  %d@ "
+    c.Event_model.Curve.periodic_evals;
+  Format.fprintf ppf "  curve searches        %d  (%d probe steps)@ "
+    c.Event_model.Curve.searches c.Event_model.Curve.search_steps;
+  Format.fprintf ppf "  curve spill probes    %d@ "
+    c.Event_model.Curve.spill_probes;
+  Format.fprintf ppf
+    "  busy windows          %d  (%d fixpoint steps, %d activations)@ "
+    b.Busy_window.busy_windows b.Busy_window.window_iterations
+    b.Busy_window.activations;
+  Format.fprintf ppf "@]"
+
+let print_convergence ppf (result : Engine.result) =
+  Format.fprintf ppf "@[<v>%4s %6s %8s %9s %9s %7s %12s@ " "iter" "dirty"
+    "changed" "residual" "analysed" "reused" "invalidated";
+  List.iter
+    (fun (s : Engine.iteration_stat) ->
+      Format.fprintf ppf "%4d %6d %8d %9d %9d %7d %12d@ " s.Engine.iteration
+        s.Engine.dirty s.Engine.changed s.Engine.residual s.Engine.analysed
+        s.Engine.reused s.Engine.invalidated)
+    result.Engine.iteration_stats;
+  Format.fprintf ppf "converged: %b after %d iteration(s)@]" result.converged
+    result.iterations
+
 let compare_results ~baseline ~improved ~names =
   let row name =
     let base = Engine.response baseline name in

@@ -13,6 +13,16 @@ val print_outcomes : Format.formatter -> Engine.result -> unit
 (** One line per analysed element: resource, response interval or
     divergence reason. *)
 
+val print_effort : Format.formatter -> Engine.result -> unit
+(** Analysis-effort counters of one run: iterations, resource reuse,
+    curve and busy-window work — the scoped {!Engine.stats} of the
+    result, so concurrent analyses do not bleed into each other. *)
+
+val print_convergence : Format.formatter -> Engine.result -> unit
+(** Per-iteration convergence table ({!Engine.iteration_stat}): dirty and
+    changed element counts, the response-bound residual, and incremental
+    reuse figures, one row per global iteration. *)
+
 val compare_results :
   baseline:Engine.result -> improved:Engine.result -> names:string list ->
   comparison_row list

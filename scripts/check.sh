@@ -1,8 +1,53 @@
 #!/usr/bin/env bash
 # Full verification: build + tests + the perf benchmark (which also
 # cross-checks incremental vs full engine outcomes and refreshes
-# BENCH_1.json).
+# BENCH_1.json), plus an observability smoke test and a guard on the
+# no-sink instrumentation overhead.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 dune build @runtest
+
+# --- trace smoke test -------------------------------------------------
+# An analyse run with --trace must produce a valid Chrome trace with
+# balanced span begin/end events and one span per global iteration.
+trace=$(mktemp /tmp/hem_trace.XXXXXX.json)
+dune exec bin/hem_tool.exe -- analyse --trace "$trace" > /dev/null
+jq -e '.traceEvents | length > 0' "$trace" > /dev/null
+b=$(jq '[.traceEvents[] | select(.ph=="B")] | length' "$trace")
+e=$(jq '[.traceEvents[] | select(.ph=="E")] | length' "$trace")
+iters=$(jq '[.traceEvents[] | select(.ph=="B" and .name=="engine.iteration")] | length' "$trace")
+if [ "$b" != "$e" ]; then
+  echo "check: unbalanced trace spans ($b begin, $e end)" >&2
+  exit 1
+fi
+if [ "$iters" -lt 1 ]; then
+  echo "check: no engine.iteration span in trace" >&2
+  exit 1
+fi
+rm -f "$trace"
+echo "check: trace smoke test ok ($b spans, $iters iteration spans)"
+
+# --- perf + no-sink overhead guard ------------------------------------
+# The perf run rewrites BENCH_1.json; keep the previous numbers and make
+# sure the instrumented-but-unsinked hot path has not regressed.  The
+# default tolerance absorbs container timing noise — tighten with
+# PERF_TOL_PCT=5 on a quiet machine, or skip with PERF_GUARD=0.
+baseline=$(mktemp)
+cp BENCH_1.json "$baseline"
 dune exec bench/main.exe -- perf
+if [ "${PERF_GUARD:-1}" = 1 ]; then
+  tol="${PERF_TOL_PCT:-25}"
+  old=$(jq '[.cases[].incremental_ms] | add' "$baseline")
+  new=$(jq '[.cases[].incremental_ms] | add' BENCH_1.json)
+  if ! awk -v old="$old" -v new="$new" -v tol="$tol" 'BEGIN {
+    limit = old * (1 + tol / 100.0);
+    printf "check: no-sink perf %.3f ms vs baseline %.3f ms (limit %.3f ms)\n",
+      new, old, limit;
+    exit !(new <= limit)
+  }'; then
+    echo "check: instrumentation overhead exceeds ${tol}% budget" >&2
+    exit 1
+  fi
+fi
+rm -f "$baseline"
+echo "check: ok"

@@ -1,0 +1,521 @@
+(* Observability layer: span well-formedness, Chrome-trace export,
+   disabled-path silence, engine telemetry consistency, and per-scope
+   metric attribution (including the interleaved-analyses regression the
+   scoped registry was built for). *)
+
+module Time = Timebase.Time
+module Interval = Timebase.Interval
+module Stream = Event_model.Stream
+module Curve = Event_model.Curve
+module Spec = Cpa_system.Spec
+module Engine = Cpa_system.Engine
+module Metrics = Obs.Metrics
+
+(* Deterministic trace clock: strictly increasing integer microseconds,
+   so serialized timestamps are stable across runs. *)
+let tick = ref 0.0
+
+let () =
+  Obs.Trace.set_clock (fun () ->
+    tick := !tick +. 1.0;
+    !tick)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "analysis failed: %s" e
+
+let with_memory_sink ?level f =
+  let sink, events = Obs.Sink.memory () in
+  Obs.Sink.install ?level sink;
+  Fun.protect ~finally:Obs.Sink.uninstall (fun () ->
+    let r = f () in
+    r, events ())
+
+(* A minimal JSON reader — the toolchain has no JSON library and the
+   exporter must be checked against an independent parser. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let next () =
+      if !pos >= n then raise (Bad "unexpected end");
+      let c = s.[!pos] in
+      incr pos;
+      c
+    in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        incr pos;
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      let g = next () in
+      if g <> c then raise (Bad (Printf.sprintf "expected %c, got %c" c g))
+    in
+    let literal word v =
+      String.iter expect word;
+      v
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match next () with
+        | '"' -> Buffer.contents b
+        | '\\' -> begin
+          (match next () with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+            let hex = String.init 4 (fun _ -> next ()) in
+            let code = int_of_string ("0x" ^ hex) in
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else Buffer.add_string b (Printf.sprintf "\\u%s" hex)
+          | c -> raise (Bad (Printf.sprintf "bad escape \\%c" c)));
+          go ()
+        end
+        | c -> Buffer.add_char b c; go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c -> is_num_char c | None -> false) do
+        incr pos
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> raise (Bad "bad number")
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '"' -> Str (parse_string ())
+      | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then (incr pos; Obj [])
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match next () with
+            | ',' -> members ((key, v) :: acc)
+            | '}' -> Obj (List.rev ((key, v) :: acc))
+            | c -> raise (Bad (Printf.sprintf "bad object separator %c" c))
+          in
+          members []
+        end
+      | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then (incr pos; List [])
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match next () with
+            | ',' -> elements (v :: acc)
+            | ']' -> List (List.rev (v :: acc))
+            | c -> raise (Bad (Printf.sprintf "bad array separator %c" c))
+          in
+          elements []
+        end
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+      | None -> raise (Bad "empty input")
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then raise (Bad "trailing garbage");
+    v
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+
+  let str_exn j =
+    match j with
+    | Str s -> s
+    | _ -> raise (Bad "expected string")
+end
+
+(* --- span well-formedness ------------------------------------------- *)
+
+let span_stack_check events =
+  let stack = ref [] in
+  List.iter
+    (fun (e : Obs.Event.t) ->
+      match e with
+      | Obs.Event.Span_begin { name; _ } -> stack := name :: !stack
+      | Obs.Event.Span_end { name; _ } -> begin
+        match !stack with
+        | top :: rest ->
+          Alcotest.(check string) "span end matches innermost begin" top name;
+          stack := rest
+        | [] -> Alcotest.failf "span end %s without begin" name
+      end
+      | _ -> ())
+    events;
+  Alcotest.(check (list string)) "all spans closed" [] !stack
+
+let test_span_nesting () =
+  let result, events =
+    with_memory_sink (fun () ->
+      ok (Engine.analyse ~mode:Engine.Hierarchical (Scenarios.Paper_system.spec ())))
+  in
+  Alcotest.(check bool) "emitted events" true (events <> []);
+  span_stack_check events;
+  let count name =
+    List.length
+      (List.filter
+         (function
+           | Obs.Event.Span_begin { name = n; _ } -> String.equal n name
+           | _ -> false)
+         events)
+  in
+  Alcotest.(check int) "one top-level analyse span" 1 (count "engine.analyse");
+  Alcotest.(check int)
+    "one iteration span per global iteration" result.Engine.iterations
+    (count "engine.iteration");
+  Alcotest.(check bool) "busy-window spans present" true
+    (count "busy_window" > 0);
+  Alcotest.(check bool) "pack spans present" true (count "hem.pack" > 0)
+
+let test_iteration_spans_all_modes () =
+  List.iter
+    (fun mode ->
+      let result, events =
+        with_memory_sink (fun () ->
+          ok (Engine.analyse ~mode (Scenarios.Paper_system.spec ())))
+      in
+      let spans =
+        List.filter
+          (function
+            | Obs.Event.Span_begin { name = "engine.iteration"; _ } -> true
+            | _ -> false)
+          events
+      in
+      let label what = Engine.mode_name mode ^ ": " ^ what in
+      Alcotest.(check int)
+        (label "iteration spans = result.iterations")
+        result.Engine.iterations (List.length spans);
+      Alcotest.(check int)
+        (label "iteration_stats rows = result.iterations")
+        result.Engine.iterations
+        (List.length result.Engine.iteration_stats);
+      let last =
+        List.nth result.Engine.iteration_stats
+          (List.length result.Engine.iteration_stats - 1)
+      in
+      Alcotest.(check bool)
+        (label "converged run ends at residual 0") true
+        ((not result.Engine.converged)
+        || (last.Engine.residual = 0 && last.Engine.changed = 0)))
+    [ Engine.Hierarchical; Engine.Flat_stream; Engine.Flat_sem ]
+
+(* --- disabled path --------------------------------------------------- *)
+
+let test_disabled_path_silent () =
+  Alcotest.(check bool) "no sink installed" false (Obs.Trace.enabled ());
+  (* probes with no sink must not blow up and with_span must still run f *)
+  Obs.Trace.span_begin "ghost";
+  Obs.Trace.span_end "ghost";
+  Obs.Trace.instant "ghost";
+  Obs.Trace.counter "ghost" 42;
+  let v = Obs.Trace.with_span "ghost" (fun () -> 17) in
+  Alcotest.(check int) "with_span transparent" 17 v;
+  (* an analysis without a sink leaves a later-installed sink empty *)
+  ignore (ok (Engine.analyse (Scenarios.Paper_system.spec ())));
+  let (), events = with_memory_sink (fun () -> ()) in
+  Alcotest.(check int) "nothing buffered from the unsinked run" 0
+    (List.length events)
+
+let test_spans_level_drops_counters () =
+  let _, events =
+    with_memory_sink ~level:Obs.Sink.Spans (fun () ->
+      ok (Engine.analyse (Scenarios.Paper_system.spec ())))
+  in
+  List.iter
+    (function
+      | Obs.Event.Counter _ | Obs.Event.Instant _ ->
+        Alcotest.fail "counter/instant leaked at Spans level"
+      | _ -> ())
+    events
+
+(* --- monotonic clock -------------------------------------------------- *)
+
+let test_clock_monotonic () =
+  let backwards = [ 100.0; 50.0; 120.0; 80.0 ] in
+  let remaining = ref backwards in
+  Obs.Trace.set_clock (fun () ->
+    match !remaining with
+    | [] -> 200.0
+    | t :: rest ->
+      remaining := rest;
+      t);
+  let t1 = Obs.Trace.now_us () in
+  let t2 = Obs.Trace.now_us () in
+  let t3 = Obs.Trace.now_us () in
+  let t4 = Obs.Trace.now_us () in
+  Obs.Trace.set_clock (fun () ->
+    tick := !tick +. 1.0;
+    !tick);
+  Alcotest.(check bool) "never decreases" true
+    (t2 >= t1 && t3 >= t2 && t4 >= t3);
+  Alcotest.(check (float 0.0)) "clamped to previous" t1 t2
+
+(* --- Chrome trace export ---------------------------------------------- *)
+
+let run_traced_analysis path =
+  Obs.Sink.install ~level:Obs.Sink.Full (Obs.Chrome_trace.file path);
+  Fun.protect ~finally:Obs.Sink.uninstall (fun () ->
+    ok (Engine.analyse ~mode:Engine.Hierarchical (Scenarios.Paper_system.spec ())))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_chrome_trace_json () =
+  let path = Filename.temp_file "hem_trace" ".json" in
+  let result = run_traced_analysis path in
+  let json = Json.parse (read_file path) in
+  let events =
+    match Json.member "traceEvents" json with
+    | Some (Json.List l) -> l
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  Sys.remove path;
+  Alcotest.(check bool) "has events" true (events <> []);
+  let phase e = Json.str_exn (Option.get (Json.member "ph" e)) in
+  let with_ph p = List.filter (fun e -> String.equal (phase e) p) events in
+  Alcotest.(check int) "every B has a matching E"
+    (List.length (with_ph "B"))
+    (List.length (with_ph "E"));
+  List.iter
+    (fun e ->
+      (match Json.member "name" e with
+      | Some (Json.Str _) -> ()
+      | _ -> Alcotest.fail "event without name");
+      match Json.member "ts" e with
+      | Some (Json.Num _) -> ()
+      | _ -> Alcotest.fail "event without numeric ts")
+    events;
+  (* timestamps are emission-ordered and the clock is clamped *)
+  let ts e = match Json.member "ts" e with
+    | Some (Json.Num f) -> f
+    | _ -> 0.0
+  in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> ts a <= ts b && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "timestamps non-decreasing" true (sorted events);
+  let iteration_begins =
+    List.filter
+      (fun e ->
+        String.equal (phase e) "B"
+        && (match Json.member "name" e with
+           | Some (Json.Str "engine.iteration") -> true
+           | _ -> false))
+      events
+  in
+  Alcotest.(check int) "iteration spans survive export"
+    result.Engine.iterations
+    (List.length iteration_begins);
+  (* every iteration end carries the residual attribute *)
+  List.iter
+    (fun e ->
+      if
+        String.equal (phase e) "E"
+        && Json.member "name" e = Some (Json.Str "engine.iteration")
+      then
+        match Json.member "args" e with
+        | Some args -> begin
+          match Json.member "residual" args with
+          | Some (Json.Num _) -> ()
+          | _ -> Alcotest.fail "iteration end without residual"
+        end
+        | None -> Alcotest.fail "iteration end without args")
+    events
+
+let test_chrome_trace_jsonl () =
+  let path = Filename.temp_file "hem_trace" ".jsonl" in
+  ignore (run_traced_analysis path);
+  let contents = read_file path in
+  Sys.remove path;
+  let lines =
+    List.filter (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' contents)
+  in
+  Alcotest.(check bool) "has lines" true (lines <> []);
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Json.Obj _ -> ()
+      | _ -> Alcotest.fail "line is not a JSON object"
+      | exception Json.Bad e -> Alcotest.failf "unparseable line (%s): %s" e line)
+    lines
+
+let test_string_escaping () =
+  let evil = "a\"b\\c\nd\te\r\x01f" in
+  let ev =
+    Obs.Event.Instant { name = evil; ts = 1.0; attrs = [ "k", Obs.Event.Str evil ] }
+  in
+  let json = Json.parse (Obs.Chrome_trace.event_json ev) in
+  match Json.member "name" json with
+  | Some (Json.Str s) ->
+    (* control chars round-trip through \uXXXX except those below 0x80,
+       which our mini-parser decodes back to raw chars *)
+    Alcotest.(check string) "name round-trips" evil s
+  | _ -> Alcotest.fail "name missing"
+
+(* --- metric scoping ---------------------------------------------------- *)
+
+let test_scoped_counters () =
+  let c = Metrics.counter "test.obs.scoped" in
+  let s1 = Metrics.scope "s1" in
+  let s2 = Metrics.scope "s2" in
+  Metrics.in_scope s1 (fun () -> Metrics.add c 3);
+  Metrics.in_scope s2 (fun () ->
+    Metrics.add c 5;
+    Metrics.in_scope s1 (fun () -> Metrics.add c 7));
+  Alcotest.(check int) "s1 charged inside and nested" 10 (Metrics.read s1 c);
+  Alcotest.(check int) "s2 charged its whole extent" 12 (Metrics.read s2 c)
+
+let test_attachment_attribution () =
+  let c = Metrics.counter "test.obs.attached" in
+  let owner = Metrics.scope "owner" in
+  let other = Metrics.scope "other" in
+  let att = Metrics.in_scope owner (fun () -> Metrics.attach ()) in
+  (* work executed inside [other] but attributed to the creator *)
+  Metrics.in_scope other (fun () -> Metrics.add_attached att c 9);
+  Alcotest.(check int) "creator charged" 9 (Metrics.read owner c);
+  Alcotest.(check int) "executor not charged" 0 (Metrics.read other c);
+  (* empty attachment falls back to the ambient stack *)
+  Metrics.in_scope other (fun () -> Metrics.add_attached [] c 4);
+  Alcotest.(check int) "ambient fallback" 4 (Metrics.read other c)
+
+(* The regression the scoped registry exists for: evaluating streams that
+   belong to one analysis while another analysis runs must not inflate
+   the second analysis's effort stats.  Before scoping, [Engine.stats]
+   was a diff over process-global counters and any interleaved work was
+   misattributed. *)
+let test_interleaved_analyses_attribution () =
+  let a =
+    ok (Engine.analyse ~mode:Engine.Hierarchical (Scenarios.Paper_system.spec ()))
+  in
+  let a_stream =
+    a.Engine.resolve (Spec.From_signal { frame = "F1"; signal = "sig1" })
+  in
+  let injected = ref 0 in
+  let spec_b ~inject =
+    let delta_min n =
+      if inject then begin
+        incr injected;
+        (* deep, varying probes into A's hierarchy: closure work that
+           belongs to analysis A *)
+        ignore (Stream.delta_min a_stream (n + 40))
+      end;
+      Time.of_int ((n - 1) * 100)
+    in
+    let delta_plus n = Time.of_int ((n - 1) * 100) in
+    let src = Stream.make ~name:"SB" ~delta_min ~delta_plus in
+    Spec.make
+      ~sources:[ "SB", src ]
+      ~resources:[ { Spec.res_name = "CPUB"; scheduler = Spec.Spp } ]
+      ~tasks:
+        [
+          Spec.task ~name:"TB" ~resource:"CPUB"
+            ~cet:(Interval.make ~lo:5 ~hi:10) ~priority:1
+            ~activation:(Spec.From_source "SB") ();
+        ]
+      ()
+  in
+  let control = ok (Engine.analyse ~mode:Engine.Hierarchical (spec_b ~inject:false)) in
+  let poisoned = ok (Engine.analyse ~mode:Engine.Hierarchical (spec_b ~inject:true)) in
+  Alcotest.(check bool) "injection actually ran" true (!injected > 0);
+  let c r = r.Engine.stats.Engine.curve in
+  Alcotest.(check int) "closure evals unaffected by interleaved work"
+    (c control).Curve.closure_evals
+    (c poisoned).Curve.closure_evals;
+  Alcotest.(check int) "memo hits unaffected by interleaved work"
+    (c control).Curve.memo_hits
+    (c poisoned).Curve.memo_hits;
+  Alcotest.(check (list (pair string int))) "same outcome bounds"
+    (List.map
+       (fun (o : Engine.element_outcome) ->
+         ( o.element,
+           match o.outcome with
+           | Scheduling.Busy_window.Bounded i -> Interval.hi i
+           | Scheduling.Busy_window.Unbounded _ -> -1 ))
+       control.Engine.outcomes)
+    (List.map
+       (fun (o : Engine.element_outcome) ->
+         ( o.element,
+           match o.outcome with
+           | Scheduling.Busy_window.Bounded i -> Interval.hi i
+           | Scheduling.Busy_window.Unbounded _ -> -1 ))
+       poisoned.Engine.outcomes)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting well-formed" `Quick test_span_nesting;
+          Alcotest.test_case "iteration spans, all modes" `Quick
+            test_iteration_spans_all_modes;
+          Alcotest.test_case "disabled path is silent" `Quick
+            test_disabled_path_silent;
+          Alcotest.test_case "spans level drops counters" `Quick
+            test_spans_level_drops_counters;
+          Alcotest.test_case "clock is monotonic" `Quick test_clock_monotonic;
+        ] );
+      ( "chrome_trace",
+        [
+          Alcotest.test_case "json export parses" `Quick test_chrome_trace_json;
+          Alcotest.test_case "jsonl export parses" `Quick
+            test_chrome_trace_jsonl;
+          Alcotest.test_case "string escaping" `Quick test_string_escaping;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "scoped counters" `Quick test_scoped_counters;
+          Alcotest.test_case "attachment attribution" `Quick
+            test_attachment_attribution;
+          Alcotest.test_case "interleaved analyses" `Quick
+            test_interleaved_analyses_attribution;
+        ] );
+    ]
