@@ -1,28 +1,36 @@
 type counter = {
   key : string;
   id : int;
-  mutable total : int;
+  total : int Atomic.t;
 }
 
 type scope = {
   sname : string;
-  (* per-counter cells indexed by counter id; grown on demand *)
+  (* per-counter cells indexed by counter id; grown on demand.  A scope
+     belongs to the domain that bumps it: cells are plain (unsynchronised)
+     ints, made visible to other domains only by a happens-before edge
+     such as [Domain.join] (see the mli). *)
   mutable cells : int array;
 }
 
 type attachment = scope list
 
+(* Interning is rare (module initialisation, scope-name reuse) but may
+   happen from worker domains, so the registries are mutex-protected.
+   Bumps never take the lock. *)
+let registry_lock = Mutex.create ()
 let registry : (string, counter) Hashtbl.t = Hashtbl.create 32
 let next_id = ref 0
 
 let counter key =
-  match Hashtbl.find_opt registry key with
-  | Some c -> c
-  | None ->
-    let c = { key; id = !next_id; total = 0 } in
-    incr next_id;
-    Hashtbl.add registry key c;
-    c
+  Mutex.protect registry_lock (fun () ->
+    match Hashtbl.find_opt registry key with
+    | Some c -> c
+    | None ->
+      let c = { key; id = !next_id; total = Atomic.make 0 } in
+      incr next_id;
+      Hashtbl.add registry key c;
+      c)
 
 let counter_name c = c.key
 
@@ -62,9 +70,13 @@ let[@inline] bump_all ss id n =
     bump s id n;
     bump_rest rest id n
 
-let stack : scope list ref = ref []
+(* The active-scope stack is domain-local: each domain pushes and reads
+   only its own stack, so worker-domain instrumentation cannot race. *)
+let stack_key : scope list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
 let in_scope s f =
+  let stack = Domain.DLS.get stack_key in
   stack := s :: !stack;
   Fun.protect
     ~finally:(fun () ->
@@ -73,55 +85,61 @@ let in_scope s f =
       | [] -> ())
     f
 
-let active () = !stack
-let attach () = !stack
+let active () = !(Domain.DLS.get stack_key)
+let attach () = active ()
 
 let[@inline] add c n =
-  c.total <- c.total + n;
-  bump_all !stack c.id n
+  ignore (Atomic.fetch_and_add c.total n);
+  let stack = !(Domain.DLS.get stack_key) in
+  bump_all stack c.id n
 
 let[@inline] incr c = add c 1
 
 let[@inline] add_attached att c n =
-  c.total <- c.total + n;
+  ignore (Atomic.fetch_and_add c.total n);
   match att with
-  | [] -> bump_all !stack c.id n
+  | [] -> bump_all !(Domain.DLS.get stack_key) c.id n
   | ss -> bump_all ss c.id n
 
-let total c = c.total
-let reset_total c = c.total <- 0
+let total c = Atomic.get c.total
+let reset_total c = Atomic.set c.total 0
 
 let read s c = if c.id < Array.length s.cells then s.cells.(c.id) else 0
 
 let snapshot s =
-  Hashtbl.fold
-    (fun key c acc ->
-      let v = read s c in
-      if v <> 0 then (key, v) :: acc else acc)
-    registry []
+  Mutex.protect registry_lock (fun () ->
+    Hashtbl.fold
+      (fun key c acc ->
+        let v = read s c in
+        if v <> 0 then (key, v) :: acc else acc)
+      registry [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* gauges *)
 
 type gauge = {
   gkey : string;
-  mutable value : int;
+  value : int Atomic.t;
 }
 
 let gauge_registry : (string, gauge) Hashtbl.t = Hashtbl.create 16
 
 let gauge gkey =
-  match Hashtbl.find_opt gauge_registry gkey with
-  | Some g -> g
-  | None ->
-    let g = { gkey; value = 0 } in
-    Hashtbl.add gauge_registry gkey g;
-    g
+  Mutex.protect registry_lock (fun () ->
+    match Hashtbl.find_opt gauge_registry gkey with
+    | Some g -> g
+    | None ->
+      let g = { gkey; value = Atomic.make 0 } in
+      Hashtbl.add gauge_registry gkey g;
+      g)
 
 let gauge_name g = g.gkey
-let set g v = g.value <- v
-let get g = g.value
+let set g v = Atomic.set g.value v
+let get g = Atomic.get g.value
 
 let gauges () =
-  Hashtbl.fold (fun key g acc -> (key, g.value) :: acc) gauge_registry []
+  Mutex.protect registry_lock (fun () ->
+    Hashtbl.fold
+      (fun key g acc -> (key, Atomic.get g.value) :: acc)
+      gauge_registry [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)

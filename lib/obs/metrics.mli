@@ -10,8 +10,20 @@
     (see {!attach}) even if it executes inside another scope's extent.
 
     Costs are tuned for hot paths: a counter bump with no active scope is
-    one mutable-field increment; with scopes it adds one array store per
-    active scope.  Nothing allocates after counter interning. *)
+    one atomic increment plus a domain-local-storage read; with scopes it
+    adds one array store per active scope.  Nothing allocates after
+    counter interning.
+
+    {b Domain safety.}  Global counter totals and gauges are atomics, so
+    concurrent bumps from worker domains never lose updates.  The
+    active-scope stack is domain-local ({!Domain.DLS}): a scope entered in
+    one domain is invisible to the others, and worker instrumentation is
+    charged to the worker's own scopes.  Scope {e cells} are intentionally
+    unsynchronised — a scope must be bumped by a single domain; its cells
+    may be read from another domain only after a happens-before edge such
+    as [Domain.join] on the bumping domain (the pattern used by
+    [Explore.Pool]: one scope per worker, snapshots read after the
+    join). *)
 
 type counter
 (** A named, process-global monotone counter. *)
@@ -34,12 +46,13 @@ val scope : string -> scope
 val scope_name : scope -> string
 
 val in_scope : scope -> (unit -> 'a) -> 'a
-(** [in_scope s f] runs [f] with [s] pushed on the active-scope stack
-    (exception-safe).  Counter bumps during the extent are charged to [s]
-    (and to any enclosing active scopes). *)
+(** [in_scope s f] runs [f] with [s] pushed on the calling domain's
+    active-scope stack (exception-safe).  Counter bumps during the extent
+    are charged to [s] (and to any enclosing active scopes).  Do not share
+    one scope between concurrently running domains. *)
 
 val active : unit -> attachment
-(** The currently active scope stack, innermost first. *)
+(** The calling domain's active scope stack, innermost first. *)
 
 val attach : unit -> attachment
 (** Alias of {!active}, read at data-structure creation time and passed to

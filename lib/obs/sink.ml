@@ -9,31 +9,33 @@ type t = {
 
 let make ?(flush = fun () -> ()) emit = { emit; flush }
 
-let current : t option ref = ref None
-let current_level = ref Full
+(* Atomics so worker domains can read the installed-sink state without a
+   data race; installation itself is a main-domain affair (see mli). *)
+let current : t option Atomic.t = Atomic.make None
+let current_level = Atomic.make Full
 
 let flush_current () =
-  match !current with
+  match Atomic.get current with
   | Some s -> s.flush ()
   | None -> ()
 
 let install ?(level = Full) s =
   flush_current ();
-  current := Some s;
-  current_level := level
+  Atomic.set current (Some s);
+  Atomic.set current_level level
 
 let uninstall () =
   flush_current ();
-  current := None;
-  current_level := Full
+  Atomic.set current None;
+  Atomic.set current_level Full
 
-let installed () = !current
-let enabled () = !current != None
-let level () = !current_level
+let installed () = Atomic.get current
+let enabled () = Atomic.get current != None
+let level () = Atomic.get current_level
 
 let enabled_full () =
-  match !current with
-  | Some _ -> !current_level = Full
+  match Atomic.get current with
+  | Some _ -> Atomic.get current_level = Full
   | None -> false
 
 let null = make (fun _ -> ())

@@ -2,7 +2,15 @@
 
     At most one sink is installed per process.  Instrumented code checks
     {!enabled} before building attributes, so with no sink installed the
-    tracing layer costs one ref read per probe and allocates nothing. *)
+    tracing layer costs one atomic read per probe and allocates nothing.
+
+    Reading the installed state ({!enabled}, {!installed}) is safe from
+    any domain; {!install} / {!uninstall} and event {e emission} belong to
+    the main domain — built-in sinks do not serialise concurrent [emit]
+    calls.  Worker-domain telemetry is either counted through the
+    domain-safe {!Metrics} registry or emitted retroactively (with
+    explicit timestamps) after the workers are joined, as [Explore.Pool]
+    does. *)
 
 type level =
   | Spans  (** span begin/end events only *)
