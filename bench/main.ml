@@ -6,9 +6,12 @@
      dune exec bench/main.exe            # all tables, figures, ablations
      dune exec bench/main.exe -- table3  # a single experiment
      dune exec bench/main.exe -- perf    # Bechamel timing benches
+     dune exec bench/main.exe -- explore # domain-pool scaling (BENCH_3.json)
    Experiments: tables table3 figure4 ablation-pending ablation-k scaling
    convergence baseline-models buffers cross-framework robustness validate
-   perf *)
+   perf explore
+   (perf and explore are timing runs, excluded from the no-argument
+   sweep) *)
 
 module Time = Timebase.Time
 module Count = Timebase.Count
@@ -592,6 +595,112 @@ let perf () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* explore: domain-pool scaling on a design-space sweep (BENCH_3.json)  *)
+
+(* A >=200-variant sweep: the paper system over S3 period x T3 CET
+   scale, plus synthetic fan-in systems over signal count x CET.  The
+   paper-system CET scaling rounds up (ceil(40 * p / 100)), so adjacent
+   percents collide on the same spec and the content-addressed cache
+   gets genuine hits. *)
+let explore_items () =
+  let grid =
+    Explore.Space.grid
+      [
+        Explore.Space.int_axis "s3"
+          (fun period -> Explore.Space.Source_period { source = "S3"; period })
+          [ 600; 700; 800; 900; 1000; 1100; 1200; 1300; 1400 ];
+        Explore.Space.int_axis "cet"
+          (fun percent -> Explore.Space.Cet_scale { task = "T3"; percent })
+          (List.init 25 (fun i -> 90 + i));
+      ]
+  in
+  let paper =
+    Explore.Driver.items_of_variants ~base:(fun () -> Paper.spec ()) grid
+  in
+  (* items need not come from Space edits: any label + domain-local spec
+     builder over pure data works *)
+  let fan_in =
+    List.concat_map
+      (fun signals ->
+        List.map
+          (fun cet ->
+            {
+              Explore.Driver.label =
+                Printf.sprintf "fan_in s=%d cet=%d" signals cet;
+              build =
+                (fun () -> Scenarios.Synthetic.fan_in ~signals ~cet ());
+            })
+          (List.init 10 (fun i -> 10 + (2 * i))))
+      [ 2; 3; 4; 5; 6 ]
+  in
+  paper @ fan_in
+
+let explore_bench () =
+  banner "explore: domain-pool scaling, 275-variant sweep (BENCH_3.json)";
+  let cores = Domain.recommended_domain_count () in
+  let job_counts = [ 1; 2; 4 ] in
+  let render report =
+    let buf = Buffer.create 4096 in
+    let fmt = Format.formatter_of_buffer buf in
+    Explore.Render.csv fmt report;
+    Format.pp_print_flush fmt ();
+    Buffer.contents buf
+  in
+  Printf.printf "%-6s %10s %9s %8s %7s %6s\n" "jobs" "wall ms" "speedup"
+    "variants" "unique" "hits";
+  let runs =
+    List.map
+      (fun jobs ->
+        let report = Explore.Driver.run ~jobs (explore_items ()) in
+        jobs, report, render report)
+      job_counts
+  in
+  let _, first_report, first_csv = List.hd runs in
+  let identical =
+    List.for_all (fun (_, _, csv) -> String.equal csv first_csv) runs
+  in
+  if not identical then begin
+    Printf.eprintf "explore: results differ across job counts!\n";
+    exit 1
+  end;
+  let wall_1 =
+    let _, (r : Explore.Driver.report), _ = List.hd runs in
+    r.wall_ms
+  in
+  List.iter
+    (fun (jobs, (r : Explore.Driver.report), _) ->
+      Printf.printf "%-6d %10.1f %8.2fx %8d %7d %6d\n" jobs r.wall_ms
+        (wall_1 /. r.wall_ms) (List.length r.rows) r.cache.entries
+        r.cache.hits)
+    runs;
+  Printf.printf
+    "(identical rows at every job count; %d core%s available; cache hits\n\
+    \ come from CET rounding collisions across adjacent percents)\n"
+    cores (if cores = 1 then "" else "s");
+  let oc = open_out "BENCH_3.json" in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "{\n  \"benchmark\": \"design-space exploration pool scaling\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"variants\": %d,\n  \"unique\": %d,\n  \"cache_hits\": %d,\n\
+       \  \"cores\": %d,\n  \"rows_identical\": true,\n  \"runs\": [\n"
+       (List.length first_report.rows) first_report.cache.entries
+       first_report.cache.hits cores);
+  List.iteri
+    (fun i (jobs, (r : Explore.Driver.report), _) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"jobs\": %d, \"wall_ms\": %.1f, \"speedup_vs_jobs1\": %.2f}%s\n"
+           jobs r.wall_ms (wall_1 /. r.wall_ms)
+           (if i = List.length runs - 1 then "" else ",")))
+    runs;
+  Buffer.add_string buf "  ]\n}\n";
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_3.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -608,6 +717,7 @@ let experiments =
     "robustness", robustness;
     "validate", validate;
     "perf", perf;
+    "explore", explore_bench;
   ]
 
 let () =
@@ -615,7 +725,8 @@ let () =
   | [] | _ :: [] ->
     (* everything except the timing benches, which are opt-in *)
     List.iter
-      (fun (name, run) -> if name <> "perf" then run ())
+      (fun (name, run) ->
+        if name <> "perf" && name <> "explore" then run ())
       experiments
   | _ :: names ->
     List.iter

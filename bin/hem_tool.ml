@@ -7,7 +7,12 @@
      hem_tool convergence [--s3-period N] [--file FILE] [--trace FILE]
      hem_tool simulate    [--horizon N] [--seed N] [--s3-period N]
      hem_tool figure4     [--max-dt N] [--step N]
-     hem_tool scaling     [--signals N] *)
+     hem_tool scaling     [--signals N]
+     hem_tool sweep       [--file SPEC] [--jobs N] [--period SRC=..]
+                          [--cet-scale TASK=..] [--frame-priority F=..]
+                          [--format table|csv|json]
+     hem_tool explore     [--file SPEC] [--jobs N] [--bus B] [--max-frames K]
+                          [+ sweep axes] [--format table|csv|json] *)
 
 module Interval = Timebase.Interval
 module Count = Timebase.Count
@@ -171,6 +176,237 @@ let convergence_cmd =
   Cmd.v (Cmd.info "convergence" ~doc)
     Term.(const run $ s3_period_arg $ file_arg $ stats_arg $ trace_arg
           $ trace_level_arg)
+
+(* sweep / explore *)
+
+module Space = Explore.Space
+module Driver = Explore.Driver
+module Render = Explore.Render
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the exploration pool (0 = hardware parallelism).  \
+     Results are byte-identical for every job count."
+  in
+  Arg.(value & opt int 0 & info [ "jobs" ] ~docv:"N" ~doc)
+
+let resolve_jobs = function
+  | 0 -> Explore.Pool.default_jobs ()
+  | j when j >= 1 -> j
+  | _ -> exit_err "--jobs must be >= 0"
+
+type output_format =
+  | Table
+  | Csv
+  | Json
+
+let format_arg =
+  let formats = [ "table", Table; "csv", Csv; "json", Json ] in
+  let doc = "Output format: table, csv, or json." in
+  Arg.(value & opt (enum formats) Table & info [ "format" ] ~docv:"FMT" ~doc)
+
+(* Axis values: "500,1000" or "400..1500:100" (step defaults to 1). *)
+let parse_values kind s =
+  let int_of v =
+    match int_of_string_opt (String.trim v) with
+    | Some n -> n
+    | None -> exit_err (Printf.sprintf "%s: bad integer %s" kind v)
+  in
+  match String.index_opt s '.' with
+  | Some i when i + 1 < String.length s && s.[i + 1] = '.' ->
+    let lo = int_of (String.sub s 0 i) in
+    let rest = String.sub s (i + 2) (String.length s - i - 2) in
+    let hi, step =
+      match String.index_opt rest ':' with
+      | None -> int_of rest, 1
+      | Some j ->
+        ( int_of (String.sub rest 0 j),
+          int_of (String.sub rest (j + 1) (String.length rest - j - 1)) )
+    in
+    if step < 1 then exit_err (kind ^ ": step must be >= 1");
+    if hi < lo then exit_err (kind ^ ": empty range");
+    let rec ints v acc =
+      if v > hi then List.rev acc else ints (v + step) (v :: acc)
+    in
+    ints lo []
+  | _ -> List.map int_of (String.split_on_char ',' s)
+
+let parse_axis_arg kind s =
+  match String.index_opt s '=' with
+  | None -> exit_err (Printf.sprintf "%s: expected NAME=VALUES, got %s" kind s)
+  | Some i ->
+    let name = String.sub s 0 i in
+    let values = String.sub s (i + 1) (String.length s - i - 1) in
+    name, parse_values kind values
+
+let period_axes specs =
+  List.map
+    (fun s ->
+      let source, values = parse_axis_arg "--period" s in
+      Space.int_axis (source ^ ".period")
+        (fun period -> Space.Source_period { source; period })
+        values)
+    specs
+
+let cet_axes specs =
+  List.map
+    (fun s ->
+      let task, values = parse_axis_arg "--cet-scale" s in
+      Space.int_axis (task ^ ".cet")
+        (fun percent -> Space.Cet_scale { task; percent })
+        values)
+    specs
+
+let frame_priority_axes specs =
+  List.map
+    (fun s ->
+      let frame, values = parse_axis_arg "--frame-priority" s in
+      Space.int_axis (frame ^ ".prio")
+        (fun priority -> Space.Frame_priority { frame; priority })
+        values)
+    specs
+
+let period_arg =
+  let doc =
+    "Sweep a source's period: $(b,SRC=V1,V2,...) or $(b,SRC=LO..HI:STEP).  \
+     Repeatable; multiple axes form a grid."
+  in
+  Arg.(value & opt_all string [] & info [ "period" ] ~docv:"AXIS" ~doc)
+
+let cet_scale_arg =
+  let doc =
+    "Sweep a task's execution-time scale in percent, e.g. \
+     $(b,T3=80..160:20)."
+  in
+  Arg.(value & opt_all string [] & info [ "cet-scale" ] ~docv:"AXIS" ~doc)
+
+let frame_priority_arg =
+  let doc = "Sweep a frame's priority, e.g. $(b,F1=1,2)." in
+  Arg.(value & opt_all string [] & info [ "frame-priority" ] ~docv:"AXIS" ~doc)
+
+(* Base builder: rebuilt from pure data inside every worker domain, as
+   the pool's domain-locality contract requires. *)
+let base_builder file s3_period =
+  match file with
+  | None -> (fun () -> Paper.spec ~s3_period ()), "paper system"
+  | Some path -> begin
+    match Cpa_system.Spec_file.parse (read_file path) with
+    | Ok description ->
+      (fun () -> Cpa_system.Spec_file.to_spec description), path
+    | Error e -> exit_err (Printf.sprintf "%s: %s" path e)
+    | exception Sys_error e -> exit_err e
+  end
+
+let render_report format report =
+  (match format with
+   | Table -> Render.table Format.std_formatter report
+   | Csv -> Render.csv Format.std_formatter report
+   | Json -> Render.json Format.std_formatter report);
+  Format.eprintf "%a@." Render.timing_line report
+
+let sweep_cmd =
+  let run s3_period file periods cets fprios jobs format =
+    let jobs = resolve_jobs jobs in
+    let base, _ = base_builder file s3_period in
+    let axes = period_axes periods @ cet_axes cets @ frame_priority_axes fprios in
+    if axes = [] then
+      exit_err "sweep: give at least one --period / --cet-scale / --frame-priority axis";
+    let items = Driver.items_of_variants ~base (Space.grid axes) in
+    let report = Driver.run ~jobs items in
+    render_report format report
+  in
+  let doc =
+    "Evaluate a grid of system variants in parallel (hierarchical vs flat \
+     per variant), deduplicated through the content-addressed result cache."
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const run $ s3_period_arg $ file_arg $ period_arg $ cet_scale_arg
+          $ frame_priority_arg $ jobs_arg $ format_arg)
+
+let explore_cmd =
+  let run s3_period file periods cets fprios bus max_frames bits bit_time
+      jobs format =
+    let jobs = resolve_jobs jobs in
+    let base, _ = base_builder file s3_period in
+    let base_spec = base () in
+    let bus =
+      match bus with
+      | Some b -> Some b
+      | None ->
+        (* default: the first SPNP bus of the system, when any *)
+        List.find_map
+          (fun (r : Spec.resource) ->
+            if r.scheduler = Spec.Spnp then Some r.res_name else None)
+          base_spec.Spec.resources
+    in
+    let layouts =
+      match bus with
+      | None -> [ { Space.label = ""; edits = [] } ]
+      | Some bus -> begin
+        match
+          Space.packing_variants ?max_frames ~bits_per_signal:bits ~bit_time
+            base_spec ~bus ()
+        with
+        | variants -> variants
+        | exception Not_found -> [ { Space.label = ""; edits = [] } ]
+      end
+    in
+    let axes = period_axes periods @ cet_axes cets @ frame_priority_axes fprios in
+    let grid = Space.grid axes in
+    let variants =
+      List.concat_map
+        (fun (g : Space.variant) ->
+          List.map
+            (fun (l : Space.variant) ->
+              {
+                Space.label =
+                  (match g.label, l.label with
+                   | "", l -> l
+                   | g, "" -> g
+                   | g, l -> g ^ " " ^ l);
+                edits = g.edits @ l.edits;
+              })
+            layouts)
+        grid
+    in
+    let items = Driver.items_of_variants ~base variants in
+    let report = Driver.run ~jobs items in
+    render_report format report;
+    if format = Table then begin
+      Format.printf "@.%a" (fun fmt r -> Render.pareto_table fmt r ~mode:Engine.Hierarchical) report;
+      Format.printf "@.%a" (fun fmt r -> Render.pareto_table fmt r ~mode:Engine.Flat_sem) report
+    end
+  in
+  let bus_arg =
+    let doc =
+      "Bus whose signal-to-frame layouts are enumerated (default: the \
+       system's first SPNP bus)."
+    in
+    Arg.(value & opt (some string) None & info [ "bus" ] ~docv:"NAME" ~doc)
+  in
+  let max_frames_arg =
+    let doc = "Largest frame count per layout (default: one per signal)." in
+    Arg.(value & opt (some int) None & info [ "max-frames" ] ~docv:"K" ~doc)
+  in
+  let bits_arg =
+    let doc = "Payload bits per signal for layout transmission times." in
+    Arg.(value & opt int 8 & info [ "bits-per-signal" ] ~docv:"B" ~doc)
+  in
+  let bit_time_arg =
+    let doc = "Bus time units per payload bit." in
+    Arg.(value & opt int 1 & info [ "bit-time" ] ~docv:"T" ~doc)
+  in
+  let doc =
+    "Explore the design space: enumerate signal-to-frame layouts (set \
+     partitions of a bus's signals, transmission times from the COM-layer \
+     payload layout), cross them with parameter axes, analyse every \
+     variant hierarchically and flat in parallel, and report the Pareto \
+     fronts over (worst-case latency, utilization, load margin)."
+  in
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(const run $ s3_period_arg $ file_arg $ period_arg $ cet_scale_arg
+          $ frame_priority_arg $ bus_arg $ max_frames_arg $ bits_arg
+          $ bit_time_arg $ jobs_arg $ format_arg)
 
 (* simulate *)
 
@@ -384,13 +620,20 @@ let gantt_cmd =
 (* headroom *)
 
 let headroom_cmd =
-  let run s3_period =
+  let run s3_period jobs =
+    let jobs = resolve_jobs jobs in
     let spec = Paper.spec ~s3_period () in
     Printf.printf "%-6s %16s %16s\n" "task" "flat headroom" "HEM headroom";
     List.iter
       (fun task ->
         let headroom mode =
-          match Cpa_system.Sensitivity.max_cet_scale ~mode spec ~task with
+          (* the pool-parallel multisection returns exactly what the
+             serial Sensitivity bisection would (monotone predicate) *)
+          match
+            Explore.Sensitivity.max_cet_scale ~jobs ~mode
+              ~build:(fun () -> Paper.spec ~s3_period ())
+              ~task ()
+          with
           | Some pct -> Printf.sprintf "%d%%" pct
           | None -> "none"
         in
@@ -407,7 +650,7 @@ let headroom_cmd =
         (Report.utilizations result)
   in
   let doc = "Execution-time headroom per task and resource loads." in
-  Cmd.v (Cmd.info "headroom" ~doc) Term.(const run $ s3_period_arg)
+  Cmd.v (Cmd.info "headroom" ~doc) Term.(const run $ s3_period_arg $ jobs_arg)
 
 (* data-age *)
 
@@ -463,5 +706,6 @@ let () =
        (Cmd.group info
           [
             analyse_cmd; convergence_cmd; simulate_cmd; figure4_cmd;
-            scaling_cmd; export_cmd; gantt_cmd; headroom_cmd; data_age_cmd;
+            scaling_cmd; sweep_cmd; explore_cmd; export_cmd; gantt_cmd;
+            headroom_cmd; data_age_cmd;
           ]))

@@ -13,7 +13,17 @@
     [(period_events, period_time)], so standard event models and
     periodic-with-burst patterns evaluate in O(1) at any [n] and the
     pseudo-inversion searches jump directly into the right period instead
-    of running an exponential search. *)
+    of running an exponential search.
+
+    {b Domain locality.}  The memo tables (array prefixes, spill hash
+    tables, inversion hint indices) are mutable and {e not} synchronised:
+    evaluating one curve from two domains concurrently is a data race.
+    Curves — and everything holding them: streams, specs, engine results
+    — must stay in the domain that created them.  Parallel exploration
+    respects this by shipping pure-data work descriptions across domains
+    and rebuilding each spec worker-side (see [Explore.Pool] and
+    [Explore.Space]); cross-domain result sharing is limited to immutable
+    extracts such as [Explore.Summary.t]. *)
 
 type t
 

@@ -1,0 +1,67 @@
+type 'a entry =
+  | Pending
+  | Done of 'a
+
+type 'a t = {
+  lock : Mutex.t;
+  published : Condition.t;
+  table : (string, 'a entry) Hashtbl.t;
+  mutable lookups : int;
+  mutable hits : int;
+}
+
+type stats = {
+  lookups : int;
+  hits : int;
+  entries : int;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    published = Condition.create ();
+    table = Hashtbl.create 64;
+    lookups = 0;
+    hits = 0;
+  }
+
+let find_or_compute t ~key f =
+  Mutex.lock t.lock;
+  t.lookups <- t.lookups + 1;
+  let rec claim () =
+    match Hashtbl.find_opt t.table key with
+    | Some (Done v) ->
+      t.hits <- t.hits + 1;
+      Mutex.unlock t.lock;
+      v, true
+    | Some Pending ->
+      Condition.wait t.published t.lock;
+      claim ()
+    | None ->
+      Hashtbl.replace t.table key Pending;
+      Mutex.unlock t.lock;
+      let v =
+        try f ()
+        with e ->
+          (* release the claim so a waiter can retry the compute *)
+          Mutex.lock t.lock;
+          Hashtbl.remove t.table key;
+          Condition.broadcast t.published;
+          Mutex.unlock t.lock;
+          raise e
+      in
+      Mutex.lock t.lock;
+      Hashtbl.replace t.table key (Done v);
+      Condition.broadcast t.published;
+      Mutex.unlock t.lock;
+      v, false
+  in
+  claim ()
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+    {
+      lookups = t.lookups;
+      hits = t.hits;
+      entries = Hashtbl.length t.table;
+    })

@@ -1,0 +1,35 @@
+(** Content-addressed, single-flight result cache.
+
+    Keys are content digests (see [Cpa_system.Spec.digest]); values are
+    immutable analysis summaries.  The cache is shared between the pool's
+    worker domains behind a mutex, and computation is {e single-flight}:
+    the first worker to claim a key computes it while later claimants
+    block until the value is published.  So every key is computed exactly
+    once, and {!stats} are deterministic — for a fixed work list, [hits]
+    is always [lookups - distinct keys] no matter how many domains ran or
+    how the scheduler interleaved them.
+
+    Values are published under the lock and must be immutable (they are
+    read concurrently afterwards); never cache structures with live memo
+    state such as specs, streams or engine results — cache the extracted
+    summary instead. *)
+
+type 'a t
+
+type stats = {
+  lookups : int;
+  hits : int;  (** lookups served (or awaited) from an earlier compute *)
+  entries : int;  (** distinct keys computed *)
+}
+
+val create : unit -> 'a t
+
+val find_or_compute : 'a t -> key:string -> (unit -> 'a) -> 'a * bool
+(** [find_or_compute t ~key f] returns the cached value for [key],
+    computing it with [f] on a miss; the boolean is [true] on a hit
+    (including waits on an in-flight compute).  [f] runs outside the
+    lock.  If [f] raises, the claim is released, every waiter retries
+    (one of them re-runs [f]), and the exception propagates to the
+    claimant. *)
+
+val stats : 'a t -> stats

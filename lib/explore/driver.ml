@@ -1,0 +1,82 @@
+module Spec = Cpa_system.Spec
+module Engine = Cpa_system.Engine
+
+type item = {
+  label : string;
+  build : unit -> Spec.t;
+}
+
+let item_of_variant ~base (v : Space.variant) =
+  { label = v.Space.label; build = (fun () -> Space.apply_all (base ()) v.Space.edits) }
+
+let items_of_variants ~base variants =
+  List.map (item_of_variant ~base) variants
+
+let item_of_description ~label description =
+  { label; build = (fun () -> Cpa_system.Spec_file.to_spec description) }
+
+type row = {
+  label : string;
+  digest : string;
+  summary : (Summary.t, string) result;
+  cache_hit : bool;
+}
+
+type report = {
+  rows : row list;
+  jobs : int;
+  modes : Engine.mode list;
+  cache : Cache.stats;
+  wall_ms : float;
+  workers : Pool.worker_stat list;
+}
+
+let run ?jobs ?(modes = Summary.default_modes) items =
+  let jobs =
+    match jobs with Some j -> j | None -> Pool.default_jobs ()
+  in
+  let cache : (Summary.t, string) result Cache.t = Cache.create () in
+  let items = Array.of_list items in
+  let t0 = Unix.gettimeofday () in
+  let rows, workers =
+    Pool.map_stats ~jobs ~label:"explore"
+      (fun i ->
+        let item = items.(i) in
+        let spec = item.build () in
+        let digest = Spec.digest spec in
+        let summary, _raced_hit =
+          Cache.find_or_compute cache ~key:digest (fun () ->
+            Summary.evaluate ~modes ~digest spec)
+        in
+        { label = item.label; digest; summary; cache_hit = false })
+      (Array.length items)
+  in
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  (* Which worker won the single-flight race is schedule-dependent, so
+     the per-row hit flag is normalised on the merged order: the first
+     occurrence of a digest is the miss, every later one the hit.  This
+     keeps the whole report independent of --jobs. *)
+  let seen = Hashtbl.create 64 in
+  let rows =
+    List.map
+      (fun r ->
+        if Hashtbl.mem seen r.digest then { r with cache_hit = true }
+        else begin
+          Hashtbl.add seen r.digest ();
+          r
+        end)
+      rows
+  in
+  { rows; jobs; modes; cache = Cache.stats cache; wall_ms; workers }
+
+let pareto report ~mode =
+  let ok_rows =
+    List.filter_map
+      (fun r ->
+        match r.summary with Ok s -> Some (r, s) | Error _ -> None)
+      report.rows
+  in
+  let front =
+    Summary.pareto ~mode (List.map snd ok_rows)
+  in
+  List.filteri (fun i _ -> List.mem i front) (List.map fst ok_rows)

@@ -1,0 +1,104 @@
+type worker_stat = {
+  worker : int;
+  tasks : int;
+  busy_us : float;
+  counters : (string * int) list;
+}
+
+let c_tasks = Obs.Metrics.counter "explore.pool.tasks"
+let c_maps = Obs.Metrics.counter "explore.pool.maps"
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+(* One worker's loop: pull indices from the shared counter until the
+   queue is drained, recording results (and the first exception) by
+   index so the merge is schedule-independent. *)
+let worker_loop ~label ~queue ~n ~f ~results ~errors w =
+  let scope = Obs.Metrics.scope (Printf.sprintf "%s.worker%d" label w) in
+  let tasks = ref 0 in
+  let busy = ref 0.0 in
+  let t_begin = now_us () in
+  Obs.Metrics.in_scope scope (fun () ->
+    let rec drain () =
+      let i = Atomic.fetch_and_add queue 1 in
+      if i < n then begin
+        Obs.Metrics.incr c_tasks;
+        Stdlib.incr tasks;
+        let t0 = now_us () in
+        (match f i with
+         | v -> results.(i) <- Some v
+         | exception e -> errors.(i) <- Some e);
+        busy := !busy +. (now_us () -. t0);
+        drain ()
+      end
+    in
+    drain ());
+  let t_end = now_us () in
+  ( { worker = w; tasks = !tasks; busy_us = !busy;
+      counters = Obs.Metrics.snapshot scope },
+    t_begin,
+    t_end )
+
+(* Worker spans are emitted from the calling domain after the join, with
+   the timestamps recorded by the workers: sinks never see concurrent
+   emissions (see Obs.Sink). *)
+let emit_worker_spans label stats =
+  match Obs.Sink.installed () with
+  | None -> ()
+  | Some sink ->
+    List.iter
+      (fun (stat, t_begin, t_end) ->
+        let name = Printf.sprintf "%s.worker%d" label stat.worker in
+        sink.Obs.Sink.emit
+          (Obs.Event.Span_begin { name; ts = t_begin; attrs = [] });
+        sink.Obs.Sink.emit
+          (Obs.Event.Span_end
+             {
+               name;
+               ts = t_end;
+               attrs =
+                 [
+                   "tasks", Obs.Event.Int stat.tasks;
+                   "busy_us", Obs.Event.Int (int_of_float stat.busy_us);
+                 ];
+             }))
+      stats
+
+let map_stats ?jobs ?(label = "explore.pool") f n =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Pool.map: jobs < 1";
+  if n < 0 then invalid_arg "Pool.map: negative size";
+  Obs.Metrics.incr c_maps;
+  let results = Array.make n None in
+  let errors = Array.make n None in
+  let queue = Atomic.make 0 in
+  let run = worker_loop ~label ~queue ~n ~f ~results ~errors in
+  let stats =
+    Obs.Trace.with_span
+      ~attrs:[ "jobs", Obs.Event.Int jobs; "items", Obs.Event.Int n ]
+      (label ^ ".map")
+    @@ fun () ->
+    if jobs = 1 then [ run 0 ]
+    else begin
+      let domains =
+        (* the calling domain is worker 0; jobs - 1 helpers are spawned *)
+        List.init (jobs - 1) (fun k -> Domain.spawn (fun () -> run (k + 1)))
+      in
+      let mine = run 0 in
+      mine :: List.map Domain.join domains
+    end
+  in
+  let stats = List.sort (fun (a, _, _) (b, _, _) -> compare a.worker b.worker) stats in
+  emit_worker_spans label stats;
+  Array.iteri
+    (fun i -> function Some e -> raise e | None -> ignore i)
+    errors;
+  ( List.init n (fun i ->
+        match results.(i) with
+        | Some v -> v
+        | None -> assert false),
+    List.map (fun (stat, _, _) -> stat) stats )
+
+let map ?jobs ?label f n = fst (map_stats ?jobs ?label f n)

@@ -1,0 +1,48 @@
+(** Fixed-size domain pool with a work queue and a deterministic merge.
+
+    [map ~jobs f n] evaluates [f 0 .. f (n - 1)] on [jobs] domains pulling
+    indices from a shared queue and returns the results {e in index
+    order}, so the output is independent of [jobs] and of how the
+    scheduler interleaved the workers.  [jobs = 1] runs everything in the
+    calling domain (no spawn), which is the baseline the determinism
+    guard compares against.
+
+    {b Domain-locality contract.}  [f] runs on a worker domain.  Every
+    mutable structure it touches must be created inside the call — in
+    particular specs and their event streams, whose memoized curves are
+    not synchronised (see [Event_model.Curve]).  This is why the
+    exploration drivers take {e builders} ([unit -> Spec.t]) and apply
+    edits worker-side instead of accepting pre-built specs: a [Spec.t]
+    built once in the parent domain and probed from several workers would
+    race on its curve memo tables.
+
+    Telemetry: every worker runs under its own [Obs.Metrics] scope
+    ([<label>.worker<i>]), whose snapshot is returned in
+    {!worker_stat.counters}; the pool bumps the global counters
+    [explore.pool.tasks] and [explore.pool.maps].  When a tracing sink is
+    installed, one [<label>.worker<i>] span per worker (with [tasks] /
+    [busy_us] attributes) is emitted {e after} the join, with explicit
+    timestamps, so worker domains never touch the sink concurrently. *)
+
+type worker_stat = {
+  worker : int;  (** worker index, [0 .. jobs - 1] *)
+  tasks : int;  (** queue items this worker executed *)
+  busy_us : float;  (** wall time spent inside [f] *)
+  counters : (string * int) list;
+      (** non-zero metrics charged to the worker's scope, sorted by name *)
+}
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the hardware parallelism. *)
+
+val map : ?jobs:int -> ?label:string -> (int -> 'a) -> int -> 'a list
+(** [map ~jobs f n] is [[f 0; ...; f (n - 1)]], evaluated on [jobs]
+    domains.  [jobs] defaults to {!default_jobs}; [label] (default
+    ["explore.pool"]) names the metric scopes and spans.  If any [f i]
+    raises, the exception of the {e smallest} failing index is re-raised
+    after all workers have been joined (deterministic error too).
+    @raise Invalid_argument when [jobs < 1] or [n < 0]. *)
+
+val map_stats :
+  ?jobs:int -> ?label:string -> (int -> 'a) -> int -> 'a list * worker_stat list
+(** Like {!map}, also returning per-worker telemetry (in worker order). *)

@@ -1,0 +1,32 @@
+(** Deterministic renderings of exploration reports.
+
+    Everything except {!timing_line} depends only on the report rows and
+    cache statistics, which are independent of [--jobs] — the CLI prints
+    these on stdout and the byte-identity determinism guard in
+    [scripts/check.sh] diffs them across job counts.  {!timing_line}
+    carries wall-clock and per-worker telemetry and belongs on stderr. *)
+
+val table : Format.formatter -> Driver.report -> unit
+(** Aligned text: one row per variant with the hierarchical / flat
+    worst-case latencies, the reduction, utilization and margin (of the
+    hierarchical run when present, the first mode otherwise), and a [dup]
+    marker for cache hits; ends with {!summary_line}. *)
+
+val csv : Format.formatter -> Driver.report -> unit
+(** One line per (variant, mode):
+    [label,digest,cache_hit,mode,converged,worst_latency,max_util_pct,margin_pct,iterations,reduction_pct]. *)
+
+val json : Format.formatter -> Driver.report -> unit
+(** A single JSON object with per-variant, per-mode metrics and the
+    cache statistics. *)
+
+val pareto_table :
+  Format.formatter -> Driver.report -> mode:Cpa_system.Engine.mode -> unit
+(** The non-dominated variants for [mode], one per line. *)
+
+val summary_line : Format.formatter -> Driver.report -> unit
+(** ["N variants, U unique, H cache hits"] — deterministic. *)
+
+val timing_line : Format.formatter -> Driver.report -> unit
+(** Wall time, job count and per-worker task/busy telemetry.  Not
+    deterministic; print to stderr. *)

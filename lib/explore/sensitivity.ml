@@ -1,0 +1,74 @@
+module Engine = Cpa_system.Engine
+
+let schedulable ?mode spec =
+  match Engine.analyse ?mode spec with
+  | Ok result -> result.Engine.converged
+  | Error _ -> false
+
+(* [k] interior probe points of the open interval (lo, hi), distinct and
+   ascending; fewer when the interval is narrow. *)
+let probe_points ~lo ~hi k =
+  let width = hi - lo in
+  let rec collect acc j =
+    if j = 0 then acc
+    else
+      let p = lo + (j * width / (k + 1)) in
+      let acc = if p > lo && p < hi && not (List.mem p acc) then p :: acc else acc in
+      collect acc (j - 1)
+  in
+  collect [] k
+
+(* Largest x in [lo, hi] with [good x], for a monotone predicate (true
+   then false), evaluating up to [jobs] probes per round in parallel.
+   Parallel evaluation of a monotone predicate cannot change the answer,
+   only the bracket-shrinking rate, so this matches serial bisection
+   exactly. *)
+let multisect_max ~jobs ~label ~lo ~hi good =
+  match Pool.map ~jobs ~label (fun i -> good (if i = 0 then lo else hi)) 2 with
+  | [ false; _ ] -> None
+  | [ true; true ] -> Some hi
+  | _ -> begin
+    let rec search lo hi =
+      (* invariant: good lo, not (good hi) *)
+      if hi - lo <= 1 then Some lo
+      else begin
+        let points = probe_points ~lo ~hi jobs in
+        let points = Array.of_list points in
+        let verdicts =
+          Pool.map ~jobs ~label
+            (fun i -> good points.(i))
+            (Array.length points)
+        in
+        (* tightest bracket: the largest good probe and smallest bad one *)
+        let lo', hi' =
+          List.fold_left2
+            (fun (l, h) p v ->
+              if v then (Stdlib.max l p, h) else (l, Stdlib.min h p))
+            (lo, hi) (Array.to_list points) verdicts
+        in
+        search lo' hi'
+      end
+    in
+    search lo hi
+  end
+
+let max_cet_scale ?jobs ?mode ?(limit_percent = 10_000) ~build ~task () =
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  let good percent =
+    schedulable ?mode
+      (Cpa_system.Sensitivity.scale_cet (build ()) ~task ~percent)
+  in
+  multisect_max ~jobs ~label:"explore.sensitivity" ~lo:100 ~hi:limit_percent
+    good
+
+let min_source_period ?jobs ?mode ~rebuild ~lo ~hi () =
+  if lo > hi then invalid_arg "Sensitivity.min_source_period: lo > hi";
+  let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
+  let good period = schedulable ?mode (rebuild period) in
+  (* smallest good period: mirror of multisect_max on the negated axis *)
+  match
+    multisect_max ~jobs ~label:"explore.sensitivity" ~lo:(-hi) ~hi:(-lo)
+      (fun neg -> good (-neg))
+  with
+  | Some neg -> Some (-neg)
+  | None -> None

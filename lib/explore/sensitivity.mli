@@ -1,0 +1,39 @@
+(** Pool-parallel sensitivity searches.
+
+    The serial [Cpa_system.Sensitivity] bisections evaluate one probe per
+    round; these re-implementations evaluate [jobs] probes per round on
+    the domain {!Pool} (multisection), shrinking the bracket by a factor
+    of [jobs + 1] instead of [2] while returning the {e same} answer: for
+    a monotone schedulability predicate the largest/smallest feasible
+    value is unique, so the result is independent of [jobs] — asserted by
+    the test suite against the serial implementation.
+
+    Both searches take spec {e builders} rather than specs: probes run on
+    worker domains, and each must construct its spec (and curves)
+    domain-locally — passing a pre-built spec here would share curve memo
+    tables across domains (see {!Pool} and [Event_model.Curve]). *)
+
+val max_cet_scale :
+  ?jobs:int ->
+  ?mode:Cpa_system.Engine.mode ->
+  ?limit_percent:int ->
+  build:(unit -> Cpa_system.Spec.t) ->
+  task:string ->
+  unit ->
+  int option
+(** Same contract as [Cpa_system.Sensitivity.max_cet_scale] on
+    [build ()]: the largest percentage (up to [limit_percent], default
+    [10_000]) keeping the system schedulable, [None] when it is not
+    schedulable even at 100 %. *)
+
+val min_source_period :
+  ?jobs:int ->
+  ?mode:Cpa_system.Engine.mode ->
+  rebuild:(int -> Cpa_system.Spec.t) ->
+  lo:int ->
+  hi:int ->
+  unit ->
+  int option
+(** Same contract as [Cpa_system.Sensitivity.min_source_period];
+    [rebuild] must be safe to call from worker domains (build streams
+    afresh, capture no mutable state). *)

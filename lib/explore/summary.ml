@@ -1,0 +1,116 @@
+module Engine = Cpa_system.Engine
+module Interval = Timebase.Interval
+
+type metrics = {
+  converged : bool;
+  worst_latency : int option;
+  max_util_pct : float;
+  margin_pct : float;
+  iterations : int;
+}
+
+type mode_summary = {
+  mode : Engine.mode;
+  metrics : metrics;
+  responses : (string * Interval.t option) list;
+}
+
+type t = {
+  digest : string;
+  modes : mode_summary list;
+}
+
+let default_modes = [ Engine.Hierarchical; Engine.Flat_sem ]
+
+let summarise_result (result : Engine.result) =
+  let responses =
+    List.map
+      (fun (o : Engine.element_outcome) ->
+        ( o.element,
+          match o.outcome with
+          | Scheduling.Busy_window.Bounded i -> Some i
+          | Scheduling.Busy_window.Unbounded _ -> None ))
+      result.outcomes
+  in
+  let worst_latency =
+    List.fold_left
+      (fun acc (_, r) ->
+        match acc, r with
+        | Some worst, Some i -> Some (Stdlib.max worst (Interval.hi i))
+        | _, None | None, _ -> None)
+      (Some 0) responses
+  in
+  let max_util_pct =
+    List.fold_left
+      (fun acc (_, u) -> Stdlib.max acc u)
+      0.0
+      (Cpa_system.Report.utilizations result)
+  in
+  {
+    mode = result.mode;
+    metrics =
+      {
+        converged = result.converged;
+        worst_latency;
+        max_util_pct;
+        margin_pct = 100.0 -. max_util_pct;
+        iterations = result.iterations;
+      };
+    responses;
+  }
+
+let evaluate ?(modes = default_modes) ~digest spec =
+  let rec go acc = function
+    | [] -> Ok { digest; modes = List.rev acc }
+    | mode :: rest -> begin
+      match Engine.analyse ~mode spec with
+      | Error e -> Error (Printf.sprintf "%s: %s" (Engine.mode_name mode) e)
+      | Ok result -> go (summarise_result result :: acc) rest
+    end
+  in
+  go [] modes
+
+let mode_summary t mode = List.find_opt (fun m -> m.mode = mode) t.modes
+
+let reduction_pct t =
+  match mode_summary t Engine.Hierarchical, mode_summary t Engine.Flat_sem with
+  | Some hem, Some flat -> begin
+    match hem.metrics.worst_latency, flat.metrics.worst_latency with
+    | Some h, Some f when f > 0 ->
+      Some (100.0 *. float_of_int (f - h) /. float_of_int f)
+    | _ -> None
+  end
+  | _ -> None
+
+(* Pareto: (latency, util, -margin), all minimised. *)
+let objectives ~mode t =
+  match mode_summary t mode with
+  | None -> None
+  | Some m ->
+    if not m.metrics.converged then None
+    else
+      Option.map
+        (fun latency ->
+          ( latency,
+            m.metrics.max_util_pct,
+            -.m.metrics.margin_pct ))
+        m.metrics.worst_latency
+
+let dominates (a1, a2, a3) (b1, b2, b3) =
+  a1 <= b1 && a2 <= b2 && a3 <= b3 && (a1 < b1 || a2 < b2 || a3 < b3)
+
+let pareto ~mode ts =
+  let objs = List.mapi (fun i t -> i, objectives ~mode t) ts in
+  List.filter_map
+    (fun (i, o) ->
+      match o with
+      | None -> None
+      | Some oi ->
+        if
+          List.exists
+            (fun (_, o') ->
+              match o' with Some oj -> dominates oj oi | None -> false)
+            objs
+        then None
+        else Some i)
+    objs

@@ -1,0 +1,60 @@
+(** Immutable per-variant analysis summaries.
+
+    A summary is the pure data extracted from one or more engine runs on
+    a variant — safe to publish through the shared result {!Cache} and to
+    read from any domain, unlike [Engine.result] (which carries resolver
+    closures over live memo state). *)
+
+module Engine = Cpa_system.Engine
+
+type metrics = {
+  converged : bool;
+  worst_latency : int option;
+      (** largest worst-case response over all elements; [None] when any
+          element is unbounded *)
+  max_util_pct : float;  (** highest resource load, percent *)
+  margin_pct : float;
+      (** load margin [100 - max_util_pct]: how much uniform scaling
+          headroom the busiest resource retains (negative when
+          overloaded) *)
+  iterations : int;
+}
+
+type mode_summary = {
+  mode : Engine.mode;
+  metrics : metrics;
+  responses : (string * Timebase.Interval.t option) list;
+      (** per-element response bounds, in the engine's element order *)
+}
+
+type t = {
+  digest : string;  (** [Spec.digest] of the evaluated variant *)
+  modes : mode_summary list;  (** one entry per requested mode, in order *)
+}
+
+val default_modes : Engine.mode list
+(** [[Hierarchical; Flat_sem]] — the paper's comparison. *)
+
+val evaluate :
+  ?modes:Engine.mode list -> digest:string -> Cpa_system.Spec.t ->
+  (t, string) result
+(** Analyses the spec in every requested mode ([default_modes] when
+    omitted).  Must run in the domain that built the spec. *)
+
+val mode_summary : t -> Engine.mode -> mode_summary option
+
+val reduction_pct : t -> float option
+(** Worst-case latency reduction of [Hierarchical] over [Flat_sem], in
+    percent, when both modes were evaluated and bounded. *)
+
+(** {1 Pareto front}
+
+    Objectives per mode: minimise worst-case latency, minimise peak
+    utilization, maximise load margin.  Only converged summaries with a
+    bounded latency participate. *)
+
+val pareto : mode:Engine.mode -> t list -> int list
+(** Indices (ascending) of the non-dominated summaries.  A summary
+    dominates another when it is no worse in all three objectives and
+    strictly better in at least one; equal-objective duplicates are all
+    kept, so the front is independent of input order. *)

@@ -66,6 +66,106 @@ let frame ~name ~bus ~send_type ~tx_time ~priority ~signals () =
 let make ~sources ~resources ~tasks ?(frames = []) () =
   { sources; resources; tasks; frames }
 
+(* ------------------------------------------------------------------ *)
+(* Canonical digest *)
+
+(* Streams are opaque pairs of memoized curves, so they are fingerprinted
+   behaviourally: a prefix of both distance functions plus two deep
+   probes that expose the periodic tail.  Any parameter edit to a
+   standard constructor (period, jitter, d_min, burst) changes one of the
+   sampled values. *)
+let fingerprint_stream buffer s =
+  let add fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  let probe f n = add " %s" (Timebase.Time.to_string (f s n)) in
+  add "dmin";
+  for n = 2 to 34 do
+    probe Event_model.Stream.delta_min n
+  done;
+  probe Event_model.Stream.delta_min 64;
+  probe Event_model.Stream.delta_min 101;
+  add " dplus";
+  for n = 2 to 34 do
+    probe Event_model.Stream.delta_plus n
+  done;
+  probe Event_model.Stream.delta_plus 64;
+  probe Event_model.Stream.delta_plus 101
+
+let canonical t =
+  let buffer = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  let by_name name_of = List.sort (fun a b -> String.compare (name_of a) (name_of b)) in
+  let rec add_activation = function
+    | From_source s -> add "(source %s)" s
+    | From_output o -> add "(output %s)" o
+    | From_signal { frame; signal } -> add "(signal %s %s)" frame signal
+    | From_frame f -> add "(frame %s)" f
+    | Or_of acts ->
+      add "(or";
+      List.iter add_activation acts;
+      add ")"
+    | And_of acts ->
+      add "(and";
+      List.iter add_activation acts;
+      add ")"
+  in
+  let add_interval i =
+    add "[%d:%d]" (Timebase.Interval.lo i) (Timebase.Interval.hi i)
+  in
+  List.iter
+    (fun (name, stream) ->
+      add "source %s " name;
+      fingerprint_stream buffer stream;
+      add ";")
+    (by_name fst t.sources);
+  List.iter
+    (fun r ->
+      let scheduler =
+        match r.scheduler with
+        | Spp -> "spp"
+        | Spnp -> "spnp"
+        | Tdma -> "tdma"
+        | Round_robin -> "rr"
+        | Edf -> "edf"
+      in
+      add "resource %s %s;" r.res_name scheduler)
+    (by_name (fun r -> r.res_name) t.resources);
+  List.iter
+    (fun k ->
+      add "task %s res=%s cet=" k.task_name k.resource;
+      add_interval k.cet;
+      add " prio=%d" k.priority;
+      (match k.service with Some s -> add " service=%d" s | None -> ());
+      (match k.deadline with Some d -> add " deadline=%d" d | None -> ());
+      add " act=";
+      add_activation k.activation;
+      add ";")
+    (by_name (fun k -> k.task_name) t.tasks);
+  List.iter
+    (fun f ->
+      add "frame %s bus=%s send=" f.frame_name f.bus;
+      (match f.send_type with
+       | Comstack.Frame.Direct -> add "direct"
+       | Comstack.Frame.Periodic p -> add "periodic:%d" p
+       | Comstack.Frame.Mixed p -> add "mixed:%d" p);
+      add " tx=";
+      add_interval f.tx_time;
+      add " prio=%d" f.frame_priority;
+      List.iter
+        (fun s ->
+          add " (signal %s %s "
+            s.signal_name
+            (match s.property with
+             | Hem.Model.Triggering -> "triggering"
+             | Hem.Model.Pending -> "pending");
+          add_activation s.origin;
+          add ")")
+        (by_name (fun s -> s.signal_name) f.signals);
+      add ";")
+    (by_name (fun f -> f.frame_name) t.frames);
+  Buffer.contents buffer
+
+let digest t = Digest.to_hex (Digest.string (canonical t))
+
 let find_duplicate names =
   let sorted = List.sort String.compare names in
   let rec scan = function

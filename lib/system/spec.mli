@@ -106,6 +106,24 @@ val make :
   unit ->
   t
 
+val canonical : t -> string
+(** A canonical textual rendering of the system: element lists (and the
+    signals of each frame) are sorted by name, and the opaque source
+    streams are replaced by a behavioural fingerprint — a prefix of both
+    distance functions plus deep probes that expose periodic tails.  Two
+    specifications that differ only in element order render identically;
+    any parameter edit (period, jitter, execution time, priority, layout,
+    signal property, activation wiring) changes the rendering.
+
+    Evaluating the fingerprint forces a prefix of the source streams'
+    memoized curves, so like any curve evaluation it must happen in the
+    domain that owns the spec (see [Event_model.Curve]). *)
+
+val digest : t -> string
+(** [digest t] is the hex digest of {!canonical} — the content address
+    used by the exploration result cache: identical variants produced by
+    different sweep axes collide on it and are analysed once. *)
+
 val validate : t -> (unit, string) result
 (** Structural checks: unique element names, resolvable references,
     resources of frames are buses with an SPNP scheduler, TDMA /

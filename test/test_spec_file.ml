@@ -191,6 +191,96 @@ let test_print_is_parsable_spec () =
   let spec = Spec_file.to_spec (parse_ok (Spec_file.print d)) in
   Alcotest.(check bool) "valid" true (Spec.validate spec = Ok ())
 
+(* ------------------------------------------------------------------ *)
+(* qcheck: print/parse round-trip and digest properties on randomly
+   generated descriptions *)
+
+let gen_description =
+  let open QCheck.Gen in
+  let gen_source i =
+    let name = Printf.sprintf "src%d" i in
+    let* desc =
+      oneof
+        [
+          map (fun p -> Spec_file.Periodic p) (int_range 50 2000);
+          map2
+            (fun p j ->
+              Spec_file.Periodic_jitter { period = p; jitter = j; d_min = 1 })
+            (int_range 50 2000) (int_range 1 40);
+          map (fun d -> Spec_file.Sporadic d) (int_range 20 500);
+          map2
+            (fun p b -> Spec_file.Burst { period = p; burst = b; d_min = 5 })
+            (int_range 200 2000) (int_range 2 4);
+        ]
+    in
+    return { Spec_file.source_name = name; desc }
+  in
+  let gen_task i n_sources =
+    let* src = int_range 0 (n_sources - 1) in
+    let* lo = int_range 1 20 in
+    let* extra = int_range 0 10 in
+    return
+      (Spec.task
+         ~name:(Printf.sprintf "tsk%d" i)
+         ~resource:"cpu"
+         ~cet:(Interval.make ~lo ~hi:(lo + extra))
+         ~priority:(i + 1)
+         ~activation:(Spec.From_source (Printf.sprintf "src%d" src))
+         ())
+  in
+  let* n_sources = int_range 1 4 in
+  let* sources =
+    flatten_l (List.init n_sources (fun i -> gen_source i))
+  in
+  let* n_tasks = int_range 1 4 in
+  let* tasks =
+    flatten_l (List.init n_tasks (fun i -> gen_task i n_sources))
+  in
+  return
+    {
+      Spec_file.sources;
+      resources = [ { Spec.res_name = "cpu"; scheduler = Spec.Spp } ];
+      tasks;
+      frames = [];
+    }
+
+let arb_description =
+  QCheck.make
+    ~print:(fun d -> Spec_file.print d)
+    gen_description
+
+let prop_print_parse_roundtrip =
+  QCheck.Test.make ~name:"parse (print d) = Ok d" ~count:100 arb_description
+    (fun d ->
+      match Spec_file.parse (Spec_file.print d) with
+      | Error e -> QCheck.Test.fail_reportf "parse failed: %s" e
+      | Ok d' -> Spec_file.equal d d')
+
+let prop_digest_reorder_invariant =
+  QCheck.Test.make ~name:"digest invariant under element reordering"
+    ~count:60 arb_description (fun d ->
+      let spec = Spec_file.to_spec d in
+      let permuted =
+        Spec_file.to_spec
+          {
+            d with
+            Spec_file.sources = List.rev d.Spec_file.sources;
+            tasks = List.rev d.Spec_file.tasks;
+          }
+      in
+      String.equal (Spec.digest spec) (Spec.digest permuted))
+
+let prop_digest_edit_sensitive =
+  QCheck.Test.make ~name:"digest changes under a cet edit" ~count:60
+    (QCheck.pair arb_description (QCheck.int_range 101 400))
+    (fun (d, percent) ->
+      let spec = Spec_file.to_spec d in
+      let task = (List.hd d.Spec_file.tasks).Spec.task_name in
+      let edited = Cpa_system.Sensitivity.scale_cet spec ~task ~percent in
+      (* percent > 100 strictly grows a positive cet after rounding up,
+         so the digest must differ *)
+      not (String.equal (Spec.digest spec) (Spec.digest edited)))
+
 let () =
   Alcotest.run "spec_file"
     [
@@ -212,4 +302,11 @@ let () =
             test_avionics_file_matches_builtin;
           Alcotest.test_case "print validates" `Quick test_print_is_parsable_spec;
         ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_print_parse_roundtrip;
+            prop_digest_reorder_invariant;
+            prop_digest_edit_sensitive;
+          ] );
     ]
