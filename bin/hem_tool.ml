@@ -12,7 +12,13 @@
                           [--cet-scale TASK=..] [--frame-priority F=..]
                           [--format table|csv|json]
      hem_tool explore     [--file SPEC] [--jobs N] [--bus B] [--max-frames K]
-                          [+ sweep axes] [--format table|csv|json] *)
+                          [+ sweep axes] [--format table|csv|json]
+     hem_tool verify      [--file SPEC] [--fuzz N] [--seed N] [--horizon N]
+                          [--no-selfcheck]
+
+   The --selfcheck flag of analyse/convergence audits every stream the
+   engine propagates against the Verify sanitizer and fails the run on
+   an invariant violation. *)
 
 module Interval = Timebase.Interval
 module Count = Timebase.Count
@@ -105,11 +111,53 @@ let with_trace trace level f =
         Printf.printf "wrote %s\n" path)
       f
 
+(* selfcheck: wire the Verify sanitizer into the engine's audit hook *)
+
+let selfcheck_arg =
+  let doc =
+    "Audit every stream the engine propagates (sources, task outputs, \
+     frame streams, unpacked signals) against the curve invariants of the \
+     Verify sanitizer, and capture pack-degradation warnings.  The run \
+     fails on an error-severity violation."
+  in
+  Arg.(value & flag & info [ "selfcheck" ] ~doc)
+
+(* [with_selfcheck flag f] passes the audit hook (or [None]) to [f],
+   prints each distinct violation once, and fails the command if any
+   error-severity violation surfaced. *)
+let with_selfcheck selfcheck f =
+  if not selfcheck then f None
+  else begin
+    let errors = ref 0 in
+    let seen = Hashtbl.create 64 in
+    let emit v =
+      let key = Verify.Violation.to_string v in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        if Verify.Violation.is_error v then incr errors;
+        Format.eprintf "selfcheck: %a@." Verify.Violation.pp v
+      end
+    in
+    let hook s = Verify.Stream.audit ~on_violation:emit s in
+    Hem.Pack.set_warn_hook (fun (w : Hem.Pack.warning) ->
+        emit
+          (Verify.Violation.make ~severity:Verify.Violation.Warning
+             ~subject:(w.frame ^ "." ^ w.signal) ~invariant:"pack.frame_gap"
+             w.reason));
+    Fun.protect ~finally:Hem.Pack.clear_warn_hook (fun () ->
+        let result = f (Some hook) in
+        if !errors > 0 then
+          exit_err
+            (Printf.sprintf "selfcheck: %d invariant violation%s" !errors
+               (if !errors = 1 then "" else "s"));
+        result)
+  end
+
 (* Shared per-mode run/report pipeline (used by analyse and convergence):
    analyse the spec in one mode, print outcomes and the optional effort /
    convergence blocks. *)
-let run_mode ?(stats = false) ?(convergence = false) ~mode spec =
-  match Engine.analyse ~mode spec with
+let run_mode ?(stats = false) ?(convergence = false) ?selfcheck ~mode spec =
+  match Engine.analyse ~mode ?selfcheck spec with
   | Error e -> exit_err e
   | Ok result ->
     Report.print_outcomes Format.std_formatter result;
@@ -119,16 +167,17 @@ let run_mode ?(stats = false) ?(convergence = false) ~mode spec =
     result
 
 let analyse_cmd =
-  let run mode s3_period file stats trace trace_level =
+  let run mode s3_period file stats trace trace_level selfcheck =
     let spec, is_paper =
       match file with
       | None -> Paper.spec ~s3_period (), true
       | Some _ -> load_spec file
     in
     with_trace trace trace_level @@ fun () ->
-    let result = run_mode ~stats ~mode spec in
+    with_selfcheck selfcheck @@ fun selfcheck ->
+    let result = run_mode ~stats ?selfcheck ~mode spec in
     if mode = Engine.Hierarchical then begin
-      match Engine.analyse ~mode:Engine.Flat_sem spec with
+      match Engine.analyse ~mode:Engine.Flat_sem ?selfcheck spec with
       | Error e -> exit_err e
       | Ok flat ->
         let names =
@@ -153,18 +202,19 @@ let analyse_cmd =
   let doc = "Analyse a system (the paper's reference system by default)." in
   Cmd.v (Cmd.info "analyse" ~doc)
     Term.(const run $ mode_arg $ s3_period_arg $ file_arg $ stats_arg
-          $ trace_arg $ trace_level_arg)
+          $ trace_arg $ trace_level_arg $ selfcheck_arg)
 
 (* convergence *)
 
 let convergence_cmd =
-  let run s3_period file stats trace trace_level =
+  let run s3_period file stats trace trace_level selfcheck =
     let spec, _ = load_spec ~s3_period file in
     with_trace trace trace_level @@ fun () ->
+    with_selfcheck selfcheck @@ fun selfcheck ->
     List.iter
       (fun mode ->
         Format.printf "== %s ==@." (Engine.mode_name mode);
-        ignore (run_mode ~stats ~convergence:true ~mode spec);
+        ignore (run_mode ~stats ~convergence:true ?selfcheck ~mode spec);
         Format.printf "@.")
       [ Engine.Hierarchical; Engine.Flat_stream; Engine.Flat_sem ]
   in
@@ -175,7 +225,7 @@ let convergence_cmd =
   in
   Cmd.v (Cmd.info "convergence" ~doc)
     Term.(const run $ s3_period_arg $ file_arg $ stats_arg $ trace_arg
-          $ trace_level_arg)
+          $ trace_level_arg $ selfcheck_arg)
 
 (* sweep / explore *)
 
@@ -698,6 +748,97 @@ let scaling_cmd =
   let doc = "Analyse a synthetic fan-in system of N signals." in
   Cmd.v (Cmd.info "scaling" ~doc) Term.(const run $ signals)
 
+(* verify *)
+
+let verify_cmd =
+  let run s3_period file fuzz seed horizon no_selfcheck =
+    let selfcheck = not no_selfcheck in
+    let failed = ref 0 in
+    let count_checks checks =
+      List.iter
+        (fun (c : Verify.Oracle.check) ->
+          Format.printf "%a@." Verify.Oracle.pp_check c;
+          if not c.Verify.Oracle.ok then incr failed)
+        checks
+    in
+    let count_report r =
+      Format.printf "%a@." Verify.Oracle.pp_report r;
+      if not (Verify.Oracle.passed r) then incr failed
+    in
+    if fuzz = 0 then begin
+      Format.printf "-- curve backend vs naive closures --@.";
+      count_checks (Verify.Oracle.backend_agreement ());
+      let spec, is_paper = load_spec ~s3_period file in
+      let generators =
+        if is_paper then
+          Some
+            [
+              "S1", Des.Gen.periodic ~period:250 ();
+              "S2", Des.Gen.periodic ~period:450 ();
+              "S3", Des.Gen.periodic ~period:s3_period ();
+              "S4", Des.Gen.periodic ~period:400 ();
+            ]
+        else None
+      in
+      Format.printf "@.-- system oracles --@.";
+      count_report
+        (Verify.Oracle.verify_spec
+           ~label:(if is_paper then "paper system" else "system")
+           ~selfcheck ~seed ~horizon ?generators spec);
+      if is_paper then begin
+        Format.printf "@.-- exploration cache on vs off --@.";
+        count_checks
+          [
+            Verify.Oracle.cache_agreement
+              ~base:(fun () -> Paper.spec ~s3_period ())
+              (Space.grid
+                 [
+                   Space.int_axis "S1.period"
+                     (fun period ->
+                       Space.Source_period { source = "S1"; period })
+                     [ 230; 250 ];
+                 ]
+               @ [ { Space.label = "dup"; edits = [] } ]);
+          ]
+      end
+    end
+    else
+      List.iter
+        (fun case -> count_report (Verify.Oracle.verify_case ~selfcheck ~horizon case))
+        (Verify.Fuzz.cases ~seed ~count:fuzz);
+    if !failed > 0 then
+      exit_err (Printf.sprintf "%d verification failure(s)" !failed)
+    else Format.printf "@.verification clean@."
+  in
+  let fuzz_arg =
+    let doc =
+      "Verify $(docv) seeded random systems (Space edits over the scenario \
+       bases) instead of the given system."
+    in
+    Arg.(value & opt int 0 & info [ "fuzz" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N" ~doc:"Seed for fuzzing and simulation.")
+  in
+  let horizon_arg =
+    Arg.(value & opt int 200_000
+         & info [ "horizon" ] ~docv:"N" ~doc:"Simulation horizon.")
+  in
+  let no_selfcheck_arg =
+    let doc = "Skip the per-stream invariant sanitizer (oracles only)." in
+    Arg.(value & flag & info [ "no-selfcheck" ] ~doc)
+  in
+  let doc =
+    "Self-verify the analysis: invariant-sanitize every propagated stream, \
+     and cross-check the compact curve backend, the incremental engine, the \
+     hierarchical-vs-flat tightening, the simulator dominance and the \
+     exploration cache against independent implementations."
+  in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(const run $ s3_period_arg $ file_arg $ fuzz_arg $ seed_arg
+          $ horizon_arg $ no_selfcheck_arg)
+
 let () =
   let doc = "hierarchical event model analysis of the DATE'08 reference system" in
   let info = Cmd.info "hem_tool" ~version:"1.0.0" ~doc in
@@ -707,5 +848,5 @@ let () =
           [
             analyse_cmd; convergence_cmd; simulate_cmd; figure4_cmd;
             scaling_cmd; sweep_cmd; explore_cmd; export_cmd; gantt_cmd;
-            headroom_cmd; data_age_cmd;
+            headroom_cmd; data_age_cmd; verify_cmd;
           ]))

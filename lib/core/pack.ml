@@ -10,6 +10,23 @@ type input = {
 
 let input ?(kind = Model.Triggering) label stream = { label; kind; stream }
 
+type warning = {
+  frame : string;
+  signal : string;
+  reason : string;
+}
+
+let warn_hook : (warning -> unit) option Atomic.t = Atomic.make None
+
+let set_warn_hook f = Atomic.set warn_hook (Some f)
+
+let clear_warn_hook () = Atomic.set warn_hook None
+
+let warn ~frame ~signal reason =
+  match Atomic.get warn_hook with
+  | None -> ()
+  | Some f -> f { frame; signal; reason }
+
 (* Ω_pa proper: builds the hierarchical model once inputs are validated. *)
 let build ~name ~inputs ~triggering =
   let outer = Combine.or_combine ~name triggering in
@@ -21,6 +38,10 @@ let build ~name ~inputs ~triggering =
       (* eqs. (5)-(6): frames carrying this signal inherit its timing *)
       { Model.label = i.label; kind = i.kind; stream = i.stream }
     | Model.Pending ->
+      if not (Time.is_finite frame_gap) then
+        warn ~frame:name ~signal:i.label
+          "outer delta_plus 2 is unbounded: eq. (7) degrades to the \
+           trivial outer bound for this pending signal";
       let delta_min n =
         (* eq. (7): the first of n pending values may just miss a frame and
            wait a full frame gap; the frames themselves are spaced at least

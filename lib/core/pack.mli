@@ -35,3 +35,25 @@ val pack : ?name:string -> input list -> Model.t
 
     @raise Invalid_argument if [inputs] is empty or contains no triggering
     input (a frame with only pending inputs is never transmitted). *)
+
+(** {1 Degradation warnings}
+
+    Eq. (7) subtracts the maximum frame gap [delta_plus_out 2] from a
+    pending signal's distances.  When the outer stream has an unbounded
+    2-distance (e.g. a sporadic triggering input), that subtraction is
+    clamped and the pending inner stream silently degrades to the trivial
+    outer bound — sound, but a precision cliff worth surfacing.  The
+    verification layer installs a hook to report it ([--selfcheck]). *)
+
+type warning = {
+  frame : string;  (** name of the packed frame / outer stream *)
+  signal : string;  (** label of the affected pending input *)
+  reason : string;
+}
+
+val set_warn_hook : (warning -> unit) -> unit
+(** Installs the process-wide degradation hook.  Install before spawning
+    worker domains and keep the callback domain-safe; it runs inside
+    [pack]. *)
+
+val clear_warn_hook : unit -> unit

@@ -10,21 +10,29 @@ let or_pair a b =
   let dmin_a = Stream.delta_min a
   and dmin_b = Stream.delta_min b in
   let delta_min n =
-    let rec scan k best =
-      if k > n then best
-      else scan (k + 1) (Time.min best (Time.max (dmin_a k) (dmin_b (n - k))))
-    in
-    scan 1 (Time.max (dmin_a 0) (dmin_b n))
+    if n <= 1 then Time.zero
+    else
+      let rec scan k best =
+        if k > n then best
+        else scan (k + 1) (Time.min best (Time.max (dmin_a k) (dmin_b (n - k))))
+      in
+      scan 1 (Time.max (dmin_a 0) (dmin_b n))
   in
   let g_a k = Stream.delta_plus a (k + 2)
   and g_b k = Stream.delta_plus b (k + 2) in
   let delta_plus n =
-    let budget = n - 2 in
-    let rec scan k best =
-      if k > budget then best
-      else scan (k + 1) (Time.max best (Time.min (g_a k) (g_b (budget - k))))
-    in
-    scan 1 (Time.min (g_a 0) (g_b budget))
+    (* delta(0) = delta(1) = 0 by convention; pinning it here (rather than
+       relying on the clamp in [Stream.make]) keeps [budget] non-negative,
+       so [g_a]/[g_b] are never consulted at the meaningless indices
+       -1 / -2 however the closure is reached. *)
+    if n <= 1 then Time.zero
+    else
+      let budget = n - 2 in
+      let rec scan k best =
+        if k > budget then best
+        else scan (k + 1) (Time.max best (Time.min (g_a k) (g_b (budget - k))))
+      in
+      scan 1 (Time.min (g_a 0) (g_b budget))
   in
   Stream.make ~name:"or-pair" ~delta_min ~delta_plus
 

@@ -136,6 +136,10 @@ let backend = function
   | Periodic _ -> `Periodic
   | Constant _ -> `Constant
 
+let periodic_tail = function
+  | Periodic p -> Some (Array.length p.prefix, p.period_events, p.period_time)
+  | Closure _ | Constant _ -> None
+
 (* dense-array memo: [unset] marks a hole, [inf_code] encodes Time.Inf *)
 let dense_cap = 1 lsl 15
 let unset = min_int

@@ -6,6 +6,14 @@
     functions eta_plus / eta_minus are obtained by pseudo-inversion
     (paper, eqs. 1-2).
 
+    {b Delta-curve conventions.}  Curves used as distance functions must
+    satisfy [eval t 0 = eval t 1 = 0] (the distance covering zero or one
+    event is zero; {!clamp_low} enforces it, [Event_model.Stream.make]
+    applies it to every stream) and [delta_min <= delta_plus] pointwise.
+    [Verify.Stream] audits these conventions at run time; the engine's
+    [~selfcheck] hook and [hem_tool --selfcheck] wire the audit into whole
+    system analyses.
+
     Two backends coexist.  The {e closure} backend memoizes an arbitrary
     function into a dense array prefix (amortised O(1) append, spilling to
     a hash table for very deep probes).  The {e compact periodic} backend
@@ -60,6 +68,16 @@ val eval : t -> int -> Timebase.Time.t
 
 val backend : t -> [ `Closure | `Periodic | `Constant ]
 (** Which representation backs the curve (observability / tests). *)
+
+val periodic_tail : t -> (int * int * int) option
+(** [periodic_tail t] is [Some (prefix_len, period_events, period_time)]
+    when [t] is backed by the compact periodic representation: the prefix
+    covers [n = 2 .. prefix_len + 1] and beyond it
+    [eval t (n + period_events) = eval t n + period_time].  The tail gives
+    the exact long-run rate of the curve ([period_time / period_events]
+    time units per event), which exact analyses (e.g. the shaper's
+    backlog-divergence test) and the verification layer rely on.  [None]
+    for closure- and constant-backed curves. *)
 
 val search_cap : int
 (** Safety cap on closure-backend pseudo-inversion searches (indices

@@ -4,24 +4,46 @@ let delay_bound ?(horizon = 4096) ~d stream =
   if d < 1 then invalid_arg "Shaper.delay_bound: d < 1";
   (* Backlog deficit after q events arriving as fast as possible: the q-th
      event leaves the shaper no earlier than (q-1)*d after the first, but
-     may arrive as early as delta_min q after it.  If the deficit is still
-     growing at the horizon, the input rate exceeds the shaper rate and
-     the delay is unbounded. *)
-  let rec scan q worst =
-    if q > horizon then worst
+     may arrive as early as delta_min q after it.  The delay is unbounded
+     exactly when the input's long-run rate exceeds the shaper rate 1/d. *)
+  let scan_max q_max =
+    let rec scan q worst =
+      if q > q_max then worst
+      else
+        match Stream.delta_min stream q with
+        | Time.Inf -> worst
+        | Time.Fin dist -> scan (q + 1) (Stdlib.max worst (((q - 1) * d) - dist))
+    in
+    scan 2 0
+  in
+  match Curve.periodic_tail (Stream.delta_min_curve stream) with
+  | Some (prefix_len, period_events, period_time) ->
+    (* Exact long-run rate from the compact tail: [period_events] events
+       every [period_time].  The backlog diverges iff the input admits
+       more than one event per [d] in the long run. *)
+    if period_time < period_events * d then Time.Inf
     else
-      match Stream.delta_min stream q with
-      | Time.Inf -> worst
-      | Time.Fin dist -> scan (q + 1) (Stdlib.max worst (((q - 1) * d) - dist))
-  in
-  (* If the input still lags the shaper rate at the horizon, the backlog
-     never drains: the input's long-run rate exceeds 1/d. *)
-  let rate_exceeded =
-    match Stream.delta_min stream horizon with
-    | Time.Inf -> false
-    | Time.Fin dist -> dist < (horizon - 1) * d - (horizon / 2)
-  in
-  if rate_exceeded then Time.Inf else Time.of_int (scan 2 0)
+      (* Once past the prefix, each tail period adds [period_events * d]
+         to the drain and [period_time >= period_events * d] to the
+         distance, so the deficit is non-increasing from period to
+         period; its maximum is attained within the prefix plus one tail
+         period (scan a second period to be safe at the boundary). *)
+      Time.of_int (scan_max (prefix_len + (2 * period_events) + 1))
+  | None ->
+    (* Closure-backed curve: estimate the long-run rate from the distance
+       growth over the second half of the horizon.  A transient (jitter
+       burst) is confined to the first half for any jitter below
+       [d * horizon / 2]; sustained over-rate input keeps the average
+       step below [d] forever and is classified unbounded. *)
+    let rate_exceeded =
+      let half = horizon / 2 in
+      match
+        (Stream.delta_min stream horizon, Stream.delta_min stream (horizon - half))
+      with
+      | Time.Inf, _ | _, Time.Inf -> false
+      | Time.Fin hi, Time.Fin lo -> hi - lo < half * d
+    in
+    if rate_exceeded then Time.Inf else Time.of_int (scan_max horizon)
 
 let enforce_min_distance ?name ?horizon ~d stream =
   if d < 1 then invalid_arg "Shaper.enforce_min_distance: d < 1";

@@ -25,4 +25,12 @@ val enforce_min_distance :
 
 val delay_bound : ?horizon:int -> d:int -> Stream.t -> Timebase.Time.t
 (** The shaper backlog-delay bound described at
-    {!enforce_min_distance}; [Inf] when the input rate exceeds [1/d]. *)
+    {!enforce_min_distance}; [Inf] when the input's long-run rate exceeds
+    [1/d].
+
+    When the input's [delta_min] curve has a compact periodic tail
+    ({!Curve.periodic_tail}) the rate comparison and the deficit maximum
+    are exact at any jitter and [horizon] is ignored.  For closure-backed
+    curves the long-run rate is estimated from the distance growth over
+    the second half of [horizon] events, which classifies correctly as
+    long as transient bursts span less than [d * horizon / 2] time. *)

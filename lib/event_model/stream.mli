@@ -6,7 +6,16 @@
     minimum (resp. maximum) distance between any [n] consecutive events.
     Both are [0] for [n <= 1]; [delta_plus] may be infinite (sporadic
     streams, pending signals).  The arrival functions eta_plus / eta_minus
-    are derived by pseudo-inversion exactly as in eqs. (1)-(2). *)
+    are derived by pseudo-inversion exactly as in eqs. (1)-(2):
+    [eta_plus dt = max {n | delta_min n < dt}] and
+    [eta_minus dt = min {n >= 0 | delta_plus (n + 2) > dt}].
+
+    Every stream must keep both distance curves monotone, non-negative
+    and ordered ([delta_min n <= delta_plus n]); true event streams are
+    additionally superadditive in [delta_min] and subadditive in
+    [delta_plus].  [Verify.Stream] checks all of these plus the
+    eta-duality at run time and is wired into the analysis engine's
+    [~selfcheck] hook. *)
 
 type t
 

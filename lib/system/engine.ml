@@ -79,9 +79,12 @@ type ctx = {
   frames_post : (string, Hem.Model.t * S.t) Hashtbl.t;
   in_progress : (string, unit) Hashtbl.t;
   mutable dep_acc : S.t;  (* responses consulted by the ongoing resolution *)
+  selfcheck : (Stream.t -> unit) option;
+      (* audit hook applied to every resolved stream; [None] costs one
+         match per resolution and nothing else *)
 }
 
-let make_ctx spec mode response_of =
+let make_ctx ?selfcheck spec mode response_of =
   {
     spec;
     mode;
@@ -91,6 +94,7 @@ let make_ctx spec mode response_of =
     frames_post = Hashtbl.create 8;
     in_progress = Hashtbl.create 16;
     dep_acc = S.empty;
+    selfcheck;
   }
 
 (* Memoization that records, per entry, the responses it was derived
@@ -126,21 +130,27 @@ let find_frame spec name =
     spec.Spec.frames
 
 let rec resolve ctx (act : Spec.activation) =
-  match act with
-  | Spec.From_source s -> List.assoc s ctx.spec.Spec.sources
-  | Spec.From_output name -> task_output ctx name
-  | Spec.From_frame name -> Hem.Model.outer (frame_post ctx name)
-  | Spec.From_signal { frame; signal } -> begin
-    let post = frame_post ctx frame in
-    match ctx.mode with
-    | Hierarchical -> Hem.Deconstruct.unpack_label post signal
-    | Flat_stream -> Hem.Model.outer post
-    | Flat_sem ->
-      let outer = Hem.Model.outer post in
-      Sem.to_stream ~name:(Stream.name outer ^ "~sem") (Sem.fit outer)
-  end
-  | Spec.Or_of acts -> Combine.or_combine (List.map (resolve ctx) acts)
-  | Spec.And_of acts -> Combine.and_combine (List.map (resolve ctx) acts)
+  let stream =
+    match act with
+    | Spec.From_source s -> List.assoc s ctx.spec.Spec.sources
+    | Spec.From_output name -> task_output ctx name
+    | Spec.From_frame name -> Hem.Model.outer (frame_post ctx name)
+    | Spec.From_signal { frame; signal } -> begin
+      let post = frame_post ctx frame in
+      match ctx.mode with
+      | Hierarchical -> Hem.Deconstruct.unpack_label post signal
+      | Flat_stream -> Hem.Model.outer post
+      | Flat_sem ->
+        let outer = Hem.Model.outer post in
+        Sem.to_stream ~name:(Stream.name outer ^ "~sem") (Sem.fit outer)
+    end
+    | Spec.Or_of acts -> Combine.or_combine (List.map (resolve ctx) acts)
+    | Spec.And_of acts -> Combine.and_combine (List.map (resolve ctx) acts)
+  in
+  (match ctx.selfcheck with
+   | None -> ()
+   | Some audit -> audit stream);
+  stream
 
 and task_output ctx name =
   memo_deps ctx ctx.task_outputs name ~extra:(S.singleton name) (fun () ->
@@ -249,7 +259,7 @@ let drop_dirty table dirty =
   List.length stale
 
 let analyse ?(mode = Hierarchical) ?(incremental = true) ?(max_iterations = 64)
-    ?window_limit ?q_limit spec =
+    ?window_limit ?q_limit ?selfcheck spec =
   match Spec.validate spec with
   | Error e -> Error e
   | Ok () -> begin
@@ -263,7 +273,7 @@ let analyse ?(mode = Hierarchical) ?(incremental = true) ?(max_iterations = 64)
     let response_of name =
       Option.value (Hashtbl.find_opt responses name) ~default:zero
     in
-    let ctx = make_ctx spec mode response_of in
+    let ctx = make_ctx ?selfcheck spec mode response_of in
     (* last local analysis per resource, with its response dependencies *)
     let resource_cache : (string, element_outcome list * S.t) Hashtbl.t =
       Hashtbl.create 8

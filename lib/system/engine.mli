@@ -81,6 +81,7 @@ val analyse :
   ?max_iterations:int ->
   ?window_limit:int ->
   ?q_limit:int ->
+  ?selfcheck:(Event_model.Stream.t -> unit) ->
   Spec.t ->
   (result, string) Stdlib.result
 (** Runs the global iteration ([max_iterations] defaults to 64).  Returns
@@ -96,6 +97,15 @@ val analyse :
     produce, so outcomes, convergence and iteration counts match
     [~incremental:false] (the original engine: every iteration starts
     from scratch) exactly.
+
+    With [selfcheck], the given audit hook runs on every stream the
+    engine resolves — sources, task outputs, frame outer streams and
+    unpacked signal streams — each time it is consulted, i.e. at least
+    once per global iteration per propagation edge.  The verification
+    layer ([Verify.Stream.audit]) plugs its invariant sanitizer in here;
+    the engine itself attaches no semantics to the hook.  Without
+    [selfcheck] the hot path is unchanged (a single [match] per
+    resolution).
 
     Observability: when a {!Obs.Sink} is installed the analysis emits an
     ["engine.analyse"] span enclosing one ["engine.iteration"] span per

@@ -1,0 +1,96 @@
+module Interval = Timebase.Interval
+module Spec = Cpa_system.Spec
+module Space = Explore.Space
+module Gen = Des.Gen
+
+type case = {
+  label : string;
+  edits : Space.edit list;
+  build : unit -> Spec.t;
+  generators : (string * Gen.t) list;
+}
+
+(* Per-source event model tracked alongside the edits so the simulator
+   generators always realize exactly the stream the edited spec declares.
+   [jitter = 0] means strictly periodic. *)
+type source_model = {
+  period : int;
+  jitter : int;
+}
+
+let apply_to_models models = function
+  | Space.Source_period { source; period } ->
+    List.map
+      (fun (s, m) -> if s = source then s, { period; jitter = 0 } else s, m)
+      models
+  | Space.Source_jitter { source; period; jitter; d_min = _ } ->
+    List.map
+      (fun (s, m) -> if s = source then s, { period; jitter } else s, m)
+      models
+  | Space.Cet_scale _ | Space.Task_priority _ | Space.Frame_priority _
+  | Space.Frame_tx _ | Space.Repack _ ->
+    models
+
+let generators_of_models ~rng models =
+  List.map
+    (fun (s, m) ->
+      let phase = Random.State.int rng (m.period + 1) in
+      if m.jitter = 0 then s, Gen.periodic ~phase ~period:m.period ()
+      else s, Gen.periodic_jitter ~phase ~period:m.period ~jitter:m.jitter ())
+    models
+
+let case ~rng =
+  let pick lo hi = lo + Random.State.int rng (hi - lo + 1) in
+  let choose l = List.nth l (Random.State.int rng (List.length l)) in
+  let base_name, build_base, base_models, tasks, frames =
+    if Random.State.bool rng then
+      ( "paper",
+        (fun () -> Scenarios.Paper_system.spec ()),
+        [
+          "S1", { period = 250; jitter = 0 };
+          "S2", { period = 450; jitter = 0 };
+          "S3", { period = 1000; jitter = 0 };
+          "S4", { period = 400; jitter = 0 };
+        ],
+        Scenarios.Paper_system.cpu_tasks,
+        Scenarios.Paper_system.frames )
+    else begin
+      let signals = pick 2 5 in
+      let base_period = 300 * signals in
+      ( Printf.sprintf "fan_in%d" signals,
+        (fun () -> Scenarios.Synthetic.fan_in ~signals ()),
+        List.init signals (fun i ->
+            ( Printf.sprintf "S%d" (i + 1),
+              { period = base_period + (50 * i); jitter = 0 } )),
+        List.init signals (fun i -> Printf.sprintf "T%d" (i + 1)),
+        [ "F" ] )
+    end
+  in
+  let sources = List.map fst base_models in
+  let random_edit () =
+    match Random.State.int rng 5 with
+    | 0 -> Space.Source_period { source = choose sources; period = pick 200 1500 }
+    | 1 ->
+      let period = pick 250 1500 in
+      (* d_min = 0 matches the realization of [Des.Gen.periodic_jitter] *)
+      Space.Source_jitter
+        { source = choose sources; period; jitter = pick 0 period; d_min = 0 }
+    | 2 -> Space.Cet_scale { task = choose tasks; percent = pick 60 130 }
+    | 3 ->
+      Space.Task_priority
+        { task = choose tasks; priority = pick 1 (List.length tasks) }
+    | _ -> Space.Frame_tx { frame = choose frames; tx = Interval.point (pick 1 8) }
+  in
+  let edits = List.init (pick 1 3) (fun _ -> random_edit ()) in
+  let models = List.fold_left apply_to_models base_models edits in
+  {
+    label =
+      base_name ^ " " ^ String.concat "+" (List.map Space.edit_label edits);
+    edits;
+    build = (fun () -> Space.apply_all (build_base ()) edits);
+    generators = generators_of_models ~rng models;
+  }
+
+let of_seed seed = case ~rng:(Random.State.make [| 0x5eed; seed |])
+
+let cases ~seed ~count = List.init count (fun i -> of_seed (seed + i))

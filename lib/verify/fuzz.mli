@@ -1,0 +1,32 @@
+(** Seeded random system generation for the verification harness.
+
+    A fuzz case is a {!Explore.Space} edit list over one of the
+    {!Scenarios} bases (the paper system or a synthetic fan-in system)
+    together with simulator generators that realize exactly the source
+    models the edited spec declares — so analysis oracles and
+    simulation-dominance checks can run on the same case.
+
+    Everything is derived deterministically from a seed: the same seed
+    always produces the same case, which is what both the qcheck harness
+    and the fixed-seed CI smoke rely on. *)
+
+type case = {
+  label : string;
+  edits : Explore.Space.edit list;
+  build : unit -> Cpa_system.Spec.t;
+      (** rebuilds the edited spec from scratch on every call (fresh
+          domain-local curves, see [Event_model.Curve]) *)
+  generators : (string * Des.Gen.t) list;
+      (** one generator per source, realizing the declared model *)
+}
+
+val case : rng:Random.State.t -> case
+(** Draws one case: a random base, one to three random edits (source
+    period / source jitter / execution-time scaling / task priority /
+    frame transmission time), and matching generators. *)
+
+val of_seed : int -> case
+(** [case] over a state derived from [seed] alone. *)
+
+val cases : seed:int -> count:int -> case list
+(** [cases ~seed ~count] is [of_seed seed, of_seed (seed+1), ...]. *)

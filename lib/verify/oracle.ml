@@ -1,0 +1,401 @@
+module Es = Event_model.Stream
+module Time = Timebase.Time
+module Count = Timebase.Count
+module Interval = Timebase.Interval
+module Spec = Cpa_system.Spec
+module Engine = Cpa_system.Engine
+module Busy = Scheduling.Busy_window
+module Summary = Explore.Summary
+module Trace = Des.Trace
+module Port = Des.Port
+
+type check = {
+  name : string;
+  ok : bool;
+  detail : string;
+}
+
+let check ~name ok detail = { name; ok; detail }
+
+let pp_check ppf c =
+  Format.fprintf ppf "%s %s: %s" (if c.ok then "ok  " else "FAIL") c.name
+    c.detail
+
+let forall ~name items probe =
+  let failures = List.filter_map probe items in
+  match failures with
+  | [] -> check ~name true (Printf.sprintf "%d probes" (List.length items))
+  | first :: _ ->
+    check ~name false
+      (Printf.sprintf "%d/%d probes failed; first: %s" (List.length failures)
+         (List.length items) first)
+
+type report = {
+  label : string;
+  checks : check list;
+  violations : Violation.t list;
+}
+
+let passed r =
+  List.for_all (fun c -> c.ok) r.checks && Violation.errors r.violations = []
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>== %s ==" r.label;
+  List.iter (fun c -> Format.fprintf ppf "@,%a" pp_check c) r.checks;
+  List.iter (fun v -> Format.fprintf ppf "@,%a" Violation.pp v) r.violations;
+  Format.fprintf ppf "@,%s@]"
+    (if passed r then "PASS" else "FAIL")
+
+(* ------------------------------------------------------------------ *)
+(* oracle 1: compact curve backend vs naive closure reimplementation *)
+
+(* The naive twins below deliberately avoid [Curve.periodic]: they are
+   plain closures over the defining formulas (or the concrete arrival
+   pattern), so the compact backend's prefix/tail arithmetic and its
+   arithmetic pseudo-inversion are checked against an implementation
+   that shares no code with them. *)
+
+let naive_periodic ~period =
+  let d n = Time.of_int ((n - 1) * period) in
+  Es.make ~name:"naive" ~delta_min:d ~delta_plus:d
+
+let naive_jitter ~period ~jitter ~d_min =
+  Es.make ~name:"naive"
+    ~delta_min:(fun n ->
+      Time.of_int
+        (Stdlib.max ((n - 1) * d_min) (((n - 1) * period) - jitter)))
+    ~delta_plus:(fun n -> Time.of_int (((n - 1) * period) + jitter))
+
+let naive_burst ~period ~burst ~d_min =
+  let position j = ((j / burst) * period) + (j mod burst * d_min) in
+  let over_starts n pick =
+    let rec scan j acc =
+      if j >= burst then acc
+      else scan (j + 1) (pick acc (position (j + n - 1) - position j))
+    in
+    scan 1 (position (n - 1) - position 0)
+  in
+  Es.make ~name:"naive"
+    ~delta_min:(fun n -> Time.of_int (over_starts n Stdlib.min))
+    ~delta_plus:(fun n -> Time.of_int (over_starts n Stdlib.max))
+
+let naive_sporadic ~d_min =
+  Es.make ~name:"naive"
+    ~delta_min:(fun n -> Time.of_int ((n - 1) * d_min))
+    ~delta_plus:(fun _ -> Time.Inf)
+
+(* independent linear-scan pseudo-inversions over the naive curves *)
+let scan_eta_plus s dt =
+  if dt <= 0 then Count.zero
+  else begin
+    let t = Time.of_int dt in
+    let rec scan n =
+      if n > 8192 then Count.Inf
+      else if Time.(Es.delta_min s n < t) then scan (n + 1)
+      else Count.of_int (n - 1)
+    in
+    scan 1
+  end
+
+let scan_eta_minus s dt =
+  let t = Time.of_int dt in
+  let rec scan n =
+    if n > 8192 then Count.Inf
+    else if Time.(Es.delta_plus s (n + 2) > t) then Count.of_int n
+    else scan (n + 1)
+  in
+  scan 0
+
+let backend_ns = List.init 65 Fun.id @ [ 100; 1000; 4097 ]
+
+let backend_dts = [ 1; 2; 7; 10; 99; 100; 250; 1000; 2500; 10_000 ]
+
+let backend_pair ~name compact naive =
+  [
+    forall ~name:(name ^ ":delta") backend_ns (fun n ->
+        let mismatch role c nv =
+          if Time.equal c nv then None
+          else
+            Some
+              (Printf.sprintf "%s %d: compact %s, naive %s" role n
+                 (Time.to_string c) (Time.to_string nv))
+        in
+        match
+          mismatch "delta_min" (Es.delta_min compact n) (Es.delta_min naive n)
+        with
+        | Some _ as m -> m
+        | None ->
+          mismatch "delta_plus" (Es.delta_plus compact n)
+            (Es.delta_plus naive n));
+    forall ~name:(name ^ ":eta") backend_dts (fun dt ->
+        let mismatch role c nv =
+          if Count.equal c nv then None
+          else
+            Some
+              (Printf.sprintf "%s dt=%d: compact %s, scan %s" role dt
+                 (Count.to_string c) (Count.to_string nv))
+        in
+        match
+          mismatch "eta_plus" (Es.eta_plus compact dt) (scan_eta_plus naive dt)
+        with
+        | Some _ as m -> m
+        | None ->
+          mismatch "eta_minus" (Es.eta_minus compact dt)
+            (scan_eta_minus naive dt));
+  ]
+
+let backend_agreement () =
+  List.concat
+    [
+      backend_pair ~name:"periodic(250)"
+        (Es.periodic ~name:"c" ~period:250)
+        (naive_periodic ~period:250);
+      backend_pair ~name:"periodic(7)"
+        (Es.periodic ~name:"c" ~period:7)
+        (naive_periodic ~period:7);
+      backend_pair ~name:"jitter(450,90)"
+        (Es.periodic_jitter ~name:"c" ~period:450 ~jitter:90 ())
+        (naive_jitter ~period:450 ~jitter:90 ~d_min:1);
+      backend_pair ~name:"jitter(1000,3000,40)"
+        (Es.periodic_jitter ~name:"c" ~period:1000 ~jitter:3000 ~d_min:40 ())
+        (naive_jitter ~period:1000 ~jitter:3000 ~d_min:40);
+      backend_pair ~name:"burst(1000,5,10)"
+        (Es.periodic_burst ~name:"c" ~period:1000 ~burst:5 ~d_min:10)
+        (naive_burst ~period:1000 ~burst:5 ~d_min:10);
+      backend_pair ~name:"burst(50,3,1)"
+        (Es.periodic_burst ~name:"c" ~period:50 ~burst:3 ~d_min:1)
+        (naive_burst ~period:50 ~burst:3 ~d_min:1);
+      backend_pair ~name:"sporadic(100)"
+        (Es.sporadic ~name:"c" ~d_min:100)
+        (naive_sporadic ~d_min:100);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* oracle 2: incremental engine vs from-scratch fixed point *)
+
+let render_result (r : Engine.result) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "converged=%b iterations=%d" r.converged r.iterations);
+  List.iter
+    (fun (o : Engine.element_outcome) ->
+      Buffer.add_string b
+        (Format.asprintf "\n%s@%s %a" o.element o.resource Busy.pp_outcome
+           o.outcome))
+    r.outcomes;
+  Buffer.contents b
+
+let engine_agreement ?(mode = Engine.Hierarchical) spec =
+  let name = Printf.sprintf "engine[%s]:incremental=scratch" (Engine.mode_name mode) in
+  match
+    ( Engine.analyse ~mode ~incremental:true spec,
+      Engine.analyse ~mode ~incremental:false spec )
+  with
+  | Ok inc, Ok scratch ->
+    let a = render_result inc and b = render_result scratch in
+    if String.equal a b then [ check ~name true "byte-identical outcomes" ]
+    else [ check ~name false (Printf.sprintf "incremental:\n%s\nscratch:\n%s" a b) ]
+  | Error a, Error b ->
+    [ check ~name (String.equal a b) (Printf.sprintf "both rejected: %s / %s" a b) ]
+  | Ok _, Error e -> [ check ~name false ("scratch rejected: " ^ e) ]
+  | Error e, Ok _ -> [ check ~name false ("incremental rejected: " ^ e) ]
+
+(* ------------------------------------------------------------------ *)
+(* oracle 3: hierarchical vs flat-SEM baseline *)
+
+let response_map (r : Engine.result) =
+  List.map
+    (fun (o : Engine.element_outcome) ->
+      o.element, Busy.response_interval o.outcome)
+    r.outcomes
+
+let hierarchy_tightness (hem : Engine.result) (flat : Engine.result) =
+  let flat_map = response_map flat in
+  forall ~name:"hem<=flat_sem" (response_map hem) (fun (element, hem_r) ->
+      match hem_r, List.assoc_opt element flat_map with
+      | _, None -> Some (element ^ " missing from flat result")
+      | Some h, Some (Some f) ->
+        if Interval.hi h <= Interval.hi f then None
+        else
+          Some
+            (Printf.sprintf "%s: hem %s above flat %s" element
+               (Interval.to_string h) (Interval.to_string f))
+      | Some _, Some None -> None (* flat unbounded: hem strictly tighter *)
+      | None, Some (Some f) ->
+        Some
+          (Printf.sprintf "%s: hem unbounded but flat bounded at %s" element
+             (Interval.to_string f))
+      | None, Some None -> None)
+
+(* ------------------------------------------------------------------ *)
+(* oracle 4: analytic bounds dominate simulator measurements *)
+
+let sim_dts = [ 1; 10; 50; 100; 250; 1000; 2500 ]
+
+let simulation_dominance ?(seed = 42) ?(horizon = 200_000) ~generators ~tag
+    (result : Engine.result) spec =
+  match Des.Simulator.run ~seed ~generators ~horizon spec with
+  | Error e -> [ check ~name:(tag ^ ":simulate") false e ]
+  | Ok trace ->
+    let elements =
+      List.map (fun (t : Spec.task) -> t.task_name) spec.Spec.tasks
+      @ List.map (fun (f : Spec.frame) -> f.frame_name) spec.Spec.frames
+    in
+    let bounds = response_map result in
+    let responses =
+      forall ~name:(tag ^ ":responses") elements (fun element ->
+          match List.assoc_opt element bounds with
+          | None | Some None -> None (* unbounded: vacuously dominated *)
+          | Some (Some bound) ->
+            (match Trace.worst_response trace element with
+             | Some observed when observed > Interval.hi bound ->
+               Some
+                 (Printf.sprintf "%s: observed %d above bound %s" element
+                    observed (Interval.to_string bound))
+             | _ ->
+               (match Trace.best_response trace element with
+                | Some best when best < Interval.lo bound ->
+                  Some
+                    (Printf.sprintf "%s: best %d below bound %s" element best
+                       (Interval.to_string bound))
+                | _ -> None)))
+    in
+    let sources =
+      forall ~name:(tag ^ ":source-eta")
+        (List.concat_map
+           (fun (name, stream) -> List.map (fun dt -> name, stream, dt) sim_dts)
+           spec.Spec.sources)
+        (fun (name, stream, dt) ->
+          let observed = Trace.observed_eta_plus trace (Port.source name) ~dt in
+          let bound = Es.eta_plus stream dt in
+          if Count.compare (Count.of_int observed) bound <= 0 then None
+          else
+            Some
+              (Printf.sprintf "%s dt=%d: observed %d above eta+ %s" name dt
+                 observed (Count.to_string bound)))
+    in
+    [ responses; sources ]
+
+(* ------------------------------------------------------------------ *)
+(* oracle 5: exploration cache on vs off *)
+
+let render_metrics (m : Summary.metrics) =
+  Printf.sprintf "converged=%b worst=%s util=%.4f margin=%.4f iters=%d"
+    m.converged
+    (match m.worst_latency with Some w -> string_of_int w | None -> "unbounded")
+    m.max_util_pct m.margin_pct m.iterations
+
+let render_summary (s : Summary.t) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b s.digest;
+  List.iter
+    (fun (ms : Summary.mode_summary) ->
+      Buffer.add_string b
+        (Printf.sprintf "\n%s %s" (Engine.mode_name ms.mode)
+           (render_metrics ms.metrics));
+      List.iter
+        (fun (element, r) ->
+          Buffer.add_string b
+            (Printf.sprintf "\n  %s=%s" element
+               (match r with
+                | Some i -> Interval.to_string i
+                | None -> "unbounded")))
+        ms.responses)
+    s.modes;
+  Buffer.contents b
+
+let render_summary_result = function
+  | Ok s -> render_summary s
+  | Error e -> "error: " ^ e
+
+let cache_agreement ?(jobs = 2) ~base variants =
+  let report =
+    Explore.Driver.run ~jobs (Explore.Driver.items_of_variants ~base variants)
+  in
+  forall ~name:"explore:cache=direct"
+    (List.combine variants report.Explore.Driver.rows)
+    (fun ((v : Explore.Space.variant), (row : Explore.Driver.row)) ->
+      let spec = Explore.Space.apply_all (base ()) v.edits in
+      let digest = Spec.digest spec in
+      if not (String.equal digest row.digest) then
+        Some
+          (Printf.sprintf "%s: digest %s via driver, %s direct" row.label
+             row.digest digest)
+      else
+        let direct = render_summary_result (Summary.evaluate ~digest spec) in
+        let cached = render_summary_result row.summary in
+        if String.equal direct cached then None
+        else
+          Some
+            (Printf.sprintf "%s: driver summary differs from direct\n%s\n--\n%s"
+               row.label cached direct))
+
+(* ------------------------------------------------------------------ *)
+(* full-system verification entry point *)
+
+let verify_spec ?(label = "system") ?(selfcheck = true) ?(seed = 42)
+    ?(horizon = 200_000) ?generators spec =
+  let violations = ref [] in
+  let seen = Hashtbl.create 64 in
+  let push v =
+    let key = Violation.to_string v in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      violations := v :: !violations
+    end
+  in
+  let audit =
+    if selfcheck then Some (fun s -> Stream.audit ~on_violation:push s)
+    else None
+  in
+  if selfcheck then
+    Hem.Pack.set_warn_hook (fun (w : Hem.Pack.warning) ->
+        push
+          (Violation.make ~severity:Violation.Warning
+             ~subject:(w.frame ^ "." ^ w.signal) ~invariant:"pack.frame_gap"
+             w.reason));
+  Fun.protect
+    ~finally:(fun () -> if selfcheck then Hem.Pack.clear_warn_hook ())
+    (fun () ->
+      let checks =
+        match Engine.analyse ~mode:Engine.Hierarchical ?selfcheck:audit spec with
+        | Error e -> [ check ~name:"analyse[hierarchical]" false e ]
+        | Ok hem ->
+          if selfcheck then
+            List.iter
+              (fun (f : Spec.frame) ->
+                List.iter push
+                  (Stream.check_model (hem.Engine.pre_bus_hierarchy f.frame_name));
+                List.iter push
+                  (Stream.check_model (hem.Engine.hierarchy f.frame_name)))
+              spec.Spec.frames;
+          let incremental =
+            List.concat_map
+              (fun mode -> engine_agreement ~mode spec)
+              [ Engine.Hierarchical; Engine.Flat_stream; Engine.Flat_sem ]
+          in
+          let tightness =
+            match Engine.analyse ~mode:Engine.Flat_sem spec with
+            | Error e -> [ check ~name:"analyse[flat_sem]" false e ]
+            | Ok flat ->
+              hierarchy_tightness hem flat
+              ::
+              (match generators with
+               | None -> []
+               | Some generators ->
+                 simulation_dominance ~seed ~horizon ~generators ~tag:"sim[hem]"
+                   hem spec
+                 @ simulation_dominance ~seed ~horizon ~generators
+                     ~tag:"sim[flat_sem]" flat spec)
+          in
+          (check ~name:"analyse[hierarchical]" true
+             (Printf.sprintf "converged=%b iterations=%d" hem.Engine.converged
+                hem.Engine.iterations)
+          :: incremental)
+          @ tightness
+      in
+      { label; checks; violations = List.rev !violations })
+
+let verify_case ?selfcheck ?seed ?horizon (case : Fuzz.case) =
+  verify_spec ~label:case.Fuzz.label ?selfcheck ?seed ?horizon
+    ~generators:case.Fuzz.generators (case.Fuzz.build ())

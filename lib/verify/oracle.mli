@@ -1,0 +1,108 @@
+(** Differential oracles: independent implementations agreeing (or
+    dominating) on the same question.
+
+    Each oracle pairs a production code path with a reimplementation that
+    shares no code with it, or with a relation the paper proves must
+    hold:
+
+    - {b backend agreement}: the compact periodic curve backend and its
+      arithmetic pseudo-inversion vs naive closures over the defining
+      formulas (and, for bursts, the concrete arrival pattern) with
+      linear-scan inversions;
+    - {b engine agreement}: the incremental fixed-point engine vs a
+      from-scratch recomputation — outcomes must be byte-identical,
+      including iteration counts;
+    - {b hierarchy tightness}: hierarchical analysis response bounds
+      never exceed the flat-SEM baseline's;
+    - {b simulation dominance}: analytic response bounds and arrival
+      curves dominate the discrete-event simulator's observations, in
+      both hierarchical and flat mode;
+    - {b cache agreement}: exploration results served through the
+      content-addressed cache render byte-identically to direct,
+      cache-free evaluation.
+
+    {!verify_spec} bundles the per-system oracles with the
+    {!Stream} sanitizer (plugged into the engine's [~selfcheck] hook and
+    the pack-degradation warning hook) into one report. *)
+
+type check = {
+  name : string;
+  ok : bool;
+  detail : string;  (** witness of the first failure, or a probe count *)
+}
+
+val check : name:string -> bool -> string -> check
+
+val pp_check : Format.formatter -> check -> unit
+
+type report = {
+  label : string;
+  checks : check list;
+  violations : Violation.t list;
+      (** sanitizer findings collected during the run, deduplicated *)
+}
+
+val passed : report -> bool
+(** All checks ok and no [Error]-severity violations ([Warning]s do not
+    fail a report). *)
+
+val pp_report : Format.formatter -> report -> unit
+
+(** {1 Individual oracles} *)
+
+val backend_agreement : unit -> check list
+(** Compact vs naive curves for periodic, periodic-with-jitter,
+    periodic-burst and sporadic models, on a dense index prefix plus
+    deep probes, and eta inversions vs linear scans.  Deterministic. *)
+
+val engine_agreement :
+  ?mode:Cpa_system.Engine.mode -> Cpa_system.Spec.t -> check list
+(** [analyse ~incremental:true] vs [analyse ~incremental:false] on the
+    given system ([mode] defaults to [Hierarchical]). *)
+
+val hierarchy_tightness :
+  Cpa_system.Engine.result -> Cpa_system.Engine.result -> check
+(** [hierarchy_tightness hem flat]: every element bounded in both
+    results satisfies [hi hem <= hi flat]; an element bounded only
+    under [flat] is a failure. *)
+
+val simulation_dominance :
+  ?seed:int ->
+  ?horizon:int ->
+  generators:(string * Des.Gen.t) list ->
+  tag:string ->
+  Cpa_system.Engine.result ->
+  Cpa_system.Spec.t ->
+  check list
+(** Simulates the system and checks observed responses against the
+    result's bounds and observed source arrival counts against the
+    declared eta_plus. *)
+
+val cache_agreement :
+  ?jobs:int ->
+  base:(unit -> Cpa_system.Spec.t) ->
+  Explore.Space.variant list ->
+  check
+(** Runs the variants through {!Explore.Driver} (cache on) and
+    re-evaluates each directly with {!Explore.Summary.evaluate} (cache
+    off); digests and rendered summaries must agree byte-for-byte. *)
+
+(** {1 Whole-system entry point} *)
+
+val verify_spec :
+  ?label:string ->
+  ?selfcheck:bool ->
+  ?seed:int ->
+  ?horizon:int ->
+  ?generators:(string * Des.Gen.t) list ->
+  Cpa_system.Spec.t ->
+  report
+(** Runs the hierarchical analysis (with the {!Stream} sanitizer wired
+    into the engine's [~selfcheck] hook and pack-degradation warnings
+    captured, unless [selfcheck:false]), audits every frame hierarchy,
+    then runs the engine, tightness and — when [generators] are given —
+    simulation oracles.  [seed] and [horizon] configure the simulation. *)
+
+val verify_case :
+  ?selfcheck:bool -> ?seed:int -> ?horizon:int -> Fuzz.case -> report
+(** {!verify_spec} on a fuzz case, using its generators and label. *)

@@ -1,0 +1,244 @@
+module Es = Event_model.Stream
+module Curve = Event_model.Curve
+module Time = Timebase.Time
+module Count = Timebase.Count
+
+let default_horizon = 64
+
+let ts = Time.to_string
+
+(* ------------------------------------------------------------------ *)
+(* single-curve checks *)
+
+let check_curve ?(horizon = default_horizon) ~subject curve =
+  let eval n = Curve.eval curve n in
+  let acc = ref [] in
+  let report ?severity ?witness invariant msg =
+    acc := Violation.make ?severity ?witness ~subject ~invariant msg :: !acc
+  in
+  List.iter
+    (fun n ->
+      let got = eval n in
+      if not (Time.equal got Time.zero) then
+        report
+          ~witness:(Violation.witness ~n ~expected:"0" ~got:(ts got))
+          "zero"
+          (Printf.sprintf "delta %d must be 0 (delta(0) = delta(1) = 0)" n))
+    [ 0; 1 ];
+  let prev = ref (eval 1) in
+  (try
+     for n = 2 to horizon do
+       let cur = eval n in
+       if Time.(cur < !prev) then
+         report
+           ~witness:
+             (Violation.witness ~n ~expected:(">= " ^ ts !prev) ~got:(ts cur))
+           "monotone" "distance curve decreases";
+       prev := cur
+     done
+   with Curve.Unbounded _ -> ());
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* stream checks *)
+
+(* Window sizes that straddle the stream's own curve steps: for every
+   sampled n, both [delta n] and [delta n + 1] are probed, so the
+   pseudo-inversions are exercised right at their breakpoints. *)
+let default_dts s ~horizon =
+  let ns =
+    List.filter (fun n -> n <= horizon) [ 2; 3; 4; 5; 8; 13; 21; 34; horizon ]
+  in
+  let push acc t =
+    match t with
+    | Time.Fin v when v > 0 -> v :: (v + 1) :: acc
+    | _ -> acc
+  in
+  let acc =
+    List.fold_left
+      (fun acc n -> push (push acc (Es.delta_min s n)) (Es.delta_plus s n))
+      [ 1; 2; 10; 101 ] ns
+  in
+  List.sort_uniq Stdlib.compare (List.filter (fun v -> v > 0) acc)
+
+let check_order ~subject ~horizon s acc =
+  let bad = ref acc in
+  for n = 2 to horizon do
+    let lo = Es.delta_min s n and hi = Es.delta_plus s n in
+    if Time.(hi < lo) then
+      bad :=
+        Violation.make
+          ~witness:(Violation.witness ~n ~expected:(">= " ^ ts lo) ~got:(ts hi))
+          ~subject ~invariant:"order" "delta_plus < delta_min"
+        :: !bad
+  done;
+  !bad
+
+let check_eta ~subject s dts acc =
+  let acc = ref acc in
+  let report ~invariant ~n ~expected ~got msg =
+    acc :=
+      Violation.make
+        ~witness:(Violation.witness ~n ~expected ~got)
+        ~subject ~invariant msg
+      :: !acc
+  in
+  List.iter
+    (fun dt ->
+      let t = Time.of_int dt in
+      (* eq. (1): eta_plus dt = max { n | delta_min n < dt }, i.e.
+         delta_min (eta_plus dt) < dt <= delta_min (eta_plus dt + 1) *)
+      (match Es.eta_plus s dt with
+       | Count.Inf -> ()
+       | Count.Fin n ->
+         if n >= 1 && not Time.(Es.delta_min s n < t) then
+           report ~invariant:"eta_plus.duality" ~n
+             ~expected:(Printf.sprintf "< %d" dt)
+             ~got:(ts (Es.delta_min s n))
+             (Printf.sprintf "delta_min (eta_plus %d) must lie below %d" dt dt);
+         if Time.(Es.delta_min s (n + 1) < t) then
+           report ~invariant:"eta_plus.duality" ~n:(n + 1)
+             ~expected:(Printf.sprintf ">= %d" dt)
+             ~got:(ts (Es.delta_min s (n + 1)))
+             (Printf.sprintf "eta_plus %d undercounts: one more event fits" dt));
+      (* eq. (2): eta_minus dt = min { n >= 0 | delta_plus (n + 2) > dt } *)
+      match Es.eta_minus s dt with
+      | Count.Inf -> ()
+      | Count.Fin n ->
+        if not Time.(Es.delta_plus s (n + 2) > t) then
+          report ~invariant:"eta_minus.duality" ~n:(n + 2)
+            ~expected:(Printf.sprintf "> %d" dt)
+            ~got:(ts (Es.delta_plus s (n + 2)))
+            (Printf.sprintf
+               "delta_plus (eta_minus %d + 2) must exceed the window" dt);
+        if n > 0 && not Time.(Es.delta_plus s (n + 1) <= t) then
+          report ~invariant:"eta_minus.duality" ~n:(n + 1)
+            ~expected:(Printf.sprintf "<= %d" dt)
+            ~got:(ts (Es.delta_plus s (n + 1)))
+            (Printf.sprintf "eta_minus %d overcounts: a smaller n suffices" dt))
+    dts;
+  !acc
+
+let additivity_pairs ~horizon =
+  let candidates = [ 2; 3; 4; 5; 8; 13 ] in
+  List.concat_map
+    (fun n ->
+      List.filter_map
+        (fun m -> if n + m - 1 <= horizon then Some (n, m) else None)
+        candidates)
+    candidates
+
+let check_additivity ~subject ~horizon s acc =
+  List.fold_left
+    (fun acc (n, m) ->
+      let span = n + m - 1 in
+      let lo = Time.add (Es.delta_min s n) (Es.delta_min s m) in
+      let acc =
+        if Time.(Es.delta_min s span < lo) then
+          Violation.make ~severity:Violation.Warning
+            ~witness:
+              (Violation.witness ~n:span ~expected:(">= " ^ ts lo)
+                 ~got:(ts (Es.delta_min s span)))
+            ~subject ~invariant:"delta_min.superadditive"
+            (Printf.sprintf
+               "delta_min %d falls below delta_min %d + delta_min %d" span n m)
+          :: acc
+        else acc
+      in
+      let hi = Time.add (Es.delta_plus s n) (Es.delta_plus s m) in
+      if Time.(Es.delta_plus s span > hi) then
+        Violation.make ~severity:Violation.Warning
+          ~witness:
+            (Violation.witness ~n:span ~expected:("<= " ^ ts hi)
+               ~got:(ts (Es.delta_plus s span)))
+          ~subject ~invariant:"delta_plus.subadditive"
+          (Printf.sprintf
+             "delta_plus %d exceeds delta_plus %d + delta_plus %d" span n m)
+        :: acc
+      else acc)
+    acc
+    (additivity_pairs ~horizon)
+
+let check ?(horizon = default_horizon) ?dts s =
+  let name = Es.name s in
+  let acc =
+    check_curve ~horizon ~subject:(name ^ ".delta_min") (Es.delta_min_curve s)
+    @ check_curve ~horizon ~subject:(name ^ ".delta_plus")
+        (Es.delta_plus_curve s)
+  in
+  let acc = check_order ~subject:name ~horizon s acc in
+  let dts = match dts with Some l -> l | None -> default_dts s ~horizon in
+  let acc = check_eta ~subject:name s dts acc in
+  let acc = check_additivity ~subject:name ~horizon s acc in
+  List.rev acc
+
+let check_model ?(horizon = default_horizon) h =
+  let outer = Hem.Model.outer h in
+  let outer_name = Es.name outer in
+  let acc = check ~horizon outer in
+  List.fold_left
+    (fun acc (i : Hem.Model.inner) ->
+      let acc = acc @ check ~horizon i.stream in
+      (* containment: every fresh inner delivery rides an outer event, so
+         n consecutive inner events span at least delta_min_out n *)
+      let rec containment n acc =
+        if n > Stdlib.min horizon 16 then acc
+        else
+          let inner_d = Es.delta_min i.stream n
+          and outer_d = Es.delta_min outer n in
+          let acc =
+            if Time.(inner_d < outer_d) then
+              Violation.make ~severity:Violation.Warning
+                ~witness:
+                  (Violation.witness ~n ~expected:(">= " ^ ts outer_d)
+                     ~got:(ts inner_d))
+                ~subject:(Es.name i.stream)
+                ~invariant:"hierarchy.containment"
+                (Printf.sprintf
+                   "inner delta_min below outer delta_min of %s" outer_name)
+              :: acc
+            else acc
+          in
+          containment (n + 1) acc
+      in
+      containment 2 acc)
+    acc (Hem.Model.inners h)
+
+let audit ?horizon ~on_violation s = List.iter on_violation (check ?horizon s)
+
+let wrap ?on_violation s =
+  let on_violation =
+    match on_violation with
+    | Some f -> f
+    | None -> fun viol -> failwith (Violation.to_string viol)
+  in
+  let subject = Es.name s ^ "!" in
+  let report ~invariant ~n ~expected ~got msg =
+    on_violation
+      (Violation.make
+         ~witness:(Violation.witness ~n ~expected ~got)
+         ~subject ~invariant msg)
+  in
+  let check_order_at n =
+    let lo = Es.delta_min s n and hi = Es.delta_plus s n in
+    if Time.(hi < lo) then
+      report ~invariant:"order" ~n ~expected:(">= " ^ ts lo) ~got:(ts hi)
+        "delta_plus < delta_min"
+  in
+  let checked role delta n =
+    let v = delta s n in
+    if n >= 2 then begin
+      let prev = delta s (n - 1) in
+      if Time.(v < prev) then
+        report
+          ~invariant:(role ^ ".monotone")
+          ~n ~expected:(">= " ^ ts prev) ~got:(ts v) "distance curve decreases";
+      check_order_at n
+    end;
+    v
+  in
+  Es.make ~name:subject
+    ~delta_min:(checked "delta_min" Es.delta_min)
+    ~delta_plus:(checked "delta_plus" Es.delta_plus)
+
+let is_clean violations = Violation.errors violations = []

@@ -1,0 +1,64 @@
+(** Invariant sanitizer for event streams, curves and hierarchical models.
+
+    Audits the curve-semantics conventions every code path of the
+    analysis must agree on:
+
+    - {b zero convention}: [delta_min n = delta_plus n = 0] for [n <= 1];
+    - {b monotonicity}: both distance curves are non-decreasing in [n];
+    - {b ordering}: [delta_min n <= delta_plus n] for every [n];
+    - {b eta duality} (paper eqs. 1-2): [eta_plus dt] really is
+      [max {n | delta_min n < dt}] and [eta_minus dt] really is
+      [min {n >= 0 | delta_plus (n + 2) > dt}], checked by re-evaluating
+      the distance curves around the returned counts;
+    - {b super-/sub-additivity} ({e warning} severity): over a sampled
+      set of decompositions, [delta_min (n + m - 1) >= delta_min n +
+      delta_min m] and [delta_plus (n + m - 1) <= delta_plus n +
+      delta_plus m].  True event streams satisfy both; a conservative
+      approximation may not, which is sound but needlessly loose, hence
+      a warning rather than an error.
+
+    All checks sample the prefix [n <= horizon] (default
+    {!default_horizon}).  Violations carry a witness
+    [(n, expected, got)]; see {!Violation}. *)
+
+val default_horizon : int
+(** [64]. *)
+
+val check_curve :
+  ?horizon:int -> subject:string -> Event_model.Curve.t -> Violation.t list
+(** Zero convention and monotonicity of a single curve. *)
+
+val check :
+  ?horizon:int -> ?dts:int list -> Event_model.Stream.t -> Violation.t list
+(** Full stream audit.  [dts] overrides the window sizes probed by the
+    eta-duality check (defaults to a sample derived from the stream's own
+    distance values, so the probes straddle every curve step). *)
+
+val check_model : ?horizon:int -> Hem.Model.t -> Violation.t list
+(** Audits the outer stream and every inner stream of a hierarchical
+    model, plus the packing containment relation
+    [inner delta_min n >= outer delta_min n] ({e warning} severity —
+    every fresh inner delivery rides an outer event, so the computed
+    inner bounds should never fall below the outer ones). *)
+
+val audit :
+  ?horizon:int ->
+  on_violation:(Violation.t -> unit) ->
+  Event_model.Stream.t ->
+  unit
+(** [check] in callback form — the shape expected by
+    [Cpa_system.Engine.analyse ~selfcheck]. *)
+
+val wrap :
+  ?on_violation:(Violation.t -> unit) ->
+  Event_model.Stream.t ->
+  Event_model.Stream.t
+(** On-the-fly sanitizer: a stream that behaves exactly like the
+    argument but re-checks, at every distance evaluation, monotonicity
+    against the neighbouring index and the [delta_plus >= delta_min]
+    ordering at that index, reporting violations as they are produced
+    (default: raises [Failure] on the first error).  The wrapper's name
+    is the wrapped name suffixed with ["!"]. *)
+
+val is_clean : Violation.t list -> bool
+(** No [Error]-severity entries ([Warning]s are allowed). *)

@@ -1,0 +1,36 @@
+type severity =
+  | Error
+  | Warning
+
+type witness = {
+  n : int;
+  expected : string;
+  got : string;
+}
+
+type t = {
+  severity : severity;
+  subject : string;
+  invariant : string;
+  witness : witness option;
+  message : string;
+}
+
+let witness ~n ~expected ~got = { n; expected; got }
+
+let make ?(severity = Error) ?witness ~subject ~invariant message =
+  { severity; subject; invariant; witness; message }
+
+let is_error t = t.severity = Error
+
+let errors = List.filter is_error
+
+let pp ppf t =
+  let sev = match t.severity with Error -> "error" | Warning -> "warning" in
+  Format.fprintf ppf "[%s] %s: %s — %s" sev t.subject t.invariant t.message;
+  match t.witness with
+  | None -> ()
+  | Some w ->
+    Format.fprintf ppf " (n=%d: expected %s, got %s)" w.n w.expected w.got
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,48 @@
+(** Structured invariant violations reported by the sanitizer.
+
+    A violation pins one broken invariant on one subject (stream, curve
+    or model) with, where possible, a concrete witness
+    [(n, expected, got)] — enough to reproduce the offending evaluation
+    instead of chasing silently propagated garbage downstream. *)
+
+type severity =
+  | Error
+      (** soundness-relevant: the curve data contradicts the paper's
+          semantics (eqs. 1-8) *)
+  | Warning
+      (** precision-relevant: the data is conservative but degraded
+          (e.g. a clamped eq. (7) subtraction, a loose additivity gap) *)
+
+type witness = {
+  n : int;  (** the event count / window size of the offending probe *)
+  expected : string;
+  got : string;
+}
+
+type t = {
+  severity : severity;
+  subject : string;  (** name of the checked stream / curve / model *)
+  invariant : string;  (** stable identifier, e.g. ["delta_min.monotone"] *)
+  witness : witness option;
+  message : string;
+}
+
+val witness : n:int -> expected:string -> got:string -> witness
+
+val make :
+  ?severity:severity ->
+  ?witness:witness ->
+  subject:string ->
+  invariant:string ->
+  string ->
+  t
+(** [severity] defaults to [Error]. *)
+
+val is_error : t -> bool
+
+val errors : t list -> t list
+(** The [Error]-severity subset. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -2,8 +2,10 @@
 # Full verification: build + tests + the perf benchmark (which also
 # cross-checks incremental vs full engine outcomes and refreshes
 # BENCH_1.json), plus an observability smoke test, a guard on the
-# no-sink instrumentation overhead, and the exploration checks
-# (jobs-determinism byte diff + BENCH_3.json scaling sanity).
+# no-sink instrumentation overhead, the exploration checks
+# (jobs-determinism byte diff + BENCH_3.json scaling sanity), and the
+# self-verification smoke (sanitizer + differential oracles on the paper
+# system and a fixed-seed fuzz batch).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 dune build @runtest
@@ -96,4 +98,13 @@ if [ "$cores" -ge 2 ]; then
 else
   echo "check: explore scaling assertion skipped (${cores} core(s); dedup + determinism still verified)"
 fi
+
+# --- self-verification ------------------------------------------------
+# The sanitizer + differential oracles must pass on the paper system
+# (zero violations, byte-identical engine/cache outcomes, bounds
+# dominating the simulator) and on a fixed-seed batch of fuzzed systems.
+dune exec bin/hem_tool.exe -- verify > /dev/null
+echo "check: verify ok (paper system: sanitizer + oracles clean)"
+dune exec bin/hem_tool.exe -- verify --fuzz 25 --seed 2026 --horizon 100000 > /dev/null
+echo "check: verify ok (25 fuzzed systems, seed 2026)"
 echo "check: ok"

@@ -191,6 +191,62 @@ let prop_or_delta_min_dominated =
       Time.(Stream.delta_min combined n <= Stream.delta_min a n)
       && Time.(Stream.delta_min combined n <= Stream.delta_min b n))
 
+let prop_or_delta_plus_monotone =
+  (* the n <= 1 -> 0 convention and monotonicity of eq. (4): the budget
+     n - 2 goes negative at small n, which must never surface as a
+     non-monotone or non-zero value *)
+  QCheck.Test.make ~name:"or delta_plus monotone, zero at n <= 1" ~count:60
+    (QCheck.pair arb_stream arb_stream) (fun (a, b) ->
+      let c = Combine.or_combine [ a; b ] in
+      Time.equal (Stream.delta_plus c 0) Time.zero
+      && Time.equal (Stream.delta_plus c 1) Time.zero
+      && List.for_all
+           (fun n -> Time.(Stream.delta_plus c n <= Stream.delta_plus c (n + 1)))
+           (List.init 11 (fun i -> i + 1)))
+
+(* Concrete merged trace of two phased periodic sources; the OR bounds
+   must be conservative for every phasing. *)
+let merged_trace ~p1 ~f1 ~p2 ~f2 ~horizon =
+  let times p f =
+    let rec go t acc = if t > horizon then List.rev acc else go (t + p) (t :: acc) in
+    go f []
+  in
+  List.sort Stdlib.compare (times p1 f1 @ times p2 f2)
+
+let observed_spans n times =
+  let arr = Array.of_list times in
+  let len = Array.length arr in
+  if len < n then None
+  else begin
+    let mn = ref max_int and mx = ref 0 in
+    for i = 0 to len - n do
+      let s = arr.(i + n - 1) - arr.(i) in
+      if s < !mn then mn := s;
+      if s > !mx then mx := s
+    done;
+    Some (!mn, !mx)
+  end
+
+let prop_or_conservative_vs_merged_trace =
+  QCheck.Test.make ~name:"or bounds dominate merged concrete trace" ~count:60
+    (QCheck.pair
+       (QCheck.pair (QCheck.int_range 50 300) (QCheck.int_range 50 300))
+       (QCheck.pair (QCheck.int_range 0 299) (QCheck.int_range 0 299)))
+    (fun ((p1, p2), (f1, f2)) ->
+      let f1 = f1 mod p1 and f2 = f2 mod p2 in
+      let a = Stream.periodic ~name:"a" ~period:p1
+      and b = Stream.periodic ~name:"b" ~period:p2 in
+      let combined = Combine.or_combine [ a; b ] in
+      let trace = merged_trace ~p1 ~f1 ~p2 ~f2 ~horizon:20_000 in
+      List.for_all
+        (fun n ->
+          match observed_spans n trace with
+          | None -> true
+          | Some (mn, mx) ->
+            Time.(Stream.delta_min combined n <= Time.of_int mn)
+            && Time.(Time.of_int mx <= Stream.delta_plus combined n))
+        [ 2; 3; 4; 6; 10 ])
+
 let () =
   Alcotest.run "combine"
     [
@@ -213,5 +269,7 @@ let () =
             prop_or_associative;
             prop_or_eta_additive;
             prop_or_delta_min_dominated;
+            prop_or_delta_plus_monotone;
+            prop_or_conservative_vs_merged_trace;
           ] );
     ]

@@ -131,6 +131,37 @@ let test_pack_pending_with_sporadic_trigger () =
       (Stream.delta_min inner n)
   done
 
+let test_pack_degradation_warning () =
+  (* the unbounded-frame-gap degradation of the previous test is reported
+     through the warning hook, naming the frame and the pending signal *)
+  let warnings = ref [] in
+  Pack.set_warn_hook (fun w -> warnings := w :: !warnings);
+  Fun.protect ~finally:Pack.clear_warn_hook @@ fun () ->
+  let trig = Stream.sporadic ~name:"t" ~d_min:50 in
+  let h =
+    Pack.pack ~name:"W"
+      [ Pack.input "t" trig; Pack.input ~kind:Model.Pending "p" s3 ]
+  in
+  (match !warnings with
+   | [ w ] ->
+     Alcotest.(check string) "frame" "W" w.Pack.frame;
+     Alcotest.(check string) "signal" "p" w.Pack.signal
+   | ws ->
+     Alcotest.failf "expected exactly one warning, got %d" (List.length ws));
+  (* the warning marks a real precision loss: the pending bound is just
+     the outer bound *)
+  let inner = (Model.find_inner h "p").Model.stream in
+  for n = 2 to 6 do
+    Alcotest.check time
+      (Printf.sprintf "degraded to outer %d" n)
+      (Stream.delta_min (Model.outer h) n)
+      (Stream.delta_min inner n)
+  done;
+  (* a bounded frame gap stays silent *)
+  warnings := [];
+  ignore (paper_pack ());
+  Alcotest.(check int) "no warning for bounded gap" 0 (List.length !warnings)
+
 let test_pack_validation () =
   Alcotest.(check bool) "no inputs" true
     (match Pack.pack [] with
@@ -315,6 +346,8 @@ let () =
             test_pack_pending_floor_is_outer;
           Alcotest.test_case "pending with sporadic trigger" `Quick
             test_pack_pending_with_sporadic_trigger;
+          Alcotest.test_case "degradation warning" `Quick
+            test_pack_degradation_warning;
           Alcotest.test_case "validation" `Quick test_pack_validation;
         ] );
       ( "inner update",

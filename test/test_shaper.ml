@@ -42,6 +42,55 @@ let test_jitter_absorption () =
      q=2: 10 - 0 = 10 (with d = 10); q=3: 20 - 50 < 0 *)
   Alcotest.check time "delay" (Time.of_int 10) (Shaper.delay_bound ~d:10 s)
 
+(* Independent deficit computation: scan activation counts directly. *)
+let naive_deficit ~d ~q_max s =
+  let rec scan q worst =
+    if q > q_max then worst
+    else
+      match Stream.delta_min s q with
+      | Time.Inf -> worst
+      | Time.Fin dist -> scan (q + 1) (Stdlib.max worst (((q - 1) * d) - dist))
+  in
+  scan 2 0
+
+let test_period_equals_d_with_large_jitter () =
+  (* Regression: long-run rate exactly 1/d with jitter far beyond the old
+     heuristic's horizon slack used to be misclassified as unbounded.
+     The backlog is bounded by the jitter and drains at rate parity. *)
+  let s =
+    Stream.periodic_jitter ~name:"pj" ~period:40 ~jitter:3000 ~d_min:0 ()
+  in
+  Alcotest.check time "finite delay = naive-scan deficit"
+    (Time.of_int (naive_deficit ~d:40 ~q_max:500 s))
+    (Shaper.delay_bound ~d:40 s);
+  Alcotest.check time "delay equals the jitter backlog" (Time.of_int 3000)
+    (Shaper.delay_bound ~d:40 s)
+
+let test_over_rate_with_jitter_unbounded () =
+  (* rate strictly above 1/d must stay unbounded no matter the jitter *)
+  let s =
+    Stream.periodic_jitter ~name:"fast" ~period:10 ~jitter:500 ~d_min:0 ()
+  in
+  Alcotest.check time "unbounded" Time.Inf (Shaper.delay_bound ~d:20 s)
+
+let test_closure_backend_fallback () =
+  (* the same period-equals-d case behind a closure backend (no periodic
+     tail available) exercises the slope-estimate fallback *)
+  let closure =
+    Stream.make ~name:"cl"
+      ~delta_min:(fun n -> Time.of_int (Stdlib.max 0 (((n - 1) * 40) - 3000)))
+      ~delta_plus:(fun n -> Time.of_int (((n - 1) * 40) + 3000))
+  in
+  Alcotest.check time "finite via fallback" (Time.of_int 3000)
+    (Shaper.delay_bound ~d:40 closure);
+  let fast =
+    Stream.make ~name:"clf"
+      ~delta_min:(fun n -> Time.of_int ((n - 1) * 10))
+      ~delta_plus:(fun n -> Time.of_int ((n - 1) * 10))
+  in
+  Alcotest.check time "over-rate closure unbounded" Time.Inf
+    (Shaper.delay_bound ~d:20 fast)
+
 let test_validation () =
   let s = Stream.periodic ~name:"p" ~period:10 in
   Alcotest.(check bool) "d < 1 rejected" true
@@ -93,6 +142,12 @@ let () =
           Alcotest.test_case "burst delay" `Quick test_burst_delay;
           Alcotest.test_case "overload unbounded" `Quick test_overload_unbounded;
           Alcotest.test_case "jitter absorption" `Quick test_jitter_absorption;
+          Alcotest.test_case "period = d, large jitter" `Quick
+            test_period_equals_d_with_large_jitter;
+          Alcotest.test_case "over-rate with jitter" `Quick
+            test_over_rate_with_jitter_unbounded;
+          Alcotest.test_case "closure-backend fallback" `Quick
+            test_closure_backend_fallback;
           Alcotest.test_case "validation" `Quick test_validation;
           Alcotest.test_case "default name" `Quick test_default_name;
         ] );

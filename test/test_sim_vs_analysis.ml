@@ -451,6 +451,141 @@ let test_avionics_full_stack_conservative () =
     [ 1, Simulator.Worst_case; 2, Simulator.Uniform; 3, Simulator.Uniform ]
 
 (* ------------------------------------------------------------------ *)
+(* fuzzed systems: distance bounds vs observed spans *)
+
+(* Observed extreme spans of [n] consecutive arrivals (max side of
+   observed_delta_min, computed from the raw arrival list). *)
+let observed_max_span arrivals n =
+  let arr = Array.of_list arrivals in
+  let len = Array.length arr in
+  if len < n then None
+  else begin
+    let mx = ref 0 in
+    for i = 0 to len - n do
+      let s = arr.(i + n - 1) - arr.(i) in
+      if s > !mx then mx := s
+    done;
+    Some !mx
+  end
+
+let check_distances_conservative ~label stream trace port =
+  List.iter
+    (fun n ->
+      (match Trace.observed_delta_min trace port ~n with
+       | None -> ()
+       | Some mn ->
+         Alcotest.(check bool)
+           (Printf.sprintf "%s: %s delta_min %d <= observed %d" label port n mn)
+           true
+           Time.(Stream.delta_min stream n <= Time.of_int mn));
+      match observed_max_span (Trace.arrivals trace port) n with
+      | None -> ()
+      | Some mx ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: %s observed span %d <= delta_plus %d" label port
+             mx n)
+          true
+          Time.(Time.of_int mx <= Stream.delta_plus stream n))
+    [ 2; 3; 4; 5; 6 ]
+
+let test_fuzzed_distances_conservative () =
+  (* the declared analysis curves of frame and signal streams must bracket
+     every observed span in randomly edited systems driven by generators
+     that realize the declared source models *)
+  let checked = ref 0 in
+  List.iter
+    (fun case ->
+      let spec = case.Verify.Fuzz.build () in
+      match Engine.analyse ~mode:Engine.Hierarchical spec with
+      | Error e -> Alcotest.failf "%s: %s" case.Verify.Fuzz.label e
+      | Ok hem ->
+        if hem.Engine.converged then begin
+          incr checked;
+          let trace =
+            ok
+              (Simulator.run ~generators:case.Verify.Fuzz.generators
+                 ~horizon:150_000 spec)
+          in
+          let label = case.Verify.Fuzz.label in
+          List.iter
+            (fun (f : Spec.frame) ->
+              let name = f.Spec.frame_name in
+              check_distances_conservative ~label
+                (hem.Engine.resolve (Spec.From_frame name))
+                trace (Port.frame name);
+              List.iter
+                (fun (s : Spec.signal_binding) ->
+                  let signal = s.Spec.signal_name in
+                  check_distances_conservative ~label
+                    (hem.Engine.resolve (Spec.From_signal { frame = name; signal }))
+                    trace
+                    (Port.signal ~frame:name ~signal))
+                f.Spec.signals)
+            spec.Spec.frames
+        end)
+    (Verify.Fuzz.cases ~seed:7 ~count:6);
+  Alcotest.(check bool)
+    (Printf.sprintf "checked %d fuzzed systems" !checked)
+    true (!checked >= 3)
+
+let test_shaped_trace_conservative () =
+  (* a greedy shaper applied to concrete jittered traces stays within the
+     analytic shaped curves, and no event waits longer than delay_bound *)
+  let rng = Random.State.make [| 0x5ade |] in
+  for trial = 1 to 8 do
+    let period = 40 + Random.State.int rng 200 in
+    let jitter = Random.State.int rng (3 * period) in
+    let d = 1 + Random.State.int rng period in
+    let s =
+      Stream.periodic_jitter ~name:"src" ~period ~jitter ~d_min:0 ()
+    in
+    let shaped = Event_model.Shaper.enforce_min_distance ~d s in
+    let bound = Event_model.Shaper.delay_bound ~d s in
+    (* concrete realization of the model, then the greedy shaper
+       out_i = max(t_i, out_(i-1) + d) *)
+    let events = 400 in
+    let arrivals =
+      List.init events (fun i -> (i * period) + Random.State.int rng (jitter + 1))
+      |> List.sort Stdlib.compare
+    in
+    let outs =
+      List.rev
+        (List.fold_left
+           (fun acc t ->
+             match acc with
+             | [] -> [ t ]
+             | prev :: _ -> Stdlib.max t (prev + d) :: acc)
+           [] arrivals)
+    in
+    let label = Printf.sprintf "trial %d (p=%d j=%d d=%d)" trial period jitter d in
+    List.iter2
+      (fun t out ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: delay %d within bound" label (out - t))
+          true
+          Time.(Time.of_int (out - t) <= bound))
+      arrivals outs;
+    let out_arr = Array.of_list outs in
+    List.iter
+      (fun n ->
+        let mn = ref max_int and mx = ref 0 in
+        for i = 0 to events - n do
+          let s = out_arr.(i + n - 1) - out_arr.(i) in
+          if s < !mn then mn := s;
+          if s > !mx then mx := s
+        done;
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: shaped delta_min %d" label n)
+          true
+          Time.(Stream.delta_min shaped n <= Time.of_int !mn);
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: shaped delta_plus %d" label n)
+          true
+          Time.(Time.of_int !mx <= Stream.delta_plus shaped n))
+      [ 2; 3; 5; 10 ]
+  done
+
+(* ------------------------------------------------------------------ *)
 (* negative control: the harness must be able to detect violations *)
 
 let test_model_violation_detected () =
@@ -511,6 +646,13 @@ let () =
             test_and_activation_conservative;
           Alcotest.test_case "avionics full stack" `Slow
             test_avionics_full_stack_conservative;
+        ] );
+      ( "fuzzed",
+        [
+          Alcotest.test_case "distance bounds conservative" `Slow
+            test_fuzzed_distances_conservative;
+          Alcotest.test_case "shaped traces conservative" `Slow
+            test_shaped_trace_conservative;
         ] );
       ( "negative control",
         [
