@@ -28,7 +28,7 @@ let banner title =
 let ok = function
   | Ok v -> v
   | Error e ->
-    Printf.eprintf "analysis failed: %s\n" e;
+    Printf.eprintf "analysis failed: %s\n" (Guard.Error.to_string e);
     exit 1
 
 let analyse_paper mode = ok (Engine.analyse ~mode (Paper.spec ()))
@@ -200,7 +200,8 @@ let convergence () =
       Printf.printf "%-28s %8d %8d %6b\n" label
         (List.length result.Engine.outcomes)
         result.Engine.iterations result.Engine.converged
-    | Error e -> Printf.printf "%-28s error: %s\n" label e
+    | Error e ->
+      Printf.printf "%-28s error: %s\n" label (Guard.Error.to_string e)
   in
   List.iter
     (fun stages ->

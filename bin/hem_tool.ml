@@ -4,6 +4,7 @@
    Commands:
      hem_tool analyse     [--mode flat|flat-stream|hem] [--s3-period N]
                           [--trace FILE] [--trace-level spans|full]
+                          [--deadline MS] [--budget N]
      hem_tool convergence [--s3-period N] [--file FILE] [--trace FILE]
      hem_tool simulate    [--horizon N] [--seed N] [--s3-period N]
      hem_tool figure4     [--max-dt N] [--step N]
@@ -14,7 +15,11 @@
      hem_tool explore     [--file SPEC] [--jobs N] [--bus B] [--max-frames K]
                           [+ sweep axes] [--format table|csv|json]
      hem_tool verify      [--file SPEC] [--fuzz N] [--seed N] [--horizon N]
-                          [--no-selfcheck]
+                          [--no-selfcheck] [--deadline MS] [--budget N]
+
+   Exit codes: 0 success, 1 error (invalid spec, cycle, I/O), 3 graceful
+   degradation (deadline, budget, or divergence — printed bounds are
+   sound but widened), 4 cancellation (completed prefix printed).
 
    The --selfcheck flag of analyse/convergence audits every stream the
    engine propagates against the Verify sanitizer and fails the run on
@@ -27,6 +32,7 @@ module Spec = Cpa_system.Spec
 module Engine = Cpa_system.Engine
 module Report = Cpa_system.Report
 module Paper = Scenarios.Paper_system
+module Guard = Guard
 
 open Cmdliner
 
@@ -46,6 +52,54 @@ let mode_arg =
 let exit_err e =
   Printf.eprintf "error: %s\n" e;
   exit 1
+
+let exit_guard_err e =
+  Printf.eprintf "error: %s\n" (Guard.Error.to_string e);
+  exit (Guard.Error.exit_code e)
+
+(* --deadline / --budget: build a guard token for the command *)
+
+let deadline_arg =
+  let doc =
+    "Wall-clock deadline in milliseconds.  On expiry the run degrades \
+     gracefully instead of hanging: the analysis widens unconverged \
+     bounds to unbounded (keeping every printed bound sound), an \
+     exploration returns the deterministic completed prefix, and the \
+     process exits with code 3."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"MS" ~doc)
+
+let budget_arg =
+  let doc =
+    "Work budget in analysis steps (busy-window activations and \
+     fixed-point iterations; one verification case for verify).  \
+     Exhaustion degrades the run like --deadline: exit code 3."
+  in
+  Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"N" ~doc)
+
+let mk_guard deadline budget =
+  match deadline, budget with
+  | None, None -> Guard.none
+  | _ -> Guard.create ?deadline_ms:deadline ?budget ()
+
+(* exit code of a finished analysis: degraded results map the trip
+   reason through the shared code table (3 degraded, 4 cancelled) *)
+let status_code (result : Engine.result) =
+  match result.Engine.status with
+  | Engine.Degraded d -> Guard.Error.exit_code d.Engine.reason
+  | Engine.Converged | Engine.Overloaded -> 0
+
+let guard_exits =
+  Cmd.Exit.info 1 ~doc:"on an analysis error (invalid specification, \
+                        cyclic dependencies, unreadable file)."
+  :: Cmd.Exit.info 3
+       ~doc:"on graceful degradation (--deadline expired, --budget \
+             exhausted, or a diverging fixed point): all printed bounds \
+             are sound, widened ones say so explicitly."
+  :: Cmd.Exit.info 4
+       ~doc:"on cancellation: completed results are printed before \
+             exiting."
+  :: Cmd.Exit.defaults
 
 (* analyse *)
 
@@ -156,9 +210,10 @@ let with_selfcheck selfcheck f =
 (* Shared per-mode run/report pipeline (used by analyse and convergence):
    analyse the spec in one mode, print outcomes and the optional effort /
    convergence blocks. *)
-let run_mode ?(stats = false) ?(convergence = false) ?selfcheck ~mode spec =
-  match Engine.analyse ~mode ?selfcheck spec with
-  | Error e -> exit_err e
+let run_mode ?(stats = false) ?(convergence = false) ?selfcheck ?guard ~mode
+    spec =
+  match Engine.analyse ~mode ?selfcheck ?guard spec with
+  | Error e -> exit_guard_err e
   | Ok result ->
     Report.print_outcomes Format.std_formatter result;
     if convergence then
@@ -167,7 +222,9 @@ let run_mode ?(stats = false) ?(convergence = false) ?selfcheck ~mode spec =
     result
 
 let analyse_cmd =
-  let run mode s3_period file stats trace trace_level selfcheck =
+  let run mode s3_period file stats trace trace_level selfcheck deadline
+      budget =
+    let guard = mk_guard deadline budget in
     let spec, is_paper =
       match file with
       | None -> Paper.spec ~s3_period (), true
@@ -175,11 +232,13 @@ let analyse_cmd =
     in
     with_trace trace trace_level @@ fun () ->
     with_selfcheck selfcheck @@ fun selfcheck ->
-    let result = run_mode ~stats ?selfcheck ~mode spec in
+    let result = run_mode ~stats ?selfcheck ~guard ~mode spec in
+    let code = ref (status_code result) in
     if mode = Engine.Hierarchical then begin
-      match Engine.analyse ~mode:Engine.Flat_sem ?selfcheck spec with
-      | Error e -> exit_err e
+      match Engine.analyse ~mode:Engine.Flat_sem ?selfcheck ~guard spec with
+      | Error e -> exit_guard_err e
       | Ok flat ->
+        code := Stdlib.max !code (status_code flat);
         let names =
           if is_paper then Paper.cpu_tasks
           else
@@ -197,12 +256,14 @@ let analyse_cmd =
         Report.pp_comparison Format.std_formatter
           (Report.compare_results ~baseline:flat ~improved:result ~names);
         Format.printf "@."
-    end
+    end;
+    if !code <> 0 then exit !code
   in
   let doc = "Analyse a system (the paper's reference system by default)." in
-  Cmd.v (Cmd.info "analyse" ~doc)
+  Cmd.v (Cmd.info "analyse" ~doc ~exits:guard_exits)
     Term.(const run $ mode_arg $ s3_period_arg $ file_arg $ stats_arg
-          $ trace_arg $ trace_level_arg $ selfcheck_arg)
+          $ trace_arg $ trace_level_arg $ selfcheck_arg $ deadline_arg
+          $ budget_arg)
 
 (* convergence *)
 
@@ -354,29 +415,51 @@ let render_report format report =
    | Json -> Render.json Format.std_formatter report);
   Format.eprintf "%a@." Render.timing_line report
 
+(* [Some code] when a report warrants a non-zero exit: interruption wins
+   (its reason carries the code), else any degraded row exits 3 *)
+let report_code (report : Driver.report) =
+  match report.interrupted with
+  | Some reason -> Guard.Error.exit_code reason
+  | None ->
+    let row_degraded (r : Driver.row) =
+      match r.summary with
+      | Error _ -> false
+      | Ok s ->
+        List.exists
+          (fun (m : Explore.Summary.mode_summary) ->
+            m.Explore.Summary.metrics.Explore.Summary.degraded)
+          s.Explore.Summary.modes
+    in
+    if List.exists row_degraded report.rows then 3 else 0
+
 let sweep_cmd =
-  let run s3_period file periods cets fprios jobs format =
+  let run s3_period file periods cets fprios jobs format deadline budget =
     let jobs = resolve_jobs jobs in
+    let guard = mk_guard deadline budget in
     let base, _ = base_builder file s3_period in
     let axes = period_axes periods @ cet_axes cets @ frame_priority_axes fprios in
     if axes = [] then
       exit_err "sweep: give at least one --period / --cet-scale / --frame-priority axis";
     let items = Driver.items_of_variants ~base (Space.grid axes) in
-    let report = Driver.run ~jobs items in
-    render_report format report
+    let report = Driver.run ~jobs ~guard items in
+    render_report format report;
+    let code = report_code report in
+    if code <> 0 then exit code
   in
   let doc =
     "Evaluate a grid of system variants in parallel (hierarchical vs flat \
      per variant), deduplicated through the content-addressed result cache."
   in
-  Cmd.v (Cmd.info "sweep" ~doc)
+  Cmd.v (Cmd.info "sweep" ~doc ~exits:guard_exits)
     Term.(const run $ s3_period_arg $ file_arg $ period_arg $ cet_scale_arg
-          $ frame_priority_arg $ jobs_arg $ format_arg)
+          $ frame_priority_arg $ jobs_arg $ format_arg $ deadline_arg
+          $ budget_arg)
 
 let explore_cmd =
   let run s3_period file periods cets fprios bus max_frames bits bit_time
-      jobs format =
+      jobs format deadline budget =
     let jobs = resolve_jobs jobs in
+    let guard = mk_guard deadline budget in
     let base, _ = base_builder file s3_period in
     let base_spec = base () in
     let bus =
@@ -420,12 +503,14 @@ let explore_cmd =
         grid
     in
     let items = Driver.items_of_variants ~base variants in
-    let report = Driver.run ~jobs items in
+    let report = Driver.run ~jobs ~guard items in
     render_report format report;
     if format = Table then begin
       Format.printf "@.%a" (fun fmt r -> Render.pareto_table fmt r ~mode:Engine.Hierarchical) report;
       Format.printf "@.%a" (fun fmt r -> Render.pareto_table fmt r ~mode:Engine.Flat_sem) report
-    end
+    end;
+    let code = report_code report in
+    if code <> 0 then exit code
   in
   let bus_arg =
     let doc =
@@ -453,10 +538,11 @@ let explore_cmd =
      variant hierarchically and flat in parallel, and report the Pareto \
      fronts over (worst-case latency, utilization, load margin)."
   in
-  Cmd.v (Cmd.info "explore" ~doc)
+  Cmd.v (Cmd.info "explore" ~doc ~exits:guard_exits)
     Term.(const run $ s3_period_arg $ file_arg $ period_arg $ cet_scale_arg
           $ frame_priority_arg $ bus_arg $ max_frames_arg $ bits_arg
-          $ bit_time_arg $ jobs_arg $ format_arg)
+          $ bit_time_arg $ jobs_arg $ format_arg $ deadline_arg
+          $ budget_arg)
 
 (* simulate *)
 
@@ -501,7 +587,7 @@ let simulate_cmd =
 let figure4_cmd =
   let run max_dt step s3_period =
     match Engine.analyse ~mode:Engine.Hierarchical (Paper.spec ~s3_period ()) with
-    | Error e -> exit_err e
+    | Error e -> exit_guard_err e
     | Ok hem ->
       let streams =
         ("F1", hem.Engine.resolve (Spec.From_frame "F1"))
@@ -692,7 +778,7 @@ let headroom_cmd =
           (headroom Engine.Hierarchical))
       Paper.cpu_tasks;
     match Engine.analyse ~mode:Engine.Hierarchical spec with
-    | Error e -> exit_err e
+    | Error e -> exit_guard_err e
     | Ok result ->
       Printf.printf "\nResource load:\n";
       List.iter
@@ -709,7 +795,7 @@ let data_age_cmd =
     match
       Engine.analyse ~mode:Engine.Hierarchical (Paper.spec ~s3_period ())
     with
-    | Error e -> exit_err e
+    | Error e -> exit_guard_err e
     | Ok result ->
       Printf.printf "%-6s %-8s %14s\n" "frame" "signal" "worst data age";
       List.iter
@@ -739,7 +825,7 @@ let scaling_cmd =
         (Report.compare_results ~baseline:flat ~improved:hem
            ~names:(List.init signals (fun i -> Printf.sprintf "T%d" (i + 1))));
       Format.printf "@."
-    | Error e, _ | _, Error e -> exit_err e
+    | Error e, _ | _, Error e -> exit_guard_err e
   in
   let signals =
     Arg.(value & opt int 4
@@ -751,9 +837,20 @@ let scaling_cmd =
 (* verify *)
 
 let verify_cmd =
-  let run s3_period file fuzz seed horizon no_selfcheck =
+  let run s3_period file fuzz seed horizon no_selfcheck deadline budget =
     let selfcheck = not no_selfcheck in
+    let guard = mk_guard deadline budget in
     let failed = ref 0 in
+    (* one budget unit per case/section; on a trip, surface the partial
+       results already printed and exit through the shared code table *)
+    let checkpoint () =
+      match Guard.spend guard 1 with
+      | () -> ()
+      | exception Guard.Error.Error reason ->
+        Format.eprintf "verify interrupted (%s): partial results above@."
+          (Guard.Error.to_string reason);
+        exit (Guard.Error.exit_code reason)
+    in
     let count_checks checks =
       List.iter
         (fun (c : Verify.Oracle.check) ->
@@ -766,8 +863,10 @@ let verify_cmd =
       if not (Verify.Oracle.passed r) then incr failed
     in
     if fuzz = 0 then begin
+      checkpoint ();
       Format.printf "-- curve backend vs naive closures --@.";
       count_checks (Verify.Oracle.backend_agreement ());
+      checkpoint ();
       let spec, is_paper = load_spec ~s3_period file in
       let generators =
         if is_paper then
@@ -781,11 +880,13 @@ let verify_cmd =
         else None
       in
       Format.printf "@.-- system oracles --@.";
+      checkpoint ();
       count_report
         (Verify.Oracle.verify_spec
            ~label:(if is_paper then "paper system" else "system")
            ~selfcheck ~seed ~horizon ?generators spec);
       if is_paper then begin
+        checkpoint ();
         Format.printf "@.-- exploration cache on vs off --@.";
         count_checks
           [
@@ -804,7 +905,9 @@ let verify_cmd =
     end
     else
       List.iter
-        (fun case -> count_report (Verify.Oracle.verify_case ~selfcheck ~horizon case))
+        (fun case ->
+          checkpoint ();
+          count_report (Verify.Oracle.verify_case ~selfcheck ~horizon case))
         (Verify.Fuzz.cases ~seed ~count:fuzz);
     if !failed > 0 then
       exit_err (Printf.sprintf "%d verification failure(s)" !failed)
@@ -835,9 +938,9 @@ let verify_cmd =
      hierarchical-vs-flat tightening, the simulator dominance and the \
      exploration cache against independent implementations."
   in
-  Cmd.v (Cmd.info "verify" ~doc)
+  Cmd.v (Cmd.info "verify" ~doc ~exits:guard_exits)
     Term.(const run $ s3_period_arg $ file_arg $ fuzz_arg $ seed_arg
-          $ horizon_arg $ no_selfcheck_arg)
+          $ horizon_arg $ no_selfcheck_arg $ deadline_arg $ budget_arg)
 
 let () =
   let doc = "hierarchical event model analysis of the DATE'08 reference system" in

@@ -18,7 +18,8 @@ module Paper = Scenarios.Paper_system
 
 let () =
   match Paper.analyse_both () with
-  | Error e -> Printf.printf "analysis failed: %s\n" e
+  | Error e ->
+    Printf.printf "analysis failed: %s\n" (Guard.Error.to_string e)
   | Ok (flat, hem) ->
     Format.printf "Flat baseline (standard event models):@.";
     Report.print_outcomes Format.std_formatter flat;

@@ -14,7 +14,8 @@ module Avionics = Scenarios.Avionics
 let () =
   let spec = Avionics.spec () in
   match Engine.analyse ~mode:Engine.Hierarchical spec with
-  | Error e -> Printf.printf "analysis failed: %s\n" e
+  | Error e ->
+    Printf.printf "analysis failed: %s\n" (Guard.Error.to_string e)
   | Ok result ->
     Format.printf "Analysis (SPNP bus, EDF mission, TDMA backbone, RR display):@.";
     Report.print_outcomes Format.std_formatter result;

@@ -46,7 +46,7 @@ let () =
   let hem =
     match Engine.analyse ~mode:Engine.Hierarchical (Paper.spec ()) with
     | Ok r -> r
-    | Error e -> failwith e
+    | Error e -> failwith (Guard.Error.to_string e)
   in
   List.iter
     (fun frame ->

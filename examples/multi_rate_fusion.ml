@@ -75,7 +75,8 @@ let () =
       ()
   in
   match Engine.analyse system with
-  | Error e -> Printf.printf "analysis failed: %s\n" e
+  | Error e ->
+    Printf.printf "analysis failed: %s\n" (Guard.Error.to_string e)
   | Ok result ->
     Format.printf "@.System analysis:@.";
     Report.print_outcomes Format.std_formatter result;

@@ -28,7 +28,8 @@ let () =
   in
   (* 2. Run the global analysis to the fixed point. *)
   match Engine.analyse system with
-  | Error e -> Printf.printf "analysis failed: %s\n" e
+  | Error e ->
+    Printf.printf "analysis failed: %s\n" (Guard.Error.to_string e)
   | Ok result ->
     Format.printf "Response times:@.";
     Report.print_outcomes Format.std_formatter result;

@@ -17,7 +17,8 @@ let () =
     ( Engine.analyse ~mode:Engine.Flat_sem spec,
       Engine.analyse ~mode:Engine.Hierarchical spec )
   with
-  | Error e, _ | _, Error e -> Printf.printf "analysis failed: %s\n" e
+  | Error e, _ | _, Error e ->
+    Printf.printf "analysis failed: %s\n" (Guard.Error.to_string e)
   | Ok flat, Ok hem ->
     Format.printf "Hierarchical analysis:@.";
     Report.print_outcomes Format.std_formatter hem;

@@ -29,17 +29,18 @@ type report = {
   cache : Cache.stats;
   wall_ms : float;
   workers : Pool.worker_stat list;
+  interrupted : Guard.Error.t option;
 }
 
-let run ?jobs ?(modes = Summary.default_modes) items =
+let run ?jobs ?(modes = Summary.default_modes) ?(guard = Guard.none) items =
   let jobs =
     match jobs with Some j -> j | None -> Pool.default_jobs ()
   in
   let cache : (Summary.t, string) result Cache.t = Cache.create () in
   let items = Array.of_list items in
   let t0 = Unix.gettimeofday () in
-  let rows, workers =
-    Pool.map_stats ~jobs ~label:"explore"
+  let outcome, workers =
+    Pool.map_guarded ~jobs ~label:"explore" ~guard
       (fun i ->
         let item = items.(i) in
         let spec = item.build () in
@@ -50,6 +51,11 @@ let run ?jobs ?(modes = Summary.default_modes) items =
         in
         { label = item.label; digest; summary; cache_hit = false })
       (Array.length items)
+  in
+  let rows, interrupted =
+    match outcome with
+    | Pool.Complete rows -> rows, None
+    | Pool.Interrupted { completed; reason; _ } -> completed, Some reason
   in
   let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
   (* Which worker won the single-flight race is schedule-dependent, so
@@ -67,7 +73,23 @@ let run ?jobs ?(modes = Summary.default_modes) items =
         end)
       rows
   in
-  { rows; jobs; modes; cache = Cache.stats cache; wall_ms; workers }
+  (* A complete run reports the cache's own statistics (deterministic by
+     single-flight).  An interrupted run's cache may hold computes for
+     items beyond the returned prefix, and how many is schedule-
+     dependent — so the stats are renormalised to the prefix, keeping
+     the report byte-identical at any job count for a deterministic
+     interruption point. *)
+  let cache_stats =
+    match interrupted with
+    | None -> Cache.stats cache
+    | Some _ ->
+      let lookups = List.length rows in
+      let entries =
+        List.length (List.filter (fun r -> not r.cache_hit) rows)
+      in
+      { Cache.lookups; entries; hits = lookups - entries }
+  in
+  { rows; jobs; modes; cache = cache_stats; wall_ms; workers; interrupted }
 
 let pareto report ~mode =
   let ok_rows =

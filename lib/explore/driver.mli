@@ -42,16 +42,31 @@ type report = {
   jobs : int;
   modes : Engine.mode list;
   cache : Cache.stats;
+      (** renormalised to the returned prefix when [interrupted] *)
   wall_ms : float;
   workers : Pool.worker_stat list;
+  interrupted : Guard.Error.t option;
+      (** [Some reason] when the sweep was stopped by the guard: [rows]
+          is then the contiguous completed prefix of the work list *)
 }
 
 val run :
-  ?jobs:int -> ?modes:Engine.mode list -> item list -> report
+  ?jobs:int ->
+  ?modes:Engine.mode list ->
+  ?guard:Guard.t ->
+  item list ->
+  report
 (** Evaluates every item ([modes] defaults to {!Summary.default_modes},
     [jobs] to {!Pool.default_jobs}).  Item-level analysis errors are
     captured in the rows; only programming errors (unknown edit targets,
-    malformed packings) escape as exceptions. *)
+    malformed packings) escape as exceptions.
+
+    With [guard], the sweep stops cooperatively when the token trips
+    (deadline, budget, cancellation): every worker domain is joined and
+    the report carries the deterministic completed prefix in [rows] plus
+    the reason in [interrupted] — completed work is never discarded.
+    Interruption granularity is one variant; the engine runs inside
+    items are not themselves guarded. *)
 
 val pareto : report -> mode:Engine.mode -> row list
 (** The non-dominated rows for [mode] (see {!Summary.pareto}), in item

@@ -5,41 +5,69 @@ type worker_stat = {
   counters : (string * int) list;
 }
 
+type 'a outcome =
+  | Complete of 'a list
+  | Interrupted of {
+      completed : 'a list;
+      reason : Guard.Error.t;
+      attempted : int;
+    }
+
 let c_tasks = Obs.Metrics.counter "explore.pool.tasks"
 let c_maps = Obs.Metrics.counter "explore.pool.maps"
+let c_interrupts = Obs.Metrics.counter "explore.pool.interrupts"
 
 let default_jobs () = Domain.recommended_domain_count ()
 
 let now_us () = Unix.gettimeofday () *. 1e6
 
 (* One worker's loop: pull indices from the shared counter until the
-   queue is drained, recording results (and the first exception) by
-   index so the merge is schedule-independent. *)
-let worker_loop ~label ~queue ~n ~f ~results ~errors w =
+   queue is drained, the pool is stopped, or the guard trips; results
+   (and the first exception per item) are recorded by index so the merge
+   is schedule-independent.  A guard trip publishes its reason into
+   [stop] (first trip wins) and every worker drains out at its next
+   claim.  An exception escaping the claim path itself — e.g. an
+   injected worker crash — is captured per worker, never lost. *)
+let worker_loop ~label ~queue ~n ~f ~results ~errors ~guard ~stop w =
   let scope = Obs.Metrics.scope (Printf.sprintf "%s.worker%d" label w) in
   let tasks = ref 0 in
   let busy = ref 0.0 in
+  let crash = ref None in
   let t_begin = now_us () in
   Obs.Metrics.in_scope scope (fun () ->
     let rec drain () =
-      let i = Atomic.fetch_and_add queue 1 in
-      if i < n then begin
-        Obs.Metrics.incr c_tasks;
-        Stdlib.incr tasks;
-        let t0 = now_us () in
-        (match f i with
-         | v -> results.(i) <- Some v
-         | exception e -> errors.(i) <- Some e);
-        busy := !busy +. (now_us () -. t0);
-        drain ()
-      end
+      match Atomic.get stop with
+      | Some _ -> ()
+      | None ->
+        let i = Atomic.fetch_and_add queue 1 in
+        if i < n then begin
+          match
+            if Guard.Inject.armed () then
+              Guard.Inject.fire (Printf.sprintf "%s.item:%d" label i);
+            Guard.check guard
+          with
+          | () ->
+            Obs.Metrics.incr c_tasks;
+            Stdlib.incr tasks;
+            let t0 = now_us () in
+            (match f i with
+             | v -> results.(i) <- Some v
+             | exception e -> errors.(i) <- Some e);
+            busy := !busy +. (now_us () -. t0);
+            drain ()
+          | exception Guard.Error.Error r when Guard.Error.is_interrupt r ->
+            ignore (Atomic.compare_and_set stop None (Some r))
+        end
     in
-    drain ());
+    match drain () with
+    | () -> ()
+    | exception e -> crash := Some e);
   let t_end = now_us () in
   ( { worker = w; tasks = !tasks; busy_us = !busy;
       counters = Obs.Metrics.snapshot scope },
     t_begin,
-    t_end )
+    t_end,
+    !crash )
 
 (* Worker spans are emitted from the calling domain after the join, with
    the timestamps recorded by the workers: sinks never see concurrent
@@ -49,7 +77,7 @@ let emit_worker_spans label stats =
   | None -> ()
   | Some sink ->
     List.iter
-      (fun (stat, t_begin, t_end) ->
+      (fun (stat, t_begin, t_end, _) ->
         let name = Printf.sprintf "%s.worker%d" label stat.worker in
         sink.Obs.Sink.emit
           (Obs.Event.Span_begin { name; ts = t_begin; attrs = [] });
@@ -66,7 +94,7 @@ let emit_worker_spans label stats =
              }))
       stats
 
-let map_stats ?jobs ?(label = "explore.pool") f n =
+let map_guarded ?jobs ?(label = "explore.pool") ?(guard = Guard.none) f n =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   if jobs < 1 then invalid_arg "Pool.map: jobs < 1";
   if n < 0 then invalid_arg "Pool.map: negative size";
@@ -74,7 +102,10 @@ let map_stats ?jobs ?(label = "explore.pool") f n =
   let results = Array.make n None in
   let errors = Array.make n None in
   let queue = Atomic.make 0 in
-  let run = worker_loop ~label ~queue ~n ~f ~results ~errors in
+  let stop : Guard.Error.t option Atomic.t = Atomic.make None in
+  let run =
+    worker_loop ~label ~queue ~n ~f ~results ~errors ~guard ~stop
+  in
   let stats =
     Obs.Trace.with_span
       ~attrs:[ "jobs", Obs.Event.Int jobs; "items", Obs.Event.Int n ]
@@ -82,23 +113,96 @@ let map_stats ?jobs ?(label = "explore.pool") f n =
     @@ fun () ->
     if jobs = 1 then [ run 0 ]
     else begin
-      let domains =
-        (* the calling domain is worker 0; jobs - 1 helpers are spawned *)
-        List.init (jobs - 1) (fun k -> Domain.spawn (fun () -> run (k + 1)))
-      in
-      let mine = run 0 in
-      mine :: List.map Domain.join domains
+      (* The calling domain is worker 0; jobs - 1 helpers are spawned
+         one at a time so that a spawn failing mid-way can still join
+         every domain already running: the queue is starved first, so
+         the live helpers drain out promptly, then all are joined and
+         the spawn failure is re-raised — no domain is ever leaked. *)
+      let spawned = ref [] in
+      match
+        for k = 1 to jobs - 1 do
+          if Guard.Inject.armed () then
+            Guard.Inject.fire (Printf.sprintf "%s.spawn:%d" label k);
+          let d = Domain.spawn (fun () -> run k) in
+          spawned := d :: !spawned
+        done
+      with
+      | () ->
+        let mine = run 0 in
+        mine :: List.map Domain.join (List.rev !spawned)
+      | exception e ->
+        Atomic.set queue n;
+        List.iter (fun d -> ignore (Domain.join d)) !spawned;
+        raise e
     end
   in
-  let stats = List.sort (fun (a, _, _) (b, _, _) -> compare a.worker b.worker) stats in
+  let stats =
+    List.sort
+      (fun (a, _, _, _) (b, _, _, _) -> compare a.worker b.worker)
+      stats
+  in
   emit_worker_spans label stats;
-  Array.iteri
-    (fun i -> function Some e -> raise e | None -> ignore i)
-    errors;
-  ( List.init n (fun i ->
-        match results.(i) with
-        | Some v -> v
-        | None -> assert false),
-    List.map (fun (stat, _, _) -> stat) stats )
+  let worker_stats = List.map (fun (stat, _, _, _) -> stat) stats in
+  (* Worker-level crashes, in worker order, so the surfaced one is
+     deterministic. *)
+  let crashes =
+    List.filter_map
+      (fun (stat, _, _, crash) ->
+        Option.map (fun e -> (stat.worker, e)) crash)
+      stats
+  in
+  (* [c] is the length of the contiguous completed prefix.  Everything
+     before it succeeded; what stopped item [c] decides the outcome:
+     its own error (smallest-index error wins, deterministically), a
+     worker crash, or the recorded interruption reason. *)
+  let c = ref n in
+  (try
+     for i = 0 to n - 1 do
+       match results.(i) with
+       | None ->
+         c := i;
+         raise Exit
+       | Some _ -> ()
+     done
+   with Exit -> ());
+  let c = !c in
+  if c = n then begin
+    (match crashes with (_, e) :: _ -> raise e | [] -> ());
+    ( Complete (List.init n (fun i -> Option.get results.(i))),
+      worker_stats )
+  end
+  else
+    match errors.(c) with
+    | Some e -> raise e
+    | None -> begin
+      match crashes with
+      | (_, e) :: _ -> raise e
+      | [] -> begin
+        match Atomic.get stop with
+        | Some reason ->
+          Obs.Metrics.incr c_interrupts;
+          let attempted =
+            Array.fold_left
+              (fun acc -> function Some _ -> acc + 1 | None -> acc)
+              0 results
+          in
+          ( Interrupted
+              {
+                completed = List.init c (fun i -> Option.get results.(i));
+                reason;
+                attempted;
+              },
+            worker_stats )
+        | None -> assert false
+      end
+    end
+
+let map_stats ?jobs ?label f n =
+  match map_guarded ?jobs ?label f n with
+  | Complete vs, stats -> vs, stats
+  | Interrupted { reason; _ }, _ ->
+    (* without a caller-supplied guard an interruption can only come
+       from an injected trip; surface it as the error it is *)
+    raise (Guard.Error.Error reason)
 
 let map ?jobs ?label f n = fst (map_stats ?jobs ?label f n)

@@ -32,6 +32,19 @@ type worker_stat = {
       (** non-zero metrics charged to the worker's scope, sorted by name *)
 }
 
+(** Result of a guarded map.  [Interrupted] carries the {e contiguous
+    completed prefix} [f 0 .. f (c - 1)]: items at or beyond [c] may
+    also have completed on other workers before the stop propagated
+    ([attempted] counts all completions), but only the prefix is
+    deterministic, so only the prefix is returned. *)
+type 'a outcome =
+  | Complete of 'a list
+  | Interrupted of {
+      completed : 'a list;  (** the contiguous prefix, in index order *)
+      reason : Guard.Error.t;
+      attempted : int;  (** items that completed anywhere in the queue *)
+    }
+
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the hardware parallelism. *)
 
@@ -46,3 +59,29 @@ val map : ?jobs:int -> ?label:string -> (int -> 'a) -> int -> 'a list
 val map_stats :
   ?jobs:int -> ?label:string -> (int -> 'a) -> int -> 'a list * worker_stat list
 (** Like {!map}, also returning per-worker telemetry (in worker order). *)
+
+val map_guarded :
+  ?jobs:int ->
+  ?label:string ->
+  ?guard:Guard.t ->
+  (int -> 'a) ->
+  int ->
+  'a outcome * worker_stat list
+(** Like {!map_stats}, but checks [guard] before every claim: when it
+    trips (cancellation, deadline, budget), every worker stops at its
+    next claim, all domains are joined, and the call returns
+    [Interrupted] with the completed prefix instead of raising.  [f]
+    itself runs unguarded — interruption granularity is one queue item.
+
+    Error precedence after the join (all deterministic): the smallest
+    index whose [f i] raised wins; then the lowest-numbered worker's
+    crash (an exception escaping the claim path itself); then the
+    interruption.  On all paths every spawned domain has been joined —
+    including when [Domain.spawn] itself fails mid-way, in which case
+    the already-running helpers are drained, joined, and the spawn
+    failure re-raised.
+
+    Fault-injection sites (see {!Guard.Inject}): ["<label>.item:<i>"]
+    fired by the claiming worker before executing item [i] (a [Crash]
+    there is a worker death, a [Trip] a forced stop), and
+    ["<label>.spawn:<k>"] fired before spawning helper [k]. *)

@@ -8,7 +8,8 @@ let mode_tag = function
   | Engine.Flat_sem -> "flat"
 
 let latency_cell (m : Summary.mode_summary) =
-  if not m.metrics.converged then "diverged"
+  if m.metrics.degraded then "degraded"
+  else if not m.metrics.converged then "diverged"
   else
     match m.metrics.worst_latency with
     | Some l -> string_of_int l
@@ -16,7 +17,12 @@ let latency_cell (m : Summary.mode_summary) =
 
 let summary_line fmt (report : Driver.report) =
   Format.fprintf fmt "%d variants, %d unique, %d cache hits"
-    (List.length report.rows) report.cache.entries report.cache.hits
+    (List.length report.rows) report.cache.entries report.cache.hits;
+  match report.interrupted with
+  | None -> ()
+  | Some reason ->
+    Format.fprintf fmt "; interrupted (%s): completed prefix only"
+      (Guard.Error.to_string reason)
 
 let timing_line fmt (report : Driver.report) =
   Format.fprintf fmt "jobs %d, wall %.1f ms;" report.jobs report.wall_ms;
@@ -85,8 +91,9 @@ let csv_mode_line fmt (r : Driver.row) (s : Summary.t)
       | None -> ""
     else ""
   in
-  Format.fprintf fmt "%s,%s,%b,%s,%b,%s,%.2f,%.2f,%d,%s@." r.label r.digest
-    r.cache_hit (mode_tag m.mode) m.metrics.converged
+  Format.fprintf fmt "%s,%s,%b,%s,%b,%b,%s,%.2f,%.2f,%d,%s@." r.label
+    r.digest r.cache_hit (mode_tag m.mode) m.metrics.converged
+    m.metrics.degraded
     (match m.metrics.worst_latency with
      | Some l -> string_of_int l
      | None -> "")
@@ -94,12 +101,12 @@ let csv_mode_line fmt (r : Driver.row) (s : Summary.t)
 
 let csv fmt (report : Driver.report) =
   Format.fprintf fmt
-    "label,digest,cache_hit,mode,converged,worst_latency,max_util_pct,margin_pct,iterations,reduction_pct@.";
+    "label,digest,cache_hit,mode,converged,degraded,worst_latency,max_util_pct,margin_pct,iterations,reduction_pct@.";
   List.iter
     (fun (r : Driver.row) ->
       match r.summary with
       | Error e ->
-        Format.fprintf fmt "%s,%s,%b,error,,,,,,%s@." r.label r.digest
+        Format.fprintf fmt "%s,%s,%b,error,,,,,,,%s@." r.label r.digest
           r.cache_hit (String.map (function ',' -> ';' | c -> c) e)
       | Ok s -> List.iter (csv_mode_line fmt r s) s.modes)
     report.rows
@@ -135,11 +142,12 @@ let json fmt (report : Driver.report) =
          List.iteri
            (fun j (m : Summary.mode_summary) ->
              Format.fprintf fmt
-               "{\"mode\": %s, \"converged\": %b, \"worst_latency\": %s, \
+               "{\"mode\": %s, \"converged\": %b, \"degraded\": %b, \
+                \"worst_latency\": %s, \
                 \"max_util_pct\": %.2f, \"margin_pct\": %.2f, \
                 \"iterations\": %d}%s"
                (json_string (mode_tag m.mode))
-               m.metrics.converged
+               m.metrics.converged m.metrics.degraded
                (match m.metrics.worst_latency with
                 | Some l -> string_of_int l
                 | None -> "null")
@@ -155,8 +163,14 @@ let json fmt (report : Driver.report) =
       Format.fprintf fmt "%s@." (if i = last_row then "" else ","))
     report.rows;
   Format.fprintf fmt
-    "  ],@.  \"cache\": {\"lookups\": %d, \"hits\": %d, \"entries\": %d}@.}@."
-    report.cache.lookups report.cache.hits report.cache.entries
+    "  ],@.  \"cache\": {\"lookups\": %d, \"hits\": %d, \"entries\": %d}"
+    report.cache.lookups report.cache.hits report.cache.entries;
+  (match report.interrupted with
+  | None -> ()
+  | Some reason ->
+    Format.fprintf fmt ",@.  \"interrupted\": %s"
+      (json_string (Guard.Error.to_string reason)));
+  Format.fprintf fmt "@.}@."
 
 let pareto_table fmt (report : Driver.report) ~mode =
   let front = Driver.pareto report ~mode in

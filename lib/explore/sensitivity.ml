@@ -18,41 +18,59 @@ let probe_points ~lo ~hi k =
   in
   collect [] k
 
+module Sens = Cpa_system.Sensitivity
+
 (* Largest x in [lo, hi] with [good x], for a monotone predicate (true
    then false), evaluating up to [jobs] probes per round in parallel.
    Parallel evaluation of a monotone predicate cannot change the answer,
    only the bracket-shrinking rate, so this matches serial bisection
-   exactly. *)
-let multisect_max ~jobs ~label ~lo ~hi good =
-  match Pool.map ~jobs ~label (fun i -> good (if i = 0 then lo else hi)) 2 with
-  | [ false; _ ] -> None
-  | [ true; true ] -> Some hi
-  | _ -> begin
-    let rec search lo hi =
-      (* invariant: good lo, not (good hi) *)
-      if hi - lo <= 1 then Some lo
-      else begin
-        let points = probe_points ~lo ~hi jobs in
-        let points = Array.of_list points in
-        let verdicts =
-          Pool.map ~jobs ~label
-            (fun i -> good points.(i))
-            (Array.length points)
-        in
-        (* tightest bracket: the largest good probe and smallest bad one *)
-        let lo', hi' =
-          List.fold_left2
-            (fun (l, h) p v ->
-              if v then (Stdlib.max l p, h) else (l, Stdlib.min h p))
-            (lo, hi) (Array.to_list points) verdicts
-        in
-        search lo' hi'
-      end
+   exactly.  Like [Sensitivity.search_max], both endpoints are probed
+   first (in parallel) so degenerate searches — empty interval, nothing
+   feasible, or endpoint feasibility contradicting monotonicity — return
+   a structured verdict instead of a conflated [None] or an inverted
+   bracket. *)
+let multisect_max ~jobs ~label ~lo ~hi good : Sens.verdict =
+  if lo > hi then Sens.Empty_interval { lo; hi }
+  else
+    let endpoints =
+      if hi = lo then
+        let g = good lo in
+        [ g; g ]
+      else
+        Pool.map ~jobs ~label (fun i -> good (if i = 0 then lo else hi)) 2
     in
-    search lo hi
-  end
+    match endpoints with
+    | [ false; false ] -> Sens.No_margin
+    | [ false; true ] ->
+      Sens.Non_monotone { lo_feasible = false; hi_feasible = true }
+    | [ true; true ] -> Sens.Margin hi
+    | [ true; false ] ->
+      let rec search lo hi =
+        (* invariant: good lo, not (good hi) *)
+        if hi - lo <= 1 then Sens.Margin lo
+        else begin
+          let points = probe_points ~lo ~hi jobs in
+          let points = Array.of_list points in
+          let verdicts =
+            Pool.map ~jobs ~label
+              (fun i -> good points.(i))
+              (Array.length points)
+          in
+          (* tightest bracket: the largest good probe and smallest bad one *)
+          let lo', hi' =
+            List.fold_left2
+              (fun (l, h) p v ->
+                if v then (Stdlib.max l p, h) else (l, Stdlib.min h p))
+              (lo, hi) (Array.to_list points) verdicts
+          in
+          search lo' hi'
+        end
+      in
+      search lo hi
+    | _ -> assert false
 
-let max_cet_scale ?jobs ?mode ?(limit_percent = 10_000) ~build ~task () =
+let max_cet_scale_verdict ?jobs ?mode ?(limit_percent = 10_000) ~build ~task
+    () =
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   let good percent =
     schedulable ?mode
@@ -61,14 +79,29 @@ let max_cet_scale ?jobs ?mode ?(limit_percent = 10_000) ~build ~task () =
   multisect_max ~jobs ~label:"explore.sensitivity" ~lo:100 ~hi:limit_percent
     good
 
-let min_source_period ?jobs ?mode ~rebuild ~lo ~hi () =
-  if lo > hi then invalid_arg "Sensitivity.min_source_period: lo > hi";
+let max_cet_scale ?jobs ?mode ?limit_percent ~build ~task () =
+  match max_cet_scale_verdict ?jobs ?mode ?limit_percent ~build ~task () with
+  | Sens.Margin p -> Some p
+  | Sens.No_margin | Sens.Non_monotone _ | Sens.Empty_interval _ -> None
+
+let min_source_period_verdict ?jobs ?mode ~rebuild ~lo ~hi () =
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   let good period = schedulable ?mode (rebuild period) in
-  (* smallest good period: mirror of multisect_max on the negated axis *)
+  (* smallest good period: multisect_max on the negated axis, with the
+     verdict mapped back (endpoints swap under negation) *)
   match
     multisect_max ~jobs ~label:"explore.sensitivity" ~lo:(-hi) ~hi:(-lo)
       (fun neg -> good (-neg))
   with
-  | Some neg -> Some (-neg)
-  | None -> None
+  | Sens.Margin neg -> Sens.Margin (-neg)
+  | Sens.No_margin -> Sens.No_margin
+  | Sens.Non_monotone { lo_feasible; hi_feasible } ->
+    Sens.Non_monotone
+      { lo_feasible = hi_feasible; hi_feasible = lo_feasible }
+  | Sens.Empty_interval _ -> Sens.Empty_interval { lo; hi }
+
+let min_source_period ?jobs ?mode ~rebuild ~lo ~hi () =
+  if lo > hi then invalid_arg "Sensitivity.min_source_period: lo > hi";
+  match min_source_period_verdict ?jobs ?mode ~rebuild ~lo ~hi () with
+  | Sens.Margin p -> Some p
+  | Sens.No_margin | Sens.Non_monotone _ | Sens.Empty_interval _ -> None

@@ -13,6 +13,37 @@
     domain-locally — passing a pre-built spec here would share curve memo
     tables across domains (see {!Pool} and [Event_model.Curve]). *)
 
+val multisect_max :
+  jobs:int ->
+  label:string ->
+  lo:int ->
+  hi:int ->
+  (int -> bool) ->
+  Cpa_system.Sensitivity.verdict
+(** The parallel counterpart of [Cpa_system.Sensitivity.search_max]:
+    both endpoints are probed (in parallel) first, so degenerate
+    searches return the same structured verdicts as the serial
+    implementation ([No_margin], [Non_monotone], [Empty_interval])
+    instead of looping or conflating them with a missing margin. *)
+
+val max_cet_scale_verdict :
+  ?jobs:int ->
+  ?mode:Cpa_system.Engine.mode ->
+  ?limit_percent:int ->
+  build:(unit -> Cpa_system.Spec.t) ->
+  task:string ->
+  unit ->
+  Cpa_system.Sensitivity.verdict
+
+val min_source_period_verdict :
+  ?jobs:int ->
+  ?mode:Cpa_system.Engine.mode ->
+  rebuild:(int -> Cpa_system.Spec.t) ->
+  lo:int ->
+  hi:int ->
+  unit ->
+  Cpa_system.Sensitivity.verdict
+
 val max_cet_scale :
   ?jobs:int ->
   ?mode:Cpa_system.Engine.mode ->

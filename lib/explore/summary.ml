@@ -3,6 +3,7 @@ module Interval = Timebase.Interval
 
 type metrics = {
   converged : bool;
+  degraded : bool;
   worst_latency : int option;
   max_util_pct : float;
   margin_pct : float;
@@ -51,6 +52,10 @@ let summarise_result (result : Engine.result) =
     metrics =
       {
         converged = result.converged;
+        degraded =
+          (match result.status with
+          | Engine.Degraded _ -> true
+          | Engine.Converged | Engine.Overloaded -> false);
         worst_latency;
         max_util_pct;
         margin_pct = 100.0 -. max_util_pct;
@@ -64,7 +69,10 @@ let evaluate ?(modes = default_modes) ~digest spec =
     | [] -> Ok { digest; modes = List.rev acc }
     | mode :: rest -> begin
       match Engine.analyse ~mode spec with
-      | Error e -> Error (Printf.sprintf "%s: %s" (Engine.mode_name mode) e)
+      | Error e ->
+        Error
+          (Printf.sprintf "%s: %s" (Engine.mode_name mode)
+             (Guard.Error.to_string e))
       | Ok result -> go (summarise_result result :: acc) rest
     end
   in

@@ -9,6 +9,11 @@ module Engine = Cpa_system.Engine
 
 type metrics = {
   converged : bool;
+  degraded : bool;
+      (** the engine run was cut short (deadline, budget, cancellation
+          or iteration cap) and returned widened conservative bounds —
+          [worst_latency] is then usually [None] and must not be read as
+          a genuine overload *)
   worst_latency : int option;
       (** largest worst-case response over all elements; [None] when any
           element is unbounded *)

@@ -1,0 +1,42 @@
+type t =
+  | Cancelled
+  | Deadline_exceeded of { deadline_ms : float }
+  | Budget_exhausted of { budget : int }
+  | Diverged of { iterations : int }
+  | Cycle of { element : string }
+  | Invalid_spec of { reason : string }
+  | Parse_failure of { reason : string }
+  | Injected of { site : string }
+
+exception Error of t
+
+let is_interrupt = function
+  | Cancelled | Deadline_exceeded _ | Budget_exhausted _ -> true
+  | Diverged _ | Cycle _ | Invalid_spec _ | Parse_failure _ | Injected _ ->
+    false
+
+let to_string = function
+  | Cancelled -> "cancelled"
+  | Deadline_exceeded { deadline_ms } ->
+    Printf.sprintf "deadline of %g ms exceeded" deadline_ms
+  | Budget_exhausted { budget } ->
+    Printf.sprintf "work budget of %d unit(s) exhausted" budget
+  | Diverged { iterations } ->
+    Printf.sprintf "no fixed point within %d iteration(s)" iterations
+  | Cycle { element } ->
+    Printf.sprintf "cyclic stream dependency involving %s" element
+  | Invalid_spec { reason } -> Printf.sprintf "invalid spec: %s" reason
+  | Parse_failure { reason } -> Printf.sprintf "parse failure: %s" reason
+  | Injected { site } -> Printf.sprintf "injected fault at %s" site
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let exit_code = function
+  | Cancelled -> 4
+  | Deadline_exceeded _ | Budget_exhausted _ | Diverged _ -> 3
+  | Cycle _ | Invalid_spec _ | Parse_failure _ | Injected _ -> 1
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (Printf.sprintf "Guard.Error.Error(%s)" (to_string e))
+    | _ -> None)

@@ -1,0 +1,52 @@
+(** Structured error taxonomy shared by the analysis engine, the
+    scheduling analyses, the exploration pool and the CLI.
+
+    The taxonomy splits into two classes:
+
+    - {e interrupt-class} errors ({!Cancelled}, {!Deadline_exceeded},
+      {!Budget_exhausted}) are raised by guard checkpoints to stop a
+      computation cooperatively.  Long-running entry points catch them
+      and return a degraded-but-sound partial answer;
+    - {e fault-class} errors describe why a computation cannot produce
+      an answer at all (cyclic dependencies, malformed specs, parse
+      failures, injected test faults) and replace the stringly
+      exceptions ([Engine.Cycle of string], ad-hoc [failwith]s /
+      [invalid_arg]s) previously scattered over the code base. *)
+
+type t =
+  | Cancelled  (** a cooperative cancellation token was triggered *)
+  | Deadline_exceeded of { deadline_ms : float }
+      (** the wall-clock deadline (relative, in milliseconds) expired *)
+  | Budget_exhausted of { budget : int }
+      (** the work budget (busy-window activations + fixpoint steps)
+          ran out *)
+  | Diverged of { iterations : int }
+      (** the global fixed point did not settle within the iteration
+          cap; never raised, only recorded as a degradation reason *)
+  | Cycle of { element : string }
+      (** resolving an output event model recursed into itself *)
+  | Invalid_spec of { reason : string }
+      (** the system specification fails validation or a scheduling
+          analysis's structural preconditions *)
+  | Parse_failure of { reason : string }
+      (** a textual spec could not be parsed *)
+  | Injected of { site : string }
+      (** a scripted fault from {!Inject} (tests only) *)
+
+exception Error of t
+(** The one exception used to carry structured errors.  Raisers use
+    [raise (Error e)]; {!Guard.check} raises it for interrupt-class
+    errors. *)
+
+val is_interrupt : t -> bool
+(** [true] exactly for [Cancelled], [Deadline_exceeded] and
+    [Budget_exhausted] — the errors a guarded computation converts into
+    a degraded partial result rather than a failure. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val exit_code : t -> int
+(** CLI exit-code contract: [4] for [Cancelled], [3] for the other
+    degradation reasons ([Deadline_exceeded], [Budget_exhausted],
+    [Diverged]), [1] for fault-class errors. *)

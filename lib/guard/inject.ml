@@ -1,0 +1,70 @@
+type fault =
+  | Crash of string
+  | Trip of Error.t
+  | Slow_us of int
+  | Act of (unit -> unit)
+
+type entry = {
+  site : string;
+  fault : fault;
+  mutable skips : int;  (* visits to ignore before firing *)
+  mutable fires : int;  (* remaining firing visits *)
+}
+
+(* [armed_count] is the hot-path gate: it counts armed entries that can
+   still fire, and call sites read it (through {!armed}) before building
+   a site string.  The entry list itself is mutated under [lock] only. *)
+let armed_count = Atomic.make 0
+let lock = Mutex.create ()
+let entries : entry list ref = ref []
+
+let armed () = Atomic.get armed_count > 0
+
+let arm ?(after = 1) ?(times = 1) ~site fault =
+  if after < 1 then invalid_arg "Inject.arm: after < 1";
+  if times < 1 then invalid_arg "Inject.arm: times < 1";
+  Mutex.lock lock;
+  entries := { site; fault; skips = after - 1; fires = times } :: !entries;
+  Mutex.unlock lock;
+  Atomic.incr armed_count
+
+let reset () =
+  Mutex.lock lock;
+  entries := [];
+  Mutex.unlock lock;
+  Atomic.set armed_count 0
+
+let c_fired = Obs.Metrics.counter "guard.injected_faults"
+
+let claim site =
+  (* Pull at most one firing fault per visit, oldest armed first, so a
+     test arming two faults at one site sees them in order. *)
+  Mutex.lock lock;
+  let fired = ref None in
+  List.iter
+    (fun e ->
+      if !fired = None && String.equal e.site site && e.fires > 0 then
+        if e.skips > 0 then e.skips <- e.skips - 1
+        else begin
+          e.fires <- e.fires - 1;
+          if e.fires = 0 then Atomic.decr armed_count;
+          fired := Some e.fault
+        end)
+    (List.rev !entries);
+  Mutex.unlock lock;
+  !fired
+
+let fire site =
+  if armed () then
+    match claim site with
+    | None -> ()
+    | Some fault -> (
+      Obs.Metrics.incr c_fired;
+      if Obs.Trace.enabled () then
+        Obs.Trace.instant "guard.inject"
+          ~attrs:[ ("site", Obs.Event.Str site) ];
+      match fault with
+      | Crash msg -> failwith msg
+      | Trip e -> raise (Error.Error e)
+      | Slow_us us -> Unix.sleepf (float_of_int us /. 1e6)
+      | Act f -> f ())

@@ -1,0 +1,37 @@
+(** Deterministic fault injection for resilience tests.
+
+    Instrumented code names {e sites} — stable strings such as
+    ["engine.iteration:3"], ["explore.item:7"], ["explore.spawn:2"] or
+    ["busy_window:T3"] — and calls {!fire} when passing them.  Tests
+    {!arm} a fault at a chosen site; the registry is process-global and
+    domain-safe, so a fault armed in the test domain fires in whichever
+    worker domain reaches the site first.
+
+    Zero-cost when unarmed: production call sites guard the site-string
+    construction behind {!armed}, which is a single atomic read. *)
+
+type fault =
+  | Crash of string  (** raise [Failure msg] — a scripted worker crash *)
+  | Trip of Error.t
+      (** raise [Error.Error e] — e.g. a forced deadline/budget trip *)
+  | Slow_us of int  (** sleep for the given number of microseconds *)
+  | Act of (unit -> unit)
+      (** run a scripted action at the site, e.g. cancel a guard token *)
+
+val arm : ?after:int -> ?times:int -> site:string -> fault -> unit
+(** [arm ~site f] schedules [f] at the [after]-th visit of [site]
+    (default: the first), firing on [times] consecutive visits
+    (default 1) and inert afterwards.  Multiple faults may be armed at
+    distinct or identical sites; they fire independently. *)
+
+val armed : unit -> bool
+(** Whether any fault is currently armed.  One atomic read; call sites
+    use it to skip site-string formatting on the production path. *)
+
+val fire : string -> unit
+(** [fire site] triggers matching armed faults.  No-op when nothing
+    matches.  [Crash] and [Trip] faults raise; [Slow_us] and [Act]
+    return after their effect. *)
+
+val reset : unit -> unit
+(** Disarms everything (tests call it between cases). *)

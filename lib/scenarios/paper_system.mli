@@ -28,6 +28,6 @@ val frames : string list
 val analyse_both :
   ?s3_period:int ->
   unit ->
-  (Cpa_system.Engine.result * Cpa_system.Engine.result, string) result
+  (Cpa_system.Engine.result * Cpa_system.Engine.result, Guard.Error.t) result
 (** Analyses the system in flat mode (standard event models, the
     baseline) and hierarchical mode; returns [(flat, hem)]. *)

@@ -58,6 +58,7 @@ let counters_diff a b =
 let fixpoint ~limit ~init f =
   let rec iterate w =
     Metrics.incr c_window_iterations;
+    Guard.tick ();
     if w > limit then None
     else
       let w' = f w in
@@ -92,9 +93,13 @@ let spanned ?label ~q_reached run =
 let max_response ?label ?(q_limit = default_q_limit) ~best_case ~arrival
     ~finish () =
   Metrics.incr c_busy_windows;
+  if Guard.Inject.armed () then
+    Guard.Inject.fire
+      ("busy_window:" ^ Option.value label ~default:"<anon>");
   let q_reached = ref 0 in
   let rec loop q worst =
     Metrics.incr c_activations;
+    Guard.tick ();
     q_reached := q;
     if q > q_limit then
       Unbounded (Printf.sprintf "busy period exceeds %d activations" q_limit)
@@ -125,6 +130,7 @@ let max_backlog ?label ?(q_limit = default_q_limit) ~arrival ~arrivals_in
   let q_reached = ref 0 in
   let rec loop q worst =
     Metrics.incr c_activations;
+    Guard.tick ();
     q_reached := q;
     if q > q_limit then
       Error (Printf.sprintf "busy period exceeds %d activations" q_limit)

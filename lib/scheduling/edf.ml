@@ -10,7 +10,15 @@ type task = {
 let check_tasks tasks =
   List.iter
     (fun t ->
-      if t.deadline < 1 then invalid_arg "Edf: deadline < 1")
+      if t.deadline < 1 then
+        raise
+          (Guard.Error.Error
+             (Guard.Error.Invalid_spec
+                {
+                  reason =
+                    Printf.sprintf "Edf: deadline of %s < 1"
+                      t.task.Rt_task.name;
+                })))
     tasks
 
 let demand_bound tasks dt =

@@ -12,9 +12,25 @@ let response_time ?(window_limit = Busy_window.default_window_limit) ?q_limit
   let own =
     match List.find_opt (fun s -> s.task == task) shares with
     | Some s -> s
-    | None -> invalid_arg "Round_robin.response_time: task has no share"
+    | None ->
+      raise
+        (Guard.Error.Error
+           (Guard.Error.Invalid_spec
+              {
+                reason =
+                  Printf.sprintf "Round_robin: task %s has no share"
+                    task.Rt_task.name;
+              }))
   in
-  if own.quantum < 1 then invalid_arg "Round_robin.response_time: quantum < 1";
+  if own.quantum < 1 then
+    raise
+      (Guard.Error.Error
+         (Guard.Error.Invalid_spec
+            {
+              reason =
+                Printf.sprintf "Round_robin: quantum of %s < 1"
+                  task.Rt_task.name;
+            }));
   let others = List.filter (fun s -> s.task != task) shares in
   let c_plus = Interval.hi task.Rt_task.cet in
   let finish q =

@@ -24,7 +24,15 @@ let completion ~window_limit ~blocking ~task ~others q =
 
 let response_time ?(window_limit = Busy_window.default_window_limit) ?q_limit
     ?(blocking = 0) ~task ~others () =
-  if blocking < 0 then invalid_arg "Spp.response_time: negative blocking";
+  if blocking < 0 then
+    raise
+      (Guard.Error.Error
+         (Guard.Error.Invalid_spec
+            {
+              reason =
+                Printf.sprintf "Spp: negative blocking for %s"
+                  task.Rt_task.name;
+            }));
   Busy_window.max_response ~label:task.Rt_task.name ?q_limit
     ~best_case:(Interval.lo task.Rt_task.cet)
     ~arrival:(Stream.delta_min task.Rt_task.activation)

@@ -47,9 +47,25 @@ let response_time ?(window_limit = Busy_window.default_window_limit) ?q_limit
   let own =
     match List.find_opt (fun s -> s.task == task) slots with
     | Some s -> s
-    | None -> invalid_arg "Tdma.response_time: task owns no slot"
+    | None ->
+      raise
+        (Guard.Error.Error
+           (Guard.Error.Invalid_spec
+              {
+                reason =
+                  Printf.sprintf "Tdma: task %s owns no slot"
+                    task.Rt_task.name;
+              }))
   in
-  if own.length < 1 then invalid_arg "Tdma.response_time: slot length < 1";
+  if own.length < 1 then
+    raise
+      (Guard.Error.Error
+         (Guard.Error.Invalid_spec
+            {
+              reason =
+                Printf.sprintf "Tdma: slot length of %s < 1"
+                  task.Rt_task.name;
+            }));
   let cycle = cycle_length slots in
   let c_plus = Interval.hi task.Rt_task.cet in
   let finish q =

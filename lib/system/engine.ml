@@ -46,10 +46,34 @@ type iteration_stat = {
   invalidated : int;
 }
 
+type widened = {
+  w_element : string;
+  w_resource : string;
+  last_estimate : Interval.t;
+}
+
+type degradation = {
+  reason : Guard.Error.t;
+  at_iteration : int;
+  widened : widened list;
+}
+
+type status =
+  | Converged
+  | Overloaded
+  | Degraded of degradation
+
+let status_name = function
+  | Converged -> "converged"
+  | Overloaded -> "overloaded"
+  | Degraded d ->
+    Printf.sprintf "degraded(%s)" (Guard.Error.to_string d.reason)
+
 type result = {
   mode : mode;
   spec : Spec.t;
   converged : bool;
+  status : status;
   iterations : int;
   outcomes : element_outcome list;
   stats : stats;
@@ -59,7 +83,10 @@ type result = {
   pre_bus_hierarchy : string -> Hem.Model.t;
 }
 
-exception Cycle of string
+let degradation result =
+  match result.status with Degraded d -> Some d | _ -> None
+
+let c_degraded = Obs.Metrics.counter "engine.degraded"
 
 (* Persistent resolution context.  Derived streams are memoized together
    with the set of response names they (transitively) depend on: a task
@@ -115,11 +142,15 @@ let memo_deps ctx table key ~extra compute =
     v
 
 let guarded ctx key compute =
-  if Hashtbl.mem ctx.in_progress key then raise (Cycle key);
+  if Hashtbl.mem ctx.in_progress key then
+    raise (Guard.Error.Error (Guard.Error.Cycle { element = key }));
   Hashtbl.add ctx.in_progress key ();
-  let v = compute () in
-  Hashtbl.remove ctx.in_progress key;
-  v
+  (* exception-safe: an interrupt mid-resolution must not leave the key
+     behind, or later resolutions through [result.resolve] would report
+     a spurious cycle *)
+  Fun.protect
+    ~finally:(fun () -> Hashtbl.remove ctx.in_progress key)
+    compute
 
 let find_task spec name =
   List.find (fun (k : Spec.task) -> String.equal k.task_name name) spec.Spec.tasks
@@ -259,9 +290,10 @@ let drop_dirty table dirty =
   List.length stale
 
 let analyse ?(mode = Hierarchical) ?(incremental = true) ?(max_iterations = 64)
-    ?window_limit ?q_limit ?selfcheck spec =
+    ?window_limit ?q_limit ?selfcheck ?guard spec =
+  let guard = match guard with Some g -> g | None -> Guard.ambient () in
   match Spec.validate spec with
-  | Error e -> Error e
+  | Error e -> Error (Guard.Error.Invalid_spec { reason = e })
   | Ok () -> begin
     (* Every curve and busy-window counter bump during this analysis is
        charged to [scope] (curves created here carry the attachment, so
@@ -356,7 +388,121 @@ let analyse ?(mode = Hierarchical) ?(incremental = true) ?(max_iterations = 64)
         outcomes;
       outcomes, all_bounded, !changed, !residual
     in
-    let rec iterate i dirty acc =
+    (* Snapshot of the last fully completed iteration — outcomes, the
+       set of elements whose response it changed, and its number — used
+       to build a degraded result when the run is interrupted mid-flight.
+       [acc_stats] accumulates telemetry the same way so the interrupt
+       path keeps what was measured. *)
+    let last_complete : (element_outcome list * S.t * int) option ref =
+      ref None
+    in
+    let acc_stats = ref [] in
+    (* Widening for degraded exits.  The iteration converges from below
+       (responses start at [0:0]), so un-settled bounds are optimistic,
+       not conservative.  Anything the fixed point could still move —
+       the last iteration's changed set, closed transitively over the
+       recorded resource dependency sets — is widened to [Unbounded]:
+       claiming nothing is the only sound claim.  Elements outside the
+       closure can never change in any further iteration (nothing
+       upstream of them moves), so their bounds are already final and
+       are kept. *)
+    let degrade ~reason ~at_iteration =
+      Obs.Metrics.incr c_degraded;
+      if Obs.Trace.enabled () then
+        Obs.Trace.instant "engine.degraded"
+          ~attrs:[ ("reason", Obs.Event.Str (Guard.Error.to_string reason)) ];
+      let outcomes, seed, completed =
+        match !last_complete with
+        | Some (outcomes, changed, i) -> outcomes, changed, i
+        | None ->
+          (* interrupted before one full iteration: synthesize the
+             element list; every bound is unknown *)
+          let outs =
+            List.concat_map
+              (fun (res : Spec.resource) ->
+                List.filter_map
+                  (fun (k : Spec.task) ->
+                    if String.equal k.resource res.res_name then
+                      Some
+                        {
+                          element = k.task_name;
+                          resource = res.res_name;
+                          outcome = Busy_window.Bounded zero;
+                        }
+                    else None)
+                  spec.Spec.tasks
+                @ List.filter_map
+                    (fun (f : Spec.frame) ->
+                      if String.equal f.bus res.res_name then
+                        Some
+                          {
+                            element = f.frame_name;
+                            resource = res.res_name;
+                            outcome = Busy_window.Bounded zero;
+                          }
+                      else None)
+                    spec.Spec.frames)
+              spec.Spec.resources
+          in
+          let all =
+            List.fold_left (fun s o -> S.add o.element s) S.empty outs
+          in
+          outs, all, 0
+      in
+      let tainted = ref seed in
+      let grew = ref true in
+      while !grew do
+        grew := false;
+        List.iter
+          (fun (res : Spec.resource) ->
+            let taint_element name =
+              if not (S.mem name !tainted) then begin
+                tainted := S.add name !tainted;
+                grew := true
+              end
+            in
+            match Hashtbl.find_opt resource_cache res.res_name with
+            | Some (outs, deps) ->
+              if touches !tainted deps then
+                List.iter (fun o -> taint_element o.element) outs
+            | None ->
+              (* never analysed: dependencies unknown, assume tainted *)
+              List.iter
+                (fun o ->
+                  if String.equal o.resource res.res_name then
+                    taint_element o.element)
+                outcomes)
+          spec.Spec.resources
+      done;
+      let widened = ref [] in
+      let outcomes' =
+        List.map
+          (fun o ->
+            match o.outcome with
+            | Busy_window.Bounded r when S.mem o.element !tainted ->
+              widened :=
+                {
+                  w_element = o.element;
+                  w_resource = o.resource;
+                  last_estimate = r;
+                }
+                :: !widened;
+              {
+                o with
+                outcome =
+                  Busy_window.Unbounded
+                    ("degraded: " ^ Guard.Error.to_string reason);
+              }
+            | _ -> o)
+          outcomes
+      in
+      let degr = { reason; at_iteration; widened = List.rev !widened } in
+      outcomes', completed, Degraded degr
+    in
+    let rec iterate i dirty =
+      if Guard.Inject.armed () then
+        Guard.Inject.fire ("engine.iteration:" ^ string_of_int i);
+      Guard.check guard;
       let a0 = !analysed and r0 = !reused and v0 = !invalidated in
       let outcomes, all_bounded, changed, residual =
         if Obs.Trace.enabled () then begin
@@ -396,13 +542,19 @@ let analyse ?(mode = Hierarchical) ?(incremental = true) ?(max_iterations = 64)
           invalidated = !invalidated - v0;
         }
       in
-      let acc = stat :: acc in
-      if S.is_empty changed || (not all_bounded) || i >= max_iterations then
-        let converged = S.is_empty changed && all_bounded in
-        outcomes, converged, i, List.rev acc
-      else iterate (i + 1) changed acc
+      acc_stats := stat :: !acc_stats;
+      last_complete := Some (outcomes, changed, i);
+      if not all_bounded then outcomes, i, Overloaded
+      else if S.is_empty changed then outcomes, i, Converged
+      else if i >= max_iterations then
+        degrade ~reason:(Guard.Error.Diverged { iterations = i })
+          ~at_iteration:i
+      else iterate (i + 1) changed
     in
-    let run () = Obs.Metrics.in_scope scope (fun () -> iterate 1 S.empty []) in
+    let run () =
+      Obs.Metrics.in_scope scope (fun () ->
+        Guard.with_ambient guard (fun () -> iterate 1 S.empty))
+    in
     let traced () =
       if Obs.Trace.enabled () then
         Obs.Trace.with_span "engine.analyse"
@@ -417,8 +569,7 @@ let analyse ?(mode = Hierarchical) ?(incremental = true) ?(max_iterations = 64)
           run
       else run ()
     in
-    match traced () with
-    | outcomes, converged, iterations, iteration_stats ->
+    let finish (outcomes, iterations, status) =
       let stats =
         {
           resources_analysed = !analysed;
@@ -432,17 +583,27 @@ let analyse ?(mode = Hierarchical) ?(incremental = true) ?(max_iterations = 64)
         {
           mode;
           spec;
-          converged;
+          converged = (match status with Converged -> true | _ -> false);
+          status;
           iterations;
           outcomes;
           stats;
-          iteration_stats;
+          iteration_stats = List.rev !acc_stats;
           resolve = resolve ctx;
           hierarchy = frame_post ctx;
           pre_bus_hierarchy = frame_pre ctx;
         }
-    | exception Cycle name ->
-      Error (Printf.sprintf "cyclic stream dependency involving %s" name)
+    in
+    match traced () with
+    | outcome -> finish outcome
+    | exception Guard.Error.Error r when Guard.Error.is_interrupt r ->
+      (* a guard checkpoint tripped: degrade from the last completed
+         iteration instead of failing *)
+      let at_iteration =
+        match !last_complete with Some (_, _, i) -> i + 1 | None -> 1
+      in
+      finish (degrade ~reason:r ~at_iteration)
+    | exception Guard.Error.Error r -> Error r
   end
 
 let response result name =

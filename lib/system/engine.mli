@@ -55,11 +55,47 @@ type iteration_stat = {
   invalidated : int;  (** memoized streams dropped this iteration *)
 }
 
+type widened = {
+  w_element : string;  (** task or frame whose bound was given up *)
+  w_resource : string;
+  last_estimate : Timebase.Interval.t;
+      (** the last (unsound, converging-from-below) iterate — diagnostic
+          only, never a valid bound *)
+}
+
+type degradation = {
+  reason : Guard.Error.t;
+      (** why the run stopped: [Cancelled], [Deadline_exceeded],
+          [Budget_exhausted] or [Diverged] *)
+  at_iteration : int;  (** the global iteration that was cut short *)
+  widened : widened list;
+      (** elements whose bounds were widened to [Unbounded], tagged with
+          their resource, in outcome order *)
+}
+
+(** How a result should be trusted.  [Converged] results are exact fixed
+    points.  [Overloaded] results contain elements that are genuinely
+    unbounded (busy periods diverge).  [Degraded] results were stopped
+    early; see {!degradation}.  The degradation contract: every outcome
+    still [Bounded] in a degraded result is identical to what the fully
+    converged analysis would produce (nothing upstream of it can still
+    move), and every outcome the interrupted iteration could still have
+    changed is widened to [Unbounded] — a degraded result never claims a
+    bound it cannot guarantee. *)
+type status =
+  | Converged
+  | Overloaded
+  | Degraded of degradation
+
+val status_name : status -> string
+(** ["converged"], ["overloaded"] or ["degraded(<reason>)"]. *)
+
 type result = {
   mode : mode;
   spec : Spec.t;  (** the analysed system *)
-  converged : bool;
-  iterations : int;
+  converged : bool;  (** [status = Converged] *)
+  status : status;
+  iterations : int;  (** completed global iterations *)
   outcomes : element_outcome list;
   stats : stats;
   iteration_stats : iteration_stat list;
@@ -75,6 +111,9 @@ type result = {
           transmission *)
 }
 
+val degradation : result -> degradation option
+(** [Some] exactly when [status] is [Degraded]. *)
+
 val analyse :
   ?mode:mode ->
   ?incremental:bool ->
@@ -82,12 +121,24 @@ val analyse :
   ?window_limit:int ->
   ?q_limit:int ->
   ?selfcheck:(Event_model.Stream.t -> unit) ->
+  ?guard:Guard.t ->
   Spec.t ->
-  (result, string) Stdlib.result
+  (result, Guard.Error.t) Stdlib.result
 (** Runs the global iteration ([max_iterations] defaults to 64).  Returns
-    [Error] for invalid specifications or cyclic stream dependencies
-    (unsupported).  An overloaded element yields an [Unbounded] outcome
-    and a result with [converged = false].
+    [Error] for invalid specifications ([Invalid_spec]) or cyclic stream
+    dependencies ([Cycle], unsupported).  An overloaded element yields an
+    [Unbounded] outcome and a result with [status = Overloaded].
+
+    With [guard] (default: the ambient {!Guard.ambient} token), the
+    engine checks the token at every global iteration head, and the
+    busy-window loops underneath {!Guard.tick} it once per activation
+    and fixpoint step — the unit work budgets are denominated in.  When
+    the token trips (cancellation, deadline, budget) or the iteration
+    cap is hit before the fixed point, the engine returns [Ok] with
+    [status = Degraded]: the outcomes of the last completed iteration,
+    with every element the fixed point could still move widened to
+    [Unbounded] (see {!status} for the soundness contract).  Guard
+    checkpoints cost two loads and a branch when no token is installed.
 
     With [incremental] (the default), derived streams and per-resource
     outcomes persist across iterations together with the set of response

@@ -15,8 +15,18 @@ let print_outcomes ppf (result : Engine.result) =
       Format.fprintf ppf "%-12s on %-8s R = %a@ " o.element o.resource
         Busy_window.pp_outcome o.outcome)
     result.outcomes;
-  Format.fprintf ppf "converged: %b after %d iteration(s)@]@." result.converged
-    result.iterations
+  Format.fprintf ppf "converged: %b after %d iteration(s)" result.converged
+    result.iterations;
+  (match result.status with
+  | Engine.Converged | Engine.Overloaded -> ()
+  | Engine.Degraded d ->
+    Format.fprintf ppf
+      "@ DEGRADED at iteration %d (%s): %d bound(s) widened to unbounded;@ \
+       remaining bounds are final, widened elements claim nothing"
+      d.Engine.at_iteration
+      (Guard.Error.to_string d.Engine.reason)
+      (List.length d.Engine.widened));
+  Format.fprintf ppf "@]@."
 
 let print_effort ppf (result : Engine.result) =
   let s = result.Engine.stats in
@@ -51,8 +61,13 @@ let print_convergence ppf (result : Engine.result) =
         s.Engine.dirty s.Engine.changed s.Engine.residual s.Engine.analysed
         s.Engine.reused s.Engine.invalidated)
     result.Engine.iteration_stats;
-  Format.fprintf ppf "converged: %b after %d iteration(s)@]" result.converged
-    result.iterations
+  Format.fprintf ppf "converged: %b after %d iteration(s)" result.converged
+    result.iterations;
+  (match result.status with
+  | Engine.Converged | Engine.Overloaded -> ()
+  | Engine.Degraded _ ->
+    Format.fprintf ppf " [%s]" (Engine.status_name result.status));
+  Format.fprintf ppf "@]"
 
 let compare_results ~baseline ~improved ~names =
   let row name =

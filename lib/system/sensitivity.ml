@@ -27,40 +27,88 @@ let scale_cet spec ~task ~percent =
   if not !found then raise Not_found;
   { spec with tasks }
 
-(* Largest x in [lo, hi] with [good x], for monotone good (true then
-   false); None when even lo fails. *)
-let bisect_max ~lo ~hi good =
-  if not (good lo) then None
-  else begin
-    let rec search lo hi =
-      (* invariant: good lo, not (good hi) *)
-      if hi - lo <= 1 then lo
-      else
-        let mid = lo + ((hi - lo) / 2) in
-        if good mid then search mid hi else search lo mid
-    in
-    if good hi then Some hi else Some (search lo hi)
-  end
+type verdict =
+  | Margin of int
+  | No_margin
+  | Non_monotone of {
+      lo_feasible : bool;
+      hi_feasible : bool;
+    }
+  | Empty_interval of {
+      lo : int;
+      hi : int;
+    }
 
-let max_cet_scale ?mode ?(limit_percent = 10_000) spec ~task =
-  let good percent =
-    schedulable ?mode (scale_cet spec ~task ~percent)
-  in
-  bisect_max ~lo:100 ~hi:limit_percent good
+let pp_verdict ppf = function
+  | Margin x -> Format.fprintf ppf "margin %d" x
+  | No_margin -> Format.pp_print_string ppf "no margin"
+  | Non_monotone { lo_feasible; hi_feasible } ->
+    Format.fprintf ppf "non-monotone feasibility (lo %s, hi %s)"
+      (if lo_feasible then "feasible" else "infeasible")
+      (if hi_feasible then "feasible" else "infeasible")
+  | Empty_interval { lo; hi } ->
+    Format.fprintf ppf "empty interval [%d, %d]" lo hi
+
+(* Largest x in [lo, hi] with [good x], for monotone good (a feasible
+   prefix, then infeasible).  Both endpoints are probed first so a
+   degenerate search — empty interval, infeasible everywhere, or
+   feasibility that is not actually monotone — yields a structured
+   verdict instead of an inverted or bogus answer. *)
+let search_max ~lo ~hi good =
+  if lo > hi then Empty_interval { lo; hi }
+  else
+    let glo = good lo in
+    let ghi = if hi = lo then glo else good hi in
+    match glo, ghi with
+    | false, false -> No_margin
+    | false, true -> Non_monotone { lo_feasible = false; hi_feasible = true }
+    | true, true -> Margin hi
+    | true, false ->
+      let rec search lo hi =
+        (* invariant: good lo, not (good hi) *)
+        if hi - lo <= 1 then lo
+        else
+          let mid = lo + ((hi - lo) / 2) in
+          if good mid then search mid hi else search lo mid
+      in
+      Margin (search lo hi)
+
+(* Smallest x in [lo, hi] with [good x], for monotone good (an
+   infeasible prefix, then feasible). *)
+let search_min ~lo ~hi good =
+  if lo > hi then Empty_interval { lo; hi }
+  else
+    let glo = good lo in
+    let ghi = if hi = lo then glo else good hi in
+    match glo, ghi with
+    | false, false -> No_margin
+    | true, false -> Non_monotone { lo_feasible = true; hi_feasible = false }
+    | true, true -> Margin lo
+    | false, true ->
+      let rec search lo hi =
+        (* invariant: not (good lo), good hi *)
+        if hi - lo <= 1 then hi
+        else
+          let mid = lo + ((hi - lo) / 2) in
+          if good mid then search lo mid else search mid hi
+      in
+      Margin (search lo hi)
+
+let max_cet_scale_verdict ?mode ?(limit_percent = 10_000) spec ~task =
+  let good percent = schedulable ?mode (scale_cet spec ~task ~percent) in
+  search_max ~lo:100 ~hi:limit_percent good
+
+let max_cet_scale ?mode ?limit_percent spec ~task =
+  match max_cet_scale_verdict ?mode ?limit_percent spec ~task with
+  | Margin p -> Some p
+  | No_margin | Non_monotone _ | Empty_interval _ -> None
+
+let min_source_period_verdict ?mode ~rebuild ~lo ~hi () =
+  let good period = schedulable ?mode (rebuild period) in
+  search_min ~lo ~hi good
 
 let min_source_period ?mode ~rebuild ~lo ~hi () =
   if lo > hi then invalid_arg "Sensitivity.min_source_period: lo > hi";
-  let good period = schedulable ?mode (rebuild period) in
-  (* smallest good period: mirror of bisect_max *)
-  if not (good hi) then None
-  else if good lo then Some lo
-  else begin
-    let rec search lo hi =
-      (* invariant: not (good lo), good hi *)
-      if hi - lo <= 1 then hi
-      else
-        let mid = lo + ((hi - lo) / 2) in
-        if good mid then search lo mid else search mid hi
-    in
-    Some (search lo hi)
-  end
+  match min_source_period_verdict ?mode ~rebuild ~lo ~hi () with
+  | Margin p -> Some p
+  | No_margin | Non_monotone _ | Empty_interval _ -> None

@@ -14,6 +14,45 @@ val scale_cet : Spec.t -> task:string -> percent:int -> Spec.t
     scaled to [percent]/100 (rounded up, floored at 1).
     @raise Not_found for an unknown task name. *)
 
+(** Structured outcome of a margin search.  [Margin x] is the genuine
+    threshold; the other cases are degenerate searches that previously
+    produced [None] indistinguishably (or, for inverted intervals, a
+    bogus answer): infeasible across the whole interval ([No_margin]),
+    feasibility not monotone at the endpoints ([Non_monotone] — the
+    bisection invariant would not hold), or an inverted/empty interval
+    ([Empty_interval]). *)
+type verdict =
+  | Margin of int
+  | No_margin
+  | Non_monotone of {
+      lo_feasible : bool;
+      hi_feasible : bool;
+    }
+  | Empty_interval of {
+      lo : int;
+      hi : int;
+    }
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val search_max : lo:int -> hi:int -> (int -> bool) -> verdict
+(** Largest [x] in [\[lo, hi\]] with [good x], for [good] monotone
+    (feasible prefix, then infeasible).  Probes both endpoints first;
+    degenerate inputs yield the structured verdicts above instead of
+    looping or inverting the interval. *)
+
+val search_min : lo:int -> hi:int -> (int -> bool) -> verdict
+(** Smallest [x] in [\[lo, hi\]] with [good x], for [good] monotone
+    (infeasible prefix, then feasible). *)
+
+val max_cet_scale_verdict :
+  ?mode:Engine.mode -> ?limit_percent:int -> Spec.t -> task:string ->
+  verdict
+
+val min_source_period_verdict :
+  ?mode:Engine.mode -> rebuild:(int -> Spec.t) -> lo:int -> hi:int ->
+  unit -> verdict
+
 val max_cet_scale :
   ?mode:Engine.mode -> ?limit_percent:int -> Spec.t -> task:string ->
   int option

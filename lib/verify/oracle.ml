@@ -176,7 +176,8 @@ let backend_agreement () =
 let render_result (r : Engine.result) =
   let b = Buffer.create 256 in
   Buffer.add_string b
-    (Printf.sprintf "converged=%b iterations=%d" r.converged r.iterations);
+    (Printf.sprintf "status=%s iterations=%d" (Engine.status_name r.status)
+       r.iterations);
   List.iter
     (fun (o : Engine.element_outcome) ->
       Buffer.add_string b
@@ -196,9 +197,12 @@ let engine_agreement ?(mode = Engine.Hierarchical) spec =
     if String.equal a b then [ check ~name true "byte-identical outcomes" ]
     else [ check ~name false (Printf.sprintf "incremental:\n%s\nscratch:\n%s" a b) ]
   | Error a, Error b ->
+    let a = Guard.Error.to_string a and b = Guard.Error.to_string b in
     [ check ~name (String.equal a b) (Printf.sprintf "both rejected: %s / %s" a b) ]
-  | Ok _, Error e -> [ check ~name false ("scratch rejected: " ^ e) ]
-  | Error e, Ok _ -> [ check ~name false ("incremental rejected: " ^ e) ]
+  | Ok _, Error e ->
+    [ check ~name false ("scratch rejected: " ^ Guard.Error.to_string e) ]
+  | Error e, Ok _ ->
+    [ check ~name false ("incremental rejected: " ^ Guard.Error.to_string e) ]
 
 (* ------------------------------------------------------------------ *)
 (* oracle 3: hierarchical vs flat-SEM baseline *)
@@ -210,6 +214,12 @@ let response_map (r : Engine.result) =
     r.outcomes
 
 let hierarchy_tightness (hem : Engine.result) (flat : Engine.result) =
+  match hem.Engine.status, flat.Engine.status with
+  | Engine.Degraded _, _ | _, Engine.Degraded _ ->
+    (* widened bounds carry no tightness claim: a degraded hem result
+       may be Unbounded where flat is bounded without any violation *)
+    check ~name:"hem<=flat_sem" true "skipped: degraded result"
+  | (Engine.Converged | Engine.Overloaded), _ ->
   let flat_map = response_map flat in
   forall ~name:"hem<=flat_sem" (response_map hem) (fun (element, hem_r) ->
       match hem_r, List.assoc_opt element flat_map with
@@ -226,6 +236,30 @@ let hierarchy_tightness (hem : Engine.result) (flat : Engine.result) =
           (Printf.sprintf "%s: hem unbounded but flat bounded at %s" element
              (Interval.to_string f))
       | None, Some None -> None)
+
+(* ------------------------------------------------------------------ *)
+(* oracle 3b: degraded results only retain bounds that are final *)
+
+let degradation_soundness ~reference (degraded : Engine.result) =
+  let ref_map = response_map reference in
+  forall ~name:"degraded:retained-bounds-final" (response_map degraded)
+    (fun (element, r) ->
+      match r with
+      | None -> None (* widened or genuinely unbounded: claims nothing *)
+      | Some d -> begin
+        match List.assoc_opt element ref_map with
+        | None -> Some (element ^ " missing from reference result")
+        | Some None ->
+          Some
+            (Printf.sprintf "%s: degraded claims %s but reference is unbounded"
+               element (Interval.to_string d))
+        | Some (Some f) ->
+          if Interval.equal d f then None
+          else
+            Some
+              (Printf.sprintf "%s: degraded claims %s, converged bound is %s"
+                 element (Interval.to_string d) (Interval.to_string f))
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* oracle 4: analytic bounds dominate simulator measurements *)
@@ -280,8 +314,8 @@ let simulation_dominance ?(seed = 42) ?(horizon = 200_000) ~generators ~tag
 (* oracle 5: exploration cache on vs off *)
 
 let render_metrics (m : Summary.metrics) =
-  Printf.sprintf "converged=%b worst=%s util=%.4f margin=%.4f iters=%d"
-    m.converged
+  Printf.sprintf "converged=%b degraded=%b worst=%s util=%.4f margin=%.4f iters=%d"
+    m.converged m.degraded
     (match m.worst_latency with Some w -> string_of_int w | None -> "unbounded")
     m.max_util_pct m.margin_pct m.iterations
 
@@ -359,7 +393,11 @@ let verify_spec ?(label = "system") ?(selfcheck = true) ?(seed = 42)
     (fun () ->
       let checks =
         match Engine.analyse ~mode:Engine.Hierarchical ?selfcheck:audit spec with
-        | Error e -> [ check ~name:"analyse[hierarchical]" false e ]
+        | Error e ->
+          [
+            check ~name:"analyse[hierarchical]" false
+              (Guard.Error.to_string e);
+          ]
         | Ok hem ->
           if selfcheck then
             List.iter
@@ -376,7 +414,8 @@ let verify_spec ?(label = "system") ?(selfcheck = true) ?(seed = 42)
           in
           let tightness =
             match Engine.analyse ~mode:Engine.Flat_sem spec with
-            | Error e -> [ check ~name:"analyse[flat_sem]" false e ]
+            | Error e ->
+              [ check ~name:"analyse[flat_sem]" false (Guard.Error.to_string e) ]
             | Ok flat ->
               hierarchy_tightness hem flat
               ::
@@ -389,7 +428,8 @@ let verify_spec ?(label = "system") ?(selfcheck = true) ?(seed = 42)
                      ~tag:"sim[flat_sem]" flat spec)
           in
           (check ~name:"analyse[hierarchical]" true
-             (Printf.sprintf "converged=%b iterations=%d" hem.Engine.converged
+             (Printf.sprintf "status=%s iterations=%d"
+                (Engine.status_name hem.Engine.status)
                 hem.Engine.iterations)
           :: incremental)
           @ tightness

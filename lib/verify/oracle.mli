@@ -66,6 +66,15 @@ val hierarchy_tightness :
     results satisfies [hi hem <= hi flat]; an element bounded only
     under [flat] is a failure. *)
 
+val degradation_soundness :
+  reference:Cpa_system.Engine.result ->
+  Cpa_system.Engine.result ->
+  check
+(** [degradation_soundness ~reference degraded]: every element the
+    degraded result still claims a bound for carries {e exactly} the
+    fully converged reference's bound — degradation may widen bounds to
+    unbounded but never invent or shift a finite one. *)
+
 val simulation_dominance :
   ?seed:int ->
   ?horizon:int ->

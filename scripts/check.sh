@@ -8,7 +8,9 @@
 # system and a fixed-seed fuzz batch).
 set -euo pipefail
 cd "$(dirname "$0")/.."
-dune build @runtest
+# Hard wall-clock ceiling: a hung fixed point or deadlocked pool must
+# fail the check, not stall it (tune with CHECK_TIMEOUT_S).
+timeout "${CHECK_TIMEOUT_S:-900}" dune build @runtest
 
 # --- trace smoke test -------------------------------------------------
 # An analyse run with --trace must produce a valid Chrome trace with
@@ -29,6 +31,26 @@ if [ "$iters" -lt 1 ]; then
 fi
 rm -f "$trace"
 echo "check: trace smoke test ok ($b spans, $iters iteration spans)"
+
+# --- resilience smoke test --------------------------------------------
+# A tiny deadline must degrade gracefully — widened-but-sound bounds,
+# exit code 3 — and must never hang; an exhausted verify budget must
+# stop with the same code after its completed prefix.
+code=0
+timeout 30 dune exec bin/hem_tool.exe -- analyse --deadline 0 \
+  > /dev/null 2>&1 || code=$?
+if [ "$code" != 3 ]; then
+  echo "check: analyse --deadline 0 exited $code, expected 3 (degraded)" >&2
+  exit 1
+fi
+code=0
+timeout 30 dune exec bin/hem_tool.exe -- verify --budget 1 \
+  > /dev/null 2>&1 || code=$?
+if [ "$code" != 3 ]; then
+  echo "check: verify --budget 1 exited $code, expected 3 (degraded)" >&2
+  exit 1
+fi
+echo "check: resilience smoke ok (deadline and budget degrade with exit 3)"
 
 # --- perf + no-sink overhead guard ------------------------------------
 # The perf run rewrites BENCH_1.json; keep the previous numbers and make

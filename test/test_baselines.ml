@@ -230,7 +230,7 @@ let test_baseline_models_as_sources () =
       ()
   in
   match Cpa_system.Engine.analyse spec with
-  | Error e -> Alcotest.failf "analysis failed: %s" e
+  | Error e -> Alcotest.failf "analysis failed: %s" (Guard.Error.to_string e)
   | Ok result ->
     Alcotest.(check bool) "converged" true result.Cpa_system.Engine.converged;
     (* hp: each 5-unit job finishes before the next burst event (10 away) *)

@@ -10,7 +10,7 @@ module Engine = Cpa_system.Engine
 
 let ok = function
   | Ok v -> v
-  | Error e -> Alcotest.failf "analysis failed: %s" e
+  | Error e -> Alcotest.failf "analysis failed: %s" (Guard.Error.to_string e)
 
 let outcome =
   Alcotest.testable Busy_window.pp_outcome (fun a b ->

@@ -165,7 +165,8 @@ let test_repack_analysable () =
     (fun (v : Space.variant) ->
       let spec = Space.apply_all (Paper.spec ()) v.Space.edits in
       match Engine.analyse ~mode:Engine.Hierarchical spec with
-      | Error e -> Alcotest.failf "%s: %s" v.Space.label e
+      | Error e ->
+        Alcotest.failf "%s: %s" v.Space.label (Guard.Error.to_string e)
       | Ok result ->
         Alcotest.(check bool) (v.Space.label ^ " converged") true
           result.Engine.converged)
@@ -269,6 +270,7 @@ let mk_summary ?(digest = "d") triples =
             (let latency, util, margin = triples in
              {
                Summary.converged = true;
+               degraded = false;
                worst_latency = Some latency;
                max_util_pct = util;
                margin_pct = margin;
@@ -305,6 +307,7 @@ let test_pareto_ignores_unbounded () =
             metrics =
               {
                 Summary.converged = false;
+                degraded = false;
                 worst_latency = None;
                 max_util_pct = 0.0;
                 margin_pct = 100.0;

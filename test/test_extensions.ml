@@ -101,7 +101,7 @@ let test_edf_engine_integration () =
       ()
   in
   match Engine.analyse spec with
-  | Error e -> Alcotest.failf "unexpected error: %s" e
+  | Error e -> Alcotest.failf "unexpected error: %s" (Guard.Error.to_string e)
   | Ok result ->
     Alcotest.(check bool) "converged" true result.Engine.converged;
     Alcotest.(check (option int)) "t1 bounded by deadline" (Some 80)

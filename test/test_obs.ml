@@ -22,7 +22,7 @@ let () =
 
 let ok = function
   | Ok v -> v
-  | Error e -> Alcotest.failf "analysis failed: %s" e
+  | Error e -> Alcotest.failf "analysis failed: %s" (Guard.Error.to_string e)
 
 let with_memory_sink ?level f =
   let sink, events = Obs.Sink.memory () in

@@ -118,7 +118,7 @@ let test_spp_blocking_term () =
   Alcotest.(check bool) "negative rejected" true
     (match Spp.response_time ~blocking:(-1) ~task:t ~others:[] () with
      | _ -> false
-     | exception Invalid_argument _ -> true)
+     | exception Guard.Error.Error (Guard.Error.Invalid_spec _) -> true)
 
 let test_spp_overload () =
   let t1 = task ~name:"t1" ~cet:5 ~priority:1 ~period:8 ()
@@ -228,7 +228,7 @@ let test_tdma_demand_spanning_cycles () =
        Tdma.response_time ~slots:[ { Tdma.task = t1; length = 3 } ] ~task:t2 ()
      with
      | _ -> false
-     | exception Invalid_argument _ -> true)
+     | exception Guard.Error.Error (Guard.Error.Invalid_spec _) -> true)
 
 (* ------------------------------------------------------------------ *)
 (* Round robin *)
@@ -274,7 +274,7 @@ let test_round_robin_unknown_task () =
          ~task:t2 ()
      with
      | _ -> false
-     | exception Invalid_argument _ -> true)
+     | exception Guard.Error.Error (Guard.Error.Invalid_spec _) -> true)
 
 (* ------------------------------------------------------------------ *)
 (* properties *)

@@ -20,6 +20,10 @@ let ok = function
   | Ok v -> v
   | Error e -> Alcotest.failf "failed: %s" e
 
+let ok_a = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "analysis failed: %s" (Guard.Error.to_string e)
+
 (* Check that every simulated response is within the analytic bound and
    that observed arrival counts never exceed the analytic eta_plus of the
    matching stream. *)
@@ -74,7 +78,7 @@ let paper_generators phases =
 
 let run_paper phases =
   let spec = Scenarios.Paper_system.spec () in
-  let hem = ok (Engine.analyse ~mode:Engine.Hierarchical spec) in
+  let hem = ok_a (Engine.analyse ~mode:Engine.Hierarchical spec) in
   let trace =
     ok (Simulator.run ~generators:(paper_generators phases) ~horizon:500_000 spec)
   in
@@ -120,7 +124,7 @@ let test_paper_eta_conservative () =
 let test_paper_flat_also_conservative () =
   (* the baseline must of course be conservative too *)
   let spec = Scenarios.Paper_system.spec () in
-  let flat = ok (Engine.analyse ~mode:Engine.Flat_sem spec) in
+  let flat = ok_a (Engine.analyse ~mode:Engine.Flat_sem spec) in
   let trace =
     ok
       (Simulator.run
@@ -150,7 +154,7 @@ let test_paper_jittery_sources_conservative () =
       ~tasks:(Scenarios.Paper_system.spec ()).Spec.tasks
       ~frames:(Scenarios.Paper_system.spec ()).Spec.frames ()
   in
-  let hem = ok (Engine.analyse ~mode:Engine.Hierarchical spec_model) in
+  let hem = ok_a (Engine.analyse ~mode:Engine.Hierarchical spec_model) in
   let generators =
     [
       "S1", Gen.periodic_jitter ~period:250 ~jitter ();
@@ -247,7 +251,8 @@ let test_random_systems_conservative () =
   for trial = 1 to 12 do
     let spec, generators = random_system rng in
     match Engine.analyse ~mode:Engine.Hierarchical spec with
-    | Error e -> Alcotest.failf "trial %d: %s" trial e
+    | Error e ->
+      Alcotest.failf "trial %d: %s" trial (Guard.Error.to_string e)
     | Ok hem ->
       if hem.Engine.converged then begin
         incr checked;
@@ -278,7 +283,8 @@ let test_random_flat_mode_conservative () =
   for trial = 1 to 15 do
     let spec, generators = random_system rng in
     match Engine.analyse ~mode:Engine.Flat_sem spec with
-    | Error e -> Alcotest.failf "trial %d: %s" trial e
+    | Error e ->
+      Alcotest.failf "trial %d: %s" trial (Guard.Error.to_string e)
     | Ok flat ->
       if flat.Engine.converged then begin
         incr checked;
@@ -339,7 +345,8 @@ let check_scheduler_conservative ~name scheduler seed_base =
   for trial = 1 to 10 do
     let spec, generators = service_system scheduler rng in
     match Engine.analyse spec with
-    | Error e -> Alcotest.failf "%s trial %d: %s" name trial e
+    | Error e ->
+      Alcotest.failf "%s trial %d: %s" name trial (Guard.Error.to_string e)
     | Ok result ->
       if result.Engine.converged then begin
         incr checked;
@@ -361,7 +368,8 @@ let test_gateway_conservative () =
     let p2 = 200 + Random.State.int rng 500 in
     let spec = Scenarios.Gateway.spec ~s1_period:p1 ~s2_period:p2 () in
     match Engine.analyse ~mode:Engine.Hierarchical spec with
-    | Error e -> Alcotest.failf "trial %d: %s" trial e
+    | Error e ->
+      Alcotest.failf "trial %d: %s" trial (Guard.Error.to_string e)
     | Ok hem ->
       if hem.Engine.converged then begin
         let generators =
@@ -408,7 +416,7 @@ let test_and_activation_conservative () =
         ]
       ()
   in
-  let hem = ok (Engine.analyse spec) in
+  let hem = ok_a (Engine.analyse spec) in
   let generators =
     [
       "a", Gen.periodic ~period:100 ();
@@ -435,7 +443,7 @@ let test_edf_conservative () =
 let test_avionics_full_stack_conservative () =
   (* every scheduler in one system, several seeds and execution policies *)
   let spec = Scenarios.Avionics.spec () in
-  let result = ok (Engine.analyse ~mode:Engine.Hierarchical spec) in
+  let result = ok_a (Engine.analyse ~mode:Engine.Hierarchical spec) in
   Alcotest.(check bool) "converged" true result.Engine.converged;
   List.iter
     (fun (seed, policy) ->
@@ -497,7 +505,9 @@ let test_fuzzed_distances_conservative () =
     (fun case ->
       let spec = case.Verify.Fuzz.build () in
       match Engine.analyse ~mode:Engine.Hierarchical spec with
-      | Error e -> Alcotest.failf "%s: %s" case.Verify.Fuzz.label e
+      | Error e ->
+        Alcotest.failf "%s: %s" case.Verify.Fuzz.label
+          (Guard.Error.to_string e)
       | Ok hem ->
         if hem.Engine.converged then begin
           incr checked;
@@ -593,7 +603,7 @@ let test_model_violation_detected () =
      computed for the declared model and must be exceeded somewhere,
      proving the conservativeness checks are not vacuous *)
   let spec = Scenarios.Paper_system.spec () in
-  let hem = ok (Engine.analyse ~mode:Engine.Hierarchical spec) in
+  let hem = ok_a (Engine.analyse ~mode:Engine.Hierarchical spec) in
   let generators =
     [
       "S1", Gen.periodic ~period:60 ();  (* declared: 250 *)

@@ -159,7 +159,8 @@ let test_to_spec_matches_builtin () =
              (Engine.response from_file file_name)))
       [ "f1"; "f2"; "t1"; "t2"; "t3" ]
       [ "F1"; "F2"; "T1"; "T2"; "T3" ]
-  | Error e, _ | _, Error e -> Alcotest.failf "analysis failed: %s" e
+  | Error e, _ | _, Error e ->
+    Alcotest.failf "analysis failed: %s" (Guard.Error.to_string e)
 
 let test_avionics_file_matches_builtin () =
   (* the shipped avionics.scm mirrors Scenarios.Avionics exactly *)
@@ -183,7 +184,8 @@ let test_avionics_file_matches_builtin () =
              (fun i -> Interval.lo i, Interval.hi i)
              (Engine.response a name)))
       Scenarios.Avionics.all_elements
-  | Error e, _ | _, Error e -> Alcotest.failf "analysis failed: %s" e
+  | Error e, _ | _, Error e ->
+    Alcotest.failf "analysis failed: %s" (Guard.Error.to_string e)
 
 let test_print_is_parsable_spec () =
   (* printing then converting still validates *)

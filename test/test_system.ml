@@ -17,7 +17,7 @@ let check_response result name expected =
 
 let ok = function
   | Ok v -> v
-  | Error e -> Alcotest.failf "analysis failed: %s" e
+  | Error e -> Alcotest.failf "analysis failed: %s" (Guard.Error.to_string e)
 
 (* ------------------------------------------------------------------ *)
 (* simple systems *)
@@ -127,8 +127,8 @@ let test_cycle_detected () =
   in
   Alcotest.(check bool) "cycle error" true
     (match Engine.analyse spec with
-     | Error e -> String.length e > 0
-     | Ok _ -> false)
+     | Error (Guard.Error.Cycle _) -> true
+     | Error _ | Ok _ -> false)
 
 let test_overload_reported () =
   let spec =
