@@ -19,6 +19,8 @@ let c_periodic_evals = Metrics.counter "curve.periodic_evals"
 let c_searches = Metrics.counter "curve.searches"
 let c_search_steps = Metrics.counter "curve.search_steps"
 let c_spill_probes = Metrics.counter "curve.spill_probes"
+let c_batch_evals = Metrics.counter "curve.batch_evals"
+let c_batch_probe_count = Metrics.counter "curve.batch_probe_count"
 
 type stats = {
   closure_evals : int;
@@ -27,6 +29,8 @@ type stats = {
   searches : int;
   search_steps : int;
   spill_probes : int;
+  batch_evals : int;
+  batch_probe_count : int;
 }
 
 let stats_diff a b =
@@ -37,6 +41,8 @@ let stats_diff a b =
     searches = a.searches - b.searches;
     search_steps = a.search_steps - b.search_steps;
     spill_probes = a.spill_probes - b.spill_probes;
+    batch_evals = a.batch_evals - b.batch_evals;
+    batch_probe_count = a.batch_probe_count - b.batch_probe_count;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -105,6 +111,8 @@ let stats_of read =
     searches = read c_searches;
     search_steps = read c_search_steps;
     spill_probes = read c_spill_probes;
+    batch_evals = read c_batch_evals;
+    batch_probe_count = read c_batch_probe_count;
   }
 
 let stats () = stats_of Metrics.total
@@ -116,7 +124,7 @@ let reset_stats () =
   List.iter Metrics.reset_total
     [
       c_closure_evals; c_memo_hits; c_periodic_evals; c_searches;
-      c_search_steps; c_spill_probes;
+      c_search_steps; c_spill_probes; c_batch_evals; c_batch_probe_count;
     ]
 
 type periodic = {
@@ -209,6 +217,128 @@ let eval t n =
   | Closure c -> eval_closure c n
   | Periodic p -> eval_periodic p n
   | Constant v -> v
+
+(* ------------------------------------------------------------------ *)
+(* Packed (int-encoded) evaluation.
+
+   The dense memo already stores times order-preservingly encoded as ints
+   ([Fin d] as [d], [Inf] as [max_int]); the packed API exposes that
+   encoding so hot loops can compare, add and batch time values without
+   allocating a [Time.t] per probe.  [packed_inf] compares greater than
+   every finite value, so [Stdlib.min] / [Stdlib.max] / [( < )] on packed
+   values agree with the [Time] operations as long as finite arithmetic
+   never overflows into [max_int] (time values in this codebase are far
+   below that). *)
+
+let packed_inf = inf_code
+
+(* O(1) compact-backend evaluation with no allocation and no per-probe
+   metrics traffic (callers charge batch counters instead). *)
+let[@inline] eval_periodic_packed p n =
+  if n <= 1 then 0
+  else begin
+    let i = n - 2 in
+    let len = Array.length p.prefix in
+    if i < len then p.prefix.(i)
+    else begin
+      let over = i - (len - 1) in
+      let steps = (over + p.period_events - 1) / p.period_events in
+      p.prefix.(i - (steps * p.period_events)) + (steps * p.period_time)
+    end
+  end
+
+let eval_closure_packed c n =
+  if n < 0 || n >= dense_cap then begin
+    Metrics.add_attached c.att c_spill_probes 1;
+    match Hashtbl.find_opt c.spill n with
+    | Some v ->
+      count_hit c;
+      encode v
+    | None ->
+      Metrics.add_attached c.att c_closure_evals 1;
+      let v = c.f n in
+      Hashtbl.add c.spill n v;
+      encode v
+  end
+  else begin
+    let len = Array.length c.dense in
+    if n >= len then begin
+      let grown = Array.make (Stdlib.max 64 (next_pow2 1 n)) unset in
+      Array.blit c.dense 0 grown 0 len;
+      c.dense <- grown
+    end;
+    let v = c.dense.(n) in
+    if v = unset then begin
+      Metrics.add_attached c.att c_closure_evals 1;
+      let t = c.f n in
+      let e = encode t in
+      c.dense.(n) <- e;
+      e
+    end
+    else begin
+      count_hit c;
+      v
+    end
+  end
+
+let eval_packed t n =
+  match t with
+  | Closure c -> eval_closure_packed c n
+  | Periodic p ->
+    Metrics.add_attached p.p_att c_periodic_evals 1;
+    eval_periodic_packed p n
+  | Constant v -> encode v
+
+let attachment_of = function
+  | Closure c -> c.att
+  | Periodic p -> p.p_att
+  | Constant _ -> []
+
+let[@inline] count_batch t len =
+  let att = attachment_of t in
+  Metrics.add_attached att c_batch_evals 1;
+  Metrics.add_attached att c_batch_probe_count len
+
+(* Fill [dst.(pos + i) <- eval t (n0 + i)] (packed) for [i < len].  One
+   batch-counter bump covers the whole sweep; the compact backend pays no
+   per-probe metrics or allocation at all, the closure backend still
+   charges each memo miss so "work actually done" stays exact. *)
+let eval_range_into t ~n0 ~len ~dst ~pos =
+  if len < 0 || pos < 0 || pos + len > Array.length dst then
+    invalid_arg "Curve.eval_range_into: bad range";
+  if len > 0 then begin
+    count_batch t len;
+    (match t with
+    | Periodic p ->
+      for i = 0 to len - 1 do
+        dst.(pos + i) <- eval_periodic_packed p (n0 + i)
+      done
+    | Closure c ->
+      for i = 0 to len - 1 do
+        dst.(pos + i) <- eval_closure_packed c (n0 + i)
+      done
+    | Constant v ->
+      let e = encode v in
+      for i = 0 to len - 1 do
+        dst.(pos + i) <- e
+      done)
+  end
+
+(* Batched probe sweep: one vectorised pass over an arbitrary (possibly
+   unsorted, possibly duplicated) probe array.  Results are packed. *)
+let eval_batch t probes =
+  let len = Array.length probes in
+  if len = 0 then [||]
+  else begin
+    count_batch t len;
+    match t with
+    | Periodic p ->
+      Array.map (fun n -> eval_periodic_packed p n) probes
+    | Closure c -> Array.map (fun n -> eval_closure_packed c n) probes
+    | Constant v ->
+      let e = encode v in
+      Array.make len e
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Constructors *)
@@ -387,3 +517,82 @@ let first_gt t ~offset limit =
   end
   | Closure _ | Constant _ ->
     first_satisfying ~lo:0 (fun n -> Time.(eval t (n + offset) > limit))
+
+(* ------------------------------------------------------------------ *)
+(* Packed-limit searches: the same pseudo-inversions with an int limit
+   and a resumable lower bound, so convergence loops that re-probe the
+   same curves with monotonically growing windows (busy-window
+   interference, EDF demand scans) neither allocate a [Time.t] per probe
+   nor restart the exponential search from scratch each iteration. *)
+
+(* [periodic_first] with an int limit and no closure/ref churn beyond a
+   single step-counting cell per search. *)
+(* First index in [lo, hi] with [prefix.(i) + base] satisfying the
+   limit; requires the value at [hi] to satisfy.  A module-level
+   recursion over plain ints (no closure, no step ref) so the packed
+   search allocates nothing; [steps] is the probe count so far, flushed
+   to the step counter when the search bottoms out. *)
+let rec bfirst_packed att prefix ~strict ~limit ~base ~steps lo hi =
+  if lo >= hi then begin
+    Metrics.add_attached att c_search_steps steps;
+    hi
+  end
+  else begin
+    let mid = (lo + hi) / 2 in
+    let v = prefix.(mid) + base in
+    let ok = if strict then v > limit else v >= limit in
+    if ok then
+      bfirst_packed att prefix ~strict ~limit ~base ~steps:(steps + 1) lo mid
+    else
+      bfirst_packed att prefix ~strict ~limit ~base ~steps:(steps + 1) (mid + 1)
+        hi
+  end
+
+let periodic_first_packed p ~strict limit =
+  Metrics.add_attached p.p_att c_searches 1;
+  let len = Array.length p.prefix in
+  let top = p.prefix.(len - 1) in
+  let top_ok = if strict then top > limit else top >= limit in
+  if top_ok then
+    (* steps starts at 1: the top probe above *)
+    bfirst_packed p.p_att p.prefix ~strict ~limit ~base:0 ~steps:1 0 (len - 1)
+    + 2
+  else if p.period_time <= 0 then begin
+    Metrics.add_attached p.p_att c_search_steps 1;
+    raise (Unbounded "Curve: periodic tail never reaches limit")
+  end
+  else begin
+    let need = limit - top in
+    let s =
+      if strict then (need / p.period_time) + 1
+      else (need + p.period_time - 1) / p.period_time
+    in
+    let s = Stdlib.max 1 s in
+    let base = s * p.period_time in
+    let j =
+      bfirst_packed p.p_att p.prefix ~strict ~limit ~base ~steps:1
+        (len - p.period_events) (len - 1)
+    in
+    j + (s * p.period_events) + 2
+  end
+
+(* [count_lt] with a packed finite limit and a verified lower bound:
+   callers must guarantee [lo >= 1] and, when [lo > 1],
+   [eval t (lo - 1) < limit] (true whenever [lo - 1] is a previous
+   [count_lt_packed] answer for a limit [<=] the current one — arrival
+   counts grow monotonically with the window). *)
+let count_lt_packed t ~lo ~limit =
+  if limit <= 0 then invalid_arg "Curve.count_lt: limit <= 0";
+  if lo < 1 then invalid_arg "Curve.count_lt_packed: lo < 1";
+  match t with
+  | Periodic p ->
+    if limit >= inf_code then
+      raise (Unbounded "Curve.count_lt: infinite limit on a finite curve");
+    (* arithmetic location is already O(log period); the hint is not
+       needed to stay cheap *)
+    periodic_first_packed p ~strict:false limit - 1
+  | Closure _ | Constant _ ->
+    let first_ge =
+      first_satisfying ~lo (fun n -> eval_packed t n >= limit)
+    in
+    first_ge - 1

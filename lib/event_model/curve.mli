@@ -66,6 +66,50 @@ val clamp_low : t -> t
 
 val eval : t -> int -> Timebase.Time.t
 
+(** {1 Packed (batched, allocation-free) evaluation}
+
+    The hot analysis loops — busy-window interference, OR-combination
+    convolutions, the task output recurrence — probe curves millions of
+    times; boxing every result as a [Time.t] and bumping a metrics
+    counter per probe dominates the arithmetic itself.  The packed API
+    exposes the memo's own order-preserving int encoding: [Time.Fin d]
+    is [d] and [Time.Inf] is {!packed_inf} ([= max_int]), so [Stdlib]
+    integer comparison, [min], [max] and addition of finite values agree
+    with the corresponding [Time] operations.
+
+    Batched sweeps charge {e one} [curve.batch_evals] bump plus the probe
+    count to [curve.batch_probe_count] instead of per-probe
+    [periodic_evals] traffic; closure-backend memo misses are still
+    charged individually (underlying work stays exactly counted). *)
+
+val packed_inf : int
+(** Encoding of [Time.Inf]; strictly greater than every finite value. *)
+
+val eval_packed : t -> int -> int
+(** [eval_packed t n] is [eval t n] in packed encoding.  On the compact
+    periodic backend this allocates nothing. *)
+
+val eval_batch : t -> int array -> int array
+(** [eval_batch t probes] evaluates all probe indices in one sweep and
+    returns the packed values, [result.(i) = eval_packed t probes.(i)].
+    Probes may be unsorted and may contain duplicates. *)
+
+val eval_range_into : t -> n0:int -> len:int -> dst:int array -> pos:int -> unit
+(** [eval_range_into t ~n0 ~len ~dst ~pos] stores
+    [eval_packed t (n0 + i)] into [dst.(pos + i)] for [0 <= i < len] —
+    the zero-allocation range variant of {!eval_batch} used to fill SoA
+    value tables incrementally.
+    @raise Invalid_argument when the destination range is out of bounds. *)
+
+val count_lt_packed : t -> lo:int -> limit:int -> int
+(** [count_lt_packed t ~lo ~limit] is [count_lt t (Fin limit)] with a
+    resumable search: [lo >= 1] must be a verified lower bound on the
+    first index with [eval t _ >= limit] (i.e. [lo = 1], or
+    [eval t (lo - 1) < limit] — in particular [lo = previous result + 1]
+    is valid whenever the limit only grows between calls, as it does in
+    busy-window convergence loops).  No [Time.t] is allocated.
+    @raise Unbounded as {!count_lt}. *)
+
 val backend : t -> [ `Closure | `Periodic | `Constant ]
 (** Which representation backs the curve (observability / tests). *)
 
@@ -118,6 +162,8 @@ type stats = {
   searches : int;  (** pseudo-inversion queries *)
   search_steps : int;  (** probes across all searches *)
   spill_probes : int;  (** lookups in the deep-probe spill tables *)
+  batch_evals : int;  (** batched sweeps ({!eval_batch} / {!eval_range_into}) *)
+  batch_probe_count : int;  (** total probes served by batched sweeps *)
 }
 
 val stats : unit -> stats

@@ -1,0 +1,16 @@
+(* Global switch between the batched/packed hot-path kernels and the
+   legacy scalar implementations they replaced.  Both paths compute the
+   same mathematical objects; keeping the scalar path callable lets the
+   benchmarks measure honest speedups in one binary and lets the
+   verification layer assert byte-identical outcomes (Verify.Oracle's
+   kernel-agreement check, `bench scale`). *)
+
+let enabled = ref true
+
+let with_mode mode f =
+  let saved = !enabled in
+  enabled := mode;
+  Fun.protect ~finally:(fun () -> enabled := saved) f
+
+let with_scalar f = with_mode false f
+let with_batched f = with_mode true f

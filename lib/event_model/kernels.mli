@@ -1,0 +1,25 @@
+(** Switch between the batched/packed hot-path kernels and the legacy
+    scalar implementations they replaced.
+
+    The optimized paths (batched OR-combination convolution, compact
+    periodic task-output construction, warm-started busy-window
+    fixpoints with resumable arrival searches) compute exactly the same
+    values as the scalar originals; this switch exists so that a single
+    binary can measure honest before/after speedups ([bench scale]) and
+    so the verification layer can assert byte-identical analysis
+    outcomes between the two paths (see [Verify.Oracle]).
+
+    The flag is read at curve/stream {e construction} and analysis time
+    from the current domain; set it only from the domain that will run
+    the analysis (pool workers rebuild specs worker-side after the flag
+    is set, so exploration sweeps see a consistent mode). *)
+
+val enabled : bool ref
+(** [true] (default): use the batched kernels.  [false]: legacy scalar
+    paths. *)
+
+val with_scalar : (unit -> 'a) -> 'a
+(** Run [f] with the kernels disabled; restores the previous mode. *)
+
+val with_batched : (unit -> 'a) -> 'a
+(** Run [f] with the kernels enabled; restores the previous mode. *)

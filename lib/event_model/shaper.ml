@@ -6,7 +6,7 @@ let delay_bound ?(horizon = 4096) ~d stream =
      event leaves the shaper no earlier than (q-1)*d after the first, but
      may arrive as early as delta_min q after it.  The delay is unbounded
      exactly when the input's long-run rate exceeds the shaper rate 1/d. *)
-  let scan_max q_max =
+  let scan_max_scalar q_max =
     let rec scan q worst =
       if q > q_max then worst
       else
@@ -15,6 +15,28 @@ let delay_bound ?(horizon = 4096) ~d stream =
         | Time.Fin dist -> scan (q + 1) (Stdlib.max worst (((q - 1) * d) - dist))
     in
     scan 2 0
+  in
+  (* Batched variant for the compact path: one range sweep fills a packed
+     scratch array, the deficit scan then runs allocation-free on ints.
+     Only used where every value is finite (compact curves are finite
+     everywhere), so no per-probe Inf check is needed. *)
+  let scan_max_batched q_max =
+    if q_max < 2 then 0
+    else begin
+      let curve = Stream.delta_min_curve stream in
+      let len = q_max - 1 in
+      let vals = Array.make len 0 in
+      Curve.eval_range_into curve ~n0:2 ~len ~dst:vals ~pos:0;
+      let worst = ref 0 in
+      for q = 2 to q_max do
+        let deficit = ((q - 1) * d) - vals.(q - 2) in
+        if deficit > !worst then worst := deficit
+      done;
+      !worst
+    end
+  in
+  let scan_max q_max =
+    if !Kernels.enabled then scan_max_batched q_max else scan_max_scalar q_max
   in
   match Curve.periodic_tail (Stream.delta_min_curve stream) with
   | Some (prefix_len, period_events, period_time) ->
@@ -43,7 +65,11 @@ let delay_bound ?(horizon = 4096) ~d stream =
       | Time.Inf, _ | _, Time.Inf -> false
       | Time.Fin hi, Time.Fin lo -> hi - lo < half * d
     in
-    if rate_exceeded then Time.Inf else Time.of_int (scan_max horizon)
+    if rate_exceeded then Time.Inf
+    else
+      (* closure values can be Inf (e.g. sporadic-derived): keep the
+         early-stopping scalar scan *)
+      Time.of_int (scan_max_scalar horizon)
 
 let enforce_min_distance ?name ?horizon ~d stream =
   if d < 1 then invalid_arg "Shaper.enforce_min_distance: d < 1";

@@ -16,54 +16,168 @@ type 'a outcome =
 let c_tasks = Obs.Metrics.counter "explore.pool.tasks"
 let c_maps = Obs.Metrics.counter "explore.pool.maps"
 let c_interrupts = Obs.Metrics.counter "explore.pool.interrupts"
+let c_steals = Obs.Metrics.counter "explore.pool.steals"
 
 let default_jobs () = Domain.recommended_domain_count ()
 
+(* Spawning more domains than the machine has cores makes OCaml 5
+   throughput collapse (every minor collection is a stop-the-world
+   handshake across all domains), which is exactly the jobs=4 slowdown
+   BENCH_3 recorded on a 1-core box.  [jobs] is therefore a request;
+   the pool runs [min jobs cores] domains unless the caller explicitly
+   oversubscribes (tests exercising spawn paths, overhead benchmarks). *)
+let effective_jobs ?(oversubscribe = false) jobs =
+  if oversubscribe then jobs
+  else Stdlib.max 1 (Stdlib.min jobs (Domain.recommended_domain_count ()))
+
 let now_us () = Unix.gettimeofday () *. 1e6
 
-(* One worker's loop: pull indices from the shared counter until the
-   queue is drained, the pool is stopped, or the guard trips; results
-   (and the first exception per item) are recorded by index so the merge
-   is schedule-independent.  A guard trip publishes its reason into
-   [stop] (first trip wins) and every worker drains out at its next
-   claim.  An exception escaping the claim path itself — e.g. an
-   injected worker crash — is captured per worker, never lost. *)
-let worker_loop ~label ~queue ~n ~f ~results ~errors ~guard ~stop w =
+(* ------------------------------------------------------------------ *)
+(* Legacy claiming: one atomic round-trip per item, guard checked and
+   injection site fired before every claim.  This is the only schedule
+   whose interruption behaviour is deterministic across jobs counts
+   (claims are globally ascending, so when the guard trips at item [k]
+   every item below [k] has already been claimed and therefore completes
+   before the join), so it is kept for every guarded or fault-injected
+   map.  Unguarded maps — the throughput path — use the chunked
+   work-stealing scheduler below instead. *)
+let worker_loop_items ~label ~queue ~n ~f ~results ~errors ~guard ~stop ~tasks
+    () =
+  let rec drain () =
+    match Atomic.get stop with
+    | Some _ -> ()
+    | None ->
+      let i = Atomic.fetch_and_add queue 1 in
+      if i < n then begin
+        match
+          if Guard.Inject.armed () then
+            Guard.Inject.fire (Printf.sprintf "%s.item:%d" label i);
+          Guard.check guard
+        with
+        | () ->
+          Obs.Metrics.incr c_tasks;
+          Stdlib.incr tasks;
+          (match f i with
+          | v -> results.(i) <- Some v
+          | exception e -> errors.(i) <- Some e);
+          drain ()
+        | exception Guard.Error.Error r when Guard.Error.is_interrupt r ->
+          ignore (Atomic.compare_and_set stop None (Some r))
+      end
+  in
+  drain ()
+
+(* ------------------------------------------------------------------ *)
+(* Chunked scheduler: workers claim contiguous chunks off the shared
+   counter (one atomic op per chunk, not per item) into a per-worker
+   deque; the owner drains its deque from the front in small private
+   batches, and when both the shared counter and its own deque run dry
+   it steals the back half of a peer's remainder — classic bounded
+   work-stealing, which fixes the tail imbalance block-splitting would
+   otherwise reintroduce.  Only reachable when no guard can trip, so
+   workers never abandon claimed items and the merge is a total,
+   schedule-independent function of [f]. *)
+
+type deque = {
+  mutable d_lo : int;  (* next index the owner will take *)
+  mutable d_hi : int;  (* exclusive upper bound of the remainder *)
+  d_lock : Mutex.t;
+}
+
+let chunk_size ~n ~workers =
+  Stdlib.max 1 (Stdlib.min 64 (n / (4 * workers)))
+
+let mini_batch = 8
+
+let worker_loop_chunked ~queue ~n ~chunk ~f ~results ~errors ~deques ~tasks w =
+  let workers = Array.length deques in
+  let mine = deques.(w) in
+  let run_range lo hi =
+    for i = lo to hi - 1 do
+      Obs.Metrics.incr c_tasks;
+      Stdlib.incr tasks;
+      match f i with
+      | v -> results.(i) <- Some v
+      | exception e -> errors.(i) <- Some e
+    done
+  in
+  (* take up to [mini_batch] items from the front of [dq] *)
+  let take_front dq =
+    Mutex.lock dq.d_lock;
+    let lo = dq.d_lo in
+    let take = Stdlib.min mini_batch (dq.d_hi - lo) in
+    if take > 0 then dq.d_lo <- lo + take;
+    Mutex.unlock dq.d_lock;
+    if take > 0 then Some (lo, lo + take) else None
+  in
+  (* steal the back half of a peer's remainder into [mine] *)
+  let steal () =
+    let rec try_victim k =
+      if k >= workers then false
+      else begin
+        let v = (w + 1 + k) mod workers in
+        if v = w then try_victim (k + 1)
+        else begin
+          let dq = deques.(v) in
+          Mutex.lock dq.d_lock;
+          let len = dq.d_hi - dq.d_lo in
+          let got =
+            if len <= 0 then None
+            else begin
+              let take = (len + 1) / 2 in
+              let lo = dq.d_hi - take in
+              dq.d_hi <- lo;
+              Some (lo, lo + take)
+            end
+          in
+          Mutex.unlock dq.d_lock;
+          match got with
+          | Some (lo, hi) ->
+            Obs.Metrics.incr c_steals;
+            Mutex.lock mine.d_lock;
+            mine.d_lo <- lo;
+            mine.d_hi <- hi;
+            Mutex.unlock mine.d_lock;
+            true
+          | None -> try_victim (k + 1)
+        end
+      end
+    in
+    try_victim 0
+  in
+  let rec drain () =
+    match take_front mine with
+    | Some (lo, hi) ->
+      run_range lo hi;
+      drain ()
+    | None ->
+      let i = Atomic.fetch_and_add queue chunk in
+      if i < n then begin
+        let hi = Stdlib.min n (i + chunk) in
+        Mutex.lock mine.d_lock;
+        mine.d_lo <- i;
+        mine.d_hi <- hi;
+        Mutex.unlock mine.d_lock;
+        drain ()
+      end
+      else if steal () then drain ()
+  in
+  drain ()
+
+(* One worker: telemetry wrapper around whichever drain loop the map
+   selected; results (and the first exception per item) are recorded by
+   index so the merge is schedule-independent.  An exception escaping
+   the claim path itself — e.g. an injected worker crash — is captured
+   per worker, never lost. *)
+let worker ~label ~drain w =
   let scope = Obs.Metrics.scope (Printf.sprintf "%s.worker%d" label w) in
   let tasks = ref 0 in
-  let busy = ref 0.0 in
   let crash = ref None in
   let t_begin = now_us () in
   Obs.Metrics.in_scope scope (fun () ->
-    let rec drain () =
-      match Atomic.get stop with
-      | Some _ -> ()
-      | None ->
-        let i = Atomic.fetch_and_add queue 1 in
-        if i < n then begin
-          match
-            if Guard.Inject.armed () then
-              Guard.Inject.fire (Printf.sprintf "%s.item:%d" label i);
-            Guard.check guard
-          with
-          | () ->
-            Obs.Metrics.incr c_tasks;
-            Stdlib.incr tasks;
-            let t0 = now_us () in
-            (match f i with
-             | v -> results.(i) <- Some v
-             | exception e -> errors.(i) <- Some e);
-            busy := !busy +. (now_us () -. t0);
-            drain ()
-          | exception Guard.Error.Error r when Guard.Error.is_interrupt r ->
-            ignore (Atomic.compare_and_set stop None (Some r))
-        end
-    in
-    match drain () with
-    | () -> ()
-    | exception e -> crash := Some e);
+    match drain ~tasks w with () -> () | exception e -> crash := Some e);
   let t_end = now_us () in
-  ( { worker = w; tasks = !tasks; busy_us = !busy;
+  ( { worker = w; tasks = !tasks; busy_us = t_end -. t_begin;
       counters = Obs.Metrics.snapshot scope },
     t_begin,
     t_end,
@@ -94,33 +208,56 @@ let emit_worker_spans label stats =
              }))
       stats
 
-let map_guarded ?jobs ?(label = "explore.pool") ?(guard = Guard.none) f n =
+let map_guarded ?jobs ?oversubscribe ?(label = "explore.pool")
+    ?(guard = Guard.none) f n =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   if jobs < 1 then invalid_arg "Pool.map: jobs < 1";
   if n < 0 then invalid_arg "Pool.map: negative size";
   Obs.Metrics.incr c_maps;
+  let workers = effective_jobs ?oversubscribe jobs in
   let results = Array.make n None in
   let errors = Array.make n None in
   let queue = Atomic.make 0 in
   let stop : Guard.Error.t option Atomic.t = Atomic.make None in
-  let run =
-    worker_loop ~label ~queue ~n ~f ~results ~errors ~guard ~stop
+  (* Guarded or fault-injected maps need the deterministic per-item
+     claim order; unguarded maps take the chunked scheduler. *)
+  let use_items = guard != Guard.none || Guard.Inject.armed () in
+  let drain =
+    if use_items then fun ~tasks _w ->
+      worker_loop_items ~label ~queue ~n ~f ~results ~errors ~guard ~stop
+        ~tasks ()
+    else begin
+      let chunk = chunk_size ~n ~workers in
+      let deques =
+        Array.init workers (fun _ ->
+          { d_lo = 0; d_hi = 0; d_lock = Mutex.create () })
+      in
+      fun ~tasks w ->
+        worker_loop_chunked ~queue ~n ~chunk ~f ~results ~errors ~deques
+          ~tasks w
+    end
   in
+  let run = worker ~label ~drain in
   let stats =
     Obs.Trace.with_span
-      ~attrs:[ "jobs", Obs.Event.Int jobs; "items", Obs.Event.Int n ]
+      ~attrs:
+        [
+          "jobs", Obs.Event.Int jobs;
+          "workers", Obs.Event.Int workers;
+          "items", Obs.Event.Int n;
+        ]
       (label ^ ".map")
     @@ fun () ->
-    if jobs = 1 then [ run 0 ]
+    if workers = 1 then [ run 0 ]
     else begin
-      (* The calling domain is worker 0; jobs - 1 helpers are spawned
+      (* The calling domain is worker 0; workers - 1 helpers are spawned
          one at a time so that a spawn failing mid-way can still join
          every domain already running: the queue is starved first, so
          the live helpers drain out promptly, then all are joined and
          the spawn failure is re-raised — no domain is ever leaked. *)
       let spawned = ref [] in
       match
-        for k = 1 to jobs - 1 do
+        for k = 1 to workers - 1 do
           if Guard.Inject.armed () then
             Guard.Inject.fire (Printf.sprintf "%s.spawn:%d" label k);
           let d = Domain.spawn (fun () -> run k) in
@@ -197,12 +334,13 @@ let map_guarded ?jobs ?(label = "explore.pool") ?(guard = Guard.none) f n =
       end
     end
 
-let map_stats ?jobs ?label f n =
-  match map_guarded ?jobs ?label f n with
+let map_stats ?jobs ?oversubscribe ?label f n =
+  match map_guarded ?jobs ?oversubscribe ?label f n with
   | Complete vs, stats -> vs, stats
   | Interrupted { reason; _ }, _ ->
     (* without a caller-supplied guard an interruption can only come
        from an injected trip; surface it as the error it is *)
     raise (Guard.Error.Error reason)
 
-let map ?jobs ?label f n = fst (map_stats ?jobs ?label f n)
+let map ?jobs ?oversubscribe ?label f n =
+  fst (map_stats ?jobs ?oversubscribe ?label f n)

@@ -1,11 +1,31 @@
-(** Fixed-size domain pool with a work queue and a deterministic merge.
+(** Fixed-size domain pool with a chunked work queue, work stealing and
+    a deterministic merge.
 
-    [map ~jobs f n] evaluates [f 0 .. f (n - 1)] on [jobs] domains pulling
-    indices from a shared queue and returns the results {e in index
+    [map ~jobs f n] evaluates [f 0 .. f (n - 1)] on a pool of domains
+    pulling work from a shared queue and returns the results {e in index
     order}, so the output is independent of [jobs] and of how the
-    scheduler interleaved the workers.  [jobs = 1] runs everything in the
-    calling domain (no spawn), which is the baseline the determinism
-    guard compares against.
+    scheduler interleaved the workers.
+
+    {b Effective parallelism.}  [jobs] is a {e request}: the pool runs
+    [min jobs (Domain.recommended_domain_count ())] worker domains
+    (see {!effective_jobs}), because oversubscribing cores makes OCaml 5
+    throughput collapse — every minor collection is a stop-the-world
+    handshake across all domains.  Results are unaffected (the merge is
+    index-ordered either way); only the schedule changes.  Pass
+    [~oversubscribe:true] to force one domain per requested job (spawn-
+    path tests, overhead measurements).  [effective_jobs _ = 1] runs
+    everything in the calling domain (no spawn), which is the baseline
+    the determinism guard compares against.
+
+    {b Scheduling.}  Unguarded maps claim {e chunks} of indices off the
+    shared queue (one atomic operation per chunk instead of one per
+    item) into a per-worker deque; owners drain their deque from the
+    front in small batches while idle workers steal the back half of a
+    peer's remainder, so the tail stays balanced without per-item
+    round-trips.  Maps with a real guard — or with fault injection
+    armed — fall back to per-item claims in globally ascending order,
+    which is what makes the interrupted prefix deterministic across
+    jobs counts (see {!map_guarded}).
 
     {b Domain-locality contract.}  [f] runs on a worker domain.  Every
     mutable structure it touches must be created inside the call — in
@@ -19,15 +39,16 @@
     Telemetry: every worker runs under its own [Obs.Metrics] scope
     ([<label>.worker<i>]), whose snapshot is returned in
     {!worker_stat.counters}; the pool bumps the global counters
-    [explore.pool.tasks] and [explore.pool.maps].  When a tracing sink is
-    installed, one [<label>.worker<i>] span per worker (with [tasks] /
-    [busy_us] attributes) is emitted {e after} the join, with explicit
-    timestamps, so worker domains never touch the sink concurrently. *)
+    [explore.pool.tasks], [explore.pool.maps], [explore.pool.interrupts]
+    and [explore.pool.steals].  When a tracing sink is installed, one
+    [<label>.worker<i>] span per worker (with [tasks] / [busy_us]
+    attributes) is emitted {e after} the join, with explicit timestamps,
+    so worker domains never touch the sink concurrently. *)
 
 type worker_stat = {
-  worker : int;  (** worker index, [0 .. jobs - 1] *)
+  worker : int;  (** worker index, [0 .. effective_jobs - 1] *)
   tasks : int;  (** queue items this worker executed *)
-  busy_us : float;  (** wall time spent inside [f] *)
+  busy_us : float;  (** wall time of the worker's drain loop *)
   counters : (string * int) list;
       (** non-zero metrics charged to the worker's scope, sorted by name *)
 }
@@ -48,20 +69,31 @@ type 'a outcome =
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the hardware parallelism. *)
 
-val map : ?jobs:int -> ?label:string -> (int -> 'a) -> int -> 'a list
-(** [map ~jobs f n] is [[f 0; ...; f (n - 1)]], evaluated on [jobs]
-    domains.  [jobs] defaults to {!default_jobs}; [label] (default
-    ["explore.pool"]) names the metric scopes and spans.  If any [f i]
-    raises, the exception of the {e smallest} failing index is re-raised
-    after all workers have been joined (deterministic error too).
+val effective_jobs : ?oversubscribe:bool -> int -> int
+(** Number of worker domains a map with this [jobs] request will run:
+    [max 1 (min jobs (default_jobs ()))], or [jobs] itself when
+    [oversubscribe] is set. *)
+
+val map :
+  ?jobs:int -> ?oversubscribe:bool -> ?label:string -> (int -> 'a) -> int ->
+  'a list
+(** [map ~jobs f n] is [[f 0; ...; f (n - 1)]], evaluated on
+    [effective_jobs jobs] domains.  [jobs] defaults to {!default_jobs};
+    [label] (default ["explore.pool"]) names the metric scopes and
+    spans.  If any [f i] raises, the exception of the {e smallest}
+    failing index is re-raised after all workers have been joined
+    (deterministic error too).
     @raise Invalid_argument when [jobs < 1] or [n < 0]. *)
 
 val map_stats :
-  ?jobs:int -> ?label:string -> (int -> 'a) -> int -> 'a list * worker_stat list
-(** Like {!map}, also returning per-worker telemetry (in worker order). *)
+  ?jobs:int -> ?oversubscribe:bool -> ?label:string -> (int -> 'a) -> int ->
+  'a list * worker_stat list
+(** Like {!map}, also returning per-worker telemetry (in worker order;
+    one entry per {e effective} worker). *)
 
 val map_guarded :
   ?jobs:int ->
+  ?oversubscribe:bool ->
   ?label:string ->
   ?guard:Guard.t ->
   (int -> 'a) ->
@@ -72,6 +104,9 @@ val map_guarded :
     next claim, all domains are joined, and the call returns
     [Interrupted] with the completed prefix instead of raising.  [f]
     itself runs unguarded — interruption granularity is one queue item.
+    Guarded maps (and maps with fault injection armed) claim items
+    one at a time in globally ascending order — chunking never changes
+    interruption semantics.
 
     Error precedence after the join (all deterministic): the smallest
     index whose [f i] raised wins; then the lowest-numbered worker's
@@ -84,4 +119,6 @@ val map_guarded :
     Fault-injection sites (see {!Guard.Inject}): ["<label>.item:<i>"]
     fired by the claiming worker before executing item [i] (a [Crash]
     there is a worker death, a [Trip] a forced stop), and
-    ["<label>.spawn:<k>"] fired before spawning helper [k]. *)
+    ["<label>.spawn:<k>"] fired before spawning helper
+    [k <= effective_jobs - 1] (combine with [~oversubscribe:true] to
+    exercise spawns regardless of the machine's core count). *)

@@ -49,6 +49,125 @@ let fan_in ?base_period ?(cet = 20) ?(tx_time = 4) ~signals ()  =
       ]
     ~tasks ~frames:[ frame ] ()
 
+(* Seeded many-ECU network: [ecus] CPUs with mixed schedulers, one or
+   two CAN segments, per-ECU sense -> process chains whose outputs are
+   packed (two signals per frame) onto a segment, receiver tasks on the
+   next ECU unpacking them, and — with two segments — a gateway frame
+   that repacks a bus-0 signal onto bus 1 (a [From_signal] origin, the
+   hierarchy hop the paper's gateway example exercises).  All draws come
+   from one [Random.State] seeded by [seed], so the same seed always
+   yields the same spec (digest-identical), which is what lets the
+   scaling benchmark assert byte-identical results across jobs counts.
+   Periods are drawn large relative to execution times, keeping every
+   resource conservatively loaded and the analysis convergent. *)
+let network ?(seed = 1) ?(ecus = 8) () =
+  if ecus < 1 then invalid_arg "Synthetic.network: ecus < 1";
+  let rng = Random.State.make [| 0x5e01; seed; ecus |] in
+  let rand lo hi = lo + Random.State.int rng (hi - lo + 1) in
+  let cpu e = Printf.sprintf "ecu%d" e in
+  let buses = if ecus >= 4 then 2 else 1 in
+  let bus b = Printf.sprintf "bus%d" b in
+  let resources =
+    List.init ecus (fun e ->
+      let scheduler =
+        match e mod 3 with
+        | 0 -> Spec.Spp
+        | 1 -> Spec.Spnp
+        | _ -> Spec.Round_robin
+      in
+      { Spec.res_name = cpu e; scheduler })
+    @ List.init buses (fun b -> { Spec.res_name = bus b; scheduler = Spec.Spnp })
+  in
+  let service_of e = if e mod 3 = 2 then Some (rand 40 60) else None in
+  let sources = ref [] in
+  let tasks = ref [] in
+  let add_task t = tasks := t :: !tasks in
+  (* per-ECU chains: sense (from the ECU's source) -> proc (its output
+     feeds the bus) *)
+  List.iter
+    (fun e ->
+      let src = Printf.sprintf "S%d" e in
+      let period = 10 * rand 250 500 in
+      let jitter = 10 * rand 0 (period / 40) in
+      sources :=
+        ( src,
+          Stream.periodic_jitter ~name:src ~period ~jitter () )
+        :: !sources;
+      let service = service_of e in
+      add_task
+        (Spec.task ~name:(Printf.sprintf "sense%d" e) ~resource:(cpu e)
+           ~cet:(Interval.make ~lo:(rand 5 10) ~hi:(rand 11 20))
+           ~priority:1 ?service
+           ~activation:(Spec.From_source src) ());
+      add_task
+        (Spec.task ~name:(Printf.sprintf "proc%d" e) ~resource:(cpu e)
+           ~cet:(Interval.make ~lo:(rand 5 10) ~hi:(rand 11 25))
+           ~priority:2 ?service
+           ~activation:(Spec.From_output (Printf.sprintf "sense%d" e)) ()))
+    (List.init ecus Fun.id);
+  (* frames: pack proc outputs pairwise onto the segments, receivers on
+     the next ECU unpack each signal *)
+  let frames = ref [] in
+  let frame_count = (ecus + 1) / 2 in
+  List.iter
+    (fun f ->
+      let members =
+        List.filter (fun e -> e < ecus) [ 2 * f; (2 * f) + 1 ]
+      in
+      let b = f mod buses in
+      let fname = Printf.sprintf "F%d" f in
+      frames :=
+        Spec.frame ~name:fname ~bus:(bus b)
+          ~send_type:Comstack.Frame.Direct
+          ~tx_time:(Interval.make ~lo:2 ~hi:(rand 3 6))
+          ~priority:(f + 1)
+          ~signals:
+            (List.map
+               (fun e ->
+                 Spec.signal ~name:(Printf.sprintf "sig%d" e)
+                   ~origin:(Spec.From_output (Printf.sprintf "proc%d" e))
+                   ())
+               members)
+          ()
+        :: !frames;
+      List.iter
+        (fun e ->
+          let rx = (e + 1) mod ecus in
+          add_task
+            (Spec.task ~name:(Printf.sprintf "recv%d" e) ~resource:(cpu rx)
+               ~cet:(Interval.make ~lo:(rand 5 10) ~hi:(rand 11 20))
+               ~priority:(3 + (e / 2)) ?service:(service_of rx)
+               ~activation:
+                 (Spec.From_signal { frame = fname; signal = Printf.sprintf "sig%d" e })
+               ()))
+        members)
+    (List.init frame_count Fun.id);
+  (* gateway hop: with two segments, repack frame F0's first signal onto
+     bus 1 and receive it on the last ECU *)
+  if buses = 2 then begin
+    frames :=
+      Spec.frame ~name:"GW" ~bus:(bus 1) ~send_type:Comstack.Frame.Direct
+        ~tx_time:(Interval.make ~lo:2 ~hi:(rand 3 5))
+        ~priority:(frame_count + 1)
+        ~signals:
+          [
+            Spec.signal ~name:"gw_sig"
+              ~origin:(Spec.From_signal { frame = "F0"; signal = "sig0" })
+              ();
+          ]
+        ()
+      :: !frames;
+    let rx = ecus - 1 in
+    add_task
+      (Spec.task ~name:"gw_recv" ~resource:(cpu rx)
+         ~cet:(Interval.make ~lo:(rand 5 8) ~hi:(rand 9 15))
+         ~priority:99 ?service:(service_of rx)
+         ~activation:(Spec.From_signal { frame = "GW"; signal = "gw_sig" })
+         ())
+  end;
+  Spec.make ~sources:(List.rev !sources) ~resources
+    ~tasks:(List.rev !tasks) ~frames:(List.rev !frames) ()
+
 let chain ?(period = 500) ?(stages = 4) () =
   if stages < 1 then invalid_arg "Synthetic.chain: stages < 1";
   let task_name i = Printf.sprintf "stage%d" (i + 1) in

@@ -18,6 +18,27 @@ val fan_in :
     Defaults: [base_period = 300 * n] (keeps the CPU schedulable as [n]
     grows), [cet = 20], [tx_time = 4]. *)
 
+val network :
+  ?seed:int ->
+  ?ecus:int ->
+  unit ->
+  Cpa_system.Spec.t
+(** [network ~seed ~ecus ()] builds a deterministic pseudo-random
+    many-ECU system: [ecus] CPUs with mixed schedulers (SPP / SPNP /
+    round-robin in rotation), one CAN segment (two when [ecus >= 4]),
+    a sense->process chain per ECU, process outputs packed two signals
+    per frame onto the segments, receiver tasks on the neighbouring ECU
+    unpacking each signal, and — with two segments — a gateway frame
+    repacking a bus-0 signal onto bus 1 ([From_signal] origin).
+
+    All parameters (periods, jitters, execution and transmission times,
+    round-robin quanta) are drawn from one generator seeded by [seed]
+    and [ecus], so equal arguments yield digest-identical specs —
+    the property the scaling benchmark's byte-identical-across-jobs
+    assertion rests on.  Periods are large relative to execution times,
+    keeping utilization conservative and the analysis convergent.
+    Defaults: [seed = 1], [ecus = 8]. *)
+
 val chain :
   ?period:int ->
   ?stages:int ->

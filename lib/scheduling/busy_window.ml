@@ -156,6 +156,64 @@ let max_backlog ?label ?(q_limit = default_q_limit) ~arrival ~arrivals_in
   in
   spanned ?label ~q_reached (fun () -> loop 1 1)
 
+(* SoA interference kernel: the per-probe work of [interference] —
+   walking a task list, boxing every arrival count, restarting the
+   eta_plus pseudo-inversion from scratch — dominates busy-window
+   convergence on deep systems.  A [Demand.t] snapshots the
+   higher-priority set once (activation curves, C+ values) and keeps a
+   resumable search hint per task: convergence loops probe the same
+   curves with monotonically growing windows, so each search can start
+   where the previous one ended instead of re-running the exponential
+   phase (satellite of ISSUE 6: hoisting repeated identical probes). *)
+module Demand = struct
+  module Curve = Event_model.Curve
+
+  type t = {
+    curves : Curve.t array;  (* activation delta_min curves *)
+    cets : int array;  (* worst-case execution times (C+) *)
+    names : string array;
+    hints : int array;  (* resumable lower bounds for count_lt *)
+  }
+
+  let make tasks =
+    let arr = Array.of_list tasks in
+    {
+      curves =
+        Array.map
+          (fun (t : Rt_task.t) -> Stream.delta_min_curve t.activation)
+          arr;
+      cets = Array.map (fun (t : Rt_task.t) -> Interval.hi t.cet) arr;
+      names = Array.map (fun (t : Rt_task.t) -> t.name) arr;
+      hints = Array.make (Array.length arr) 1;
+    }
+
+  let size t = Array.length t.cets
+  let name t i = t.names.(i)
+
+  let count t ~i ~window =
+    if window <= 0 then 0
+    else begin
+      match
+        Curve.count_lt_packed t.curves.(i) ~lo:t.hints.(i) ~limit:window
+      with
+      | c ->
+        t.hints.(i) <- c + 1;
+        c
+      | exception Curve.Unbounded _ -> -1
+    end
+
+  let eval t ~window =
+    let n = Array.length t.cets in
+    let rec go i acc =
+      if i >= n then Ok acc
+      else begin
+        let c = count t ~i ~window in
+        if c < 0 then Error i else go (i + 1) (acc + (c * t.cets.(i)))
+      end
+    in
+    go 0 0
+end
+
 let interference ~tasks ~window =
   let rec total = function
     | [] -> Ok 0

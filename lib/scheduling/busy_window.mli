@@ -64,6 +64,39 @@ val max_backlog :
     activations are pending.  [arrivals_in w] is the element's own
     [eta_plus] over a window of size [w]. *)
 
+(** SoA interference kernel with resumable arrival searches.
+
+    One [Demand.t] snapshots a task set (activation curves and [C+]
+    values, structure-of-arrays) and serves arrival-demand queries for
+    the convergence loop of one local analysis.  Each task carries a
+    search hint that resumes the eta_plus pseudo-inversion where the
+    previous query ended; this is only sound when the query windows for
+    a given task never decrease over the kernel's lifetime — which holds
+    in busy-window fixpoints (windows grow within an iteration and, with
+    warm-started fixpoints, across activation indices [q]) and in EDF
+    demand scans (windows grow with [dt]).  Build a fresh kernel per
+    analysed task; do not share one across analyses or domains. *)
+module Demand : sig
+  type t
+
+  val make : Rt_task.t list -> t
+  (** Snapshot the task set in list order. *)
+
+  val size : t -> int
+
+  val name : t -> int -> string
+  (** Name of the i-th task (error reporting). *)
+
+  val count : t -> i:int -> window:int -> int
+  (** Arrival count [eta_plus_i window] of the i-th task, or [-1] when
+      it is unbounded.  [0] when [window <= 0].  Windows passed for a
+      given [i] must be non-decreasing across calls. *)
+
+  val eval : t -> window:int -> (int, int) result
+  (** Total demand [sum_i count i * C+_i] over a uniform window, or
+      [Error i] for the first task with unbounded arrivals. *)
+end
+
 val interference :
   tasks:Rt_task.t list -> window:int -> (int, string) result
 (** [interference ~tasks ~window] is the cumulated worst-case demand

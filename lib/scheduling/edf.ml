@@ -44,17 +44,57 @@ let busy_period ?(window_limit = Busy_window.default_window_limit) tasks =
   check_tasks tasks;
   let rt_tasks = List.map (fun t -> t.task) tasks in
   let failure = ref None in
-  let step w =
-    match Busy_window.interference ~tasks:rt_tasks ~window:w with
-    | Ok demand -> Stdlib.max 1 demand
-    | Error reason ->
-      failure := Some reason;
-      w
+  let step =
+    if not !Event_model.Kernels.enabled then fun w ->
+      match Busy_window.interference ~tasks:rt_tasks ~window:w with
+      | Ok demand -> Stdlib.max 1 demand
+      | Error reason ->
+        failure := Some reason;
+        w
+    else begin
+      (* resumable kernel: fixpoint windows only grow *)
+      let demand = Busy_window.Demand.make rt_tasks in
+      fun w ->
+        match Busy_window.Demand.eval demand ~window:w with
+        | Ok d -> Stdlib.max 1 d
+        | Error i ->
+          failure :=
+            Some
+              (Printf.sprintf "unbounded arrivals of %s in window %d"
+                 (Busy_window.Demand.name demand i) w);
+          w
+    end
   in
   match Busy_window.fixpoint ~limit:window_limit ~init:1 step with
   | Some l when !failure = None -> Ok l
   | Some _ -> Error (Option.get !failure)
   | None -> Error "busy period diverges (overload)"
+
+(* Kernel variant of [demand_bound]: one SoA snapshot serves the whole
+   [dt = 1 .. l] scan; per-task windows [dt - deadline + 1] grow with
+   [dt], matching the resumable-hint contract. *)
+let demand_bound_kernel tasks =
+  let arr = Array.of_list tasks in
+  let demand = Busy_window.Demand.make (List.map (fun t -> t.task) tasks) in
+  fun dt ->
+    let n = Array.length arr in
+    let rec total i acc =
+      if i >= n then Ok acc
+      else begin
+        let t = arr.(i) in
+        if dt < t.deadline then total (i + 1) acc
+        else begin
+          match
+            Busy_window.Demand.count demand ~i ~window:(dt - t.deadline + 1)
+          with
+          | -1 ->
+            Error
+              (Printf.sprintf "unbounded arrivals of %s" t.task.Rt_task.name)
+          | c -> total (i + 1) (acc + (c * Interval.hi t.task.Rt_task.cet))
+        end
+      end
+    in
+    total 0 0
 
 let schedulable ?window_limit tasks =
   check_tasks tasks;
@@ -62,15 +102,19 @@ let schedulable ?window_limit tasks =
     match busy_period ?window_limit tasks with
     | Error _ as e -> e
     | Ok l ->
+      let demand =
+        if !Event_model.Kernels.enabled then demand_bound_kernel tasks
+        else demand_bound tasks
+      in
       let rec scan dt =
         if dt > l then Ok ()
         else begin
-          match demand_bound tasks dt with
-          | Ok demand when demand <= dt -> scan (dt + 1)
-          | Ok demand ->
+          match demand dt with
+          | Ok d when d <= dt -> scan (dt + 1)
+          | Ok d ->
             Error
-              (Printf.sprintf "demand %d exceeds window %d (busy period %d)"
-                 demand dt l)
+              (Printf.sprintf "demand %d exceeds window %d (busy period %d)" d
+                 dt l)
           | Error _ as e -> e
         end
       in

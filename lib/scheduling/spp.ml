@@ -22,6 +22,45 @@ let completion ~window_limit ~blocking ~task ~others q =
   | Some w when !diverged = None -> Some w
   | Some _ | None -> None
 
+(* Kernel path: the higher-priority set is snapshot once per analysed
+   task (not once per q), the interference queries go through the
+   resumable [Busy_window.Demand] kernel, and the fixpoint for the q-th
+   activation warm-starts at the (q-1)-th completion [w'].  Warm start
+   is sound: the window equation [f_q] is monotone with
+   [f_q w' = own_q - own_(q-1) + w' >= w'] (since [w'] is the previous
+   fixpoint of the same demand term and [own] grows by [C+] per q), so
+   iterating from [w'] still reaches the least fixed point of [f_q] —
+   every iterate stays [<= lfp] — while skipping the ramp-up from
+   [own_q].  Query windows therefore never decrease across the whole
+   busy period, which is exactly the hint contract of [Demand]. *)
+let make_finish ~window_limit ~blocking ~task ~others =
+  if not !Event_model.Kernels.enabled then
+    completion ~window_limit ~blocking ~task ~others
+  else begin
+    let hp = Busy_window.higher_priority ~than:task others in
+    let demand = Busy_window.Demand.make hp in
+    let c_plus = Interval.hi task.Rt_task.cet in
+    let prev = ref 0 in
+    fun q ->
+      let own = blocking + (q * c_plus) in
+      let diverged = ref false in
+      let step w =
+        match Busy_window.Demand.eval demand ~window:w with
+        | Ok d -> own + d
+        | Error _ ->
+          diverged := true;
+          w
+      in
+      match
+        Busy_window.fixpoint ~limit:window_limit
+          ~init:(Stdlib.max own !prev) step
+      with
+      | Some w when not !diverged ->
+        prev := w;
+        Some w
+      | Some _ | None -> None
+  end
+
 let response_time ?(window_limit = Busy_window.default_window_limit) ?q_limit
     ?(blocking = 0) ~task ~others () =
   if blocking < 0 then
@@ -36,7 +75,7 @@ let response_time ?(window_limit = Busy_window.default_window_limit) ?q_limit
   Busy_window.max_response ~label:task.Rt_task.name ?q_limit
     ~best_case:(Interval.lo task.Rt_task.cet)
     ~arrival:(Stream.delta_min task.Rt_task.activation)
-    ~finish:(completion ~window_limit ~blocking ~task ~others)
+    ~finish:(make_finish ~window_limit ~blocking ~task ~others)
     ()
 
 let backlog_bound ?(window_limit = Busy_window.default_window_limit) ?q_limit
@@ -53,7 +92,7 @@ let backlog_bound ?(window_limit = Busy_window.default_window_limit) ?q_limit
   Busy_window.max_backlog ~label:task.Rt_task.name ?q_limit
     ~arrival:(Stream.delta_min activation)
     ~arrivals_in
-    ~finish:(completion ~window_limit ~blocking ~task ~others)
+    ~finish:(make_finish ~window_limit ~blocking ~task ~others)
     ()
 
 let analyse ?window_limit ?q_limit tasks =

@@ -42,6 +42,8 @@ let print_effort ppf (result : Engine.result) =
     c.Event_model.Curve.closure_evals c.Event_model.Curve.memo_hits;
   Format.fprintf ppf "  curve periodic evals  %d@ "
     c.Event_model.Curve.periodic_evals;
+  Format.fprintf ppf "  curve batch sweeps    %d  (%d probes)@ "
+    c.Event_model.Curve.batch_evals c.Event_model.Curve.batch_probe_count;
   Format.fprintf ppf "  curve searches        %d  (%d probe steps)@ "
     c.Event_model.Curve.searches c.Event_model.Curve.search_steps;
   Format.fprintf ppf "  curve spill probes    %d@ "

@@ -90,8 +90,7 @@ let fingerprint_stream buffer s =
   probe Event_model.Stream.delta_plus 64;
   probe Event_model.Stream.delta_plus 101
 
-let canonical t =
-  let buffer = Buffer.create 1024 in
+let canonical_into buffer t =
   let add fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
   let by_name name_of = List.sort (fun a b -> String.compare (name_of a) (name_of b)) in
   let rec add_activation = function
@@ -161,8 +160,22 @@ let canonical t =
           add ")")
         (by_name (fun s -> s.signal_name) f.signals);
       add ";")
-    (by_name (fun f -> f.frame_name) t.frames);
+    (by_name (fun f -> f.frame_name) t.frames)
+
+let canonical t =
+  let buffer = Buffer.create 1024 in
+  canonical_into buffer t;
   Buffer.contents buffer
+
+(* [digest_with] renders into a caller-owned scratch buffer so a batch
+   of digests (an exploration sweep digesting hundreds of specs per
+   worker) reuses one grown buffer instead of re-allocating and
+   re-growing a fresh one per spec.  The digest itself is unchanged:
+   same canonical bytes, same hex. *)
+let digest_with buffer t =
+  Buffer.clear buffer;
+  canonical_into buffer t;
+  Digest.to_hex (Digest.string (Buffer.contents buffer))
 
 let digest t = Digest.to_hex (Digest.string (canonical t))
 

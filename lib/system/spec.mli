@@ -124,6 +124,14 @@ val digest : t -> string
     used by the exploration result cache: identical variants produced by
     different sweep axes collide on it and are analysed once. *)
 
+val digest_with : Buffer.t -> t -> string
+(** [digest_with scratch t] is {!digest}[ t], rendering the canonical
+    form into [scratch] (cleared first) instead of a fresh buffer.
+    Batch callers — the exploration driver digests one spec per sweep
+    item — keep a per-domain scratch buffer and amortise the buffer
+    growth across the whole batch.  The digest value is identical to
+    {!digest}'s. *)
+
 val validate : t -> (unit, string) result
 (** Structural checks: unique element names, resolvable references,
     resources of frames are buses with an SPNP scheduler, TDMA /

@@ -171,6 +171,57 @@ let backend_agreement () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* oracle 1b: batched curve sweeps vs the boxed scalar evaluator *)
+
+(* Deliberately unsorted and with duplicates: [eval_batch] makes no
+   ordering assumption, and a batched closure evaluation must hit the
+   memo for a repeated probe exactly like the scalar path does. *)
+let batch_probe_lists =
+  [
+    [ 1; 2; 3; 5; 8; 13; 21; 34 ];
+    [ 64; 2; 63; 2; 100; 1; 17; 4097; 17 ];
+    [ 1000; 3; 999; 3; 1; 128 ];
+  ]
+
+let packed_of_time = function
+  | Time.Fin d -> d
+  | Time.Inf -> Event_model.Curve.packed_inf
+
+let batch_agreement_curve ~name curve =
+  let module Curve = Event_model.Curve in
+  forall ~name batch_probe_lists (fun probes ->
+      let arr = Array.of_list probes in
+      let batch = Curve.eval_batch curve arr in
+      let rec scan i =
+        if i >= Array.length arr then None
+        else
+          let scalar = packed_of_time (Curve.eval curve arr.(i)) in
+          if batch.(i) = scalar then scan (i + 1)
+          else
+            Some
+              (Printf.sprintf "n=%d: batch %d, scalar %d" arr.(i) batch.(i)
+                 scalar)
+      in
+      scan 0)
+
+(* Both distance curves of every source stream of the spec: periodic
+   compact backends from the standard constructors and closure backends
+   from OR/AND combinations all pass through here. *)
+let batch_agreement spec =
+  List.map
+    (fun (name, stream) ->
+      batch_agreement_curve
+        ~name:(Printf.sprintf "batch[%s]:delta_min" name)
+        (Es.delta_min_curve stream))
+    spec.Spec.sources
+  @ List.map
+      (fun (name, stream) ->
+        batch_agreement_curve
+          ~name:(Printf.sprintf "batch[%s]:delta_plus" name)
+          (Es.delta_plus_curve stream))
+      spec.Spec.sources
+
+(* ------------------------------------------------------------------ *)
 (* oracle 2: incremental engine vs from-scratch fixed point *)
 
 let render_result (r : Engine.result) =
@@ -203,6 +254,40 @@ let engine_agreement ?(mode = Engine.Hierarchical) spec =
     [ check ~name false ("scratch rejected: " ^ Guard.Error.to_string e) ]
   | Error e, Ok _ ->
     [ check ~name false ("incremental rejected: " ^ Guard.Error.to_string e) ]
+
+(* ------------------------------------------------------------------ *)
+(* oracle 2b: batched analysis kernels vs scalar legacy paths *)
+
+(* The batched kernels (range sweeps in OR-combination, compact task-op
+   construction, demand vectors in the busy-window analyses) are pure
+   optimisations: the whole analysis, run with kernels forced off and
+   on, must render byte-identical outcomes. *)
+let kernel_agreement ?(mode = Engine.Hierarchical) spec =
+  let module Kernels = Event_model.Kernels in
+  let name =
+    Printf.sprintf "engine[%s]:batched=scalar" (Engine.mode_name mode)
+  in
+  match
+    ( Kernels.with_batched (fun () ->
+          Engine.analyse ~mode ~incremental:false spec),
+      Kernels.with_scalar (fun () ->
+          Engine.analyse ~mode ~incremental:false spec) )
+  with
+  | Ok batched, Ok scalar ->
+    let a = render_result batched and b = render_result scalar in
+    if String.equal a b then [ check ~name true "byte-identical outcomes" ]
+    else
+      [ check ~name false (Printf.sprintf "batched:\n%s\nscalar:\n%s" a b) ]
+  | Error a, Error b ->
+    let a = Guard.Error.to_string a and b = Guard.Error.to_string b in
+    [
+      check ~name (String.equal a b)
+        (Printf.sprintf "both rejected: %s / %s" a b);
+    ]
+  | Ok _, Error e ->
+    [ check ~name false ("scalar rejected: " ^ Guard.Error.to_string e) ]
+  | Error e, Ok _ ->
+    [ check ~name false ("batched rejected: " ^ Guard.Error.to_string e) ]
 
 (* ------------------------------------------------------------------ *)
 (* oracle 3: hierarchical vs flat-SEM baseline *)
@@ -412,6 +497,12 @@ let verify_spec ?(label = "system") ?(selfcheck = true) ?(seed = 42)
               (fun mode -> engine_agreement ~mode spec)
               [ Engine.Hierarchical; Engine.Flat_stream; Engine.Flat_sem ]
           in
+          let kernels =
+            List.concat_map
+              (fun mode -> kernel_agreement ~mode spec)
+              [ Engine.Hierarchical; Engine.Flat_sem ]
+          in
+          let batches = batch_agreement spec in
           let tightness =
             match Engine.analyse ~mode:Engine.Flat_sem spec with
             | Error e ->
@@ -432,7 +523,7 @@ let verify_spec ?(label = "system") ?(selfcheck = true) ?(seed = 42)
                 (Engine.status_name hem.Engine.status)
                 hem.Engine.iterations)
           :: incremental)
-          @ tightness
+          @ kernels @ batches @ tightness
       in
       { label; checks; violations = List.rev !violations })
 

@@ -9,9 +9,15 @@
       arithmetic pseudo-inversion vs naive closures over the defining
       formulas (and, for bursts, the concrete arrival pattern) with
       linear-scan inversions;
+    - {b batch agreement}: batched curve sweeps ([Curve.eval_batch])
+      vs the boxed scalar evaluator on unsorted, duplicate-bearing
+      probe arrays, over both distance curves of every source;
     - {b engine agreement}: the incremental fixed-point engine vs a
       from-scratch recomputation — outcomes must be byte-identical,
       including iteration counts;
+    - {b kernel agreement}: the whole analysis with the batched kernels
+      forced off vs on ([Event_model.Kernels]) — byte-identical rendered
+      outcomes;
     - {b hierarchy tightness}: hierarchical analysis response bounds
       never exceed the flat-SEM baseline's;
     - {b simulation dominance}: analytic response bounds and arrival
@@ -55,10 +61,22 @@ val backend_agreement : unit -> check list
     periodic-burst and sporadic models, on a dense index prefix plus
     deep probes, and eta inversions vs linear scans.  Deterministic. *)
 
+val batch_agreement : Cpa_system.Spec.t -> check list
+(** [Curve.eval_batch] vs the scalar evaluator on unsorted probe lists
+    with duplicates, for the delta_min and delta_plus curves of every
+    source stream of the spec (compact and closure backends alike). *)
+
 val engine_agreement :
   ?mode:Cpa_system.Engine.mode -> Cpa_system.Spec.t -> check list
 (** [analyse ~incremental:true] vs [analyse ~incremental:false] on the
     given system ([mode] defaults to [Hierarchical]). *)
+
+val kernel_agreement :
+  ?mode:Cpa_system.Engine.mode -> Cpa_system.Spec.t -> check list
+(** The analysis with batched kernels enabled vs disabled
+    ([Event_model.Kernels.with_batched] / [with_scalar]), both from
+    scratch: rendered outcomes must be byte-identical ([mode] defaults
+    to [Hierarchical]). *)
 
 val hierarchy_tightness :
   Cpa_system.Engine.result -> Cpa_system.Engine.result -> check
@@ -109,8 +127,9 @@ val verify_spec :
 (** Runs the hierarchical analysis (with the {!Stream} sanitizer wired
     into the engine's [~selfcheck] hook and pack-degradation warnings
     captured, unless [selfcheck:false]), audits every frame hierarchy,
-    then runs the engine, tightness and — when [generators] are given —
-    simulation oracles.  [seed] and [horizon] configure the simulation. *)
+    then runs the engine, kernel, batch, tightness and — when
+    [generators] are given — simulation oracles.  [seed] and [horizon]
+    configure the simulation. *)
 
 val verify_case :
   ?selfcheck:bool -> ?seed:int -> ?horizon:int -> Fuzz.case -> report

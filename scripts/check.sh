@@ -2,10 +2,12 @@
 # Full verification: build + tests + the perf benchmark (which also
 # cross-checks incremental vs full engine outcomes and refreshes
 # BENCH_1.json), plus an observability smoke test, a guard on the
-# no-sink instrumentation overhead, the exploration checks
-# (jobs-determinism byte diff + BENCH_3.json scaling sanity), and the
-# self-verification smoke (sanitizer + differential oracles on the paper
-# system and a fixed-seed fuzz batch).
+# no-sink instrumentation overhead, a kernel no-regression gate vs the
+# committed BENCH_1.json, the kernel A/B + pool scaling benchmark
+# (BENCH_6.json), the exploration checks (jobs-determinism byte diff +
+# BENCH_3.json scaling sanity), and the self-verification smoke
+# (sanitizer + differential oracles on the paper system and a fixed-seed
+# fuzz batch).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 # Hard wall-clock ceiling: a hung fixed point or deadlocked pool must
@@ -74,7 +76,57 @@ if [ "${PERF_GUARD:-1}" = 1 ]; then
     exit 1
   fi
 fi
+# --- kernel no-regression gate ----------------------------------------
+# The committed BENCH_1.json numbers were produced with the batched
+# curve kernels enabled; a fresh perf run must not fall more than
+# KERNEL_TOL_PCT behind them on the kernel-heavy cases.  This catches a
+# silently disabled or regressed kernel path (tolerance absorbs timing
+# noise; skip with KERNEL_GUARD=0 on a very noisy machine).
+if [ "${KERNEL_GUARD:-1}" = 1 ]; then
+  ktol="${KERNEL_TOL_PCT:-10}"
+  for case_name in chain_16 paper_flat_sem; do
+    old=$(jq --arg n "$case_name" '[.cases[] | select(.name == $n)][0].full_ms' "$baseline")
+    new=$(jq --arg n "$case_name" '[.cases[] | select(.name == $n)][0].full_ms' BENCH_1.json)
+    if ! awk -v old="$old" -v new="$new" -v tol="$ktol" -v name="$case_name" 'BEGIN {
+      limit = old * (1 + tol / 100.0);
+      printf "check: kernel case %s %.3f ms vs baseline %.3f ms (limit %.3f ms)\n",
+        name, new, old, limit;
+      exit !(new <= limit)
+    }'; then
+      echo "check: kernel case ${case_name} regressed more than ${ktol}% vs committed BENCH_1.json" >&2
+      exit 1
+    fi
+  done
+fi
 rm -f "$baseline"
+
+# --- kernel A/B + pool scaling (BENCH_6.json) -------------------------
+# Refreshes BENCH_6.json.  The bench itself asserts scalar and batched
+# outcomes identical, allocation-free packed fast paths, and
+# byte-identical sweep rows across jobs counts; here we check the
+# headline claims: serial kernel speedup, the periodic-eval reduction,
+# and that requesting more jobs than cores never costs (the pool clamps
+# to the machine).
+dune exec bench/main.exe -- scale
+jq -e '[.kernels[] | select(.name == "chain_16")][0].speedup >= 2' BENCH_6.json > /dev/null \
+  || { echo "check: chain_16 kernel speedup below 2x" >&2; exit 1; }
+jq -e '[.kernels[] | select(.name == "paper_flat_sem")][0].periodic_eval_reduction >= 5' BENCH_6.json > /dev/null \
+  || { echo "check: paper_flat_sem periodic-eval reduction below 5x" >&2; exit 1; }
+jq -e '.pool.rows_identical == true' BENCH_6.json > /dev/null
+jq -e '.allocation_bytes_per_call.eval_packed <= 1 and .allocation_bytes_per_call.count_lt_packed <= 1' BENCH_6.json > /dev/null \
+  || { echo "check: packed periodic fast path allocates" >&2; exit 1; }
+if ! jq -e '[.pool.runs[] | select(.jobs == 4)][0].speedup_vs_jobs1 >= 0.95' BENCH_6.json > /dev/null; then
+  echo "check: pool at jobs=4 costs more than 5% vs jobs=1" >&2
+  exit 1
+fi
+cores6=$(jq '.pool.cores' BENCH_6.json)
+if [ "$cores6" -ge 2 ]; then
+  if ! jq -e '[.pool.runs[] | select(.jobs == 2)][0].speedup_vs_jobs1 > 1' BENCH_6.json > /dev/null; then
+    echo "check: no pool speedup at 2 domains on a ${cores6}-core machine" >&2
+    exit 1
+  fi
+fi
+echo "check: kernel scale ok (chain_16 $(jq '[.kernels[] | select(.name == "chain_16")][0].speedup' BENCH_6.json)x serial, $(jq '[.kernels[] | select(.name == "paper_flat_sem")][0].periodic_eval_reduction' BENCH_6.json)x fewer periodic evals, pool clamped to ${cores6} core(s))"
 
 # --- exploration: determinism guard -----------------------------------
 # The deterministic stdout of sweep/explore must be byte-identical at

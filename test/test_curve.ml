@@ -246,6 +246,76 @@ let prop_first_gt_vs_brute =
       in
       Curve.first_gt c ~offset:2 (Time.of_int limit) = brute)
 
+(* batched sweeps vs the boxed scalar evaluator: no ordering assumption
+   on the probe array, duplicates must hit the closure memo exactly like
+   repeated scalar evals *)
+let packed_of_time = function
+  | Time.Fin d -> d
+  | Time.Inf -> Curve.packed_inf
+
+let arb_probes = QCheck.(list_of_size (Gen.int_range 1 40) (int_range 1 2000))
+
+let batch_agrees c probes =
+  let arr = Array.of_list probes in
+  let batch = Curve.eval_batch c arr in
+  Array.length batch = Array.length arr
+  && Array.for_all2
+       (fun b n -> b = packed_of_time (Curve.eval c n))
+       batch arr
+
+let prop_batch_closure =
+  QCheck.Test.make ~name:"eval_batch = scalar eval (closure backend)"
+    ~count:200
+    (QCheck.pair arb_steps arb_probes)
+    (fun (steps, probes) -> batch_agrees (curve_of_steps steps) probes)
+
+let arb_periodic_params =
+  QCheck.(
+    quad (int_range 1 300) (int_range 0 600) (int_range 1 20) arb_probes)
+
+let periodic_curve_of (period, jitter, d_min) =
+  Event_model.Stream.delta_min_curve
+    (Event_model.Stream.periodic_jitter ~name:"p" ~period ~jitter
+       ~d_min:(Stdlib.min d_min period) ())
+
+let prop_batch_periodic =
+  QCheck.Test.make ~name:"eval_batch = scalar eval (periodic backend)"
+    ~count:200 arb_periodic_params
+    (fun (period, jitter, d_min, probes) ->
+      batch_agrees (periodic_curve_of (period, jitter, d_min)) probes)
+
+let prop_range_into =
+  QCheck.Test.make ~name:"eval_range_into = scalar eval" ~count:200
+    (QCheck.quad (QCheck.int_range 1 300) (QCheck.int_range 0 600)
+       (QCheck.int_range 1 200) (QCheck.int_range 0 60))
+    (fun (period, jitter, n0, len) ->
+      let c = periodic_curve_of (period, jitter, 1) in
+      let dst = Array.make (len + 3) (-1) in
+      Curve.eval_range_into c ~n0 ~len ~dst ~pos:2;
+      dst.(0) = -1
+      && dst.(1) = -1
+      && Array.for_all Fun.id
+           (Array.init len (fun i ->
+                dst.(i + 2) = packed_of_time (Curve.eval c (n0 + i)))))
+
+(* the warm-start hint contract: feeding the previous answer + 1 as [lo]
+   is sound whenever the limit only grows *)
+let prop_count_lt_packed_hint =
+  QCheck.Test.make ~name:"count_lt_packed hint agreement" ~count:200
+    (QCheck.pair arb_steps
+       QCheck.(list_of_size (Gen.int_range 1 10) (int_range 1 400)))
+    (fun (steps, limits) ->
+      let c = curve_of_steps steps in
+      let limits = List.sort_uniq compare limits in
+      let lo = ref 1 in
+      List.for_all
+        (fun limit ->
+          let expected = Curve.count_lt c (Time.of_int limit) in
+          let got = Curve.count_lt_packed c ~lo:!lo ~limit in
+          lo := got + 1;
+          got = expected)
+        limits)
+
 let () =
   Alcotest.run "curve"
     [
@@ -279,5 +349,12 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_count_lt_vs_brute; prop_first_gt_vs_brute ] );
+          [
+            prop_count_lt_vs_brute;
+            prop_first_gt_vs_brute;
+            prop_batch_closure;
+            prop_batch_periodic;
+            prop_range_into;
+            prop_count_lt_packed_hint;
+          ] );
     ]

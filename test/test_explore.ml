@@ -51,11 +51,71 @@ let test_pool_invalid () =
   Alcotest.(check bool) "n<0" true
     (raises (fun () -> Pool.map ~jobs:1 (fun i -> i) (-1)))
 
+let test_pool_chunked_determinism () =
+  (* the unguarded (chunked, work-stealing) scheduler must be a pure
+     function of [f]: byte-identical output at every jobs count, with
+     real extra domains forced via oversubscription so stealing is
+     actually exercised on a small machine *)
+  let f i = Printf.sprintf "item-%d:%d" i (i * i) in
+  let n = 200 in
+  let serial = Marshal.to_string (Pool.map ~jobs:1 f n) [] in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "bytes identical at jobs=%d" jobs)
+        serial
+        (Marshal.to_string (Pool.map ~jobs ~oversubscribe:true f n) []))
+    [ 1; 2; 4 ]
+
+let test_pool_chunked_smallest_error () =
+  (* chunking must not change which exception surfaces: still the
+     smallest failing index, even with parallel domains racing *)
+  for _ = 1 to 5 do
+    match
+      Pool.map ~jobs:4 ~oversubscribe:true
+        (fun i -> if i mod 7 = 3 then failwith (string_of_int i) else i)
+        100
+    with
+    | _ -> Alcotest.fail "expected failure"
+    | exception Failure msg -> Alcotest.(check string) "smallest index" "3" msg
+  done
+
+let test_pool_guarded_prefix_jobs_independent () =
+  (* a guarded map falls back to per-item ascending claims, so a
+     complete run is identical across jobs counts and oversubscription,
+     and a budget-tripped run still returns a contiguous prefix *)
+  let guard () = Guard.create ~budget:1_000_000 () in
+  let expected = List.init 50 (fun i -> i * 3) in
+  List.iter
+    (fun (jobs, oversubscribe) ->
+      match
+        Pool.map_guarded ~jobs ~oversubscribe ~guard:(guard ())
+          (fun i -> i * 3)
+          50
+      with
+      | Pool.Complete vs, _ ->
+        Alcotest.(check (list int))
+          (Printf.sprintf "complete at jobs=%d" jobs)
+          expected vs
+      | Pool.Interrupted _, _ -> Alcotest.fail "guard should not trip")
+    [ (1, false); (2, true); (4, true) ]
+
 let test_pool_stats () =
+  (* one stat per *effective* worker: the pool clamps the requested jobs
+     to the machine's cores unless oversubscription is forced *)
   let results, stats = Pool.map_stats ~jobs:3 (fun i -> i + 1) 10 in
   Alcotest.(check (list int)) "results" (List.init 10 (fun i -> i + 1)) results;
-  Alcotest.(check int) "workers" 3 (List.length stats);
+  Alcotest.(check int) "workers" (Pool.effective_jobs 3) (List.length stats);
   Alcotest.(check int) "tasks add up" 10
+    (List.fold_left (fun acc (w : Pool.worker_stat) -> acc + w.tasks) 0 stats);
+  let results, stats =
+    Pool.map_stats ~jobs:3 ~oversubscribe:true (fun i -> i + 1) 10
+  in
+  Alcotest.(check (list int)) "results (oversubscribed)"
+    (List.init 10 (fun i -> i + 1))
+    results;
+  Alcotest.(check int) "workers (oversubscribed)" 3 (List.length stats);
+  Alcotest.(check int) "tasks add up (oversubscribed)" 10
     (List.fold_left (fun acc (w : Pool.worker_stat) -> acc + w.tasks) 0 stats)
 
 (* ------------------------------------------------------------------ *)
@@ -257,6 +317,35 @@ let test_driver_error_rows () =
   | exception Not_found -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Synthetic network generator (feeds the scaling benchmark) *)
+
+let test_network_generator () =
+  List.iter
+    (fun (seed, ecus) ->
+      let spec = Scenarios.Synthetic.network ~seed ~ecus () in
+      (match Spec.validate spec with
+       | Ok () -> ()
+       | Error e -> Alcotest.failf "seed=%d ecus=%d invalid: %s" seed ecus e);
+      (match Engine.analyse ~mode:Engine.Hierarchical spec with
+       | Ok r ->
+         Alcotest.(check bool)
+           (Printf.sprintf "seed=%d ecus=%d converges" seed ecus)
+           true r.Engine.converged
+       | Error e ->
+         Alcotest.failf "seed=%d ecus=%d: %s" seed ecus
+           (Guard.Error.to_string e));
+      (* equal arguments must yield digest-identical specs: the scaling
+         benchmark's byte-identical-across-jobs assertion rests on it *)
+      Alcotest.(check string)
+        (Printf.sprintf "seed=%d ecus=%d deterministic" seed ecus)
+        (Spec.digest (Scenarios.Synthetic.network ~seed ~ecus ()))
+        (Spec.digest (Scenarios.Synthetic.network ~seed ~ecus ())))
+    [ (1, 1); (1, 2); (1, 8); (2, 8); (3, 16); (7, 5) ];
+  Alcotest.(check bool) "seeds differ" true
+    (Spec.digest (Scenarios.Synthetic.network ~seed:1 ~ecus:8 ())
+     <> Spec.digest (Scenarios.Synthetic.network ~seed:2 ~ecus:8 ()))
+
+(* ------------------------------------------------------------------ *)
 (* Pareto *)
 
 let mk_summary ?(digest = "d") triples =
@@ -336,6 +425,12 @@ let () =
             test_pool_smallest_error;
           Alcotest.test_case "invalid arguments" `Quick test_pool_invalid;
           Alcotest.test_case "worker stats" `Quick test_pool_stats;
+          Alcotest.test_case "chunked scheduler deterministic" `Quick
+            test_pool_chunked_determinism;
+          Alcotest.test_case "chunked smallest-index error" `Quick
+            test_pool_chunked_smallest_error;
+          Alcotest.test_case "guarded prefix jobs-independent" `Quick
+            test_pool_guarded_prefix_jobs_independent;
         ] );
       ( "cache",
         [
@@ -372,6 +467,10 @@ let () =
             test_driver_cache_hits_normalised;
           Alcotest.test_case "unknown target raises" `Quick
             test_driver_error_rows;
+        ] );
+      ( "synthetic",
+        [
+          Alcotest.test_case "network generator" `Quick test_network_generator;
         ] );
       ( "pareto",
         [

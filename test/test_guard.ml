@@ -126,8 +126,11 @@ let test_pool_spawn_failure_joins () =
      already running instead of leaking them, then re-raise *)
   with_inject @@ fun () ->
   Guard.Inject.arm ~site:"t.spawn:2" (Guard.Inject.Crash "spawn dies");
+  (* oversubscribe so helper 2 is spawned even on a 1-core machine *)
   Alcotest.(check bool) "spawn failure re-raised" true
-    (match Pool.map_guarded ~jobs:4 ~label:"t" (fun i -> i) 64 with
+    (match
+       Pool.map_guarded ~jobs:4 ~oversubscribe:true ~label:"t" (fun i -> i) 64
+     with
      | _ -> false
      | exception Failure m -> String.equal m "spawn dies");
   (* the pool is fully functional afterwards: nothing leaked, the queue

@@ -120,6 +120,61 @@ let prop_output_delta_plus_exact =
             (Time.add (Stream.delta_plus s n) (Time.of_int (Interval.width r))))
         [ 2; 3; 5; 9 ])
 
+(* the compact (periodic-backend, verified-window) construction must
+   agree with the scalar recurrence everywhere — deep probes included,
+   where the compact curve runs on tail arithmetic *)
+let arb_stream_mixed =
+  let open QCheck in
+  let jittered =
+    map
+      (fun (p, j, d) ->
+        Stream.periodic_jitter ~name:"s" ~period:p ~jitter:j
+          ~d_min:(Stdlib.min d p) ())
+      (triple (int_range 1 200) (int_range 0 400) (int_range 1 10))
+  in
+  let bursty =
+    map
+      (fun (p, b, d) ->
+        let burst = 1 + (b mod 5) in
+        let period = Stdlib.max p (burst * d) in
+        Stream.periodic_burst ~name:"s" ~period ~burst ~d_min:d)
+      (triple (int_range 10 300) (int_range 0 10) (int_range 1 15))
+  in
+  choose [ jittered; bursty ]
+
+let deep_ns = [ 1; 2; 3; 4; 5; 7; 11; 16; 33; 64; 100; 257; 1000; 4001 ]
+
+let prop_compact_matches_scalar =
+  QCheck.Test.make ~name:"kernel output = scalar output" ~count:150
+    (QCheck.pair arb_stream_mixed arb_response) (fun (s, r) ->
+      let batched =
+        Event_model.Kernels.with_batched (fun () -> Task_op.output ~response:r s)
+      in
+      let scalar =
+        Event_model.Kernels.with_scalar (fun () -> Task_op.output ~response:r s)
+      in
+      List.for_all
+        (fun n ->
+          Time.equal (Stream.delta_min batched n) (Stream.delta_min scalar n)
+          && Time.equal (Stream.delta_plus batched n)
+               (Stream.delta_plus scalar n))
+        deep_ns)
+
+let test_compact_backend_used () =
+  (* on a plain jittered input the kernel path must actually produce a
+     compact (periodic-tail) output curve, not fall back to closures *)
+  let input = Stream.periodic_jitter ~name:"in" ~period:250 ~jitter:600 () in
+  let out =
+    Event_model.Kernels.with_batched (fun () ->
+      Task_op.output ~response:(Interval.make ~lo:5 ~hi:30) input)
+  in
+  Alcotest.(check bool) "delta_min compact" true
+    (Option.is_some
+       (Event_model.Curve.periodic_tail (Stream.delta_min_curve out)));
+  Alcotest.(check bool) "delta_plus compact" true
+    (Option.is_some
+       (Event_model.Curve.periodic_tail (Stream.delta_plus_curve out)))
+
 let () =
   Alcotest.run "task_op"
     [
@@ -134,6 +189,8 @@ let () =
           Alcotest.test_case "infinite delta_plus" `Quick
             test_infinite_delta_plus_preserved;
           Alcotest.test_case "default name" `Quick test_default_name;
+          Alcotest.test_case "kernel output is compact" `Quick
+            test_compact_backend_used;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
@@ -141,5 +198,6 @@ let () =
             prop_output_min_distance_r_minus;
             prop_output_monotone_delta_min;
             prop_output_delta_plus_exact;
+            prop_compact_matches_scalar;
           ] );
     ]
