@@ -34,6 +34,19 @@ let ok = function
 
 let analyse_paper mode = ok (Engine.analyse ~mode (Paper.spec ()))
 
+(* Telemetry section of the BENCH_*.json files: run [f] once with
+   latency histograms on (untimed, so the measured loops above stay
+   comparable across revisions), then snapshot counters + histograms.
+   The snapshot JSON ends in a newline and is pretty-printed for a
+   2-space indent; re-indent so it nests as a top-level "metrics" key. *)
+let metrics_json ~warm =
+  Obs.Hist.clear_all ();
+  Obs.Hist.set_enabled true;
+  warm ();
+  Obs.Hist.set_enabled false;
+  let raw = String.trim (Obs.Snapshot.to_json (Obs.Snapshot.capture ())) in
+  String.concat "\n  " (String.split_on_char '\n' raw)
+
 (* ------------------------------------------------------------------ *)
 (* E1/E2: Tables 1 and 2 — system parameters and bus analysis          *)
 
@@ -512,8 +525,13 @@ let engine_speedup () =
            inc.stats.curve.periodic_evals
            (if i = List.length rows - 1 then "" else ",")))
     rows;
+  let metrics =
+    metrics_json ~warm:(fun () ->
+        ignore (Engine.analyse ~mode:Engine.Hierarchical (Paper.spec ())))
+  in
   Buffer.add_string buf
-    (Printf.sprintf "  ],\n  \"best_speedup\": %.2f\n}\n" best);
+    (Printf.sprintf "  ],\n  \"best_speedup\": %.2f,\n  \"metrics\": %s\n}\n"
+       best metrics);
   output_string oc (Buffer.contents buf);
   close_out oc;
   Printf.printf "wrote BENCH_1.json\n"
@@ -693,11 +711,18 @@ let explore_bench () =
     (fun i (jobs, (r : Explore.Driver.report), _) ->
       Buffer.add_string buf
         (Printf.sprintf
-           "    {\"jobs\": %d, \"wall_ms\": %.1f, \"speedup_vs_jobs1\": %.2f}%s\n"
-           jobs r.wall_ms (wall_1 /. r.wall_ms)
+           "    {\"jobs\": %d, \"effective_jobs\": %d, \"wall_ms\": %.1f, \
+            \"speedup_vs_jobs1\": %.2f}%s\n"
+           jobs
+           (Explore.Pool.effective_jobs jobs)
+           r.wall_ms (wall_1 /. r.wall_ms)
            (if i = List.length runs - 1 then "" else ",")))
     runs;
-  Buffer.add_string buf "  ]\n}\n";
+  let metrics =
+    metrics_json ~warm:(fun () ->
+        ignore (Explore.Driver.run ~jobs:(Stdlib.min 2 cores) (explore_items ())))
+  in
+  Buffer.add_string buf (Printf.sprintf "  ],\n  \"metrics\": %s\n}\n" metrics);
   output_string oc (Buffer.contents buf);
   close_out oc;
   Printf.printf "wrote BENCH_3.json\n"
@@ -912,7 +937,12 @@ let scale () =
            r.wall_ms (wall_1 /. r.wall_ms)
            (if i = List.length runs - 1 then "" else ",")))
     runs;
-  Buffer.add_string buf "  ]}\n}\n";
+  let metrics =
+    metrics_json ~warm:(fun () ->
+        ignore (Engine.analyse ~mode:Engine.Hierarchical (Paper.spec ())))
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "  ]},\n  \"metrics\": %s\n}\n" metrics);
   output_string oc (Buffer.contents buf);
   close_out oc;
   Printf.printf "wrote BENCH_6.json\n"

@@ -165,6 +165,35 @@ let with_trace trace level f =
         Printf.printf "wrote %s\n" path)
       f
 
+(* metrics snapshot: --metrics FILE enables histogram recording for the
+   run and dumps the full telemetry registry (counters, gauges,
+   histogram percentiles) as deterministic-schema JSON afterwards. *)
+
+let metrics_arg =
+  let doc =
+    "Write a machine-readable telemetry snapshot to $(docv) after the \
+     run: every registry counter and gauge plus latency histograms \
+     (p50/p90/p99) as stable JSON.  Histogram recording is enabled for \
+     the run (it is off, and costs nothing, otherwise).  A \
+     $(b,.prom) extension selects Prometheus text format instead."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let with_metrics metrics f =
+  match metrics with
+  | None -> f ()
+  | Some path ->
+    Obs.Hist.set_enabled true;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.Hist.set_enabled false;
+        let snap = Obs.Snapshot.capture () in
+        if Filename.check_suffix path ".prom" then
+          Obs.Snapshot.write_prometheus path snap
+        else Obs.Snapshot.write_json path snap;
+        Printf.printf "wrote %s\n" path)
+      f
+
 (* selfcheck: wire the Verify sanitizer into the engine's audit hook *)
 
 let selfcheck_arg =
@@ -222,8 +251,8 @@ let run_mode ?(stats = false) ?(convergence = false) ?selfcheck ?guard ~mode
     result
 
 let analyse_cmd =
-  let run mode s3_period file stats trace trace_level selfcheck deadline
-      budget =
+  let run mode s3_period file stats trace trace_level metrics selfcheck
+      deadline budget =
     let guard = mk_guard deadline budget in
     let spec, is_paper =
       match file with
@@ -231,6 +260,7 @@ let analyse_cmd =
       | Some _ -> load_spec file
     in
     with_trace trace trace_level @@ fun () ->
+    with_metrics metrics @@ fun () ->
     with_selfcheck selfcheck @@ fun selfcheck ->
     let result = run_mode ~stats ?selfcheck ~guard ~mode spec in
     let code = ref (status_code result) in
@@ -262,31 +292,131 @@ let analyse_cmd =
   let doc = "Analyse a system (the paper's reference system by default)." in
   Cmd.v (Cmd.info "analyse" ~doc ~exits:guard_exits)
     Term.(const run $ mode_arg $ s3_period_arg $ file_arg $ stats_arg
-          $ trace_arg $ trace_level_arg $ selfcheck_arg $ deadline_arg
-          $ budget_arg)
+          $ trace_arg $ trace_level_arg $ metrics_arg $ selfcheck_arg
+          $ deadline_arg $ budget_arg)
 
 (* convergence *)
 
 let convergence_cmd =
-  let run s3_period file stats trace trace_level selfcheck =
+  let run s3_period file stats trace trace_level selfcheck format =
     let spec, _ = load_spec ~s3_period file in
+    let modes = [ Engine.Hierarchical; Engine.Flat_stream; Engine.Flat_sem ] in
     with_trace trace trace_level @@ fun () ->
     with_selfcheck selfcheck @@ fun selfcheck ->
-    List.iter
-      (fun mode ->
-        Format.printf "== %s ==@." (Engine.mode_name mode);
-        ignore (run_mode ~stats ~convergence:true ?selfcheck ~mode spec);
-        Format.printf "@.")
-      [ Engine.Hierarchical; Engine.Flat_stream; Engine.Flat_sem ]
+    match format with
+    | `Csv ->
+      (* Byte-stable: pure per-iteration analysis data, no timing and no
+         rendering that could vary between runs. *)
+      Format.printf
+        "mode,iteration,dirty,changed,residual,analysed,reused,invalidated@.";
+      List.iter
+        (fun mode ->
+          match Engine.analyse ~mode ?selfcheck spec with
+          | Error e -> exit_guard_err e
+          | Ok result ->
+            Report.print_convergence_csv Format.std_formatter ~mode result)
+        modes
+    | `Table ->
+      List.iter
+        (fun mode ->
+          Format.printf "== %s ==@." (Engine.mode_name mode);
+          let result =
+            run_mode ~stats ~convergence:true ?selfcheck ~mode spec
+          in
+          Format.printf "@.%a@.@." Report.print_residual_hist result)
+        modes
+  in
+  let format_arg =
+    let formats = [ "table", `Table; "csv", `Csv ] in
+    let doc =
+      "Output format: $(b,table) (per-mode residual tables plus a \
+       residual-distribution histogram) or $(b,csv) (byte-stable \
+       per-iteration rows for diffing across runs)."
+    in
+    Arg.(value & opt (enum formats) `Table & info [ "format" ] ~docv:"FMT" ~doc)
   in
   let doc =
     "Show how the global fixed point converges: the per-iteration residual \
      table (dirty/changed elements, largest response-bound movement, \
-     incremental reuse) in every analysis mode."
+     incremental reuse) and the residual distribution in every analysis \
+     mode."
   in
   Cmd.v (Cmd.info "convergence" ~doc)
     Term.(const run $ s3_period_arg $ file_arg $ stats_arg $ trace_arg
-          $ trace_level_arg $ selfcheck_arg)
+          $ trace_level_arg $ selfcheck_arg $ format_arg)
+
+(* profile *)
+
+let profile_cmd =
+  let run spec_path mode s3_period top flame metrics =
+    let spec, _ = load_spec ~s3_period spec_path in
+    (* Capacity sized so no span of a large analysis is evicted: a
+       truncated ring would under-attribute the early iterations. *)
+    let sink, events = Obs.Sink.memory ~capacity:(1 lsl 21) () in
+    Obs.Sink.install ~level:Obs.Sink.Spans sink;
+    with_metrics metrics @@ fun () ->
+    let t0 = Unix.gettimeofday () in
+    (* The explicit root span covers the whole analysis call — spec
+       validation, context setup and result assembly included — so the
+       tree's self times partition the measured wall window instead of
+       only the engine's inner extent. *)
+    let result =
+      match
+        Obs.Trace.with_span "analysis" (fun () -> Engine.analyse ~mode spec)
+      with
+      | Ok r -> r
+      | Error e ->
+        Obs.Sink.uninstall ();
+        exit_guard_err e
+    in
+    let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    Obs.Sink.uninstall ();
+    let profile = Obs.Profile.of_events (events ()) in
+    Format.printf "%a@." (Obs.Profile.pp_top ~n:top) profile;
+    let traced_ms = Obs.Profile.total_us profile /. 1000.0 in
+    Format.printf
+      "wall %.3f ms, traced %.3f ms (%.1f%% coverage), %d iteration(s), \
+       converged %b@."
+      wall_ms traced_ms
+      (if wall_ms > 0.0 then 100.0 *. traced_ms /. wall_ms else 0.0)
+      result.Engine.iterations result.Engine.converged;
+    match flame with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Obs.Profile.collapsed profile);
+      close_out oc;
+      Printf.printf "wrote %s\n" path
+  in
+  let spec_pos =
+    let doc =
+      "System description file (S-expression format); defaults to the \
+       built-in paper system."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"SPEC" ~doc)
+  in
+  let top_arg =
+    let doc = "Rows of the top-N cost table." in
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let flame_arg =
+    let doc =
+      "Write collapsed-stack text (one $(b,path;to;node self-µs) line per \
+       span-tree node) to $(docv) — the input format of flamegraph.pl and \
+       speedscope."
+    in
+    Arg.(value & opt (some string) None & info [ "flame" ] ~docv:"FILE" ~doc)
+  in
+  let doc =
+    "Attribute analysis cost: run the engine under an in-memory span \
+     recorder and fold the trace into a per-(resource × stream × phase) \
+     cost tree with call counts, total and self times — as a top-N table \
+     and optionally as flamegraph input.  Self times partition the traced \
+     wall time, so the table answers where the milliseconds went."
+  in
+  Cmd.v (Cmd.info "profile" ~doc ~exits:guard_exits)
+    Term.(const run $ spec_pos $ mode_arg $ s3_period_arg $ top_arg
+          $ flame_arg $ metrics_arg)
 
 (* sweep / explore *)
 
@@ -949,7 +1079,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            analyse_cmd; convergence_cmd; simulate_cmd; figure4_cmd;
-            scaling_cmd; sweep_cmd; explore_cmd; export_cmd; gantt_cmd;
-            headroom_cmd; data_age_cmd; verify_cmd;
+            analyse_cmd; convergence_cmd; profile_cmd; simulate_cmd;
+            figure4_cmd; scaling_cmd; sweep_cmd; explore_cmd; export_cmd;
+            gantt_cmd; headroom_cmd; data_age_cmd; verify_cmd;
           ]))

@@ -1,7 +1,9 @@
 type worker_stat = {
   worker : int;
   tasks : int;
+  steals : int;
   busy_us : float;
+  idle_us : float;
   counters : (string * int) list;
 }
 
@@ -17,6 +19,7 @@ let c_tasks = Obs.Metrics.counter "explore.pool.tasks"
 let c_maps = Obs.Metrics.counter "explore.pool.maps"
 let c_interrupts = Obs.Metrics.counter "explore.pool.interrupts"
 let c_steals = Obs.Metrics.counter "explore.pool.steals"
+let g_deque_hwm = Obs.Metrics.gauge "explore.pool.deque_hwm"
 
 let default_jobs () = Domain.recommended_domain_count ()
 
@@ -42,7 +45,7 @@ let now_us () = Unix.gettimeofday () *. 1e6
    map.  Unguarded maps — the throughput path — use the chunked
    work-stealing scheduler below instead. *)
 let worker_loop_items ~label ~queue ~n ~f ~results ~errors ~guard ~stop ~tasks
-    () =
+    ~hist () =
   let rec drain () =
     match Atomic.get stop with
     | Some _ -> ()
@@ -57,7 +60,15 @@ let worker_loop_items ~label ~queue ~n ~f ~results ~errors ~guard ~stop ~tasks
         | () ->
           Obs.Metrics.incr c_tasks;
           Stdlib.incr tasks;
-          (match f i with
+          (match
+             match hist with
+             | None -> f i
+             | Some h ->
+               let t0 = now_us () in
+               let v = f i in
+               Obs.Hist.record h (int_of_float ((now_us () -. t0) *. 1e3));
+               v
+           with
           | v -> results.(i) <- Some v
           | exception e -> errors.(i) <- Some e);
           drain ()
@@ -81,6 +92,7 @@ let worker_loop_items ~label ~queue ~n ~f ~results ~errors ~guard ~stop ~tasks
 type deque = {
   mutable d_lo : int;  (* next index the owner will take *)
   mutable d_hi : int;  (* exclusive upper bound of the remainder *)
+  mutable d_hwm : int;  (* deepest remainder this deque ever held *)
   d_lock : Mutex.t;
 }
 
@@ -89,14 +101,23 @@ let chunk_size ~n ~workers =
 
 let mini_batch = 8
 
-let worker_loop_chunked ~queue ~n ~chunk ~f ~results ~errors ~deques ~tasks w =
+let worker_loop_chunked ~queue ~n ~chunk ~f ~results ~errors ~deques ~tasks
+    ~hist w =
   let workers = Array.length deques in
   let mine = deques.(w) in
   let run_range lo hi =
     for i = lo to hi - 1 do
       Obs.Metrics.incr c_tasks;
       Stdlib.incr tasks;
-      match f i with
+      match
+        match hist with
+        | None -> f i
+        | Some h ->
+          let t0 = now_us () in
+          let v = f i in
+          Obs.Hist.record h (int_of_float ((now_us () -. t0) *. 1e3));
+          v
+      with
       | v -> results.(i) <- Some v
       | exception e -> errors.(i) <- Some e
     done
@@ -137,6 +158,7 @@ let worker_loop_chunked ~queue ~n ~chunk ~f ~results ~errors ~deques ~tasks w =
             Mutex.lock mine.d_lock;
             mine.d_lo <- lo;
             mine.d_hi <- hi;
+            if hi - lo > mine.d_hwm then mine.d_hwm <- hi - lo;
             Mutex.unlock mine.d_lock;
             true
           | None -> try_victim (k + 1)
@@ -157,6 +179,7 @@ let worker_loop_chunked ~queue ~n ~chunk ~f ~results ~errors ~deques ~tasks w =
         Mutex.lock mine.d_lock;
         mine.d_lo <- i;
         mine.d_hi <- hi;
+        if hi - i > mine.d_hwm then mine.d_hwm <- hi - i;
         Mutex.unlock mine.d_lock;
         drain ()
       end
@@ -173,15 +196,22 @@ let worker ~label ~drain w =
   let scope = Obs.Metrics.scope (Printf.sprintf "%s.worker%d" label w) in
   let tasks = ref 0 in
   let crash = ref None in
+  (* One local histogram per worker (plain cells, single writer); the
+     caller merges them into the registered distribution after the
+     join.  [idle_us] is filled in post-join too — a worker cannot
+     know how long it out-waited its peers. *)
+  let hist = if Obs.Hist.enabled () then Some (Obs.Hist.make ()) else None in
   let t_begin = now_us () in
   Obs.Metrics.in_scope scope (fun () ->
-    match drain ~tasks w with () -> () | exception e -> crash := Some e);
+    match drain ~tasks ~hist w with () -> () | exception e -> crash := Some e);
   let t_end = now_us () in
-  ( { worker = w; tasks = !tasks; busy_us = t_end -. t_begin;
+  ( { worker = w; tasks = !tasks; steals = Obs.Metrics.read scope c_steals;
+      busy_us = t_end -. t_begin; idle_us = 0.0;
       counters = Obs.Metrics.snapshot scope },
     t_begin,
     t_end,
-    !crash )
+    !crash,
+    hist )
 
 (* Worker spans are emitted from the calling domain after the join, with
    the timestamps recorded by the workers: sinks never see concurrent
@@ -191,7 +221,7 @@ let emit_worker_spans label stats =
   | None -> ()
   | Some sink ->
     List.iter
-      (fun (stat, t_begin, t_end, _) ->
+      (fun (stat, t_begin, t_end) ->
         let name = Printf.sprintf "%s.worker%d" label stat.worker in
         sink.Obs.Sink.emit
           (Obs.Event.Span_begin { name; ts = t_begin; attrs = [] });
@@ -203,7 +233,9 @@ let emit_worker_spans label stats =
                attrs =
                  [
                    "tasks", Obs.Event.Int stat.tasks;
+                   "steals", Obs.Event.Int stat.steals;
                    "busy_us", Obs.Event.Int (int_of_float stat.busy_us);
+                   "idle_us", Obs.Event.Int (int_of_float stat.idle_us);
                  ];
              }))
       stats
@@ -222,19 +254,21 @@ let map_guarded ?jobs ?oversubscribe ?(label = "explore.pool")
   (* Guarded or fault-injected maps need the deterministic per-item
      claim order; unguarded maps take the chunked scheduler. *)
   let use_items = guard != Guard.none || Guard.Inject.armed () in
+  let deques =
+    if use_items then [||]
+    else
+      Array.init workers (fun _ ->
+        { d_lo = 0; d_hi = 0; d_hwm = 0; d_lock = Mutex.create () })
+  in
   let drain =
-    if use_items then fun ~tasks _w ->
+    if use_items then fun ~tasks ~hist _w ->
       worker_loop_items ~label ~queue ~n ~f ~results ~errors ~guard ~stop
-        ~tasks ()
+        ~tasks ~hist ()
     else begin
       let chunk = chunk_size ~n ~workers in
-      let deques =
-        Array.init workers (fun _ ->
-          { d_lo = 0; d_hi = 0; d_lock = Mutex.create () })
-      in
-      fun ~tasks w ->
+      fun ~tasks ~hist w ->
         worker_loop_chunked ~queue ~n ~chunk ~f ~results ~errors ~deques
-          ~tasks w
+          ~tasks ~hist w
     end
   in
   let run = worker ~label ~drain in
@@ -275,16 +309,43 @@ let map_guarded ?jobs ?oversubscribe ?(label = "explore.pool")
   in
   let stats =
     List.sort
-      (fun (a, _, _, _) (b, _, _, _) -> compare a.worker b.worker)
+      (fun (a, _, _, _, _) (b, _, _, _, _) -> compare a.worker b.worker)
       stats
   in
-  emit_worker_spans label stats;
-  let worker_stats = List.map (fun (stat, _, _, _) -> stat) stats in
+  (* Tail imbalance: a worker idles from its own finish until the last
+     worker finishes — computable only here, after every t_end is in. *)
+  let t_last =
+    List.fold_left
+      (fun acc (_, _, t_end, _, _) -> Stdlib.max acc t_end)
+      neg_infinity stats
+  in
+  let stats =
+    List.map
+      (fun (stat, t_b, t_e, crash, hist) ->
+        { stat with idle_us = Stdlib.max 0.0 (t_last -. t_e) },
+        t_b, t_e, crash, hist)
+      stats
+  in
+  if Array.length deques > 0 then
+    Obs.Metrics.set g_deque_hwm
+      (Array.fold_left (fun acc d -> Stdlib.max acc d.d_hwm) 0 deques);
+  (* Per-worker task-duration histograms fold into one registered
+     distribution; the join above is the happens-before edge Hist
+     requires. *)
+  List.iter
+    (fun (_, _, _, _, hist) ->
+      match hist with
+      | Some h ->
+        Obs.Hist.merge_into ~into:(Obs.Hist.hist (label ^ ".task_ns")) h
+      | None -> ())
+    stats;
+  emit_worker_spans label (List.map (fun (s, b, e, _, _) -> s, b, e) stats);
+  let worker_stats = List.map (fun (stat, _, _, _, _) -> stat) stats in
   (* Worker-level crashes, in worker order, so the surfaced one is
      deterministic. *)
   let crashes =
     List.filter_map
-      (fun (stat, _, _, crash) ->
+      (fun (stat, _, _, crash, _) ->
         Option.map (fun e -> (stat.worker, e)) crash)
       stats
   in

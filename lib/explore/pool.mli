@@ -40,15 +40,24 @@
     ([<label>.worker<i>]), whose snapshot is returned in
     {!worker_stat.counters}; the pool bumps the global counters
     [explore.pool.tasks], [explore.pool.maps], [explore.pool.interrupts]
-    and [explore.pool.steals].  When a tracing sink is installed, one
-    [<label>.worker<i>] span per worker (with [tasks] / [busy_us]
-    attributes) is emitted {e after} the join, with explicit timestamps,
-    so worker domains never touch the sink concurrently. *)
+    and [explore.pool.steals], and records the deepest per-worker deque
+    remainder of the last chunked map in the gauge
+    [explore.pool.deque_hwm].  When [Obs.Hist.enabled], each worker
+    times its items into a private histogram and the pool merges them
+    into the registered distribution [<label>.task_ns] after the join.
+    When a tracing sink is installed, one [<label>.worker<i>] span per
+    worker (with [tasks] / [steals] / [busy_us] / [idle_us] attributes)
+    is emitted {e after} the join, with explicit timestamps, so worker
+    domains never touch the sink concurrently. *)
 
 type worker_stat = {
   worker : int;  (** worker index, [0 .. effective_jobs - 1] *)
   tasks : int;  (** queue items this worker executed *)
+  steals : int;  (** deque back-halves this worker stole from peers *)
   busy_us : float;  (** wall time of the worker's drain loop *)
+  idle_us : float;
+      (** tail imbalance: how long this worker's peers kept running
+          after it finished (0 for the last finisher) *)
   counters : (string * int) list;
       (** non-zero metrics charged to the worker's scope, sorted by name *)
 }

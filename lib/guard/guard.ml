@@ -91,6 +91,27 @@ let spend g cost =
     check g
   end
 
+let consumed g =
+  if g.budget_limit = max_int then 0
+  else Stdlib.max 0 (g.budget_limit - Atomic.get g.budget_left)
+
+let slack_ms g =
+  if g.deadline_us = infinity then None
+  else Some ((g.deadline_us -. now_us ()) /. 1e3)
+
+let h_slack = Obs.Hist.hist "guard.deadline_slack_us"
+let h_consumed = Obs.Hist.hist "guard.budget_consumed"
+
+let observe_completion g =
+  if g.is_active && Obs.Hist.enabled () then begin
+    if g.deadline_us <> infinity then begin
+      let slack_us = g.deadline_us -. now_us () in
+      Obs.Hist.record h_slack
+        (int_of_float (if slack_us < 0.0 then 0.0 else slack_us))
+    end;
+    if g.budget_limit <> max_int then Obs.Hist.record h_consumed (consumed g)
+  end
+
 let key = Domain.DLS.new_key (fun () -> none)
 let ambient () = Domain.DLS.get key
 

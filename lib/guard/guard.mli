@@ -50,6 +50,23 @@ val spend : t -> int -> unit
 val deadline_ms : t -> float option
 val budget : t -> int option
 
+val consumed : t -> int
+(** Work units spent against the budget so far; [0] when no budget was
+    set. *)
+
+val slack_ms : t -> float option
+(** Time remaining before the deadline (negative once past it); [None]
+    when no deadline was set. *)
+
+val observe_completion : t -> unit
+(** Records this token's end-of-run distributions — remaining deadline
+    slack into the [guard.deadline_slack_us] histogram (clamped at 0)
+    and budget consumption into [guard.budget_consumed] — when
+    histograms are enabled.  Call once, where the guarded computation
+    finishes; inert tokens and unset limits record nothing.  Must be
+    called from one domain at a time (histogram cells are
+    unsynchronised). *)
+
 (** {1 Ambient token} *)
 
 val ambient : unit -> t

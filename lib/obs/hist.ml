@@ -1,0 +1,187 @@
+(* Log-bucketed histograms in the HDR style: values below 16 get their
+   own bucket; above that each power-of-two octave is split into 8
+   linear sub-buckets, bounding the relative bucket width at 12.5%.
+   All arithmetic is on non-negative ints, so the table needs
+   (62+1)*8 = 504 cells on a 64-bit build — small enough to keep one
+   flat array per histogram and make merging a plain element-wise
+   addition. *)
+
+let sub_bits = 3
+let sub_count = 1 lsl sub_bits (* 8 *)
+let octaves = Sys.int_size - 1 (* value bits of a non-negative int *)
+let n_buckets = (octaves - sub_bits + 1) * sub_count
+
+type t = {
+  buckets : int array;
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int; (* valid iff count > 0 *)
+  mutable max_v : int;
+}
+
+let make () =
+  { buckets = Array.make n_buckets 0; count = 0; sum = 0; min_v = 0; max_v = 0 }
+
+(* Position of the highest set bit; [v] must be positive. *)
+let msb v =
+  let rec go v acc = if v > 1 then go (v lsr 1) (acc + 1) else acc in
+  go v 0
+
+let bucket_of v =
+  if v < sub_count * 2 then v
+  else begin
+    let exp = msb v - sub_bits in
+    (* top sub_bits+1 bits of v: in [sub_count, 2*sub_count) *)
+    let m = v lsr exp in
+    (exp * sub_count) + m
+  end
+
+(* Inclusive value range covered by bucket [i]; inverse of [bucket_of]. *)
+let bucket_bounds i =
+  if i < sub_count * 2 then i, i
+  else begin
+    let exp = (i lsr sub_bits) - 1 in
+    let m = sub_count + (i land (sub_count - 1)) in
+    m lsl exp, ((m + 1) lsl exp) - 1
+  end
+
+let record h v =
+  let v = if v < 0 then 0 else v in
+  let i = bucket_of v in
+  h.buckets.(i) <- h.buckets.(i) + 1;
+  h.sum <- h.sum + v;
+  if h.count = 0 then begin
+    h.min_v <- v;
+    h.max_v <- v
+  end
+  else begin
+    if v < h.min_v then h.min_v <- v;
+    if v > h.max_v then h.max_v <- v
+  end;
+  h.count <- h.count + 1
+
+let count h = h.count
+let sum h = h.sum
+let min_value h = if h.count = 0 then 0 else h.min_v
+let max_value h = if h.count = 0 then 0 else h.max_v
+
+let percentile h p =
+  if h.count = 0 then 0
+  else begin
+    let p = if p < 0.0 then 0.0 else if p > 100.0 then 100.0 else p in
+    let rank =
+      let r = int_of_float (ceil (p /. 100.0 *. float_of_int h.count)) in
+      if r < 1 then 1 else r
+    in
+    let rec walk i seen =
+      if i >= n_buckets then max_value h
+      else begin
+        let seen = seen + h.buckets.(i) in
+        if seen >= rank then begin
+          let _, hi = bucket_bounds i in
+          min hi h.max_v
+        end
+        else walk (i + 1) seen
+      end
+    in
+    walk 0 0
+  end
+
+let p50 h = percentile h 50.0
+let p90 h = percentile h 90.0
+let p99 h = percentile h 99.0
+
+let merge_into ~into src =
+  if src.count > 0 then begin
+    for i = 0 to n_buckets - 1 do
+      if src.buckets.(i) <> 0 then
+        into.buckets.(i) <- into.buckets.(i) + src.buckets.(i)
+    done;
+    if into.count = 0 then begin
+      into.min_v <- src.min_v;
+      into.max_v <- src.max_v
+    end
+    else begin
+      if src.min_v < into.min_v then into.min_v <- src.min_v;
+      if src.max_v > into.max_v then into.max_v <- src.max_v
+    end;
+    into.count <- into.count + src.count;
+    into.sum <- into.sum + src.sum
+  end
+
+let merge a b =
+  let h = make () in
+  merge_into ~into:h a;
+  merge_into ~into:h b;
+  h
+
+let clear h =
+  Array.fill h.buckets 0 n_buckets 0;
+  h.count <- 0;
+  h.sum <- 0;
+  h.min_v <- 0;
+  h.max_v <- 0
+
+let buckets h =
+  let out = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if h.buckets.(i) <> 0 then begin
+      let lo, hi = bucket_bounds i in
+      out := (lo, hi, h.buckets.(i)) :: !out
+    end
+  done;
+  !out
+
+(* --- registry --------------------------------------------------------- *)
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+let registry_lock = Mutex.create ()
+
+let hist name =
+  Mutex.lock registry_lock;
+  let h =
+    match Hashtbl.find_opt registry name with
+    | Some h -> h
+    | None ->
+      let h = make () in
+      Hashtbl.add registry name h;
+      h
+  in
+  Mutex.unlock registry_lock;
+  h
+
+let all () =
+  Mutex.lock registry_lock;
+  let entries = Hashtbl.fold (fun k h acc -> (k, h) :: acc) registry [] in
+  Mutex.unlock registry_lock;
+  List.sort (fun (a, _) (b, _) -> compare a b) entries
+
+let clear_all () =
+  Mutex.lock registry_lock;
+  Hashtbl.iter (fun _ h -> clear h) registry;
+  Mutex.unlock registry_lock
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled v = Atomic.set enabled_flag v
+
+(* --- rendering -------------------------------------------------------- *)
+
+let pp ppf h =
+  if h.count = 0 then Format.fprintf ppf "(empty)"
+  else begin
+    let bs = buckets h in
+    let widest = List.fold_left (fun acc (_, _, c) -> max acc c) 0 bs in
+    Format.fprintf ppf "@[<v>";
+    List.iter
+      (fun (lo, hi, c) ->
+        let bar_w =
+          let w = c * 40 / widest in
+          if w < 1 then 1 else w
+        in
+        Format.fprintf ppf "%12d..%-12d %8d %s@ " lo hi c
+          (String.make bar_w '#'))
+      bs;
+    Format.fprintf ppf "count %d  p50 %d  p90 %d  p99 %d  max %d@]" h.count
+      (p50 h) (p90 h) (p99 h) (max_value h)
+  end

@@ -1,0 +1,90 @@
+(** Log-bucketed value histograms (latency distributions).
+
+    A histogram counts integer samples — nanoseconds by convention for
+    durations, but any non-negative unit works (residuals, work items) —
+    into buckets whose width grows geometrically: exact up to 15, then
+    each power-of-two octave split into [8] linear sub-buckets, so any
+    recorded value lands in a bucket whose bounds are within 12.5% of it.
+    Percentile queries walk the bucket table and return the bucket's
+    upper bound clamped to the exact recorded maximum, which makes
+    [percentile h 100.0 = max_value h] and single-sample histograms
+    exact.
+
+    Merging adds bucket counts (and combines min/max/sum), so it is
+    associative and commutative — per-worker histograms recorded on
+    separate domains can be folded into one distribution after the
+    domains are joined, in any order, with the same result.
+
+    {b Cost discipline.}  Recording is an array increment plus a handful
+    of bit operations and never allocates; still, producing the {e
+    sample} usually costs a clock read, so instrumented code guards with
+    {!enabled} — the process-wide histogram switch, off by default —
+    exactly as tracing code guards with [Trace.enabled].  With the
+    switch off an instrumented hot path pays one atomic load per probe.
+
+    {b Domain safety.}  Bucket cells are plain ints: a [t] must be
+    recorded into by one domain at a time; cross-domain aggregation goes
+    through {!merge_into} after a happens-before edge (the
+    [Explore.Pool] pattern: one local histogram per worker, merged after
+    the join).  The interning registry itself is mutex-protected. *)
+
+type t
+
+val make : unit -> t
+(** A fresh, unregistered histogram (all zero). *)
+
+val hist : string -> t
+(** [hist name] interns (or retrieves) the registered histogram [name];
+    registered histograms appear in {!all} and in [Snapshot] exports. *)
+
+val enabled : unit -> bool
+(** The process-wide recording switch (default [false]).  Purely
+    advisory: {!record} itself always works — the switch exists so call
+    sites can skip the clock reads that produce samples. *)
+
+val set_enabled : bool -> unit
+
+val record : t -> int -> unit
+(** [record h v] counts sample [v]; negative values clamp to 0. *)
+
+val count : t -> int
+(** Samples recorded so far. *)
+
+val sum : t -> int
+val min_value : t -> int
+(** Smallest recorded sample; [0] when empty. *)
+
+val max_value : t -> int
+(** Largest recorded sample; [0] when empty. *)
+
+val percentile : t -> float -> int
+(** [percentile h p] for [p] in [0.0 .. 100.0]: an upper bound on the
+    value at rank [ceil (p/100 * count)], exact to the bucket width
+    (≤ 12.5% relative error) and clamped to [max_value h].  [0] when
+    empty. *)
+
+val p50 : t -> int
+val p90 : t -> int
+val p99 : t -> int
+
+val merge_into : into:t -> t -> unit
+(** Adds [t]'s buckets and stats into [into] ([t] is unchanged). *)
+
+val merge : t -> t -> t
+(** A fresh histogram holding both distributions. *)
+
+val clear : t -> unit
+
+val buckets : t -> (int * int * int) list
+(** Non-empty buckets in increasing value order, as
+    [(lo, hi, count)] with [lo <= v <= hi] for every counted [v]. *)
+
+val all : unit -> (string * t) list
+(** Registered histograms, sorted by name. *)
+
+val clear_all : unit -> unit
+(** Clears every registered histogram (totals and buckets). *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line ASCII rendering: one row per non-empty bucket with a
+    proportional bar, plus a count/p50/p90/p99/max summary line. *)

@@ -115,6 +115,13 @@ let snapshot s =
       registry [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let totals () =
+  Mutex.protect registry_lock (fun () ->
+    Hashtbl.fold
+      (fun key c acc -> (key, Atomic.get c.total) :: acc)
+      registry [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 (* gauges *)
 
 type gauge = {

@@ -82,6 +82,10 @@ val read : scope -> counter -> int
 val snapshot : scope -> (string * int) list
 (** All non-zero counters of a scope, sorted by name. *)
 
+val totals : unit -> (string * int) list
+(** Every interned counter with its process-global total (zeros
+    included), sorted by name — the registry dump [Snapshot] exports. *)
+
 (** {1 Gauges} *)
 
 type gauge

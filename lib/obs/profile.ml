@@ -1,0 +1,186 @@
+(* Span-stream replay into an aggregated call tree.  The builder keys
+   children by refined span name so repeated calls fold into one node,
+   and keeps insertion order only as a tiebreak — presentation sorts by
+   cost. *)
+
+type node = {
+  key : string;
+  calls : int;
+  total_us : float;
+  self_us : float;
+  children : node list;
+}
+
+(* Mutable builder node: child time is accumulated separately so self
+   time falls out as total - in_children at freeze time. *)
+type bnode = {
+  b_key : string;
+  mutable b_calls : int;
+  mutable b_total : float;
+  mutable b_child_total : float;
+  b_children : (string, bnode) Hashtbl.t;
+  mutable b_order : string list; (* child keys, reverse insertion order *)
+}
+
+let bnode key =
+  {
+    b_key = key;
+    b_calls = 0;
+    b_total = 0.0;
+    b_child_total = 0.0;
+    b_children = Hashtbl.create 4;
+    b_order = [];
+  }
+
+type t = { root : bnode }
+
+(* The attribute that distinguishes instances of a span: busy_window
+   spans carry [element], engine phases carry [resource] or [stream],
+   and so on.  First match wins; non-string values stringify. *)
+let refine_keys = [ "element"; "resource"; "stream"; "frame"; "mode" ]
+
+let refined name (attrs : Event.attr list) =
+  let value_str = function
+    | Event.Str s -> s
+    | Event.Int i -> string_of_int i
+    | Event.Float f -> Printf.sprintf "%g" f
+    | Event.Bool b -> string_of_bool b
+  in
+  let rec first = function
+    | [] -> name
+    | k :: rest -> begin
+      match List.assoc_opt k attrs with
+      | Some v -> name ^ ":" ^ value_str v
+      | None -> first rest
+    end
+  in
+  first refine_keys
+
+let child_of parent key =
+  match Hashtbl.find_opt parent.b_children key with
+  | Some c -> c
+  | None ->
+    let c = bnode key in
+    Hashtbl.add parent.b_children key c;
+    parent.b_order <- key :: parent.b_order;
+    c
+
+let of_events events =
+  let root = bnode "(root)" in
+  (* Open-span stack: (node, begin_ts, parent). *)
+  let stack = ref [] in
+  let last_ts = ref 0.0 in
+  let close node t0 parent ts =
+    let dt = ts -. t0 in
+    let dt = if dt < 0.0 then 0.0 else dt in
+    node.b_calls <- node.b_calls + 1;
+    node.b_total <- node.b_total +. dt;
+    parent.b_child_total <- parent.b_child_total +. dt
+  in
+  List.iter
+    (fun ev ->
+      (match ev with
+      | Event.Span_begin { name; ts; attrs } ->
+        let parent =
+          match !stack with [] -> root | (n, _, _) :: _ -> n
+        in
+        let node = child_of parent (refined name attrs) in
+        stack := (node, ts, parent) :: !stack
+      | Event.Span_end { name = _; ts; _ } -> begin
+        match !stack with
+        | [] -> () (* end without begin: ring buffer lost the opening *)
+        | (node, t0, parent) :: rest ->
+          close node t0 parent ts;
+          stack := rest
+      end
+      | Event.Instant _ | Event.Counter _ -> ());
+      last_ts := Event.ts ev)
+    events;
+  (* Truncated stream: close whatever is still open at the last
+     timestamp, innermost first. *)
+  List.iter (fun (node, t0, parent) -> close node t0 parent !last_ts) !stack;
+  { root }
+
+let rec freeze b =
+  let children =
+    List.rev_map
+      (fun key -> freeze (Hashtbl.find b.b_children key))
+      b.b_order
+  in
+  let children =
+    List.stable_sort (fun a b -> compare b.total_us a.total_us) children
+  in
+  let self = b.b_total -. b.b_child_total in
+  {
+    key = b.b_key;
+    calls = b.b_calls;
+    total_us = b.b_total;
+    self_us = (if self < 0.0 then 0.0 else self);
+    children;
+  }
+
+let roots t = (freeze t.root).children
+let total_us t = List.fold_left (fun acc n -> acc +. n.total_us) 0.0 (roots t)
+
+let top ?(n = 10) t =
+  let agg : (string, int ref * float ref * float ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let rec walk node =
+    let calls, total, self =
+      match Hashtbl.find_opt agg node.key with
+      | Some cell -> cell
+      | None ->
+        let cell = (ref 0, ref 0.0, ref 0.0) in
+        Hashtbl.add agg node.key cell;
+        cell
+    in
+    calls := !calls + node.calls;
+    total := !total +. node.total_us;
+    self := !self +. node.self_us;
+    List.iter walk node.children
+  in
+  List.iter walk (roots t);
+  let rows =
+    Hashtbl.fold
+      (fun key (calls, total, self) acc ->
+        (key, !calls, !total, !self) :: acc)
+      agg []
+  in
+  let rows =
+    List.sort
+      (fun (ka, _, _, sa) (kb, _, _, sb) ->
+        match compare sb sa with 0 -> compare ka kb | c -> c)
+      rows
+  in
+  List.filteri (fun i _ -> i < n) rows
+
+let collapsed t =
+  let buf = Buffer.create 1024 in
+  let lines = ref [] in
+  let rec walk path node =
+    let path = if path = "" then node.key else path ^ ";" ^ node.key in
+    let self = int_of_float (Float.round node.self_us) in
+    if self > 0 then lines := Printf.sprintf "%s %d" path self :: !lines;
+    List.iter (walk path) node.children
+  in
+  List.iter (walk "") (roots t);
+  List.iter
+    (fun l ->
+      Buffer.add_string buf l;
+      Buffer.add_char buf '\n')
+    (List.sort compare !lines);
+  Buffer.contents buf
+
+let pp_top ?(n = 10) ppf t =
+  let rows = top ~n t in
+  let total = total_us t in
+  Format.fprintf ppf "@[<v>%-42s %8s %12s %12s %6s@ " "phase" "calls"
+    "total ms" "self ms" "self%";
+  List.iter
+    (fun (key, calls, total_ms, self_ms) ->
+      let pct = if total > 0.0 then 100.0 *. self_ms /. total else 0.0 in
+      Format.fprintf ppf "%-42s %8d %12.3f %12.3f %5.1f%%@ " key calls
+        (total_ms /. 1000.0) (self_ms /. 1000.0) pct)
+    rows;
+  Format.fprintf ppf "traced total: %.3f ms@]" (total /. 1000.0)

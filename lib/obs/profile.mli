@@ -1,0 +1,61 @@
+(** Cost attribution from trace spans.
+
+    [of_events] replays a recorded event stream (e.g. from
+    [Sink.memory]) and folds the span begin/end pairs into a call tree
+    whose nodes are keyed by span name refined with the most specific
+    identifying attribute present ([element], [resource], [stream],
+    [mode], [frame]) — so every busy-window analysis of ["T1"] lands on
+    the ["busy_window:T1"] node rather than one undifferentiated
+    ["busy_window"].  Each node carries the call count, total
+    (inclusive) time and self time (total minus children); sibling
+    calls with the same key aggregate into one node.
+
+    Unbalanced streams are tolerated: an end without a begin is
+    dropped, a begin without an end is closed at the last timestamp
+    seen, so a truncated ring buffer still yields a (partially
+    attributed) tree rather than an error.
+
+    Two exports: {!top}, the N most expensive nodes by self time
+    (the "where did the milliseconds go" table), and {!collapsed},
+    Brendan Gregg's collapsed-stack text — one line per tree path,
+    [root;child;leaf <self-µs>] — which any flamegraph renderer
+    accepts.  Self times partition wall time: summing the self column
+    (or the collapsed weights) reproduces the total traced time. *)
+
+type node = {
+  key : string;  (** span name, plus [:attr] refinement when present *)
+  calls : int;
+  total_us : float;  (** inclusive time across all calls *)
+  self_us : float;  (** total minus time in child spans *)
+  children : node list;  (** ordered by decreasing [total_us] *)
+}
+
+type t
+
+val of_events : Event.t list -> t
+(** Builds the cost tree from events in emission order; non-span events
+    are ignored. *)
+
+val roots : t -> node list
+(** Top-level spans, ordered by decreasing total time. *)
+
+val total_us : t -> float
+(** Total traced time: the sum of root totals (= sum of all self
+    times). *)
+
+val top : ?n:int -> t -> (string * int * float * float) list
+(** [top ~n t] aggregates nodes across the whole tree by key and
+    returns the [n] (default 10) largest as
+    [(key, calls, total_us, self_us)], ordered by decreasing self
+    time.  Because a key can appear at several depths, its aggregated
+    total may exceed wall time (recursion); self times never
+    double-count. *)
+
+val collapsed : t -> string
+(** Collapsed-stack text: one [path;to;node <self-µs>] line per tree
+    node with non-zero self time, rounded to integer microseconds.
+    Lines are sorted, as flamegraph toolchains expect. *)
+
+val pp_top : ?n:int -> Format.formatter -> t -> unit
+(** Renders {!top} as an aligned table with a header and a totals
+    line. *)

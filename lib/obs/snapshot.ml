@@ -1,0 +1,164 @@
+(* Snapshot capture copies scalar totals and histogram summaries into
+   plain immutable data so serialisation is divorced from the live
+   registries.  JSON output is deterministic: the source lists arrive
+   sorted by name and the schema has no optional keys. *)
+
+type hist_summary = {
+  h_count : int;
+  h_min : int;
+  h_max : int;
+  h_sum : int;
+  h_p50 : int;
+  h_p90 : int;
+  h_p99 : int;
+  h_buckets : (int * int * int) list;
+}
+
+type t = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  hists : (string * hist_summary) list;
+}
+
+let summarise h =
+  {
+    h_count = Hist.count h;
+    h_min = Hist.min_value h;
+    h_max = Hist.max_value h;
+    h_sum = Hist.sum h;
+    h_p50 = Hist.p50 h;
+    h_p90 = Hist.p90 h;
+    h_p99 = Hist.p99 h;
+    h_buckets = Hist.buckets h;
+  }
+
+let capture () =
+  {
+    counters = Metrics.totals ();
+    gauges = Metrics.gauges ();
+    hists = List.map (fun (k, h) -> k, summarise h) (Hist.all ());
+  }
+
+(* --- JSON ------------------------------------------------------------- *)
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_int_object buf entries =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_json_string buf k;
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (string_of_int v))
+    entries;
+  Buffer.add_char buf '}'
+
+let add_hist buf (s : hist_summary) =
+  Buffer.add_string buf "{\"count\":";
+  Buffer.add_string buf (string_of_int s.h_count);
+  Buffer.add_string buf ",\"min\":";
+  Buffer.add_string buf (string_of_int s.h_min);
+  Buffer.add_string buf ",\"max\":";
+  Buffer.add_string buf (string_of_int s.h_max);
+  Buffer.add_string buf ",\"sum\":";
+  Buffer.add_string buf (string_of_int s.h_sum);
+  Buffer.add_string buf ",\"p50\":";
+  Buffer.add_string buf (string_of_int s.h_p50);
+  Buffer.add_string buf ",\"p90\":";
+  Buffer.add_string buf (string_of_int s.h_p90);
+  Buffer.add_string buf ",\"p99\":";
+  Buffer.add_string buf (string_of_int s.h_p99);
+  Buffer.add_string buf ",\"buckets\":[";
+  List.iteri
+    (fun i (lo, hi, c) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "[%d,%d,%d]" lo hi c))
+    s.h_buckets;
+  Buffer.add_string buf "]}"
+
+let to_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"counters\":";
+  add_int_object buf t.counters;
+  Buffer.add_string buf ",\"gauges\":";
+  add_int_object buf t.gauges;
+  Buffer.add_string buf ",\"histograms\":{";
+  List.iteri
+    (fun i (k, s) ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_json_string buf k;
+      Buffer.add_char buf ':';
+      add_hist buf s)
+    t.hists;
+  Buffer.add_string buf "}}\n";
+  Buffer.contents buf
+
+(* --- Prometheus text format ------------------------------------------- *)
+
+let sanitise name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let to_prometheus t =
+  let buf = Buffer.create 4096 in
+  let line name v =
+    Buffer.add_string buf name;
+    Buffer.add_char buf ' ';
+    Buffer.add_string buf (string_of_int v);
+    Buffer.add_char buf '\n'
+  in
+  List.iter
+    (fun (k, v) ->
+      let name = sanitise k in
+      Buffer.add_string buf ("# TYPE " ^ name ^ " counter\n");
+      line name v)
+    t.counters;
+  List.iter
+    (fun (k, v) ->
+      let name = sanitise k in
+      Buffer.add_string buf ("# TYPE " ^ name ^ " gauge\n");
+      line name v)
+    t.gauges;
+  List.iter
+    (fun (k, s) ->
+      let name = sanitise k in
+      Buffer.add_string buf ("# TYPE " ^ name ^ " summary\n");
+      let quantile q v =
+        Buffer.add_string buf
+          (Printf.sprintf "%s{quantile=\"%s\"} %d\n" name q v)
+      in
+      quantile "0.5" s.h_p50;
+      quantile "0.9" s.h_p90;
+      quantile "0.99" s.h_p99;
+      line (name ^ "_sum") s.h_sum;
+      line (name ^ "_count") s.h_count)
+    t.hists;
+  Buffer.contents buf
+
+let write ~render path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render t))
+
+let write_json path t = write ~render:to_json path t
+let write_prometheus path t = write ~render:to_prometheus path t

@@ -26,11 +26,15 @@ module Metrics = Obs.Metrics
 let c_busy_windows = Metrics.counter "busy_window.windows"
 let c_window_iterations = Metrics.counter "busy_window.window_iterations"
 let c_activations = Metrics.counter "busy_window.activations"
+let c_demand_evals = Metrics.counter "busy_window.demand_evals"
+let c_demand_probes = Metrics.counter "busy_window.demand_probes"
 
 type counters = {
   busy_windows : int;
   window_iterations : int;
   activations : int;
+  demand_evals : int;
+  demand_probes : int;
 }
 
 let counters_of read =
@@ -38,6 +42,8 @@ let counters_of read =
     busy_windows = read c_busy_windows;
     window_iterations = read c_window_iterations;
     activations = read c_activations;
+    demand_evals = read c_demand_evals;
+    demand_probes = read c_demand_probes;
   }
 
 let counters () = counters_of Metrics.total
@@ -46,13 +52,18 @@ let counters_in scope = counters_of (Metrics.read scope)
 
 let reset_counters () =
   List.iter Metrics.reset_total
-    [ c_busy_windows; c_window_iterations; c_activations ]
+    [
+      c_busy_windows; c_window_iterations; c_activations; c_demand_evals;
+      c_demand_probes;
+    ]
 
 let counters_diff a b =
   {
     busy_windows = a.busy_windows - b.busy_windows;
     window_iterations = a.window_iterations - b.window_iterations;
     activations = a.activations - b.activations;
+    demand_evals = a.demand_evals - b.demand_evals;
+    demand_probes = a.demand_probes - b.demand_probes;
   }
 
 let fixpoint ~limit ~init f =
@@ -193,6 +204,7 @@ module Demand = struct
   let count t ~i ~window =
     if window <= 0 then 0
     else begin
+      Metrics.incr c_demand_probes;
       match
         Curve.count_lt_packed t.curves.(i) ~lo:t.hints.(i) ~limit:window
       with
@@ -203,6 +215,7 @@ module Demand = struct
     end
 
   let eval t ~window =
+    Metrics.incr c_demand_evals;
     let n = Array.length t.cets in
     let rec go i acc =
       if i >= n then Ok acc

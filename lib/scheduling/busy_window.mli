@@ -117,6 +117,8 @@ type counters = {
   busy_windows : int;  (** {!max_response} / {!max_backlog} invocations *)
   window_iterations : int;  (** {!fixpoint} steps *)
   activations : int;  (** busy-period activation indices explored *)
+  demand_evals : int;  (** {!Demand.eval} kernel sweeps *)
+  demand_probes : int;  (** per-task curve probes inside the kernel *)
 }
 
 val counters : unit -> counters

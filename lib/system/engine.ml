@@ -87,6 +87,7 @@ let degradation result =
   match result.status with Degraded d -> Some d | _ -> None
 
 let c_degraded = Obs.Metrics.counter "engine.degraded"
+let h_iteration = Obs.Hist.hist "engine.iteration_ns"
 
 (* Persistent resolution context.  Derived streams are memoized together
    with the set of response names they (transitively) depend on: a task
@@ -160,6 +161,15 @@ let find_frame spec name =
     (fun (f : Spec.frame) -> String.equal f.frame_name name)
     spec.Spec.frames
 
+(* Memo misses only: hits never reach here, so the span count is the
+   number of stream derivations actually performed. *)
+let stream_span kind name compute =
+  if Obs.Trace.enabled () then
+    Obs.Trace.with_span "engine.stream"
+      ~attrs:[ ("stream", Obs.Event.Str (kind ^ ":" ^ name)) ]
+      compute
+  else compute ()
+
 let rec resolve ctx (act : Spec.activation) =
   let stream =
     match act with
@@ -186,33 +196,36 @@ let rec resolve ctx (act : Spec.activation) =
 and task_output ctx name =
   memo_deps ctx ctx.task_outputs name ~extra:(S.singleton name) (fun () ->
     guarded ctx ("task:" ^ name) (fun () ->
-      let k = find_task ctx.spec name in
-      let input = resolve ctx k.Spec.activation in
-      Task_op.output ~name:(name ^ ".out") ~response:(ctx.response_of name)
-        input))
+      stream_span "task" name (fun () ->
+        let k = find_task ctx.spec name in
+        let input = resolve ctx k.Spec.activation in
+        Task_op.output ~name:(name ^ ".out") ~response:(ctx.response_of name)
+          input)))
 
 and frame_pre ctx name =
   memo_deps ctx ctx.frames_pre name ~extra:S.empty (fun () ->
     guarded ctx ("frame:" ^ name) (fun () ->
-      let f = find_frame ctx.spec name in
-      let signals =
-        List.map
-          (fun (s : Spec.signal_binding) ->
-            {
-              Comstack.Signal.name = s.signal_name;
-              property = s.property;
-              stream = resolve ctx s.origin;
-            })
-          f.signals
-      in
-      Comstack.Frame.hierarchy
-        (Comstack.Frame.make ~name:f.frame_name ~send_type:f.send_type
-           ~signals ~tx_time:f.tx_time ~priority:f.frame_priority)))
+      stream_span "frame_pre" name (fun () ->
+        let f = find_frame ctx.spec name in
+        let signals =
+          List.map
+            (fun (s : Spec.signal_binding) ->
+              {
+                Comstack.Signal.name = s.signal_name;
+                property = s.property;
+                stream = resolve ctx s.origin;
+              })
+            f.signals
+        in
+        Comstack.Frame.hierarchy
+          (Comstack.Frame.make ~name:f.frame_name ~send_type:f.send_type
+             ~signals ~tx_time:f.tx_time ~priority:f.frame_priority))))
 
 and frame_post ctx name =
   memo_deps ctx ctx.frames_post name ~extra:(S.singleton name) (fun () ->
-    let pre = frame_pre ctx name in
-    Hem.Inner_update.apply_response ~response:(ctx.response_of name) pre)
+    stream_span "frame_post" name (fun () ->
+      let pre = frame_pre ctx name in
+      Hem.Inner_update.apply_response ~response:(ctx.response_of name) pre))
 
 (* Local analysis of one resource under the streams of [ctx].  Returns
    the outcomes together with the set of responses the resource's
@@ -339,7 +352,11 @@ let analyse ?(mode = Hierarchical) ?(incremental = true) ?(max_iterations = 64)
             outcomes
           | Some _ | None ->
             let outcomes, deps =
-              analyse_resource ?window_limit ?q_limit ctx res
+              if Obs.Trace.enabled () then
+                Obs.Trace.with_span "engine.resource"
+                  ~attrs:[ ("resource", Obs.Event.Str res.res_name) ]
+                  (fun () -> analyse_resource ?window_limit ?q_limit ctx res)
+              else analyse_resource ?window_limit ?q_limit ctx res
             in
             Hashtbl.replace resource_cache res.res_name (outcomes, deps);
             incr analysed;
@@ -504,6 +521,8 @@ let analyse ?(mode = Hierarchical) ?(incremental = true) ?(max_iterations = 64)
         Guard.Inject.fire ("engine.iteration:" ^ string_of_int i);
       Guard.check guard;
       let a0 = !analysed and r0 = !reused and v0 = !invalidated in
+      let hist_on = Obs.Hist.enabled () in
+      let t0 = if hist_on then Obs.Trace.now_us () else 0.0 in
       let outcomes, all_bounded, changed, residual =
         if Obs.Trace.enabled () then begin
           let post = ref (S.empty, 0) in
@@ -529,6 +548,9 @@ let analyse ?(mode = Hierarchical) ?(incremental = true) ?(max_iterations = 64)
         end
         else step i dirty
       in
+      if hist_on then
+        Obs.Hist.record h_iteration
+          (int_of_float ((Obs.Trace.now_us () -. t0) *. 1e3));
       Obs.Trace.counter "engine.residual" residual;
       Obs.Trace.counter "engine.dirty" (S.cardinal changed);
       let stat =
@@ -570,6 +592,7 @@ let analyse ?(mode = Hierarchical) ?(incremental = true) ?(max_iterations = 64)
       else run ()
     in
     let finish (outcomes, iterations, status) =
+      Guard.observe_completion guard;
       let stats =
         {
           resources_analysed = !analysed;

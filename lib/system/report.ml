@@ -52,6 +52,8 @@ let print_effort ppf (result : Engine.result) =
     "  busy windows          %d  (%d fixpoint steps, %d activations)@ "
     b.Busy_window.busy_windows b.Busy_window.window_iterations
     b.Busy_window.activations;
+  Format.fprintf ppf "  demand kernel sweeps  %d  (%d curve probes)@ "
+    b.Busy_window.demand_evals b.Busy_window.demand_probes;
   Format.fprintf ppf "@]"
 
 let print_convergence ppf (result : Engine.result) =
@@ -70,6 +72,28 @@ let print_convergence ppf (result : Engine.result) =
   | Engine.Degraded _ ->
     Format.fprintf ppf " [%s]" (Engine.status_name result.status));
   Format.fprintf ppf "@]"
+
+(* Distribution view of the same data [print_convergence] tabulates: the
+   per-iteration residuals folded through an [Obs.Hist], so a long
+   convergence tail reads as a histogram instead of a hundred rows.
+   Built from the recorded stats — needs no histogram enable flag. *)
+let print_residual_hist ppf (result : Engine.result) =
+  let h = Obs.Hist.make () in
+  List.iter
+    (fun (s : Engine.iteration_stat) -> Obs.Hist.record h s.Engine.residual)
+    result.Engine.iteration_stats;
+  Format.fprintf ppf "@[<v>Residual distribution (%d iterations):@ %a@]"
+    (List.length result.Engine.iteration_stats)
+    Obs.Hist.pp h
+
+let print_convergence_csv ppf ~mode (result : Engine.result) =
+  List.iter
+    (fun (s : Engine.iteration_stat) ->
+      Format.fprintf ppf "%s,%d,%d,%d,%d,%d,%d,%d@."
+        (Engine.mode_name mode) s.Engine.iteration s.Engine.dirty
+        s.Engine.changed s.Engine.residual s.Engine.analysed s.Engine.reused
+        s.Engine.invalidated)
+    result.Engine.iteration_stats
 
 let compare_results ~baseline ~improved ~names =
   let row name =

@@ -23,6 +23,18 @@ val print_convergence : Format.formatter -> Engine.result -> unit
     changed element counts, the response-bound residual, and incremental
     reuse figures, one row per global iteration. *)
 
+val print_residual_hist : Format.formatter -> Engine.result -> unit
+(** The same residuals as an [Obs.Hist] distribution — a long
+    convergence tail summarised as log-bucket rows with p50/p90/p99
+    instead of one table row per iteration. *)
+
+val print_convergence_csv :
+  Format.formatter -> mode:Engine.mode -> Engine.result -> unit
+(** The convergence table as headerless CSV rows
+    [mode,iteration,dirty,changed,residual,analysed,reused,invalidated] —
+    deterministic analysis data only, so the output is byte-stable
+    across runs. *)
+
 val compare_results :
   baseline:Engine.result -> improved:Engine.result -> names:string list ->
   comparison_row list

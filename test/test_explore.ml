@@ -118,6 +118,60 @@ let test_pool_stats () =
   Alcotest.(check int) "tasks add up (oversubscribed)" 10
     (List.fold_left (fun acc (w : Pool.worker_stat) -> acc + w.tasks) 0 stats)
 
+let test_pool_counter_consistency () =
+  (* counter bumps from worker domains go through one process-global
+     atomic per counter, so the chunked work-stealing scheduler must
+     lose no updates: totals are exact and schedule-independent at any
+     jobs count, including forced oversubscription (real stealing) *)
+  let c = Obs.Metrics.counter "test.explore.counted" in
+  let c_tasks = Obs.Metrics.counter "explore.pool.tasks" in
+  let n = 500 in
+  List.iter
+    (fun jobs ->
+      let before = Obs.Metrics.total c in
+      let tasks_before = Obs.Metrics.total c_tasks in
+      let results =
+        Pool.map ~jobs ~oversubscribe:true
+          (fun i ->
+            Obs.Metrics.add c 3;
+            i * 2)
+          n
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "results at jobs=%d" jobs)
+        (List.init n (fun i -> i * 2))
+        results;
+      Alcotest.(check int)
+        (Printf.sprintf "no lost user increments at jobs=%d" jobs)
+        (3 * n)
+        (Obs.Metrics.total c - before);
+      Alcotest.(check int)
+        (Printf.sprintf "one task bump per item at jobs=%d" jobs)
+        n
+        (Obs.Metrics.total c_tasks - tasks_before))
+    [ 1; 2; 4; 7 ]
+
+let test_pool_hist_merge () =
+  (* per-worker latency histograms are domain-private and merged after
+     the join: the registered distribution gains exactly one sample per
+     task, at any jobs count *)
+  let h = Obs.Hist.hist "explore.pool.task_ns" in
+  Obs.Hist.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Hist.set_enabled false;
+      Obs.Hist.clear h)
+    (fun () ->
+      List.iter
+        (fun jobs ->
+          let before = Obs.Hist.count h in
+          ignore (Pool.map ~jobs ~oversubscribe:true (fun i -> i + 1) 100);
+          Alcotest.(check int)
+            (Printf.sprintf "one sample per task at jobs=%d" jobs)
+            100
+            (Obs.Hist.count h - before))
+        [ 1; 3 ])
+
 (* ------------------------------------------------------------------ *)
 (* Cache *)
 
@@ -431,6 +485,10 @@ let () =
             test_pool_chunked_smallest_error;
           Alcotest.test_case "guarded prefix jobs-independent" `Quick
             test_pool_guarded_prefix_jobs_independent;
+          Alcotest.test_case "multi-domain counter consistency" `Quick
+            test_pool_counter_consistency;
+          Alcotest.test_case "worker histograms merge exactly" `Quick
+            test_pool_hist_merge;
         ] );
       ( "cache",
         [

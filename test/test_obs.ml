@@ -489,6 +489,282 @@ let test_interleaved_analyses_attribution () =
            | Scheduling.Busy_window.Unbounded _ -> -1 ))
        poisoned.Engine.outcomes)
 
+(* --- histograms -------------------------------------------------------- *)
+
+let test_hist_empty () =
+  let h = Obs.Hist.make () in
+  Alcotest.(check int) "count" 0 (Obs.Hist.count h);
+  Alcotest.(check int) "sum" 0 (Obs.Hist.sum h);
+  Alcotest.(check int) "min" 0 (Obs.Hist.min_value h);
+  Alcotest.(check int) "max" 0 (Obs.Hist.max_value h);
+  Alcotest.(check int) "p50" 0 (Obs.Hist.p50 h);
+  Alcotest.(check int) "p99" 0 (Obs.Hist.p99 h);
+  Alcotest.(check (list (triple int int int))) "no buckets" []
+    (Obs.Hist.buckets h)
+
+let test_hist_single_sample () =
+  List.iter
+    (fun v ->
+      let h = Obs.Hist.make () in
+      Obs.Hist.record h v;
+      let label what = Printf.sprintf "v=%d: %s" v what in
+      Alcotest.(check int) (label "count") 1 (Obs.Hist.count h);
+      (* clamping to the recorded max makes single-sample hists exact at
+         every percentile *)
+      Alcotest.(check int) (label "p50") v (Obs.Hist.p50 h);
+      Alcotest.(check int) (label "p99") v (Obs.Hist.p99 h);
+      Alcotest.(check int) (label "p100") v (Obs.Hist.percentile h 100.0);
+      Alcotest.(check int) (label "min") v (Obs.Hist.min_value h);
+      Alcotest.(check int) (label "max") v (Obs.Hist.max_value h))
+    [ 0; 1; 15; 16; 17; 1000; 123_456_789 ]
+
+let test_hist_negative_clamps () =
+  let h = Obs.Hist.make () in
+  Obs.Hist.record h (-5);
+  Alcotest.(check int) "count" 1 (Obs.Hist.count h);
+  Alcotest.(check int) "clamped to 0" 0 (Obs.Hist.max_value h)
+
+let test_hist_bucket_boundaries () =
+  (* every sample must land in a bucket that contains it, exact below 16
+     and within 12.5% above; probe octave edges and their neighbours *)
+  let probes =
+    List.concat_map
+      (fun v -> [ v - 1; v; v + 1 ])
+      [ 1; 2; 8; 16; 32; 128; 1024; 65536; 1 lsl 30 ]
+  in
+  List.iter
+    (fun v ->
+      if v >= 0 then begin
+        let h = Obs.Hist.make () in
+        Obs.Hist.record h v;
+        match Obs.Hist.buckets h with
+        | [ (lo, hi, c) ] ->
+          let label what = Printf.sprintf "v=%d: %s" v what in
+          Alcotest.(check int) (label "one sample") 1 c;
+          Alcotest.(check bool) (label "lo <= v") true (lo <= v);
+          Alcotest.(check bool) (label "v <= hi") true (v <= hi);
+          if v < 16 then
+            Alcotest.(check int) (label "exact below 16") lo hi
+          else
+            Alcotest.(check bool) (label "<= 12.5% wide") true
+              (float_of_int (hi - lo) <= 0.125 *. float_of_int lo)
+        | bs -> Alcotest.failf "v=%d: %d buckets" v (List.length bs)
+      end)
+    probes
+
+let test_hist_percentile_order () =
+  let h = Obs.Hist.make () in
+  for i = 1 to 1000 do
+    Obs.Hist.record h i
+  done;
+  let p50 = Obs.Hist.p50 h
+  and p90 = Obs.Hist.p90 h
+  and p99 = Obs.Hist.p99 h in
+  Alcotest.(check bool) "p50 <= p90 <= p99 <= max" true
+    (p50 <= p90 && p90 <= p99 && p99 <= Obs.Hist.max_value h);
+  (* upper bound within bucket width of the true rank value *)
+  Alcotest.(check bool) "p50 brackets 500" true
+    (p50 >= 500 && float_of_int p50 <= 500.0 *. 1.125);
+  Alcotest.(check bool) "p99 brackets 990" true
+    (p99 >= 990 && float_of_int p99 <= 990.0 *. 1.125)
+
+let hist_fingerprint h =
+  ( Obs.Hist.count h,
+    Obs.Hist.sum h,
+    Obs.Hist.min_value h,
+    Obs.Hist.max_value h,
+    Obs.Hist.buckets h )
+
+let test_hist_merge_associative () =
+  let mk samples =
+    let h = Obs.Hist.make () in
+    List.iter (Obs.Hist.record h) samples;
+    h
+  in
+  let a () = mk [ 3; 17; 1000 ]
+  and b () = mk [ 0; 17; 123_456 ]
+  and c () = mk [ 5; 5; 5; 9999 ] in
+  let left = Obs.Hist.merge (Obs.Hist.merge (a ()) (b ())) (c ()) in
+  let right = Obs.Hist.merge (a ()) (Obs.Hist.merge (b ()) (c ())) in
+  let flat = mk [ 3; 17; 1000; 0; 17; 123_456; 5; 5; 5; 9999 ] in
+  Alcotest.(check bool) "assoc" true
+    (hist_fingerprint left = hist_fingerprint right);
+  Alcotest.(check bool) "merge = recording everything" true
+    (hist_fingerprint left = hist_fingerprint flat);
+  Alcotest.(check bool) "commutes" true
+    (hist_fingerprint (Obs.Hist.merge (a ()) (b ()))
+    = hist_fingerprint (Obs.Hist.merge (b ()) (a ())));
+  (* merge_into leaves the source untouched *)
+  let src = a () in
+  let dst = b () in
+  let before = hist_fingerprint src in
+  Obs.Hist.merge_into ~into:dst src;
+  Alcotest.(check bool) "source unchanged" true
+    (before = hist_fingerprint src)
+
+(* --- Chrome-trace attribute escaping ----------------------------------- *)
+
+let test_attr_escaping () =
+  let evil = "k\"ey\\with\ncontrol\tchars\x02" in
+  let ev =
+    Obs.Event.Instant
+      {
+        name = "n";
+        ts = 1.0;
+        attrs =
+          [
+            evil, Obs.Event.Str "quote\" backslash\\ newline\n bell\x07";
+            "plain", Obs.Event.Int 3;
+          ];
+      }
+  in
+  let json = Json.parse (Obs.Chrome_trace.event_json ev) in
+  let args =
+    match Json.member "args" json with
+    | Some a -> a
+    | None -> Alcotest.fail "no args object"
+  in
+  (match Json.member evil args with
+  | Some (Json.Str s) ->
+    Alcotest.(check string) "evil value round-trips"
+      "quote\" backslash\\ newline\n bell\x07" s
+  | _ -> Alcotest.fail "evil key did not round-trip");
+  match Json.member "plain" args with
+  | Some (Json.Num f) -> Alcotest.(check (float 0.0)) "int attr" 3.0 f
+  | _ -> Alcotest.fail "plain attr missing"
+
+(* --- profiler ----------------------------------------------------------- *)
+
+let span_b ?(attrs = []) name ts = Obs.Event.Span_begin { name; ts; attrs }
+let span_e ?(attrs = []) name ts = Obs.Event.Span_end { name; ts; attrs }
+
+let test_profile_tree () =
+  (* root [0,100]: child x twice ([10,30], [40,50]), child y [60,90];
+     y refines on its element attribute *)
+  let events =
+    [
+      span_b "root" 0.0;
+      span_b "x" 10.0;
+      span_e "x" 30.0;
+      span_b "x" 40.0;
+      span_e "x" 50.0;
+      span_b "y" 60.0 ~attrs:[ "element", Obs.Event.Str "T1" ];
+      span_e "y" 90.0;
+      span_e "root" 100.0;
+    ]
+  in
+  let p = Obs.Profile.of_events events in
+  Alcotest.(check (float 1e-6)) "total = root span" 100.0
+    (Obs.Profile.total_us p);
+  (match Obs.Profile.roots p with
+  | [ root ] ->
+    Alcotest.(check string) "root key" "root" root.Obs.Profile.key;
+    Alcotest.(check int) "root calls" 1 root.Obs.Profile.calls;
+    Alcotest.(check (float 1e-6)) "root self = 100-20-10-30" 40.0
+      root.Obs.Profile.self_us;
+    let child key =
+      List.find
+        (fun (n : Obs.Profile.node) -> String.equal n.key key)
+        root.Obs.Profile.children
+    in
+    let x = child "x" in
+    Alcotest.(check int) "x aggregates both calls" 2 x.Obs.Profile.calls;
+    Alcotest.(check (float 1e-6)) "x total" 30.0 x.Obs.Profile.total_us;
+    let y = child "y:T1" in
+    Alcotest.(check (float 1e-6)) "y:T1 total" 30.0 y.Obs.Profile.total_us
+  | roots -> Alcotest.failf "expected 1 root, got %d" (List.length roots));
+  (* self times partition the traced total *)
+  let self_sum =
+    List.fold_left
+      (fun acc (_, _, _, self) -> acc +. self)
+      0.0
+      (Obs.Profile.top ~n:100 p)
+  in
+  Alcotest.(check (float 1e-3)) "self times sum to total" 100.0 self_sum;
+  let lines = String.split_on_char '\n' (String.trim (Obs.Profile.collapsed p)) in
+  Alcotest.(check (list string)) "collapsed stacks, sorted"
+    [ "root 40"; "root;x 30"; "root;y:T1 30" ]
+    lines
+
+let test_profile_unbalanced () =
+  (* an end without a begin is dropped; an unterminated begin closes at
+     the last seen timestamp *)
+  let events =
+    [
+      span_e "orphan" 5.0;
+      span_b "root" 10.0;
+      span_b "child" 20.0;
+      span_e "child" 30.0;
+      span_b "dangling" 35.0;
+    ]
+  in
+  let p = Obs.Profile.of_events events in
+  Alcotest.(check (float 1e-6)) "root closed at last ts" 25.0
+    (Obs.Profile.total_us p);
+  match Obs.Profile.roots p with
+  | [ root ] ->
+    Alcotest.(check string) "root survives" "root" root.Obs.Profile.key
+  | roots -> Alcotest.failf "expected 1 root, got %d" (List.length roots)
+
+(* --- snapshot export ---------------------------------------------------- *)
+
+let test_snapshot_json () =
+  let h = Obs.Hist.hist "test.obs.snapshot_ns" in
+  Obs.Hist.clear h;
+  List.iter (Obs.Hist.record h) [ 10; 100; 1000 ];
+  let c = Metrics.counter "test.obs.snapshot_counter" in
+  Metrics.add c 7;
+  let json_text = Obs.Snapshot.to_json (Obs.Snapshot.capture ()) in
+  let json = Json.parse (String.trim json_text) in
+  let section name =
+    match Json.member name json with
+    | Some o -> o
+    | None -> Alcotest.failf "missing %s section" name
+  in
+  (match Json.member "test.obs.snapshot_counter" (section "counters") with
+  | Some (Json.Num f) ->
+    Alcotest.(check bool) "counter total present" true (f >= 7.0)
+  | _ -> Alcotest.fail "counter missing from snapshot");
+  (match Json.member "test.obs.snapshot_ns" (section "histograms") with
+  | Some hist_obj ->
+    let num key =
+      match Json.member key hist_obj with
+      | Some (Json.Num f) -> f
+      | _ -> Alcotest.failf "histogram field %s missing" key
+    in
+    Alcotest.(check (float 0.0)) "count" 3.0 (num "count");
+    Alcotest.(check (float 0.0)) "min" 10.0 (num "min");
+    Alcotest.(check (float 0.0)) "max" 1000.0 (num "max");
+    Alcotest.(check bool) "p50 within bucket width of 100" true
+      (num "p50" >= 100.0 && num "p50" <= 112.5);
+    (match Json.member "buckets" hist_obj with
+    | Some (Json.List (_ :: _)) -> ()
+    | _ -> Alcotest.fail "buckets missing")
+  | None -> Alcotest.fail "registered histogram missing from snapshot");
+  (* deterministic: capturing the same state twice gives identical text *)
+  Alcotest.(check string) "stable serialisation" json_text
+    (Obs.Snapshot.to_json (Obs.Snapshot.capture ()));
+  Obs.Hist.clear h
+
+let test_snapshot_prometheus () =
+  let h = Obs.Hist.hist "test.obs.snapshot_ns" in
+  Obs.Hist.clear h;
+  Obs.Hist.record h 42;
+  let text = Obs.Snapshot.to_prometheus (Obs.Snapshot.capture ()) in
+  let contains sub =
+    let n = String.length text and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub text i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "TYPE lines present" true (contains "# TYPE ");
+  (* dots sanitised to the Prometheus alphabet *)
+  Alcotest.(check bool) "sanitised histogram name" true
+    (contains "test_obs_snapshot_ns");
+  Alcotest.(check bool) "quantile series" true (contains "quantile=\"0.5\"");
+  Alcotest.(check bool) "no raw dotted names" true
+    (not (contains "test.obs.snapshot_ns"));
+  Obs.Hist.clear h
+
 let () =
   Alcotest.run "obs"
     [
@@ -517,5 +793,32 @@ let () =
             test_attachment_attribution;
           Alcotest.test_case "interleaved analyses" `Quick
             test_interleaved_analyses_attribution;
+        ] );
+      ( "hist",
+        [
+          Alcotest.test_case "empty" `Quick test_hist_empty;
+          Alcotest.test_case "single sample exact" `Quick
+            test_hist_single_sample;
+          Alcotest.test_case "negative clamps to 0" `Quick
+            test_hist_negative_clamps;
+          Alcotest.test_case "bucket boundaries" `Quick
+            test_hist_bucket_boundaries;
+          Alcotest.test_case "percentile ordering" `Quick
+            test_hist_percentile_order;
+          Alcotest.test_case "merge associative" `Quick
+            test_hist_merge_associative;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "attr escaping" `Quick test_attr_escaping;
+          Alcotest.test_case "cost tree" `Quick test_profile_tree;
+          Alcotest.test_case "unbalanced stream" `Quick
+            test_profile_unbalanced;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "json export" `Quick test_snapshot_json;
+          Alcotest.test_case "prometheus export" `Quick
+            test_snapshot_prometheus;
         ] );
     ]
