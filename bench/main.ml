@@ -8,10 +8,11 @@
      dune exec bench/main.exe -- perf    # Bechamel timing benches
      dune exec bench/main.exe -- explore # domain-pool scaling (BENCH_3.json)
      dune exec bench/main.exe -- scale   # kernel A/B + pool scaling (BENCH_6.json)
+     dune exec bench/main.exe -- serve   # warm-session daemon storm (BENCH_serve.json)
    Experiments: tables table3 figure4 ablation-pending ablation-k scaling
    convergence baseline-models buffers cross-framework robustness validate
-   perf explore scale
-   (perf, explore and scale are timing runs, excluded from the
+   perf explore scale serve
+   (perf, explore, scale and serve are timing runs, excluded from the
    no-argument sweep) *)
 
 module Time = Timebase.Time
@@ -948,6 +949,388 @@ let scale () =
   Printf.printf "wrote BENCH_6.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* serve: warm-session daemon vs cold per-request analysis (BENCH_serve) *)
+
+module Json = Serve.Protocol.Json
+module Client = Serve.Client
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  contents
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(Stdlib.min (n - 1) (int_of_float (float_of_int n *. p)))
+
+let serve_connect path =
+  let rec go n =
+    match Client.connect (`Unix path) with
+    | Ok c -> c
+    | Error e ->
+      if n = 0 then begin
+        Printf.eprintf "serve bench: daemon did not come up: %s\n" e;
+        exit 1
+      end;
+      Thread.delay 0.05;
+      go (n - 1)
+  in
+  go 100
+
+let reply_ok what = function
+  | Error e ->
+    Printf.eprintf "serve bench: %s: %s\n" what e;
+    exit 1
+  | Ok (r : Serve.Protocol.reply) ->
+    if Client.exit_code r <> 0 then begin
+      Printf.eprintf "serve bench: %s: status %d\n" what (Client.exit_code r);
+      exit 1
+    end;
+    r
+
+let must_session what r =
+  match Client.session_id r with
+  | Some id -> id
+  | None ->
+    Printf.eprintf "serve bench: %s: reply has no session id\n" what;
+    exit 1
+
+(* render outcomes exactly as the daemon does, for byte-comparison *)
+let outcome_json (o : Engine.element_outcome) =
+  match o.Engine.outcome with
+  | Scheduling.Busy_window.Bounded iv ->
+    Json.Obj
+      [ "element", Json.Str o.Engine.element;
+        "resource", Json.Str o.Engine.resource;
+        "outcome", Json.Str "bounded";
+        "lo", Json.Int (Interval.lo iv);
+        "hi", Json.Int (Interval.hi iv) ]
+  | Scheduling.Busy_window.Unbounded reason ->
+    Json.Obj
+      [ "element", Json.Str o.Engine.element;
+        "resource", Json.Str o.Engine.resource;
+        "outcome", Json.Str "unbounded";
+        "reason", Json.Str reason ]
+
+let outcomes_str outcomes =
+  Json.to_string (Json.Arr (List.map outcome_json outcomes))
+
+let body_outcomes what (r : Serve.Protocol.reply) =
+  match Json.member "outcomes" r.Serve.Protocol.body with
+  | Some j -> Json.to_string j
+  | None ->
+    Printf.eprintf "serve bench: %s: reply has no outcomes\n" what;
+    exit 1
+
+let toggle_edit i =
+  [ Explore.Space.Task_priority
+      { task = "t3"; priority = (if i mod 2 = 0 then 4 else 3) } ]
+
+let serve_bench () =
+  banner "serve: warm incremental sessions vs cold per-request analysis";
+  let spec_text = read_file "examples/paper.spec" in
+  let base_spec =
+    match Cpa_system.Spec_file.parse spec_text with
+    | Ok d -> Cpa_system.Spec_file.to_spec d
+    | Error e ->
+      Printf.eprintf "serve bench: examples/paper.spec: %s\n" e;
+      exit 1
+  in
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hem-bench-serve-%d.sock" (Unix.getpid ()))
+  in
+  let cfg = Serve.Server.config ~unix_path:path ~jobs:4 () in
+  let server = Thread.create Serve.Server.run cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      (match Client.connect (`Unix path) with
+      | Ok c ->
+        ignore (Client.shutdown c);
+        Client.close c
+      | Error _ -> ());
+      Thread.join server;
+      if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  let c = serve_connect path in
+  (* --- cold baseline: a fresh session (upload + from-scratch
+     analysis) per request, closed immediately — the pattern the warm
+     daemon replaces *)
+  let cold_n = 20 in
+  let cold_lat =
+    Array.init cold_n (fun _ ->
+      let t0 = Unix.gettimeofday () in
+      let r = reply_ok "cold load" (Client.load c ~spec:spec_text) in
+      let dt = (Unix.gettimeofday () -. t0) *. 1e3 in
+      let s = must_session "cold load" r in
+      ignore (reply_ok "cold close" (Client.close_session c ~session:s));
+      dt)
+  in
+  (* --- warm session: an idempotent edit cycle (T3's priority toggled
+     3 <-> 4) against one resident session; every edit re-analyses only
+     the CPU, the bus streams are reused *)
+  let warm_m = 50 in
+  let load = reply_ok "warm load" (Client.load c ~spec:spec_text) in
+  let session = must_session "warm load" load in
+  let reused = ref 0 in
+  let byte_identical = ref true in
+  let mirror = ref base_spec in
+  let warm_lat =
+    Array.init warm_m (fun i ->
+      let edits = toggle_edit i in
+      let t0 = Unix.gettimeofday () in
+      let r = reply_ok "warm edit" (Client.edit c ~session edits) in
+      let dt = (Unix.gettimeofday () -. t0) *. 1e3 in
+      (match Json.member "stats" r.Serve.Protocol.body with
+      | Some stats -> begin
+        match
+          Option.bind (Json.member "resources-reused" stats) Json.to_int
+        with
+        | Some n -> reused := !reused + n
+        | None -> ()
+      end
+      | None -> ());
+      mirror := Explore.Space.apply_all !mirror edits;
+      dt)
+  in
+  (* warm-delta vs cold from-scratch: the session's full outcome set
+     after the edit cycle must be byte-identical to an offline engine
+     run on the same final spec *)
+  let t0 = Unix.gettimeofday () in
+  let offline = ok (Engine.analyse !mirror) in
+  let engine_cold_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  let final = reply_ok "warm analyse" (Client.analyse c ~session) in
+  if
+    not
+      (String.equal
+         (outcomes_str offline.Engine.outcomes)
+         (body_outcomes "warm analyse" final))
+  then begin
+    Printf.eprintf "serve bench: warm outcomes differ from cold engine!\n";
+    byte_identical := false
+  end;
+  ignore (reply_ok "warm close" (Client.close_session c ~session));
+  Client.close c;
+  (* --- per-request service cost, transport excluded. On a system
+     this small the socket roundtrip (~0.2 ms) floors the
+     client-observed latency of cold and warm requests alike, so the
+     headline speedup compares what each request costs the server:
+     cold = parse + context build + from-scratch analysis + full
+     outcome render (exactly handle_load's work per request); warm =
+     impact closure + incremental warm_update + delta render (exactly
+     handle_edit's work). Client-observed roundtrips are still
+     reported alongside. *)
+  let svc_cold =
+    Array.init cold_n (fun _ ->
+      let t0 = Unix.gettimeofday () in
+      let d =
+        match Cpa_system.Spec_file.parse spec_text with
+        | Ok d -> d
+        | Error _ -> exit 1
+      in
+      let spec = Cpa_system.Spec_file.to_spec d in
+      ignore (Spec.digest spec);
+      (match Engine.warm spec with
+      | Ok (_, r) -> ignore (outcomes_str r.Engine.outcomes)
+      | Error _ ->
+        Printf.eprintf "serve bench: cold service run failed\n";
+        exit 1);
+      (Unix.gettimeofday () -. t0) *. 1e3)
+  in
+  let svc_warm =
+    match Engine.warm base_spec with
+    | Error _ ->
+      Printf.eprintf "serve bench: warm service init failed\n";
+      exit 1
+    | Ok (w, r0) ->
+      let spec = ref base_spec and last = ref r0.Engine.outcomes in
+      Array.init warm_m (fun i ->
+        let edits = toggle_edit i in
+        let t0 = Unix.gettimeofday () in
+        let new_spec, sources, elements =
+          List.fold_left
+            (fun (sp, srcs, els) e ->
+              let s', e' = Explore.Space.touched sp e in
+              (Explore.Space.apply sp e, s' @ srcs, e' @ els))
+            (!spec, [], []) edits
+        in
+        let stale =
+          List.sort_uniq String.compare
+            (Engine.affected !spec ~sources ~elements
+            @ Engine.affected new_spec ~sources ~elements)
+        in
+        (match Engine.warm_update w ~spec:new_spec ~stale with
+        | Ok r ->
+          let changed =
+            Engine.delta_outcomes ~before:!last ~after:r.Engine.outcomes
+          in
+          ignore (outcomes_str changed);
+          spec := new_spec;
+          last := r.Engine.outcomes
+        | Error _ ->
+          Printf.eprintf "serve bench: warm service update failed\n";
+          exit 1);
+        (Unix.gettimeofday () -. t0) *. 1e3)
+  in
+  let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a) in
+  let sorted a =
+    let s = Array.copy a in
+    Array.sort compare s;
+    s
+  in
+  let cold_s = sorted cold_lat and warm_s = sorted warm_lat in
+  let svc_cold_s = sorted svc_cold and svc_warm_s = sorted svc_warm in
+  let speedup = mean svc_cold /. mean svc_warm in
+  let rtt_speedup = mean cold_lat /. mean warm_lat in
+  let row label a s =
+    Printf.printf "%-34s %10.3f %10.3f %10.3f\n" label (mean a)
+      (percentile s 0.5) (percentile s 0.99)
+  in
+  Printf.printf "%-34s %10s %10s %10s\n" "" "mean ms" "p50 ms" "p99 ms";
+  row
+    (Printf.sprintf "cold request service (n=%d)" cold_n)
+    svc_cold svc_cold_s;
+  row
+    (Printf.sprintf "warm edit service (m=%d)" warm_m)
+    svc_warm svc_warm_s;
+  row (Printf.sprintf "cold load roundtrip (n=%d)" cold_n) cold_lat cold_s;
+  row (Printf.sprintf "warm edit roundtrip (m=%d)" warm_m) warm_lat warm_s;
+  Printf.printf
+    "warm vs cold speedup: %.1fx service, %.1fx client-observed (%d \
+     stream analyses reused; offline cold engine run: %.3f ms)\n"
+    speedup rtt_speedup !reused engine_cold_ms;
+  if !reused = 0 then begin
+    Printf.eprintf "serve bench: warm edits reused nothing!\n";
+    exit 1
+  end;
+  if speedup < 5.0 then begin
+    Printf.eprintf "serve bench: warm speedup %.2fx below the 5x floor\n"
+      speedup;
+    exit 1
+  end;
+  (* --- client storm: concurrent sessions, each its own system (a
+     distinct S3 period), hammering interleaved warm edits *)
+  let clients = 4 in
+  let storm_m = 25 in
+  let storm_lat = Array.make (clients * storm_m) 0.0 in
+  let storm_identical = Array.make clients false in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init clients (fun k ->
+      Thread.create
+        (fun k ->
+          let c = serve_connect path in
+          let r = reply_ok "storm load" (Client.load c ~spec:spec_text) in
+          let session = must_session "storm load" r in
+          let personalise =
+            [ Explore.Space.Source_period
+                { source = "s3"; period = 1000 + (100 * (k + 1)) } ]
+          in
+          ignore (reply_ok "storm edit" (Client.edit c ~session personalise));
+          let mirror = ref (Explore.Space.apply_all base_spec personalise) in
+          for i = 0 to storm_m - 1 do
+            let edits = toggle_edit i in
+            let t0 = Unix.gettimeofday () in
+            ignore (reply_ok "storm edit" (Client.edit c ~session edits));
+            storm_lat.((k * storm_m) + i) <-
+              (Unix.gettimeofday () -. t0) *. 1e3;
+            mirror := Explore.Space.apply_all !mirror edits
+          done;
+          let final = reply_ok "storm analyse" (Client.analyse c ~session) in
+          let offline = ok (Engine.analyse !mirror) in
+          storm_identical.(k) <-
+            String.equal
+              (outcomes_str offline.Engine.outcomes)
+              (body_outcomes "storm analyse" final);
+          ignore (reply_ok "storm close" (Client.close_session c ~session));
+          Client.close c)
+        k)
+  in
+  List.iter Thread.join threads;
+  let storm_wall = (Unix.gettimeofday () -. t0) *. 1e3 in
+  let storm_sorted = sorted storm_lat in
+  let edits_per_sec =
+    float_of_int (clients * storm_m) /. (storm_wall /. 1e3)
+  in
+  let storm_ok = Array.for_all (fun b -> b) storm_identical in
+  Printf.printf
+    "storm: %d clients x %d edits in %.1f ms — %.0f edits/s, p50 %.3f ms, \
+     p99 %.3f ms%s\n"
+    clients storm_m storm_wall edits_per_sec
+    (percentile storm_sorted 0.5)
+    (percentile storm_sorted 0.99)
+    (if storm_ok then "" else " (OUTCOME MISMATCH)");
+  if not storm_ok then begin
+    Printf.eprintf "serve bench: storm outcomes differ from cold engine!\n";
+    exit 1
+  end;
+  (* --- BENCH_serve.json ------------------------------------------- *)
+  let oc = open_out "BENCH_serve.json" in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "{\n  \"benchmark\": \"analysis-as-a-service warm sessions\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"cold\": {\"requests\": %d, \"service_mean_ms\": %.3f, \
+        \"service_p50_ms\": %.3f, \"service_p99_ms\": %.3f, \
+        \"rtt_mean_ms\": %.3f, \"rtt_p50_ms\": %.3f, \"rtt_p99_ms\": \
+        %.3f},\n"
+       cold_n (mean svc_cold)
+       (percentile svc_cold_s 0.5)
+       (percentile svc_cold_s 0.99)
+       (mean cold_lat) (percentile cold_s 0.5) (percentile cold_s 0.99));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"warm\": {\"edits\": %d, \"service_mean_ms\": %.3f, \
+        \"service_p50_ms\": %.3f, \"service_p99_ms\": %.3f, \
+        \"rtt_mean_ms\": %.3f, \"rtt_p50_ms\": %.3f, \"rtt_p99_ms\": %.3f, \
+        \"streams_reused\": %d},\n"
+       warm_m (mean svc_warm)
+       (percentile svc_warm_s 0.5)
+       (percentile svc_warm_s 0.99)
+       (mean warm_lat) (percentile warm_s 0.5) (percentile warm_s 0.99)
+       !reused);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"warm_vs_cold_speedup\": %.2f,\n" speedup);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"rtt_warm_vs_cold_speedup\": %.2f,\n" rtt_speedup);
+  Buffer.add_string buf
+    "  \"speedup_basis\": \"per-request service cost (parse + full \
+     analysis + render vs incremental update + delta render); rtt_* \
+     fields are client-observed over the Unix socket\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"engine_cold_ms\": %.3f,\n" engine_cold_ms);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"byte_identical\": %b,\n" (!byte_identical && storm_ok));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"storm\": {\"clients\": %d, \"edits_per_client\": %d, \
+        \"wall_ms\": %.1f, \"edits_per_sec\": %.0f, \"p50_ms\": %.3f, \
+        \"p99_ms\": %.3f},\n"
+       clients storm_m storm_wall edits_per_sec
+       (percentile storm_sorted 0.5)
+       (percentile storm_sorted 0.99));
+  let metrics =
+    metrics_json ~warm:(fun () ->
+        let c = serve_connect path in
+        let r = reply_ok "metrics load" (Client.load c ~spec:spec_text) in
+        let session = must_session "metrics load" r in
+        for i = 0 to 9 do
+          ignore (reply_ok "metrics edit" (Client.edit c ~session (toggle_edit i)))
+        done;
+        ignore (reply_ok "metrics close" (Client.close_session c ~session));
+        Client.close c)
+  in
+  Buffer.add_string buf (Printf.sprintf "  \"metrics\": %s\n}\n" metrics);
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_serve.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -966,6 +1349,7 @@ let experiments =
     "perf", perf;
     "explore", explore_bench;
     "scale", scale;
+    "serve", serve_bench;
   ]
 
 let () =
@@ -974,7 +1358,10 @@ let () =
     (* everything except the timing benches, which are opt-in *)
     List.iter
       (fun (name, run) ->
-        if name <> "perf" && name <> "explore" && name <> "scale" then run ())
+        if
+          name <> "perf" && name <> "explore" && name <> "scale"
+          && name <> "serve"
+        then run ())
       experiments
   | _ :: names ->
     List.iter

@@ -16,10 +16,17 @@
                           [+ sweep axes] [--format table|csv|json]
      hem_tool verify      [--file SPEC] [--fuzz N] [--seed N] [--horizon N]
                           [--no-selfcheck] [--deadline MS] [--budget N]
+     hem_tool serve       (--socket PATH | --tcp PORT [--host H]) [--jobs N]
+                          [--max-sessions N] [--max-frame BYTES] [--queue N]
+                          [--deadline MS] [--budget N] [--drain-ms MS]
+     hem_tool client      (load/edit/analyse/metrics/close/ping/shutdown)
+                          (--socket PATH | --tcp PORT) [op args]
 
    Exit codes: 0 success, 1 error (invalid spec, cycle, I/O), 3 graceful
    degradation (deadline, budget, or divergence — printed bounds are
-   sound but widened), 4 cancellation (completed prefix printed).
+   sound but widened), 4 cancellation (completed prefix printed).  The
+   serve protocol's reply status codes are the same taxonomy, and client
+   subcommands exit with the status of the reply they received.
 
    The --selfcheck flag of analyse/convergence audits every stream the
    engine propagates against the Verify sanitizer and fails the run on
@@ -1072,14 +1079,255 @@ let verify_cmd =
     Term.(const run $ s3_period_arg $ file_arg $ fuzz_arg $ seed_arg
           $ horizon_arg $ no_selfcheck_arg $ deadline_arg $ budget_arg)
 
+(* serve / client *)
+
+module Protocol = Serve.Protocol
+module Client = Serve.Client
+
+let serve_socket_arg =
+  let doc = "Unix-domain socket path to listen on." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_tcp_arg =
+  let doc = "TCP port to listen on (see also $(b,--host))." in
+  Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT" ~doc)
+
+let serve_host_arg =
+  let doc = "Bind host for $(b,--tcp)." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let serve_cmd =
+  let run socket tcp host jobs mode max_sessions max_frame max_queue deadline
+      budget drain_ms =
+    if socket = None && tcp = None then
+      exit_err "serve: pass --socket PATH and/or --tcp PORT";
+    let cfg =
+      Serve.Server.config ?unix_path:socket
+        ?tcp:(Option.map (fun port -> host, port) tcp)
+        ~jobs:(resolve_jobs jobs) ~mode ~max_sessions ~max_frame ~max_queue
+        ?default_deadline_ms:deadline ?default_budget:budget ~drain_ms ()
+    in
+    match Serve.Server.run cfg with
+    | () -> ()
+    | exception Unix.Unix_error (e, fn, arg) ->
+      exit_err (Printf.sprintf "serve: %s %s: %s" fn arg (Unix.error_message e))
+    | exception Invalid_argument m -> exit_err m
+  in
+  let max_sessions_arg =
+    let doc = "Resident warm sessions before LRU eviction." in
+    Arg.(value & opt int 64 & info [ "max-sessions" ] ~docv:"N" ~doc)
+  in
+  let max_frame_arg =
+    let doc = "Frame payload byte limit." in
+    Arg.(value & opt int Protocol.default_max_frame
+         & info [ "max-frame" ] ~docv:"BYTES" ~doc)
+  in
+  let queue_arg =
+    let doc =
+      "Per-worker mailbox depth past which requests are rejected with \
+       protocol status 4 (admission control)."
+    in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let drain_arg =
+    let doc =
+      "Grace period for in-flight requests on SIGTERM / shutdown, after \
+       which their guards are cancelled."
+    in
+    Arg.(value & opt float 5000. & info [ "drain-ms" ] ~docv:"MS" ~doc)
+  in
+  let doc =
+    "Run the analysis daemon: warm incremental sessions over a \
+     length-prefixed JSON protocol (load / edit / analyse / metrics / \
+     close), with per-request deadlines and budgets, admission control, \
+     LRU session eviction and graceful drain on SIGTERM.  Reply status \
+     codes reuse the CLI exit-code taxonomy (0/1/3/4)."
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~exits:guard_exits)
+    Term.(const run $ serve_socket_arg $ serve_tcp_arg $ serve_host_arg
+          $ jobs_arg $ mode_arg $ max_sessions_arg $ max_frame_arg $ queue_arg
+          $ deadline_arg $ budget_arg $ drain_arg)
+
+let client_addr socket tcp host =
+  match socket, tcp with
+  | Some path, None -> `Unix path
+  | None, Some port -> `Tcp (host, port)
+  | Some _, Some _ -> exit_err "client: pass either --socket or --tcp, not both"
+  | None, None -> exit_err "client: pass --socket PATH or --tcp PORT"
+
+(* Every client subcommand prints the full reply envelope (one JSON line:
+   id, status, error?, body?) and exits with the reply's status code —
+   the same 0/1/3/4 taxonomy the offline commands use. *)
+let finish = function
+  | Error e -> exit_err e
+  | Ok (reply : Protocol.reply) ->
+    print_endline (Protocol.Json.to_string (Protocol.reply_to_json reply));
+    (match reply.Protocol.error with
+    | Some (_, msg) -> Printf.eprintf "error: %s\n" msg
+    | None -> ());
+    exit (Client.exit_code reply)
+
+let with_client socket tcp host f =
+  match Client.connect (client_addr socket tcp host) with
+  | Error e -> exit_err e
+  | Ok c -> Fun.protect ~finally:(fun () -> Client.close c) (fun () -> finish (f c))
+
+let session_arg =
+  let doc = "Session id (as returned by $(b,load))." in
+  Arg.(required & opt (some string) None & info [ "session" ] ~docv:"ID" ~doc)
+
+let mode_wire_name = function
+  | Engine.Hierarchical -> "hierarchical"
+  | Engine.Flat_stream -> "flat-stream"
+  | Engine.Flat_sem -> "flat-sem"
+
+let client_cmd =
+  let load_cmd =
+    let spec_file_arg =
+      let doc = "System description file to upload (S-expression format)." in
+      Arg.(required & opt (some string) None
+           & info [ "file" ] ~docv:"FILE" ~doc)
+    in
+    let run socket tcp host file mode deadline budget =
+      let spec =
+        try read_file file with Sys_error e -> exit_err e
+      in
+      with_client socket tcp host (fun c ->
+        Client.load ?deadline_ms:deadline ?budget:budget
+          ~mode:(mode_wire_name mode) c ~spec)
+    in
+    let doc =
+      "Upload a spec and open a warm session; the reply body carries the \
+       session id and the initial analysis outcomes."
+    in
+    Cmd.v (Cmd.info "load" ~doc ~exits:guard_exits)
+      Term.(const run $ serve_socket_arg $ serve_tcp_arg $ serve_host_arg
+            $ spec_file_arg $ mode_arg $ deadline_arg $ budget_arg)
+  in
+  let edit_cmd =
+    let single kind s =
+      match parse_axis_arg kind s with
+      | name, [ v ] -> name, v
+      | _ -> exit_err (kind ^ ": expected NAME=VALUE (a single value)")
+    in
+    let one kind ~docv ~doc =
+      Arg.(value & opt_all string [] & info [ kind ] ~docv ~doc)
+    in
+    let run socket tcp host session periods cets task_prios frame_prios json
+        deadline budget =
+      let edits =
+        List.map
+          (fun s ->
+            let source, period = single "--period" s in
+            Space.Source_period { source; period })
+          periods
+        @ List.map
+            (fun s ->
+              let task, percent = single "--cet-scale" s in
+              Space.Cet_scale { task; percent })
+            cets
+        @ List.map
+            (fun s ->
+              let task, priority = single "--task-priority" s in
+              Space.Task_priority { task; priority })
+            task_prios
+        @ List.map
+            (fun s ->
+              let frame, priority = single "--frame-priority" s in
+              Space.Frame_priority { frame; priority })
+            frame_prios
+        @
+        match json with
+        | None -> []
+        | Some text -> begin
+          match Explore.Wire.parse text with
+          | Ok edits -> edits
+          | Error e -> exit_err ("--json: " ^ e)
+        end
+      in
+      if edits = [] then exit_err "edit: no edits given";
+      with_client socket tcp host (fun c ->
+        Client.edit ?deadline_ms:deadline ?budget:budget c ~session edits)
+    in
+    let doc =
+      "Apply edits to a warm session; the reply body carries only the \
+       re-analysed outcomes (plus reuse counters), not the full system."
+    in
+    Cmd.v (Cmd.info "edit" ~doc ~exits:guard_exits)
+      Term.(const run $ serve_socket_arg $ serve_tcp_arg $ serve_host_arg
+            $ session_arg
+            $ one "period" ~docv:"SRC=V"
+                ~doc:"Set a source's period (repeatable)."
+            $ one "cet-scale" ~docv:"TASK=PCT"
+                ~doc:"Scale a task's execution bounds by PCT% (repeatable)."
+            $ one "task-priority" ~docv:"TASK=P"
+                ~doc:"Set a task's priority (repeatable)."
+            $ one "frame-priority" ~docv:"FRAME=P"
+                ~doc:"Set a frame's priority (repeatable)."
+            $ Arg.(value & opt (some string) None
+                   & info [ "json" ] ~docv:"EDITS"
+                       ~doc:"Raw edit list in the canonical JSON encoding \
+                             (as printed by $(b,export)).")
+            $ deadline_arg $ budget_arg)
+  in
+  let session_op name ~doc op =
+    let run socket tcp host session deadline budget =
+      with_client socket tcp host (fun c ->
+        Client.request ?deadline_ms:deadline ?budget:budget c (op session))
+    in
+    Cmd.v (Cmd.info name ~doc ~exits:guard_exits)
+      Term.(const run $ serve_socket_arg $ serve_tcp_arg $ serve_host_arg
+            $ session_arg $ deadline_arg $ budget_arg)
+  in
+  let analyse_cmd =
+    session_op "analyse"
+      ~doc:"Full outcomes of the session's current system (single-flight \
+            deduplicated across identical concurrent requests)."
+      (fun session -> Protocol.Analyse { session })
+  in
+  let metrics_cmd =
+    session_op "metrics"
+      ~doc:"Per-session analysis counters plus a process telemetry snapshot."
+      (fun session -> Protocol.Metrics { session })
+  in
+  let close_cmd =
+    session_op "close" ~doc:"Close a session and free its warm state."
+      (fun session -> Protocol.Close { session })
+  in
+  let plain_op name ~doc op =
+    let run socket tcp host =
+      with_client socket tcp host (fun c -> Client.request c op)
+    in
+    Cmd.v (Cmd.info name ~doc ~exits:guard_exits)
+      Term.(const run $ serve_socket_arg $ serve_tcp_arg $ serve_host_arg)
+  in
+  let ping_cmd =
+    plain_op "ping" ~doc:"Liveness probe; reports session and worker counts."
+      Protocol.Ping
+  in
+  let shutdown_cmd =
+    plain_op "shutdown" ~doc:"Ask the daemon to drain and exit."
+      Protocol.Shutdown
+  in
+  let doc =
+    "Talk to a running $(b,hem_tool serve) daemon.  Every subcommand \
+     prints the reply envelope as one JSON line and exits with the \
+     reply's protocol status — the same 0/1/3/4 code taxonomy as the \
+     offline commands."
+  in
+  Cmd.group (Cmd.info "client" ~doc ~exits:guard_exits)
+    [ load_cmd; edit_cmd; analyse_cmd; metrics_cmd; close_cmd; ping_cmd;
+      shutdown_cmd ]
+
 let () =
   let doc = "hierarchical event model analysis of the DATE'08 reference system" in
-  let info = Cmd.info "hem_tool" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "hem_tool" ~version:"1.0.0" ~doc ~exits:guard_exits in
   exit
     (Cmd.eval
        (Cmd.group info
           [
             analyse_cmd; convergence_cmd; profile_cmd; simulate_cmd;
             figure4_cmd; scaling_cmd; sweep_cmd; explore_cmd; export_cmd;
-            gantt_cmd; headroom_cmd; data_age_cmd; verify_cmd;
+            gantt_cmd; headroom_cmd; data_age_cmd; verify_cmd; serve_cmd;
+            client_cmd;
           ]))

@@ -405,3 +405,106 @@ let map_stats ?jobs ?oversubscribe ?label f n =
 
 let map ?jobs ?oversubscribe ?label f n =
   fst (map_stats ?jobs ?oversubscribe ?label f n)
+
+(* ------------------------------------------------------------------ *)
+(* Persistent worker service *)
+
+module Service = struct
+  let c_jobs = Obs.Metrics.counter "explore.pool.service.jobs"
+  let c_rejected = Obs.Metrics.counter "explore.pool.service.rejected"
+
+  (* One mailbox per worker: jobs are pinned, never stolen.  The pin is
+     the point — a serving session's cached streams carry unsynchronised
+     memo tables, so every job touching one session must run on the same
+     domain.  Stealing would break that; tail imbalance is acceptable
+     for a server (sessions are long-lived, load balancing happens at
+     session-placement time). *)
+  type mailbox = {
+    m_lock : Mutex.t;
+    m_cond : Condition.t;
+    m_queue : (unit -> unit) Queue.t;
+    mutable m_stopping : bool;
+  }
+
+  type t = {
+    label : string;
+    boxes : mailbox array;
+    domains : unit Domain.t array;
+  }
+
+  let worker_loop box =
+    let rec loop () =
+      Mutex.lock box.m_lock;
+      while Queue.is_empty box.m_queue && not box.m_stopping do
+        Condition.wait box.m_cond box.m_lock
+      done;
+      if Queue.is_empty box.m_queue then begin
+        (* stopping and drained *)
+        Mutex.unlock box.m_lock;
+        ()
+      end
+      else begin
+        let job = Queue.pop box.m_queue in
+        Mutex.unlock box.m_lock;
+        (* a job must not kill its worker; result/error delivery is the
+           submitter's wrapper's business *)
+        (try job () with _ -> ());
+        loop ()
+      end
+    in
+    loop ()
+
+  let create ?jobs ?(label = "explore.pool.service") () =
+    let jobs = match jobs with Some j -> j | None -> default_jobs () in
+    if jobs < 1 then invalid_arg "Pool.Service.create: jobs < 1";
+    let jobs = effective_jobs jobs in
+    let boxes =
+      Array.init jobs (fun _ ->
+        {
+          m_lock = Mutex.create ();
+          m_cond = Condition.create ();
+          m_queue = Queue.create ();
+          m_stopping = false;
+        })
+    in
+    let domains =
+      Array.map (fun box -> Domain.spawn (fun () -> worker_loop box)) boxes
+    in
+    { label; boxes; domains }
+
+  let label t = t.label
+  let jobs t = Array.length t.boxes
+
+  let submit t ~worker job =
+    if worker < 0 || worker >= Array.length t.boxes then
+      invalid_arg "Pool.Service.submit: worker out of range";
+    let box = t.boxes.(worker) in
+    Mutex.lock box.m_lock;
+    let accepted = not box.m_stopping in
+    if accepted then begin
+      Queue.push job box.m_queue;
+      Condition.signal box.m_cond
+    end;
+    Mutex.unlock box.m_lock;
+    Obs.Metrics.incr (if accepted then c_jobs else c_rejected);
+    accepted
+
+  let depth t ~worker =
+    if worker < 0 || worker >= Array.length t.boxes then
+      invalid_arg "Pool.Service.depth: worker out of range";
+    let box = t.boxes.(worker) in
+    Mutex.lock box.m_lock;
+    let d = Queue.length box.m_queue in
+    Mutex.unlock box.m_lock;
+    d
+
+  let shutdown t =
+    Array.iter
+      (fun box ->
+        Mutex.lock box.m_lock;
+        box.m_stopping <- true;
+        Condition.broadcast box.m_cond;
+        Mutex.unlock box.m_lock)
+      t.boxes;
+    Array.iter Domain.join t.domains
+end

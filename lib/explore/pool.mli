@@ -131,3 +131,46 @@ val map_guarded :
     ["<label>.spawn:<k>"] fired before spawning helper
     [k <= effective_jobs - 1] (combine with [~oversubscribe:true] to
     exercise spawns regardless of the machine's core count). *)
+
+(** Persistent worker domains with pinned per-worker mailboxes — the
+    long-running counterpart of {!map} for servers.  Where a map spawns
+    domains per call and merges once, a service keeps [jobs] domains
+    alive and lets callers submit jobs to a {e specific} worker: jobs
+    pinned to the same worker run sequentially on the same domain, which
+    is how a serving session honours the pool's domain-locality contract
+    (its cached streams' curve memo tables are unsynchronised, so every
+    request touching one session must run where the session lives).
+    There is deliberately no stealing between mailboxes.
+
+    Jobs are [unit -> unit] thunks; delivering results (and exceptions —
+    a raising job is swallowed, the worker survives) is the submitter's
+    wrapper's concern.  Metrics: [explore.pool.service.jobs] accepted,
+    [explore.pool.service.rejected] refused after shutdown began. *)
+module Service : sig
+  type t
+
+  val create : ?jobs:int -> ?label:string -> unit -> t
+  (** Spawns [effective_jobs jobs] worker domains ([jobs] defaults to
+      {!default_jobs}; [label] defaults to ["explore.pool.service"]).
+      @raise Invalid_argument when [jobs < 1]. *)
+
+  val jobs : t -> int
+  (** Number of worker domains actually running. *)
+
+  val label : t -> string
+
+  val submit : t -> worker:int -> (unit -> unit) -> bool
+  (** Enqueue a job on worker [worker]'s mailbox; [false] when the
+      service is shutting down (the job was not enqueued).
+      @raise Invalid_argument when [worker] is outside [0 .. jobs-1]. *)
+
+  val depth : t -> worker:int -> int
+  (** Jobs currently queued (not yet started) on a worker — the
+      admission-control signal.
+      @raise Invalid_argument when [worker] is outside [0 .. jobs-1]. *)
+
+  val shutdown : t -> unit
+  (** Stop accepting jobs, let every worker drain its mailbox, and join
+      all worker domains.  Idempotent in effect but must only be called
+      once. *)
+end

@@ -227,6 +227,27 @@ let apply spec = function
 
 let apply_all spec edits = List.fold_left apply spec edits
 
+(* Evaluated against the PRE-edit spec: a Repack names the frames that
+   exist before the layout change plus the LF<i> frames it creates, so a
+   warm engine can invalidate both the replaced and the replacement
+   elements. *)
+let touched spec = function
+  | Source_period { source; _ } | Source_jitter { source; _ } ->
+    [ source ], []
+  | Cet_scale { task; _ } | Task_priority { task; _ } -> [], [ task ]
+  | Frame_priority { frame; _ } | Frame_tx { frame; _ } -> [], [ frame ]
+  | Repack p ->
+    let old_frames =
+      List.filter_map
+        (fun (f : Spec.frame) ->
+          if String.equal f.bus p.bus then Some f.frame_name else None)
+        spec.Spec.frames
+    in
+    let new_frames =
+      List.mapi (fun i _ -> Printf.sprintf "LF%d" (i + 1)) p.groups
+    in
+    [], old_frames @ new_frames
+
 (* ------------------------------------------------------------------ *)
 (* Axes and grids *)
 

@@ -54,6 +54,14 @@ val apply : Spec.t -> edit -> Spec.t
 
 val apply_all : Spec.t -> edit list -> Spec.t
 
+val touched : Spec.t -> edit -> string list * string list
+(** [(sources, elements)] the edit rewrites, evaluated against the
+    {e pre-edit} spec.  A [Repack] reports both the frames currently on
+    the bus and the ["LF<i>"] frames it will create, so callers holding
+    warm analysis state can invalidate replaced and replacement elements
+    alike.  Purely syntactic — never raises, even for edits [apply]
+    would reject. *)
+
 (** {1 Axes and grids} *)
 
 type axis = {

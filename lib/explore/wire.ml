@@ -1,0 +1,386 @@
+(* Canonical JSON codec for Space edit lists.  Hand-rolled: the repo
+   carries no external JSON dependency, and the serving protocol needs a
+   full value parser anyway (requests are JSON objects). *)
+
+module Interval = Timebase.Interval
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  (* --- printing ---------------------------------------------------- *)
+
+  let add_string buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let rec add buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int n -> Buffer.add_string buf (string_of_int n)
+    | Float f ->
+      (* round-trippable and never "inf"/"nan" (invalid JSON) *)
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.1f" f)
+      else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+    | Str s -> add_string buf s
+    | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          add buf item)
+        items;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_string buf k;
+          Buffer.add_char buf ':';
+          add buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+  let to_string v =
+    let buf = Buffer.create 128 in
+    add buf v;
+    Buffer.contents buf
+
+  (* --- parsing ----------------------------------------------------- *)
+
+  exception Fail of int * string
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Fail (!pos, msg)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        advance ()
+      done
+    in
+    let expect c =
+      match peek () with
+      | Some got when Char.equal got c -> advance ()
+      | Some got -> fail (Printf.sprintf "expected %c, got %c" c got)
+      | None -> fail (Printf.sprintf "expected %c, got end of input" c)
+    in
+    let literal word value =
+      if !pos + String.length word <= n
+         && String.equal (String.sub s !pos (String.length word)) word
+      then begin
+        pos := !pos + String.length word;
+        value
+      end
+      else fail ("invalid literal, expected " ^ word)
+    in
+    (* UTF-8 encoding of one \uXXXX scalar (surrogate pairs unsupported:
+       edits and protocol payloads are names and numbers) *)
+    let add_utf8 buf code =
+      if code < 0x80 then Buffer.add_char buf (Char.chr code)
+      else if code < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+      end
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec loop () =
+        if !pos >= n then fail "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        if Char.equal c '"' then Buffer.contents buf
+        else if Char.equal c '\\' then begin
+          (if !pos >= n then fail "unterminated escape");
+          let e = s.[!pos] in
+          advance ();
+          (match e with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'b' -> Buffer.add_char buf '\b'
+           | 'f' -> Buffer.add_char buf '\012'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'u' ->
+             if !pos + 4 > n then fail "truncated \\u escape";
+             let hex = String.sub s !pos 4 in
+             pos := !pos + 4;
+             let code =
+               match int_of_string_opt ("0x" ^ hex) with
+               | Some c -> c
+               | None -> fail "invalid \\u escape"
+             in
+             add_utf8 buf code
+           | _ -> fail "unknown escape");
+          loop ()
+        end
+        else begin
+          Buffer.add_char buf c;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do
+        advance ()
+      done;
+      let text = String.sub s start (!pos - start) in
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> begin
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail ("invalid number " ^ text)
+      end
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              items (v :: acc)
+            | Some ']' ->
+              advance ();
+              List.rev (v :: acc)
+            | _ -> fail "expected , or ] in array"
+          in
+          Arr (items [])
+        end
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            k, v
+          in
+          let rec fields acc =
+            let f = field () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              fields (f :: acc)
+            | Some '}' ->
+              advance ();
+              List.rev (f :: acc)
+            | _ -> fail "expected , or } in object"
+          in
+          Obj (fields [])
+        end
+      | Some _ -> parse_number ()
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage after value";
+      v
+    with
+    | v -> Ok v
+    | exception Fail (at, msg) ->
+      Error (Printf.sprintf "json: %s at byte %d" msg at)
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+
+  let to_int = function
+    | Int n -> Some n
+    | Float f when Float.is_integer f -> Some (int_of_float f)
+    | _ -> None
+
+  let to_str = function
+    | Str s -> Some s
+    | _ -> None
+end
+
+(* --- edit codec ----------------------------------------------------- *)
+
+open Json
+
+let edit_to_json (e : Space.edit) =
+  match e with
+  | Space.Source_period { source; period } ->
+    Obj [ "edit", Str "source-period"; "source", Str source;
+          "period", Int period ]
+  | Space.Source_jitter { source; period; jitter; d_min } ->
+    Obj [ "edit", Str "source-jitter"; "source", Str source;
+          "period", Int period; "jitter", Int jitter; "d-min", Int d_min ]
+  | Space.Cet_scale { task; percent } ->
+    Obj [ "edit", Str "cet-scale"; "task", Str task; "percent", Int percent ]
+  | Space.Task_priority { task; priority } ->
+    Obj [ "edit", Str "task-priority"; "task", Str task;
+          "priority", Int priority ]
+  | Space.Frame_priority { frame; priority } ->
+    Obj [ "edit", Str "frame-priority"; "frame", Str frame;
+          "priority", Int priority ]
+  | Space.Frame_tx { frame; tx } ->
+    Obj [ "edit", Str "frame-tx"; "frame", Str frame;
+          "tx", Arr [ Int (Interval.lo tx); Int (Interval.hi tx) ] ]
+  | Space.Repack { bus; groups; bits_per_signal; bit_time } ->
+    Obj
+      [ "edit", Str "repack"; "bus", Str bus;
+        "groups",
+        Arr (List.map (fun g -> Arr (List.map (fun s -> Str s) g)) groups);
+        "bits-per-signal", Int bits_per_signal; "bit-time", Int bit_time ]
+
+let field kind key extract j =
+  match Option.bind (member key j) extract with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: missing or malformed %S" kind key)
+
+let ( let* ) = Result.bind
+
+let edit_of_json j =
+  match Option.bind (member "edit" j) to_str with
+  | None -> Error "edit: missing \"edit\" tag"
+  | Some "source-period" ->
+    let* source = field "source-period" "source" to_str j in
+    let* period = field "source-period" "period" to_int j in
+    Ok (Space.Source_period { source; period })
+  | Some "source-jitter" ->
+    let* source = field "source-jitter" "source" to_str j in
+    let* period = field "source-jitter" "period" to_int j in
+    let* jitter = field "source-jitter" "jitter" to_int j in
+    let* d_min = field "source-jitter" "d-min" to_int j in
+    Ok (Space.Source_jitter { source; period; jitter; d_min })
+  | Some "cet-scale" ->
+    let* task = field "cet-scale" "task" to_str j in
+    let* percent = field "cet-scale" "percent" to_int j in
+    Ok (Space.Cet_scale { task; percent })
+  | Some "task-priority" ->
+    let* task = field "task-priority" "task" to_str j in
+    let* priority = field "task-priority" "priority" to_int j in
+    Ok (Space.Task_priority { task; priority })
+  | Some "frame-priority" ->
+    let* frame = field "frame-priority" "frame" to_str j in
+    let* priority = field "frame-priority" "priority" to_int j in
+    Ok (Space.Frame_priority { frame; priority })
+  | Some "frame-tx" ->
+    let* frame = field "frame-tx" "frame" to_str j in
+    let* tx =
+      match member "tx" j with
+      | Some (Arr [ lo; hi ]) -> begin
+        match to_int lo, to_int hi with
+        | Some lo, Some hi -> Ok (Interval.make ~lo ~hi)
+        | _ -> Error "frame-tx: non-integer bound in \"tx\""
+      end
+      | _ -> Error "frame-tx: expected \"tx\":[lo,hi]"
+    in
+    Ok (Space.Frame_tx { frame; tx })
+  | Some "repack" ->
+    let* bus = field "repack" "bus" to_str j in
+    let* groups =
+      match member "groups" j with
+      | Some (Arr gs) ->
+        List.fold_left
+          (fun acc g ->
+            let* acc = acc in
+            match g with
+            | Arr names ->
+              let* group =
+                List.fold_left
+                  (fun acc name ->
+                    let* acc = acc in
+                    match to_str name with
+                    | Some s -> Ok (s :: acc)
+                    | None -> Error "repack: non-string signal name")
+                  (Ok []) names
+              in
+              Ok (List.rev group :: acc)
+            | _ -> Error "repack: group is not an array")
+          (Ok []) gs
+        |> Result.map List.rev
+      | _ -> Error "repack: missing \"groups\" array"
+    in
+    let* bits_per_signal = field "repack" "bits-per-signal" to_int j in
+    let* bit_time = field "repack" "bit-time" to_int j in
+    Ok (Space.Repack { bus; groups; bits_per_signal; bit_time })
+  | Some other -> Error (Printf.sprintf "edit: unknown kind %S" other)
+
+let edits_to_json edits = Arr (List.map edit_to_json edits)
+
+let edits_of_json = function
+  | Arr items ->
+    let rec go i acc = function
+      | [] -> Ok (List.rev acc)
+      | j :: rest -> begin
+        match edit_of_json j with
+        | Ok e -> go (i + 1) (e :: acc) rest
+        | Error msg -> Error (Printf.sprintf "edit %d: %s" i msg)
+      end
+    in
+    go 0 [] items
+  | _ -> Error "edits: expected a JSON array"
+
+let print edits = Json.to_string (edits_to_json edits)
+
+let parse text =
+  match Json.of_string text with
+  | Error e -> Error e
+  | Ok j -> edits_of_json j

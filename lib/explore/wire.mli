@@ -1,0 +1,61 @@
+(** Wire-level (de)serialization of {!Space} edit lists.
+
+    The serving layer ships system deltas over sockets as JSON; the
+    sweep driver builds the same edits programmatically.  This module is
+    the single codec both share, so a delta captured from a client can
+    be replayed through the driver (and vice versa) byte-for-byte.
+
+    The rendering is {e canonical}: objects carry their keys in a fixed
+    order, integers print without padding, and no insignificant
+    whitespace is emitted — so [parse (print edits) = Ok edits] and the
+    printed form of equal edit lists is byte-identical (the qcheck
+    property in [test_serve.ml]). *)
+
+(** A minimal self-contained JSON value — the repository deliberately
+    carries no external JSON dependency.  [to_string] escapes control
+    characters and emits objects in key order; [of_string] accepts
+    arbitrary whitespace and [\uXXXX] escapes (decoded to UTF-8). *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact, deterministic rendering (no trailing newline). *)
+
+  val of_string : string -> (t, string) result
+  (** Parses one JSON value; trailing garbage after the value is an
+      error.  Errors carry a byte offset. *)
+
+  val member : string -> t -> t option
+  (** Object field lookup; [None] on non-objects too. *)
+
+  val to_int : t -> int option
+  (** [Int n] (and integral [Float]) as [Some n]. *)
+
+  val to_str : t -> string option
+end
+
+val edit_to_json : Space.edit -> Json.t
+(** One edit as a tagged object, e.g.
+    [{"edit":"cet-scale","task":"T3","percent":120}]. *)
+
+val edit_of_json : Json.t -> (Space.edit, string) result
+
+val edits_to_json : Space.edit list -> Json.t
+(** The list as a JSON array. *)
+
+val edits_of_json : Json.t -> (Space.edit list, string) result
+(** Fails on the first malformed element, with its index in the
+    message. *)
+
+val print : Space.edit list -> string
+(** [Json.to_string] of {!edits_to_json} — the canonical wire form. *)
+
+val parse : string -> (Space.edit list, string) result
+(** Inverse of {!print}: [parse (print edits) = Ok edits]. *)

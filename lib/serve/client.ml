@@ -1,0 +1,93 @@
+module Json = Protocol.Json
+
+type addr =
+  [ `Unix of string
+  | `Tcp of string * int
+  ]
+
+type t = {
+  fd : Unix.file_descr;
+  reader : Protocol.reader;
+  max_frame : int;
+  mutable next_id : int;
+}
+
+let connect ?(max_frame = Protocol.default_max_frame) addr =
+  match
+    match addr with
+    | `Unix path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      fd
+    | `Tcp (host, port) ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_INET (inet, port))
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      fd
+  with
+  | fd -> Ok { fd; reader = Protocol.reader fd; max_frame; next_id = 1 }
+  | exception Unix.Unix_error (err, _, _) ->
+    Error ("connect: " ^ Unix.error_message err)
+  | exception Not_found -> Error "connect: unknown host"
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let request ?deadline_ms ?budget t op =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let req = Protocol.request ?deadline_ms ?budget ~id op in
+  match
+    Protocol.write_frame t.fd
+      (Json.to_string (Protocol.request_to_json req))
+  with
+  | exception Unix.Unix_error (err, _, _) ->
+    Error ("send: " ^ Unix.error_message err)
+  | () -> begin
+    match Protocol.read_frame ~max_frame:t.max_frame t.reader with
+    | Error e -> Error (Protocol.frame_error_to_string e)
+    | Ok payload -> begin
+      match Json.of_string payload with
+      | Error e -> Error e
+      | Ok j -> begin
+        match Protocol.reply_of_json j with
+        | Error e -> Error e
+        | Ok reply ->
+          (* id 0 = a protocol-level fault the server could not tie to
+             a request id *)
+          if reply.Protocol.rep_id = id || reply.Protocol.rep_id = 0 then
+            Ok reply
+          else
+            Error
+              (Printf.sprintf "reply id %d does not match request %d"
+                 reply.Protocol.rep_id id)
+      end
+    end
+  end
+
+let exit_code (reply : Protocol.reply) = Protocol.status_code reply.status
+
+let load ?deadline_ms ?budget ?mode t ~spec =
+  request ?deadline_ms ?budget t (Protocol.Load { spec_text = spec; mode })
+
+let edit ?deadline_ms ?budget t ~session edits =
+  request ?deadline_ms ?budget t (Protocol.Edit { session; edits })
+
+let analyse ?deadline_ms ?budget t ~session =
+  request ?deadline_ms ?budget t (Protocol.Analyse { session })
+
+let metrics t ~session = request t (Protocol.Metrics { session })
+let close_session t ~session = request t (Protocol.Close { session })
+let ping t = request t Protocol.Ping
+let shutdown t = request t Protocol.Shutdown
+
+let session_id (reply : Protocol.reply) =
+  Option.bind (Json.member "session" reply.body) Json.to_str

@@ -1,0 +1,51 @@
+(** Blocking client of the serving daemon.
+
+    One {!t} is one connection with an auto-incrementing request id; it
+    is not thread-safe (use one connection per client thread — the
+    protocol is strictly request/reply per connection).  All calls
+    return the decoded {!Protocol.reply}; transport and decode failures
+    are [Error] strings.  A reply with a non-[Success] status is still
+    [Ok] — inspect [reply.status] / [reply.error]; {!exit_code} maps it
+    onto the CLI exit-code taxonomy. *)
+
+type addr =
+  [ `Unix of string  (** Unix-domain socket path *)
+  | `Tcp of string * int  (** host, port *)
+  ]
+
+type t
+
+val connect : ?max_frame:int -> addr -> (t, string) result
+val close : t -> unit
+
+val request :
+  ?deadline_ms:float -> ?budget:int -> t -> Protocol.op ->
+  (Protocol.reply, string) result
+(** Sends one request and blocks for its reply (mismatched reply ids
+    are an [Error]). *)
+
+val exit_code : Protocol.reply -> int
+(** [status_code] of the reply — by construction the same 0/1/3/4
+    taxonomy as {!Guard.Error.exit_code}. *)
+
+(** {1 Convenience wrappers} *)
+
+val load :
+  ?deadline_ms:float -> ?budget:int -> ?mode:string -> t -> spec:string ->
+  (Protocol.reply, string) result
+
+val edit :
+  ?deadline_ms:float -> ?budget:int -> t -> session:string ->
+  Explore.Space.edit list -> (Protocol.reply, string) result
+
+val analyse :
+  ?deadline_ms:float -> ?budget:int -> t -> session:string ->
+  (Protocol.reply, string) result
+
+val metrics : t -> session:string -> (Protocol.reply, string) result
+val close_session : t -> session:string -> (Protocol.reply, string) result
+val ping : t -> (Protocol.reply, string) result
+val shutdown : t -> (Protocol.reply, string) result
+
+val session_id : Protocol.reply -> string option
+(** The ["session"] field of a reply body (set by [load]). *)

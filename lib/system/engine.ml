@@ -302,27 +302,23 @@ let drop_dirty table dirty =
   List.iter (Hashtbl.remove table) stale;
   List.length stale
 
-let analyse ?(mode = Hierarchical) ?(incremental = true) ?(max_iterations = 64)
-    ?window_limit ?q_limit ?selfcheck ?guard spec =
-  let guard = match guard with Some g -> g | None -> Guard.ambient () in
-  match Spec.validate spec with
-  | Error e -> Error (Guard.Error.Invalid_spec { reason = e })
-  | Ok () -> begin
+(* The fixpoint driver, shared by cold [analyse] and warm sessions.  All
+   mutable state — the response table, the memoization context, the
+   per-resource outcome cache — is owned by the caller: a cold analysis
+   makes it fresh, a warm session keeps it across calls and seeds
+   [initial_dirty] with the elements an edit invalidated, paying only for
+   what is downstream of them. *)
+let run_fixpoint ~mode ~incremental ~max_iterations ?window_limit ?q_limit
+    ~guard ~responses ~ctx ~resource_cache ~initial_dirty () =
+  begin
+    let spec = ctx.spec in
+    let response_of = ctx.response_of in
     (* Every curve and busy-window counter bump during this analysis is
        charged to [scope] (curves created here carry the attachment, so
        even post-convergence evaluations through [result.resolve] keep
        accruing to the right analysis). *)
     let scope = Obs.Metrics.scope ("engine:" ^ mode_name mode) in
     let zero = Interval.make ~lo:0 ~hi:0 in
-    let responses : (string, Interval.t) Hashtbl.t = Hashtbl.create 16 in
-    let response_of name =
-      Option.value (Hashtbl.find_opt responses name) ~default:zero
-    in
-    let ctx = make_ctx ?selfcheck spec mode response_of in
-    (* last local analysis per resource, with its response dependencies *)
-    let resource_cache : (string, element_outcome list * S.t) Hashtbl.t =
-      Hashtbl.create 8
-    in
     let analysed = ref 0
     and reused = ref 0
     and invalidated = ref 0 in
@@ -575,7 +571,7 @@ let analyse ?(mode = Hierarchical) ?(incremental = true) ?(max_iterations = 64)
     in
     let run () =
       Obs.Metrics.in_scope scope (fun () ->
-        Guard.with_ambient guard (fun () -> iterate 1 S.empty))
+        Guard.with_ambient guard (fun () -> iterate 1 initial_dirty))
     in
     let traced () =
       if Obs.Trace.enabled () then
@@ -628,6 +624,245 @@ let analyse ?(mode = Hierarchical) ?(incremental = true) ?(max_iterations = 64)
       finish (degrade ~reason:r ~at_iteration)
     | exception Guard.Error.Error r -> Error r
   end
+
+let fresh_state ?selfcheck spec mode =
+  let zero = Interval.make ~lo:0 ~hi:0 in
+  let responses : (string, Interval.t) Hashtbl.t = Hashtbl.create 16 in
+  let response_of name =
+    Option.value (Hashtbl.find_opt responses name) ~default:zero
+  in
+  let ctx = make_ctx ?selfcheck spec mode response_of in
+  (* last local analysis per resource, with its response dependencies *)
+  let resource_cache : (string, element_outcome list * S.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  responses, ctx, resource_cache
+
+let analyse ?(mode = Hierarchical) ?(incremental = true) ?(max_iterations = 64)
+    ?window_limit ?q_limit ?selfcheck ?guard spec =
+  let guard = match guard with Some g -> g | None -> Guard.ambient () in
+  match Spec.validate spec with
+  | Error e -> Error (Guard.Error.Invalid_spec { reason = e })
+  | Ok () ->
+    let responses, ctx, resource_cache = fresh_state ?selfcheck spec mode in
+    run_fixpoint ~mode ~incremental ~max_iterations ?window_limit ?q_limit
+      ~guard ~responses ~ctx ~resource_cache ~initial_dirty:S.empty ()
+
+(* ------------------------------------------------------------------ *)
+(* Warm sessions *)
+
+type warm = {
+  warm_mode : mode;
+  warm_max_iterations : int;
+  warm_window_limit : int option;
+  warm_q_limit : int option;
+  warm_responses : (string, Interval.t) Hashtbl.t;
+  mutable warm_ctx : ctx;
+  warm_resource_cache : (string, element_outcome list * S.t) Hashtbl.t;
+  mutable warm_poisoned : bool;
+      (* a previous run stopped short of the fixed point (degraded or
+         overloaded): the cached state is not a converged baseline, so
+         the next update starts from scratch *)
+}
+
+let warm_spec w = w.warm_ctx.spec
+let warm_mode w = w.warm_mode
+let warm_poisoned w = w.warm_poisoned
+
+let warm ?(mode = Hierarchical) ?(max_iterations = 64) ?window_limit ?q_limit
+    ?selfcheck ?guard spec =
+  let guard = match guard with Some g -> g | None -> Guard.ambient () in
+  match Spec.validate spec with
+  | Error e -> Error (Guard.Error.Invalid_spec { reason = e })
+  | Ok () -> begin
+    let responses, ctx, resource_cache = fresh_state ?selfcheck spec mode in
+    match
+      run_fixpoint ~mode ~incremental:true ~max_iterations ?window_limit
+        ?q_limit ~guard ~responses ~ctx ~resource_cache
+        ~initial_dirty:S.empty ()
+    with
+    | Error e -> Error e
+    | Ok result ->
+      Ok
+        ( {
+            warm_mode = mode;
+            warm_max_iterations = max_iterations;
+            warm_window_limit = window_limit;
+            warm_q_limit = q_limit;
+            warm_responses = responses;
+            warm_ctx = ctx;
+            warm_resource_cache = resource_cache;
+            warm_poisoned =
+              (match result.status with Converged -> false | _ -> true);
+          },
+          result )
+  end
+
+(* Resources hosting any element of [stale] in [spec].  A resource's
+   cached outcome records only its *activation* dependencies — a change
+   to one of its own tasks' parameters (cet, priority) is invisible to
+   that dependency set, so the host entry must be dropped explicitly. *)
+let hosting_resources spec stale =
+  let acc =
+    List.fold_left
+      (fun acc (k : Spec.task) ->
+        if S.mem k.task_name stale then S.add k.resource acc else acc)
+      S.empty spec.Spec.tasks
+  in
+  List.fold_left
+    (fun acc (f : Spec.frame) ->
+      if S.mem f.frame_name stale then S.add f.bus acc else acc)
+    acc spec.Spec.frames
+
+let warm_update ?guard w ~spec ~stale =
+  let guard = match guard with Some g -> g | None -> Guard.ambient () in
+  match Spec.validate spec with
+  | Error e -> Error (Guard.Error.Invalid_spec { reason = e })
+  | Ok () ->
+    let ctx0 = w.warm_ctx in
+    let initial_dirty =
+      if w.warm_poisoned then begin
+        (* no converged baseline to be incremental against *)
+        Hashtbl.reset ctx0.task_outputs;
+        Hashtbl.reset ctx0.frames_pre;
+        Hashtbl.reset ctx0.frames_post;
+        Hashtbl.reset w.warm_resource_cache;
+        Hashtbl.reset w.warm_responses;
+        S.empty
+      end
+      else begin
+        let stale_set = S.of_list stale in
+        (* Stale elements are invalidated by KEY, not only through
+           [drop_dirty]: a memo entry does not depend on its own
+           response (a frame's pre-bus hierarchy depends on none at
+           all), so dependency-driven dropping alone would keep serving
+           streams built from the old parameters. *)
+        S.iter
+          (fun k ->
+            Hashtbl.remove ctx0.task_outputs k;
+            Hashtbl.remove ctx0.frames_pre k;
+            Hashtbl.remove ctx0.frames_post k)
+          stale_set;
+        S.iter
+          (Hashtbl.remove w.warm_resource_cache)
+          (S.union
+             (hosting_resources ctx0.spec stale_set)
+             (hosting_resources spec stale_set));
+        (* converge from below: a stale element's old response may
+           overshoot its new fixed point *)
+        S.iter (Hashtbl.remove w.warm_responses) stale_set;
+        stale_set
+      end
+    in
+    let ctx =
+      { ctx0 with spec; in_progress = Hashtbl.create 16; dep_acc = S.empty }
+    in
+    w.warm_ctx <- ctx;
+    let result =
+      run_fixpoint ~mode:w.warm_mode ~incremental:true
+        ~max_iterations:w.warm_max_iterations
+        ?window_limit:w.warm_window_limit ?q_limit:w.warm_q_limit ~guard
+        ~responses:w.warm_responses ~ctx ~resource_cache:w.warm_resource_cache
+        ~initial_dirty ()
+    in
+    (match result with
+     | Ok r ->
+       w.warm_poisoned <- (match r.status with Converged -> false | _ -> true)
+     | Error _ -> w.warm_poisoned <- true);
+    result
+
+(* ------------------------------------------------------------------ *)
+(* Static impact closure *)
+
+let activation_refs act =
+  let rec go ((srcs, els) as acc) = function
+    | Spec.From_source s -> S.add s srcs, els
+    | Spec.From_output t -> srcs, S.add t els
+    | Spec.From_frame f -> srcs, S.add f els
+    | Spec.From_signal { frame; _ } -> srcs, S.add frame els
+    | Spec.Or_of acts | Spec.And_of acts -> List.fold_left go acc acts
+  in
+  go (S.empty, S.empty) act
+
+let affected spec ~sources ~elements =
+  let src_set = S.of_list sources in
+  (* element -> the sources and elements its activation streams read *)
+  let edges =
+    List.map
+      (fun (k : Spec.task) -> k.task_name, activation_refs k.activation)
+      spec.Spec.tasks
+    @ List.map
+        (fun (f : Spec.frame) ->
+          ( f.frame_name,
+            List.fold_left
+              (fun (srcs, els) (s : Spec.signal_binding) ->
+                let s', e' = activation_refs s.origin in
+                S.union srcs s', S.union els e')
+              (S.empty, S.empty) f.signals ))
+        spec.Spec.frames
+  in
+  let members =
+    List.map
+      (fun (res : Spec.resource) ->
+        List.filter_map
+          (fun (k : Spec.task) ->
+            if String.equal k.resource res.res_name then Some k.task_name
+            else None)
+          spec.Spec.tasks
+        @ List.filter_map
+            (fun (f : Spec.frame) ->
+              if String.equal f.bus res.res_name then Some f.frame_name
+              else None)
+            spec.Spec.frames)
+      spec.Spec.resources
+  in
+  let stale = ref (S.of_list elements) in
+  let grew = ref true in
+  let mark name =
+    if not (S.mem name !stale) then begin
+      stale := S.add name !stale;
+      grew := true
+    end
+  in
+  while !grew do
+    grew := false;
+    (* downstream of a stale input *)
+    List.iter
+      (fun (name, (srcs, els)) ->
+        if
+          (not (S.mem name !stale))
+          && (S.exists (fun s -> S.mem s src_set) srcs
+             || S.exists (fun e -> S.mem e !stale) els)
+        then mark name)
+      edges;
+    (* local-analysis coupling: one stale element on a resource changes
+       the interference every co-hosted element sees *)
+    List.iter
+      (fun group ->
+        if List.exists (fun m -> S.mem m !stale) group then
+          List.iter mark group)
+      members
+  done;
+  S.elements !stale
+
+let outcome_equal a b =
+  match a, b with
+  | Busy_window.Bounded x, Busy_window.Bounded y -> Interval.equal x y
+  | Busy_window.Unbounded x, Busy_window.Unbounded y -> String.equal x y
+  | Busy_window.Bounded _, Busy_window.Unbounded _
+  | Busy_window.Unbounded _, Busy_window.Bounded _ -> false
+
+let delta_outcomes ~before ~after =
+  List.filter
+    (fun o ->
+      match
+        List.find_opt (fun b -> String.equal b.element o.element) before
+      with
+      | Some b ->
+        (not (String.equal b.resource o.resource))
+        || not (outcome_equal b.outcome o.outcome)
+      | None -> true)
+    after
 
 let response result name =
   match

@@ -169,3 +169,84 @@ val analyse :
 val response : result -> string -> Timebase.Interval.t option
 (** Response-time interval of a task or frame in the result, if bounded.
     @raise Not_found for unknown element names. *)
+
+(** {1 Warm sessions}
+
+    A warm session keeps the engine's resolution state — the response
+    table, the memoized derived streams with their dependency sets, and
+    the per-resource outcome cache — alive between analyses, so a
+    follow-up query that edits a few elements pays only for what is
+    downstream of them.  This is the serving layer's unit of state: one
+    session per loaded system, updated in place per request.
+
+    Domain locality: the cached streams carry unsynchronised curve memo
+    tables, so a [warm] value must only ever be used from one domain at
+    a time (the serving layer pins each session to a worker). *)
+
+type warm
+
+val warm :
+  ?mode:mode ->
+  ?max_iterations:int ->
+  ?window_limit:int ->
+  ?q_limit:int ->
+  ?selfcheck:(Event_model.Stream.t -> unit) ->
+  ?guard:Guard.t ->
+  Spec.t ->
+  (warm * result, Guard.Error.t) Stdlib.result
+(** Cold analysis that keeps its resolution context.  Equivalent to
+    {!analyse} (always incremental) plus the session handle. *)
+
+val warm_update :
+  ?guard:Guard.t ->
+  warm ->
+  spec:Spec.t ->
+  stale:string list ->
+  (result, Guard.Error.t) Stdlib.result
+(** Re-analyses [spec] against the session's cached state.  [stale]
+    must name every task/frame whose parameters or (transitive) inputs
+    the new spec changes relative to the session's current one —
+    compute it with {!affected} over [Explore.Space.touched] seeds, on
+    {b both} the old and new specs, and union.  Stale elements are
+    invalidated by key (their memo entries do not record a dependency on
+    themselves), resources hosting them are re-analysed, their responses
+    restart from [\[0:0\]] (the fixed point is approached from below),
+    and the first iteration's dirty set is the stale set — everything
+    else is served from cache, bit-identical to a from-scratch run.
+    With [stale = \[\]] and an unchanged spec this is a read-back: every
+    resource reports as reused and the result repeats the fixed point.
+
+    If a previous run of this session did not converge (degraded,
+    overloaded, or errored), the cached state is not a valid baseline;
+    the next update resets it and runs from scratch.
+
+    The [resolve]/[hierarchy] accessors of a returned {!result} read the
+    session's live caches: they are valid until the next
+    [warm_update]. *)
+
+val warm_spec : warm -> Spec.t
+(** The spec of the last update (the session's current system). *)
+
+val warm_mode : warm -> mode
+
+val warm_poisoned : warm -> bool
+(** [true] when the cached state is not a converged baseline and the
+    next {!warm_update} will rebuild from scratch. *)
+
+val affected : Spec.t -> sources:string list -> elements:string list -> string list
+(** Transitive impact closure of editing the given sources and elements
+    in [spec], sorted: every element downstream of a named source or
+    element through activation streams and packed signals, closed under
+    same-resource coupling (a local analysis re-runs whole resources, so
+    one stale element perturbs the interference of all co-hosted ones).
+    The named [elements] are included in the output; names absent from
+    [spec] are carried through but propagate nothing. *)
+
+val delta_outcomes :
+  before:element_outcome list ->
+  after:element_outcome list ->
+  element_outcome list
+(** The outcomes of [after] that are new or differ from their namesake
+    in [before] — what a serving client needs to see after an edit.
+    Elements only present in [before] (e.g. frames removed by a repack)
+    are dropped; the caller reports removals separately if needed. *)

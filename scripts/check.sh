@@ -5,9 +5,10 @@
 # no-sink instrumentation overhead, a kernel no-regression gate vs the
 # committed BENCH_1.json, the kernel A/B + pool scaling benchmark
 # (BENCH_6.json), the exploration checks (jobs-determinism byte diff +
-# BENCH_3.json scaling sanity), and the self-verification smoke
+# BENCH_3.json scaling sanity), the self-verification smoke
 # (sanitizer + differential oracles on the paper system and a fixed-seed
-# fuzz batch).
+# fuzz batch), and a serve-daemon smoke (warm session round over a Unix
+# socket + clean SIGTERM drain).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 # Hard wall-clock ceiling: a hung fixed point or deadlocked pool must
@@ -233,4 +234,57 @@ dune exec bin/hem_tool.exe -- verify > /dev/null
 echo "check: verify ok (paper system: sanitizer + oracles clean)"
 dune exec bin/hem_tool.exe -- verify --fuzz 25 --seed 2026 --horizon 100000 > /dev/null
 echo "check: verify ok (25 fuzzed systems, seed 2026)"
+
+# --- serve daemon smoke -----------------------------------------------
+# Full client/server round on a temp Unix socket: load a session, make a
+# warm edit (which must reuse analyses from the resident fixed point),
+# read outcomes and per-session metrics, close, then SIGTERM the daemon
+# and require a clean (exit 0) drain.  The built binary is used directly
+# so the backgrounded daemon does not contend for the dune build lock.
+HEM=./_build/default/bin/hem_tool.exe
+sock=$(mktemp -u /tmp/hem_serve.XXXXXX.sock)
+servelog=$(mktemp /tmp/hem_serve.XXXXXX.log)
+"$HEM" serve --socket "$sock" > "$servelog" 2>&1 &
+serve_pid=$!
+trap 'kill "$serve_pid" 2> /dev/null || true; rm -f "$sock" "$servelog"' EXIT
+up=0
+for _ in $(seq 1 100); do
+  if "$HEM" client ping --socket "$sock" > /dev/null 2>&1; then up=1; break; fi
+  sleep 0.05
+done
+if [ "$up" != 1 ]; then
+  echo "check: serve daemon did not come up on $sock" >&2
+  cat "$servelog" >&2
+  exit 1
+fi
+sid=$("$HEM" client load --socket "$sock" --file examples/paper.spec | jq -r '.body.session')
+if [ -z "$sid" ] || [ "$sid" = null ]; then
+  echo "check: serve load returned no session id" >&2
+  exit 1
+fi
+reused=$("$HEM" client edit --socket "$sock" --session "$sid" --task-priority t3=4 \
+  | jq '.body.stats["resources-reused"]')
+if [ "$reused" -lt 1 ]; then
+  echo "check: warm edit reused $reused analyses, expected > 0" >&2
+  exit 1
+fi
+"$HEM" client analyse --socket "$sock" --session "$sid" \
+  | jq -e '.status == 0 and (.body.outcomes | length > 0)' > /dev/null \
+  || { echo "check: serve analyse returned no outcomes" >&2; exit 1; }
+"$HEM" client metrics --socket "$sock" --session "$sid" \
+  | jq -e '.body.requests >= 2 and .body.counters["busy_window.windows"] >= 1
+           and .body.process.counters["serve.requests"] >= 1' > /dev/null \
+  || { echo "check: serve metrics missing per-session counters" >&2; exit 1; }
+"$HEM" client close --socket "$sock" --session "$sid" > /dev/null
+kill -TERM "$serve_pid"
+code=0
+wait "$serve_pid" || code=$?
+if [ "$code" != 0 ]; then
+  echo "check: serve daemon exited $code on SIGTERM, expected 0" >&2
+  cat "$servelog" >&2
+  exit 1
+fi
+trap - EXIT
+rm -f "$sock" "$servelog"
+echo "check: serve daemon smoke ok (warm edit reused ${reused} analyses, clean SIGTERM drain)"
 echo "check: ok"
