@@ -9,11 +9,12 @@
      dune exec bench/main.exe -- explore # domain-pool scaling (BENCH_3.json)
      dune exec bench/main.exe -- scale   # kernel A/B + pool scaling (BENCH_6.json)
      dune exec bench/main.exe -- serve   # warm-session daemon storm (BENCH_serve.json)
+     dune exec bench/main.exe -- propagation # per-mode tightness table (BENCH_9.json)
    Experiments: tables table3 figure4 ablation-pending ablation-k scaling
    convergence baseline-models buffers cross-framework robustness validate
-   perf explore scale serve
-   (perf, explore, scale and serve are timing runs, excluded from the
-   no-argument sweep) *)
+   perf explore scale serve propagation
+   (perf, explore, scale, serve and propagation are timing/guarded runs,
+   excluded from the no-argument sweep) *)
 
 module Time = Timebase.Time
 module Count = Timebase.Count
@@ -1331,6 +1332,203 @@ let serve_bench () =
   Printf.printf "wrote BENCH_serve.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* propagation: per-mode output-model tightness table (BENCH_9.json)   *)
+
+module Prop = Event_model.Propagation
+
+(* Force one propagation mode on the whole system: spec-wide default
+   set, per-task overrides cleared — the same normalisation the
+   propagation oracle applies. *)
+let forced_propagation mode (spec : Spec.t) =
+  let spec =
+    {
+      spec with
+      Spec.tasks =
+        List.map
+          (fun (t : Spec.task) -> { t with Spec.propagation = None })
+          spec.Spec.tasks;
+    }
+  in
+  Spec.with_propagation mode spec
+
+let propagation_bench () =
+  banner "propagation: per-mode output-model tightness (BENCH_9.json)";
+  let systems =
+    [
+      "paper", Paper.spec ();
+      "gateway", Scenarios.Gateway.spec ();
+      "avionics", Scenarios.Avionics.spec ();
+      "fan_in_8", Scenarios.Synthetic.fan_in ~signals:8 ();
+      "chain_12", Scenarios.Synthetic.chain ~stages:12 ();
+      "network_8", Scenarios.Synthetic.network ();
+    ]
+  in
+  let hi_map (r : Engine.result) =
+    List.map
+      (fun (o : Engine.element_outcome) ->
+        ( o.Engine.element,
+          match o.Engine.outcome with
+          | Scheduling.Busy_window.Bounded i -> Some (Interval.hi i)
+          | Scheduling.Busy_window.Unbounded _ -> None ))
+      r.Engine.outcomes
+  in
+  let mode_names = List.map Prop.mode_name Prop.all_modes in
+  Printf.printf "%-12s %10s" "system" "flat";
+  List.iter (fun m -> Printf.printf " %13s" m) mode_names;
+  Printf.printf "   (sum of bounded R+ over elements)\n";
+  let violations = ref 0 in
+  let rows =
+    List.map
+      (fun (name, spec) ->
+        let flat =
+          ok (Engine.analyse ~mode:Engine.Flat_sem ~incremental:false spec)
+        in
+        let per_mode =
+          List.map
+            (fun m ->
+              ( m,
+                hi_map
+                  (ok
+                     (Engine.analyse ~mode:Engine.Hierarchical
+                        ~incremental:false (forced_propagation m spec))) ))
+            Prop.all_modes
+        in
+        let theta = List.assoc Prop.Theta_tau per_mode in
+        let optimal = List.assoc Prop.Optimal per_mode in
+        (* optimal must be pointwise at least as tight as every mode *)
+        List.iter
+          (fun (m, hs) ->
+            List.iter
+              (fun (element, h) ->
+                match List.assoc_opt element optimal, h with
+                | Some (Some o), Some h when o > h ->
+                  incr violations;
+                  Printf.eprintf
+                    "%s/%s: optimal %d looser than %s %d\n" name element o
+                    (Prop.mode_name m) h
+                | Some None, Some h ->
+                  incr violations;
+                  Printf.eprintf
+                    "%s/%s: optimal unbounded, %s bounded at %d\n" name
+                    element (Prop.mode_name m) h
+                | _ -> ())
+              hs)
+          per_mode;
+        let strict =
+          List.exists
+            (fun (element, o) ->
+              match o, List.assoc_opt element theta with
+              | Some o, Some (Some t) -> o < t
+              | _ -> false)
+            optimal
+        in
+        let total hs =
+          List.fold_left
+            (fun acc (_, h) -> match h with Some h -> acc + h | None -> acc)
+            0 hs
+        in
+        Printf.printf "%-12s %10d" name (total (hi_map flat));
+        List.iter
+          (fun (_, hs) -> Printf.printf " %13d" (total hs))
+          per_mode;
+        Printf.printf "%s\n" (if strict then "   < theta_tau" else "");
+        name, hi_map flat, per_mode, strict)
+      systems
+  in
+  let strict_wins =
+    List.filter_map (fun (n, _, _, s) -> if s then Some n else None) rows
+  in
+  if !violations > 0 then begin
+    Printf.eprintf "propagation: %d pointwise-dominance violations\n"
+      !violations;
+    exit 1
+  end;
+  if strict_wins = [] then begin
+    Printf.eprintf
+      "propagation: optimal never strictly tighter than theta_tau\n";
+    exit 1
+  end;
+  Printf.printf "(optimal pointwise <= every mode; strictly tighter than \
+                 theta_tau on: %s)\n"
+    (String.concat ", " strict_wins);
+  (* kernel-path timing of the same cases BENCH_1.json reports, so the
+     check gate can compare the two files from one machine *)
+  let kernel_cases =
+    [
+      "paper_flat_sem", Paper.spec (), Engine.Flat_sem;
+      "chain_16", Scenarios.Synthetic.chain ~stages:16 (), Engine.Hierarchical;
+    ]
+  in
+  let kernel =
+    List.map
+      (fun (name, spec, mode) ->
+        name, time_ms (fun () -> Engine.analyse ~mode ~incremental:false spec))
+      kernel_cases
+  in
+  List.iter
+    (fun (name, t) -> Printf.printf "kernel %-16s %8.3f ms\n" name t)
+    kernel;
+  let oc = open_out "BENCH_9.json" in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "{\n  \"benchmark\": \"output-model propagation tightness\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"modes\": [%s],\n"
+       (String.concat ", "
+          (List.map (fun m -> Printf.sprintf "%S" m) mode_names)));
+  Buffer.add_string buf "  \"systems\": [\n";
+  let render_hi = function Some h -> string_of_int h | None -> "null" in
+  List.iteri
+    (fun i (name, flat, per_mode, strict) ->
+      let elements = List.map fst flat in
+      Buffer.add_string buf (Printf.sprintf "    {\"name\": %S,\n" name);
+      Buffer.add_string buf "     \"elements\": [\n";
+      List.iteri
+        (fun j element ->
+          Buffer.add_string buf
+            (Printf.sprintf "       {\"element\": %S, \"flat\": %s%s}%s\n"
+               element
+               (render_hi (Option.join (List.assoc_opt element flat)))
+               (String.concat ""
+                  (List.map
+                     (fun (m, hs) ->
+                       Printf.sprintf ", %S: %s" (Prop.mode_name m)
+                         (render_hi (Option.join (List.assoc_opt element hs))))
+                     per_mode))
+               (if j = List.length elements - 1 then "" else ",")))
+        elements;
+      Buffer.add_string buf "     ],\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "     \"optimal_pointwise_le\": true, \
+            \"optimal_strictly_tighter_than_theta\": %b}%s\n"
+           strict
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"strict_win_systems\": [%s],\n"
+       (String.concat ", "
+          (List.map (fun n -> Printf.sprintf "%S" n) strict_wins)));
+  Buffer.add_string buf "  \"kernel\": [\n";
+  List.iteri
+    (fun i (name, t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"name\": %S, \"full_ms\": %.3f}%s\n" name t
+           (if i = List.length kernel - 1 then "" else ",")))
+    kernel;
+  let metrics =
+    metrics_json ~warm:(fun () ->
+        ignore
+          (Engine.analyse ~mode:Engine.Hierarchical
+             (forced_propagation Prop.Optimal (Paper.spec ()))))
+  in
+  Buffer.add_string buf (Printf.sprintf "  ],\n  \"metrics\": %s\n}\n" metrics);
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote BENCH_9.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1350,6 +1548,7 @@ let experiments =
     "explore", explore_bench;
     "scale", scale;
     "serve", serve_bench;
+    "propagation", propagation_bench;
   ]
 
 let () =
@@ -1360,7 +1559,7 @@ let () =
       (fun (name, run) ->
         if
           name <> "perf" && name <> "explore" && name <> "scale"
-          && name <> "serve"
+          && name <> "serve" && name <> "propagation"
         then run ())
       experiments
   | _ :: names ->

@@ -3,9 +3,11 @@
 
    Commands:
      hem_tool analyse     [--mode flat|flat-stream|hem] [--s3-period N]
-                          [--trace FILE] [--trace-level spans|full]
-                          [--deadline MS] [--budget N]
-     hem_tool convergence [--s3-period N] [--file FILE] [--trace FILE]
+                          [--propagation MODE] [--trace FILE]
+                          [--trace-level spans|full] [--deadline MS]
+                          [--budget N]
+     hem_tool convergence [--s3-period N] [--file FILE] [--propagation MODE]
+                          [--trace FILE]
      hem_tool simulate    [--horizon N] [--seed N] [--s3-period N]
      hem_tool figure4     [--max-dt N] [--step N]
      hem_tool scaling     [--signals N]
@@ -17,8 +19,9 @@
      hem_tool verify      [--file SPEC] [--fuzz N] [--seed N] [--horizon N]
                           [--no-selfcheck] [--deadline MS] [--budget N]
      hem_tool serve       (--socket PATH | --tcp PORT [--host H]) [--jobs N]
-                          [--max-sessions N] [--max-frame BYTES] [--queue N]
-                          [--deadline MS] [--budget N] [--drain-ms MS]
+                          [--propagation MODE] [--max-sessions N]
+                          [--max-frame BYTES] [--queue N] [--deadline MS]
+                          [--budget N] [--drain-ms MS]
      hem_tool client      (load/edit/analyse/metrics/close/ping/shutdown)
                           (--socket PATH | --tcp PORT) [op args]
 
@@ -201,6 +204,30 @@ let with_metrics metrics f =
         Printf.printf "wrote %s\n" path)
       f
 
+(* propagation: override the spec-wide default output-propagation mode *)
+
+let propagation_arg =
+  let modes =
+    List.map
+      (fun m -> Event_model.Propagation.mode_name m, m)
+      Event_model.Propagation.all_modes
+  in
+  let doc =
+    "Output-model propagation method applied spec-wide (overrides the \
+     description's default; per-task overrides in the description keep \
+     precedence): $(b,theta_tau) (the paper's exact recursion, the \
+     default), $(b,jitter), $(b,jitter_offset), $(b,jitter_bmin), \
+     $(b,busy_window), or $(b,optimal) (pointwise-tightest sound output \
+     per task)."
+  in
+  Arg.(value & opt (some (enum modes)) None
+       & info [ "propagation" ] ~docv:"MODE" ~doc)
+
+let apply_propagation propagation spec =
+  match propagation with
+  | None -> spec
+  | Some m -> Spec.with_propagation m spec
+
 (* selfcheck: wire the Verify sanitizer into the engine's audit hook *)
 
 let selfcheck_arg =
@@ -258,14 +285,15 @@ let run_mode ?(stats = false) ?(convergence = false) ?selfcheck ?guard ~mode
     result
 
 let analyse_cmd =
-  let run mode s3_period file stats trace trace_level metrics selfcheck
-      deadline budget =
+  let run mode s3_period file propagation stats trace trace_level metrics
+      selfcheck deadline budget =
     let guard = mk_guard deadline budget in
     let spec, is_paper =
       match file with
       | None -> Paper.spec ~s3_period (), true
       | Some _ -> load_spec file
     in
+    let spec = apply_propagation propagation spec in
     with_trace trace trace_level @@ fun () ->
     with_metrics metrics @@ fun () ->
     with_selfcheck selfcheck @@ fun selfcheck ->
@@ -298,15 +326,17 @@ let analyse_cmd =
   in
   let doc = "Analyse a system (the paper's reference system by default)." in
   Cmd.v (Cmd.info "analyse" ~doc ~exits:guard_exits)
-    Term.(const run $ mode_arg $ s3_period_arg $ file_arg $ stats_arg
-          $ trace_arg $ trace_level_arg $ metrics_arg $ selfcheck_arg
-          $ deadline_arg $ budget_arg)
+    Term.(const run $ mode_arg $ s3_period_arg $ file_arg $ propagation_arg
+          $ stats_arg $ trace_arg $ trace_level_arg $ metrics_arg
+          $ selfcheck_arg $ deadline_arg $ budget_arg)
 
 (* convergence *)
 
 let convergence_cmd =
-  let run s3_period file stats trace trace_level selfcheck format =
+  let run s3_period file propagation stats trace trace_level selfcheck format
+      =
     let spec, _ = load_spec ~s3_period file in
+    let spec = apply_propagation propagation spec in
     let modes = [ Engine.Hierarchical; Engine.Flat_stream; Engine.Flat_sem ] in
     with_trace trace trace_level @@ fun () ->
     with_selfcheck selfcheck @@ fun selfcheck ->
@@ -349,8 +379,8 @@ let convergence_cmd =
      mode."
   in
   Cmd.v (Cmd.info "convergence" ~doc)
-    Term.(const run $ s3_period_arg $ file_arg $ stats_arg $ trace_arg
-          $ trace_level_arg $ selfcheck_arg $ format_arg)
+    Term.(const run $ s3_period_arg $ file_arg $ propagation_arg $ stats_arg
+          $ trace_arg $ trace_level_arg $ selfcheck_arg $ format_arg)
 
 (* profile *)
 
@@ -1097,15 +1127,16 @@ let serve_host_arg =
   Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
 
 let serve_cmd =
-  let run socket tcp host jobs mode max_sessions max_frame max_queue deadline
-      budget drain_ms =
+  let run socket tcp host jobs mode propagation max_sessions max_frame
+      max_queue deadline budget drain_ms =
     if socket = None && tcp = None then
       exit_err "serve: pass --socket PATH and/or --tcp PORT";
     let cfg =
       Serve.Server.config ?unix_path:socket
         ?tcp:(Option.map (fun port -> host, port) tcp)
-        ~jobs:(resolve_jobs jobs) ~mode ~max_sessions ~max_frame ~max_queue
-        ?default_deadline_ms:deadline ?default_budget:budget ~drain_ms ()
+        ~jobs:(resolve_jobs jobs) ~mode ?propagation ~max_sessions ~max_frame
+        ~max_queue ?default_deadline_ms:deadline ?default_budget:budget
+        ~drain_ms ()
     in
     match Serve.Server.run cfg with
     | () -> ()
@@ -1145,8 +1176,8 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc ~exits:guard_exits)
     Term.(const run $ serve_socket_arg $ serve_tcp_arg $ serve_host_arg
-          $ jobs_arg $ mode_arg $ max_sessions_arg $ max_frame_arg $ queue_arg
-          $ deadline_arg $ budget_arg $ drain_arg)
+          $ jobs_arg $ mode_arg $ propagation_arg $ max_sessions_arg
+          $ max_frame_arg $ queue_arg $ deadline_arg $ budget_arg $ drain_arg)
 
 let client_addr socket tcp host =
   match socket, tcp with

@@ -14,6 +14,10 @@ type edit =
   | Task_priority of { task : string; priority : int }
   | Frame_priority of { frame : string; priority : int }
   | Frame_tx of { frame : string; tx : Interval.t }
+  | Propagation_mode of {
+      task : string option;
+      mode : Event_model.Propagation.mode;
+    }
   | Repack of packing
 
 and packing = {
@@ -38,6 +42,11 @@ let edit_label = function
     Printf.sprintf "%s.prio=%d" frame priority
   | Frame_tx { frame; tx } ->
     Printf.sprintf "%s.tx=%s" frame (Interval.to_string tx)
+  | Propagation_mode { task = None; mode } ->
+    Printf.sprintf "propagation=%s" (Event_model.Propagation.mode_name mode)
+  | Propagation_mode { task = Some task; mode } ->
+    Printf.sprintf "%s.propagation=%s" task
+      (Event_model.Propagation.mode_name mode)
   | Repack p -> "layout=" ^ packing_label p
 
 let replace_source spec ~source stream =
@@ -223,6 +232,9 @@ let apply spec = function
     update_frame spec ~frame (fun f -> { f with frame_priority = priority })
   | Frame_tx { frame; tx } ->
     update_frame spec ~frame (fun f -> { f with tx_time = tx })
+  | Propagation_mode { task = None; mode } -> Spec.with_propagation mode spec
+  | Propagation_mode { task = Some task; mode } ->
+    update_task spec ~task (fun k -> { k with propagation = Some mode })
   | Repack p -> apply_packing spec p
 
 let apply_all spec edits = List.fold_left apply spec edits
@@ -236,6 +248,10 @@ let touched spec = function
     [ source ], []
   | Cet_scale { task; _ } | Task_priority { task; _ } -> [], [ task ]
   | Frame_priority { frame; _ } | Frame_tx { frame; _ } -> [], [ frame ]
+  | Propagation_mode { task = Some task; _ } -> [], [ task ]
+  | Propagation_mode { task = None; _ } ->
+    (* a default-mode change can re-derive every task output *)
+    [], List.map (fun (k : Spec.task) -> k.task_name) spec.Spec.tasks
   | Repack p ->
     let old_frames =
       List.filter_map

@@ -23,6 +23,12 @@ type edit =
   | Task_priority of { task : string; priority : int }
   | Frame_priority of { frame : string; priority : int }
   | Frame_tx of { frame : string; tx : Timebase.Interval.t }
+  | Propagation_mode of {
+      task : string option;
+      mode : Event_model.Propagation.mode;
+    }
+      (** set a task's output-propagation override, or ([task = None])
+          the spec-wide default mode *)
   | Repack of packing
       (** reassign the signals of a bus to a new set of frames *)
 

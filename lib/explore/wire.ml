@@ -282,6 +282,13 @@ let edit_to_json (e : Space.edit) =
   | Space.Frame_tx { frame; tx } ->
     Obj [ "edit", Str "frame-tx"; "frame", Str frame;
           "tx", Arr [ Int (Interval.lo tx); Int (Interval.hi tx) ] ]
+  | Space.Propagation_mode { task; mode } ->
+    let mode = Str (Event_model.Propagation.mode_name mode) in
+    Obj
+      (("edit", Str "propagation")
+       :: (match task with
+           | Some t -> [ "task", Str t; "mode", mode ]
+           | None -> [ "mode", mode ]))
   | Space.Repack { bus; groups; bits_per_signal; bit_time } ->
     Obj
       [ "edit", Str "repack"; "bus", Str bus;
@@ -333,6 +340,26 @@ let edit_of_json j =
       | _ -> Error "frame-tx: expected \"tx\":[lo,hi]"
     in
     Ok (Space.Frame_tx { frame; tx })
+  | Some "propagation" ->
+    let* mode_name = field "propagation" "mode" to_str j in
+    let* mode =
+      match Event_model.Propagation.mode_of_name mode_name with
+      | Some m -> Ok m
+      | None ->
+        Error (Printf.sprintf "propagation: unknown mode %S" mode_name)
+    in
+    (* "task" is optional: absent = spec-wide default; when present it
+       must be a string *)
+    let* task =
+      match member "task" j with
+      | None -> Ok None
+      | Some v -> begin
+        match to_str v with
+        | Some t -> Ok (Some t)
+        | None -> Error "propagation: malformed \"task\""
+      end
+    in
+    Ok (Space.Propagation_mode { task; mode })
   | Some "repack" ->
     let* bus = field "repack" "bus" to_str j in
     let* groups =

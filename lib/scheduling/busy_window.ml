@@ -101,8 +101,8 @@ let spanned ?label ~q_reached run =
   end
   else run ()
 
-let max_response ?label ?(q_limit = default_q_limit) ~best_case ~arrival
-    ~finish () =
+let max_response ?label ?(q_limit = default_q_limit) ?record ~best_case
+    ~arrival ~finish () =
   Metrics.incr c_busy_windows;
   if Guard.Inject.armed () then
     Guard.Inject.fire
@@ -123,6 +123,9 @@ let max_response ?label ?(q_limit = default_q_limit) ~best_case ~arrival
         match finish q with
         | None -> Unbounded "busy window diverges (overload)"
         | Some fin ->
+          (match record with
+           | None -> ()
+           | Some f -> f ~q ~arr ~fin);
           let worst = Stdlib.max worst (fin - arr) in
           let continue_period =
             match arrival (q + 1) with
@@ -134,6 +137,29 @@ let max_response ?label ?(q_limit = default_q_limit) ~best_case ~arrival
       end
   in
   spanned ?label ~q_reached (fun () -> loop 1 0)
+
+(* Accumulates the per-activation (arrival, completion) pairs emitted by
+   [max_response ~record] into an [Event_model.Propagation.profile].  The
+   pairs arrive in increasing q with monotone columns (arrivals are a
+   delta_min curve; completions are least fixed points of per-q window
+   equations that grow pointwise with q), which is exactly the profile
+   constructor's contract. *)
+let profile_collector () =
+  let arrs = ref [] and fins = ref [] in
+  let record ~q:_ ~arr ~fin =
+    arrs := arr :: !arrs;
+    fins := fin :: !fins
+  in
+  let get () =
+    match !arrs with
+    | [] -> None
+    | _ ->
+      Some
+        (Event_model.Propagation.profile
+           ~arrivals:(Array.of_list (List.rev !arrs))
+           ~finishes:(Array.of_list (List.rev !fins)))
+  in
+  record, get
 
 let max_backlog ?label ?(q_limit = default_q_limit) ~arrival ~arrivals_in
     ~finish () =

@@ -31,6 +31,7 @@ val fixpoint : limit:int -> init:int -> (int -> int) -> int option
 val max_response :
   ?label:string ->
   ?q_limit:int ->
+  ?record:(q:int -> arr:int -> fin:int -> unit) ->
   best_case:int ->
   arrival:(int -> Timebase.Time.t) ->
   finish:(int -> int option) ->
@@ -44,10 +45,27 @@ val max_response :
     completion does not overlap the arrival of activation [q + 1].
     Returns [Bounded [best_case : max_q (finish q - arrival q)]].
 
+    [record], when given, is called once per explored activation with
+    its index [q], earliest arrival [arr] and worst-case completion
+    [fin] (both relative to the busy-window start) — the per-activation
+    completion profile consumed by busy-window output propagation
+    ({!Event_model.Propagation}).  It observes exactly the activations
+    of the returned bound, in increasing [q].
+
     When a tracing sink is installed, the computation is wrapped in a
     ["busy_window"] span labelled with [label] (the element name) and
     attributed with the explored q-range and fixpoint work; with no sink
     the span layer is skipped entirely. *)
+
+val profile_collector :
+  unit ->
+  (q:int -> arr:int -> fin:int -> unit)
+  * (unit -> Event_model.Propagation.profile option)
+(** [profile_collector ()] is a [(record, get)] pair: pass [record] to
+    {!max_response} and call [get ()] afterwards to obtain the collected
+    busy-window completion profile ([None] when no activation was
+    explored).  Only meaningful when the enumeration returned [Bounded]
+    — a divergent window leaves a partial, unusable profile. *)
 
 val max_backlog :
   ?label:string ->

@@ -64,8 +64,8 @@ let make_finish ~window_limit ~task ~others =
   end
 
 let response_time ?(window_limit = Busy_window.default_window_limit) ?q_limit
-    ~task ~others () =
-  Busy_window.max_response ~label:task.Rt_task.name ?q_limit
+    ?record ~task ~others () =
+  Busy_window.max_response ~label:task.Rt_task.name ?q_limit ?record
     ~best_case:(Interval.lo task.Rt_task.cet)
     ~arrival:(Stream.delta_min task.Rt_task.activation)
     ~finish:(make_finish ~window_limit ~task ~others)
@@ -93,4 +93,20 @@ let analyse ?window_limit ?q_limit tasks =
     (fun task ->
       let others = List.filter (fun t -> t != task) tasks in
       task, response_time ?window_limit ?q_limit ~task ~others ())
+    tasks
+
+let analyse_profiled ?window_limit ?q_limit tasks =
+  List.map
+    (fun task ->
+      let others = List.filter (fun t -> t != task) tasks in
+      let record, profile = Busy_window.profile_collector () in
+      let outcome =
+        response_time ?window_limit ?q_limit ~record ~task ~others ()
+      in
+      let profile =
+        match outcome with
+        | Busy_window.Bounded _ -> profile ()
+        | Busy_window.Unbounded _ -> None
+      in
+      task, outcome, profile)
     tasks

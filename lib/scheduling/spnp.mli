@@ -12,10 +12,13 @@
 val response_time :
   ?window_limit:int ->
   ?q_limit:int ->
+  ?record:(q:int -> arr:int -> fin:int -> unit) ->
   task:Rt_task.t ->
   others:Rt_task.t list ->
   unit ->
   Busy_window.outcome
+(** [record] observes the per-activation busy-window completions (see
+    {!Busy_window.max_response}). *)
 
 val backlog_bound :
   ?window_limit:int ->
@@ -34,3 +37,13 @@ val analyse :
   (Rt_task.t * Busy_window.outcome) list
 (** [analyse tasks] runs {!response_time} for every message of an SPNP
     resource (e.g. every frame on a CAN bus). *)
+
+val analyse_profiled :
+  ?window_limit:int ->
+  ?q_limit:int ->
+  Rt_task.t list ->
+  (Rt_task.t * Busy_window.outcome * Event_model.Propagation.profile option)
+  list
+(** Like {!analyse}, but additionally collects each message's busy-window
+    completion profile (for busy-window output propagation).  The
+    profile is [None] for unbounded outcomes. *)

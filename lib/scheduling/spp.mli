@@ -10,6 +10,7 @@
 val response_time :
   ?window_limit:int ->
   ?q_limit:int ->
+  ?record:(q:int -> arr:int -> fin:int -> unit) ->
   ?blocking:int ->
   task:Rt_task.t ->
   others:Rt_task.t list ->
@@ -18,7 +19,9 @@ val response_time :
 (** Response-time interval of [task] given the other tasks sharing the
     resource.  The best case is the task's best-case execution time.
     [blocking] (default 0) adds a per-busy-window blocking term — the
-    priority-inversion bound of a shared-resource locking protocol. *)
+    priority-inversion bound of a shared-resource locking protocol.
+    [record] observes the per-activation busy-window completions (see
+    {!Busy_window.max_response}). *)
 
 val backlog_bound :
   ?window_limit:int ->
@@ -39,3 +42,13 @@ val analyse :
   (Rt_task.t * Busy_window.outcome) list
 (** [analyse tasks] runs {!response_time} for every task of an SPP
     resource. *)
+
+val analyse_profiled :
+  ?window_limit:int ->
+  ?q_limit:int ->
+  Rt_task.t list ->
+  (Rt_task.t * Busy_window.outcome * Event_model.Propagation.profile option)
+  list
+(** Like {!analyse}, but additionally collects each task's busy-window
+    completion profile (for busy-window output propagation).  The
+    profile is [None] for unbounded outcomes. *)

@@ -21,6 +21,7 @@ type config = {
   tcp : (string * int) option;
   jobs : int;
   mode : Engine.mode;
+  propagation : Event_model.Propagation.mode option;
   max_sessions : int;
   max_frame : int;
   max_queue : int;
@@ -29,7 +30,7 @@ type config = {
   drain_ms : float;
 }
 
-let config ?unix_path ?tcp ?jobs ?(mode = Engine.Hierarchical)
+let config ?unix_path ?tcp ?jobs ?(mode = Engine.Hierarchical) ?propagation
     ?(max_sessions = 64) ?(max_frame = Protocol.default_max_frame)
     ?(max_queue = 64) ?default_deadline_ms ?default_budget
     ?(drain_ms = 5000.) () =
@@ -38,6 +39,7 @@ let config ?unix_path ?tcp ?jobs ?(mode = Engine.Hierarchical)
     tcp;
     jobs = (match jobs with Some j -> j | None -> Pool.default_jobs ());
     mode;
+    propagation;
     max_sessions;
     max_frame;
     max_queue;
@@ -244,36 +246,72 @@ let handle_analyse t (s : Session.t) ~id ~guard =
     let key =
       Engine.mode_name (Engine.warm_mode w) ^ ":" ^ Session.content_digest s
     in
-    match
-      Explore.Cache.find_or_compute t.cache ~key (fun () ->
-        match Engine.warm_update ~guard w ~spec:s.spec ~stale:[] with
-        | Error e -> raise (Analysis_error e)
-        | Ok r -> begin
-          match r.status with
-          | Engine.Degraded _ -> raise (Analysis_degraded r)
-          | Engine.Converged | Engine.Overloaded ->
-            Engine.status_name r.status, r.iterations, r.outcomes
-        end)
-    with
-    | (status, iterations, outcomes), hit ->
+    let analyse_reply ~hit ~status ~iterations outcomes =
       Protocol.ok ~id
         (Json.Obj
            (session_header s
            @ [ "status", Json.Str status;
                "iterations", Json.Int iterations;
                "cache-hit", Json.Bool hit;
-               "outcomes", outcomes_json outcomes ]))
-    | exception Analysis_error e -> Protocol.fail ~id e
-    | exception Analysis_degraded r ->
-      let body =
-        Json.Obj
-          (session_header s
-          @ [ "status", Json.Str (Engine.status_name r.status);
-              "iterations", Json.Int r.iterations;
-              "cache-hit", Json.Bool false;
-              "outcomes", outcomes_json r.outcomes ])
-      in
-      result_reply ~id body r
+               "outcomes", outcomes ]))
+    in
+    (* Second memo layer under the cross-session single-flight cache: the
+       fully rendered result, in the pinned worker's domain-local scratch,
+       keyed by session so eviction can clear exactly this session's
+       entries (see the table's [on_evict]).  We always run on the pinned
+       worker here, so the table is ours alone. *)
+    let scratch = Pool.Service.scratch () in
+    let skey = s.id ^ ":" ^ key in
+    let replayed =
+      match Hashtbl.find_opt scratch skey with
+      | None -> None
+      | Some rendered -> begin
+        match Json.of_string rendered with
+        | Ok (Json.Obj [ ("status", Json.Str status);
+                         ("iterations", Json.Int iterations);
+                         ("outcomes", outcomes) ]) ->
+          Some (analyse_reply ~hit:true ~status ~iterations outcomes)
+        | Ok _ | Error _ ->
+          (* unreadable entry: drop it and recompute *)
+          Hashtbl.remove scratch skey;
+          None
+      end
+    in
+    match replayed with
+    | Some reply -> reply
+    | None -> begin
+      match
+        Explore.Cache.find_or_compute t.cache ~key (fun () ->
+          match Engine.warm_update ~guard w ~spec:s.spec ~stale:[] with
+          | Error e -> raise (Analysis_error e)
+          | Ok r -> begin
+            match r.status with
+            | Engine.Degraded _ -> raise (Analysis_degraded r)
+            | Engine.Converged | Engine.Overloaded ->
+              Engine.status_name r.status, r.iterations, r.outcomes
+          end)
+      with
+      | (status, iterations, outcomes), hit ->
+        let outcomes = outcomes_json outcomes in
+        Hashtbl.replace scratch skey
+          (Json.to_string
+             (Json.Obj
+                [ "status", Json.Str status;
+                  "iterations", Json.Int iterations;
+                  "outcomes", outcomes ]));
+        analyse_reply ~hit ~status ~iterations outcomes
+      | exception Analysis_error e -> Protocol.fail ~id e
+      | exception Analysis_degraded r ->
+        let body =
+          Json.Obj
+            (session_header s
+            @ [ "status", Json.Str (Engine.status_name r.status);
+                "iterations", Json.Int r.iterations;
+                "cache-hit", Json.Bool false;
+                "outcomes", outcomes_json r.outcomes ])
+        in
+        result_reply ~id body r
+    end
   end
 
 let handle_metrics t (s : Session.t) ~id =
@@ -431,6 +469,11 @@ let handle_request t (req : Protocol.request) =
              session's pinned worker; the mailbox lock is the
              happens-before edge *)
           let spec = Spec_file.to_spec base in
+          let spec =
+            match t.cfg.propagation with
+            | None -> spec
+            | Some m -> Spec.with_propagation m spec
+          in
           match Session.register t.table ~base ~spec ~digest:"" with
           | Error reason -> admission_reject ~id ("admission: " ^ reason)
           | Ok s -> begin
@@ -547,8 +590,16 @@ let run cfg =
       (* pin against the service's clamped worker count, not the
          requested one, or sessions land on non-existent workers *)
       table =
-        Session.table ~max_sessions:cfg.max_sessions
-          ~jobs:(Pool.Service.jobs service);
+        Session.table
+          (* a departing session's reply memos live in its pinned
+             worker's scratch; clear them there (mailbox ordering runs
+             the clear after any in-flight jobs of the session) *)
+          ~on_evict:(fun s ->
+            ignore
+              (Pool.Service.clear_scratch service ~worker:s.Session.worker
+                 ~prefix:(s.Session.id ^ ":")))
+          ~max_sessions:cfg.max_sessions
+          ~jobs:(Pool.Service.jobs service) ();
       cache = Explore.Cache.create ();
       stopping = Atomic.make false;
       stop_w;

@@ -34,6 +34,10 @@ type config = {
   tcp : (string * int) option;  (** TCP listener (host, port) *)
   jobs : int;  (** worker-domain request (clamped to cores) *)
   mode : Engine.mode;  (** analysis mode of new sessions *)
+  propagation : Event_model.Propagation.mode option;
+      (** when set, overrides the spec-wide default propagation mode of
+          every loaded system (per-task overrides in the spec file keep
+          precedence, as always) *)
   max_sessions : int;
   max_frame : int;  (** frame payload byte limit *)
   max_queue : int;  (** per-worker mailbox admission depth *)
@@ -47,6 +51,7 @@ val config :
   ?tcp:string * int ->
   ?jobs:int ->
   ?mode:Engine.mode ->
+  ?propagation:Event_model.Propagation.mode ->
   ?max_sessions:int ->
   ?max_frame:int ->
   ?max_queue:int ->

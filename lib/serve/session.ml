@@ -22,6 +22,7 @@ type table = {
   sessions : (string, t) Hashtbl.t;
   max_sessions : int;
   jobs : int;
+  on_evict : t -> unit;
   mutable next_id : int;
   mutable evicted : int;
 }
@@ -29,7 +30,7 @@ type table = {
 let c_opened = Obs.Metrics.counter "serve.sessions.opened"
 let c_evicted = Obs.Metrics.counter "serve.sessions.evicted"
 
-let table ~max_sessions ~jobs =
+let table ?(on_evict = fun _ -> ()) ~max_sessions ~jobs () =
   if max_sessions < 1 then invalid_arg "Session.table: max_sessions < 1";
   if jobs < 1 then invalid_arg "Session.table: jobs < 1";
   {
@@ -37,6 +38,7 @@ let table ~max_sessions ~jobs =
     sessions = Hashtbl.create 16;
     max_sessions;
     jobs;
+    on_evict;
     next_id = 1;
     evicted = 0;
   }
@@ -61,42 +63,51 @@ let evict_lru tbl =
       tbl.sessions None
   in
   match victim with
-  | None -> false
+  | None -> None
   | Some s ->
     Hashtbl.remove tbl.sessions s.id;
     tbl.evicted <- tbl.evicted + 1;
     Obs.Metrics.incr c_evicted;
-    true
+    Some s
 
 let register tbl ~base ~spec ~digest =
-  locked tbl (fun () ->
-    if
-      Hashtbl.length tbl.sessions >= tbl.max_sessions
-      && not (evict_lru tbl)
-    then Error "session table full and every session is busy"
-    else begin
-      let id = Printf.sprintf "s-%d" tbl.next_id in
-      tbl.next_id <- tbl.next_id + 1;
-      let s =
-        {
-          id;
-          worker = pin_worker tbl id;
-          scope = Obs.Metrics.scope ("serve.session:" ^ id);
-          base;
-          edits = [];
-          spec;
-          warm = None;
-          last_outcomes = [];
-          digest;
-          last_used = Unix.gettimeofday ();
-          inflight = 0;
-          requests = 0;
-        }
+  let result, victim =
+    locked tbl (fun () ->
+      let victim =
+        if Hashtbl.length tbl.sessions >= tbl.max_sessions then
+          evict_lru tbl
+        else None
       in
-      Hashtbl.replace tbl.sessions id s;
-      Obs.Metrics.incr c_opened;
-      Ok s
-    end)
+      if Hashtbl.length tbl.sessions >= tbl.max_sessions then
+        Error "session table full and every session is busy", victim
+      else begin
+        let id = Printf.sprintf "s-%d" tbl.next_id in
+        tbl.next_id <- tbl.next_id + 1;
+        let s =
+          {
+            id;
+            worker = pin_worker tbl id;
+            scope = Obs.Metrics.scope ("serve.session:" ^ id);
+            base;
+            edits = [];
+            spec;
+            warm = None;
+            last_outcomes = [];
+            digest;
+            last_used = Unix.gettimeofday ();
+            inflight = 0;
+            requests = 0;
+          }
+        in
+        Hashtbl.replace tbl.sessions id s;
+        Obs.Metrics.incr c_opened;
+        Ok s, victim
+      end)
+  in
+  (* fire outside the table lock: the handler typically submits a
+     scratch-clear job to the victim's pinned worker *)
+  (match victim with Some v -> tbl.on_evict v | None -> ());
+  result
 
 let content_digest s =
   if String.equal s.digest "" then s.digest <- Spec.digest s.spec;
@@ -118,10 +129,19 @@ let checkin tbl s =
   locked tbl (fun () -> s.inflight <- Stdlib.max 0 (s.inflight - 1))
 
 let remove tbl id =
-  locked tbl (fun () ->
-    let known = Hashtbl.mem tbl.sessions id in
-    if known then Hashtbl.remove tbl.sessions id;
-    known)
+  let removed =
+    locked tbl (fun () ->
+      match Hashtbl.find_opt tbl.sessions id with
+      | None -> None
+      | Some s ->
+        Hashtbl.remove tbl.sessions id;
+        Some s)
+  in
+  match removed with
+  | None -> false
+  | Some s ->
+    tbl.on_evict s;
+    true
 
 let count tbl = locked tbl (fun () -> Hashtbl.length tbl.sessions)
 

@@ -38,7 +38,13 @@ type t = {
 
 type table
 
-val table : max_sessions:int -> jobs:int -> table
+val table :
+  ?on_evict:(t -> unit) -> max_sessions:int -> jobs:int -> unit -> table
+(** [on_evict] fires — outside the table lock — whenever a session
+    leaves the table, by LRU eviction or by {!remove}.  The server uses
+    it to clear the session's entries from its pinned worker's
+    {!Explore.Pool.Service} scratch; without that, per-session memo
+    state keyed on the worker would outlive the session. *)
 
 val register :
   table -> base:Spec_file.t -> spec:Spec.t -> digest:string ->
@@ -64,8 +70,8 @@ val checkout : table -> string -> t option
 val checkin : table -> t -> unit
 
 val remove : table -> string -> bool
-(** Drops the session from the table (its warm state is garbage).
-    [false] when the id is unknown. *)
+(** Drops the session from the table (its warm state is garbage) and
+    fires [on_evict].  [false] when the id is unknown. *)
 
 val count : table -> int
 

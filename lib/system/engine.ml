@@ -105,6 +105,13 @@ type ctx = {
   task_outputs : (string, Stream.t * S.t) Hashtbl.t;
   frames_pre : (string, Hem.Model.t * S.t) Hashtbl.t;
   frames_post : (string, Hem.Model.t * S.t) Hashtbl.t;
+  profiles : (string, Event_model.Propagation.profile) Hashtbl.t;
+      (* per-element busy-window completion profiles from the last local
+         analysis; consulted by busy_window / optimal output propagation *)
+  mutable profile_changed : S.t;
+      (* elements whose profile moved in the current iteration — folded
+         into the changed set so downstream outputs are re-derived even
+         when the response interval itself is stable *)
   in_progress : (string, unit) Hashtbl.t;
   mutable dep_acc : S.t;  (* responses consulted by the ongoing resolution *)
   selfcheck : (Stream.t -> unit) option;
@@ -120,10 +127,32 @@ let make_ctx ?selfcheck spec mode response_of =
     task_outputs = Hashtbl.create 16;
     frames_pre = Hashtbl.create 8;
     frames_post = Hashtbl.create 8;
+    profiles = Hashtbl.create 16;
+    profile_changed = S.empty;
     in_progress = Hashtbl.create 16;
     dep_acc = S.empty;
     selfcheck;
   }
+
+(* Completion profiles are only collected (and compared across
+   iterations) when some task's effective propagation mode consumes
+   them; the default Theta_tau configuration takes the exact same local
+   analysis calls as before. *)
+let mode_needs_profile = function
+  | Event_model.Propagation.Busy_window | Event_model.Propagation.Optimal ->
+    true
+  | Event_model.Propagation.Theta_tau | Event_model.Propagation.Jitter
+  | Event_model.Propagation.Jitter_offset
+  | Event_model.Propagation.Jitter_bmin -> false
+
+let uses_profiles (spec : Spec.t) =
+  mode_needs_profile spec.Spec.default_propagation
+  || List.exists
+       (fun (k : Spec.task) ->
+         match k.Spec.propagation with
+         | Some m -> mode_needs_profile m
+         | None -> false)
+       spec.Spec.tasks
 
 (* Memoization that records, per entry, the responses it was derived
    from; hits replay the recorded dependency set into the accumulator so
@@ -199,8 +228,16 @@ and task_output ctx name =
       stream_span "task" name (fun () ->
         let k = find_task ctx.spec name in
         let input = resolve ctx k.Spec.activation in
-        Task_op.output ~name:(name ^ ".out") ~response:(ctx.response_of name)
-          input)))
+        let response = ctx.response_of name in
+        match Spec.task_propagation ctx.spec k with
+        | Event_model.Propagation.Theta_tau ->
+          Task_op.output ~name:(name ^ ".out") ~response input
+        | mode ->
+          Event_model.Propagation.derive ~name:(name ^ ".out") ~mode
+            ~response
+            ~bmin:(Interval.lo k.Spec.cet)
+            ?profile:(Hashtbl.find_opt ctx.profiles name)
+            input)))
 
 and frame_pre ctx name =
   memo_deps ctx ctx.frames_pre name ~extra:S.empty (fun () ->
@@ -226,6 +263,26 @@ and frame_post ctx name =
     stream_span "frame_post" name (fun () ->
       let pre = frame_pre ctx name in
       Hem.Inner_update.apply_response ~response:(ctx.response_of name) pre))
+
+(* Store freshly collected completion profiles in the context and mark
+   the elements whose profile moved (including appearing or vanishing):
+   a changed profile must invalidate the element's memoized output even
+   when its response interval is stable. *)
+let record_profiles ctx results =
+  List.map
+    (fun ((rt : Rt_task.t), outcome, profile) ->
+      let name = rt.Rt_task.name in
+      (match Hashtbl.find_opt ctx.profiles name, profile with
+       | None, None -> ()
+       | Some p, Some p' when Event_model.Propagation.profile_equal p p' -> ()
+       | _, Some p' ->
+         Hashtbl.replace ctx.profiles name p';
+         ctx.profile_changed <- S.add name ctx.profile_changed
+       | Some _, None ->
+         Hashtbl.remove ctx.profiles name;
+         ctx.profile_changed <- S.add name ctx.profile_changed);
+      rt, outcome)
+    results
 
 (* Local analysis of one resource under the streams of [ctx].  Returns
    the outcomes together with the set of responses the resource's
@@ -257,10 +314,19 @@ let analyse_resource ?window_limit ?q_limit ctx (res : Spec.resource) =
       frames
   in
   let rt_tasks = List.map rt_of_task tasks @ rt_frames in
+  let profiled = uses_profiles ctx.spec in
   let outcomes =
     match res.scheduler with
-    | Spec.Spp -> Scheduling.Spp.analyse ?window_limit ?q_limit rt_tasks
-    | Spec.Spnp -> Scheduling.Spnp.analyse ?window_limit ?q_limit rt_tasks
+    | Spec.Spp ->
+      if profiled then
+        record_profiles ctx
+          (Scheduling.Spp.analyse_profiled ?window_limit ?q_limit rt_tasks)
+      else Scheduling.Spp.analyse ?window_limit ?q_limit rt_tasks
+    | Spec.Spnp ->
+      if profiled then
+        record_profiles ctx
+          (Scheduling.Spnp.analyse_profiled ?window_limit ?q_limit rt_tasks)
+      else Scheduling.Spnp.analyse ?window_limit ?q_limit rt_tasks
     | Spec.Tdma ->
       let slot_of (k : Spec.task) rt =
         { Scheduling.Tdma.task = rt; length = Option.get k.service }
@@ -399,7 +465,12 @@ let run_fixpoint ~mode ~incremental ~max_iterations ?window_limit ?q_limit
             end
           | Busy_window.Unbounded _ -> ())
         outcomes;
-      outcomes, all_bounded, !changed, !residual
+      (* profile movements re-dirty their element even when the response
+         interval is unchanged — the next iteration re-derives the
+         memoized output stream from the new completion data *)
+      let changed = S.union !changed ctx.profile_changed in
+      ctx.profile_changed <- S.empty;
+      outcomes, all_bounded, changed, !residual
     in
     (* Snapshot of the last fully completed iteration — outcomes, the
        set of elements whose response it changed, and its number — used
@@ -726,6 +797,8 @@ let warm_update ?guard w ~spec ~stale =
         Hashtbl.reset ctx0.task_outputs;
         Hashtbl.reset ctx0.frames_pre;
         Hashtbl.reset ctx0.frames_post;
+        Hashtbl.reset ctx0.profiles;
+        ctx0.profile_changed <- S.empty;
         Hashtbl.reset w.warm_resource_cache;
         Hashtbl.reset w.warm_responses;
         S.empty
@@ -741,7 +814,8 @@ let warm_update ?guard w ~spec ~stale =
           (fun k ->
             Hashtbl.remove ctx0.task_outputs k;
             Hashtbl.remove ctx0.frames_pre k;
-            Hashtbl.remove ctx0.frames_post k)
+            Hashtbl.remove ctx0.frames_post k;
+            Hashtbl.remove ctx0.profiles k)
           stale_set;
         S.iter
           (Hashtbl.remove w.warm_resource_cache)

@@ -29,6 +29,7 @@ type task = {
   service : int option;
   deadline : int option;
   activation : activation;
+  propagation : Event_model.Propagation.mode option;
 }
 
 type signal_binding = {
@@ -51,10 +52,13 @@ type t = {
   resources : resource list;
   tasks : task list;
   frames : frame list;
+  default_propagation : Event_model.Propagation.mode;
 }
 
-let task ~name ~resource ~cet ~priority ?service ?deadline ~activation () =
-  { task_name = name; resource; cet; priority; service; deadline; activation }
+let task ~name ~resource ~cet ~priority ?service ?deadline ?propagation
+    ~activation () =
+  { task_name = name; resource; cet; priority; service; deadline; activation;
+    propagation }
 
 let signal ~name ?(property = Hem.Model.Triggering) ~origin () =
   { signal_name = name; property; origin }
@@ -63,8 +67,29 @@ let frame ~name ~bus ~send_type ~tx_time ~priority ~signals () =
   { frame_name = name; bus; send_type; tx_time; frame_priority = priority;
     signals }
 
-let make ~sources ~resources ~tasks ?(frames = []) () =
-  { sources; resources; tasks; frames }
+let make ~sources ~resources ~tasks ?(frames = [])
+    ?(default_propagation = Event_model.Propagation.Theta_tau) () =
+  { sources; resources; tasks; frames; default_propagation }
+
+let task_propagation t k =
+  match k.propagation with
+  | Some m -> m
+  | None -> t.default_propagation
+
+let with_propagation ?task:task_name mode t =
+  match task_name with
+  | None -> { t with default_propagation = mode }
+  | Some name ->
+    {
+      t with
+      tasks =
+        List.map
+          (fun k ->
+            if String.equal k.task_name name then
+              { k with propagation = Some mode }
+            else k)
+          t.tasks;
+    }
 
 (* ------------------------------------------------------------------ *)
 (* Canonical digest *)
@@ -110,6 +135,11 @@ let canonical_into buffer t =
   let add_interval i =
     add "[%d:%d]" (Timebase.Interval.lo i) (Timebase.Interval.hi i)
   in
+  (* Emitted only when non-default so pre-existing digests stay stable:
+     a spec that never mentions propagation renders exactly as before. *)
+  (match t.default_propagation with
+   | Event_model.Propagation.Theta_tau -> ()
+   | m -> add "propagation %s;" (Event_model.Propagation.mode_name m));
   List.iter
     (fun (name, stream) ->
       add "source %s " name;
@@ -135,6 +165,9 @@ let canonical_into buffer t =
       add " prio=%d" k.priority;
       (match k.service with Some s -> add " service=%d" s | None -> ());
       (match k.deadline with Some d -> add " deadline=%d" d | None -> ());
+      (match k.propagation with
+       | Some m -> add " prop=%s" (Event_model.Propagation.mode_name m)
+       | None -> ());
       add " act=";
       add_activation k.activation;
       add ";")

@@ -43,6 +43,8 @@ type task = {
   service : int option;  (** TDMA slot length / round-robin quantum *)
   deadline : int option;  (** relative deadline, required on EDF resources *)
   activation : activation;
+  propagation : Event_model.Propagation.mode option;
+      (** per-task output-propagation override; [None] = spec default *)
 }
 
 (** A signal packed into a frame; the stream carrying the signal's write
@@ -67,6 +69,9 @@ type t = {
   resources : resource list;
   tasks : task list;
   frames : frame list;
+  default_propagation : Event_model.Propagation.mode;
+      (** output-propagation method for tasks without an override
+          (default [Theta_tau], the paper's exact recursion) *)
 }
 
 val task :
@@ -76,6 +81,7 @@ val task :
   priority:int ->
   ?service:int ->
   ?deadline:int ->
+  ?propagation:Event_model.Propagation.mode ->
   activation:activation ->
   unit ->
   task
@@ -103,8 +109,20 @@ val make :
   resources:resource list ->
   tasks:task list ->
   ?frames:frame list ->
+  ?default_propagation:Event_model.Propagation.mode ->
   unit ->
   t
+
+val task_propagation : t -> task -> Event_model.Propagation.mode
+(** Effective propagation mode of a task: its override if any, else the
+    spec default. *)
+
+val with_propagation :
+  ?task:string -> Event_model.Propagation.mode -> t -> t
+(** [with_propagation mode t] sets the spec-wide default propagation
+    mode; [with_propagation ~task mode t] sets a per-task override
+    (unknown task names are ignored — validation catches dangling
+    references elsewhere). *)
 
 val canonical : t -> string
 (** A canonical textual rendering of the system: element lists (and the

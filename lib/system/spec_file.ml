@@ -25,6 +25,7 @@ type t = {
   resources : Spec.resource list;
   tasks : Spec.task list;
   frames : Spec.frame list;
+  default_propagation : Event_model.Propagation.mode;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -114,6 +115,11 @@ let parse_source_desc = function
     Burst { period = as_int p; burst = as_int b; d_min = as_int d }
   | _ -> fail "unknown source description"
 
+let parse_mode atom =
+  match Event_model.Propagation.mode_of_name atom with
+  | Some m -> m
+  | None -> fail "unknown propagation mode %s" atom
+
 let parse_scheduler = function
   | "spp" -> Spec.Spp
   | "spnp" -> Spec.Spnp
@@ -162,6 +168,11 @@ let parse_task name fields =
   let optional_int key =
     Option.map (fun rest -> as_int (List.nth rest 0)) (field key fields)
   in
+  let propagation =
+    Option.map
+      (fun rest -> parse_mode (as_atom (List.nth rest 0)))
+      (field "propagation" fields)
+  in
   {
     Spec.task_name = name;
     resource;
@@ -170,6 +181,7 @@ let parse_task name fields =
     service = optional_int "service";
     deadline = optional_int "deadline";
     activation;
+    propagation;
   }
 
 let parse_signal = function
@@ -241,8 +253,11 @@ let parse_item description = function
       description with
       frames = description.frames @ [ parse_frame (as_atom name) fields ];
     }
+  | List [ Atom "propagation"; mode ] ->
+    { description with default_propagation = parse_mode (as_atom mode) }
   | List (Atom other :: _) -> fail "unknown section %s" other
-  | List _ | Atom _ -> fail "expected a (source|resource|task|frame ...) form"
+  | List _ | Atom _ ->
+    fail "expected a (source|resource|task|frame|propagation ...) form"
 
 let parse text =
   match parse_sexp text with
@@ -251,7 +266,8 @@ let parse text =
     try
       Ok
         (List.fold_left parse_item
-           { sources = []; resources = []; tasks = []; frames = [] }
+           { sources = []; resources = []; tasks = []; frames = [];
+             default_propagation = Event_model.Propagation.Theta_tau }
            items)
     with
     | Parse_error e -> Error e
@@ -294,6 +310,10 @@ let print description =
   let buffer = Buffer.create 256 in
   let add fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
   add "(system\n";
+  (match description.default_propagation with
+   | Event_model.Propagation.Theta_tau -> ()
+   | m ->
+     add "  (propagation %s)\n" (Event_model.Propagation.mode_name m));
   List.iter
     (fun s ->
       match s.desc with
@@ -347,6 +367,10 @@ let print description =
       (match k.deadline with
        | Some d -> add " (deadline %d)" d
        | None -> ());
+      (match k.propagation with
+       | Some m ->
+         add " (propagation %s)" (Event_model.Propagation.mode_name m)
+       | None -> ());
       add "\n    (activation ";
       print_activation buffer k.activation;
       add "))\n")
@@ -369,6 +393,7 @@ let to_spec description =
          (fun s -> s.source_name, stream_of_desc s.source_name s.desc)
          description.sources)
     ~resources:description.resources ~tasks:description.tasks
-    ~frames:description.frames ()
+    ~frames:description.frames
+    ~default_propagation:description.default_propagation ()
 
 let equal a b = a = b

@@ -46,6 +46,10 @@ type t = {
   resources : Spec.resource list;
   tasks : Spec.task list;
   frames : Spec.frame list;
+  default_propagation : Event_model.Propagation.mode;
+      (** from a top-level [(propagation MODE)] form, default
+          [theta_tau]; per-task overrides come from a
+          [(propagation MODE)] task field *)
 }
 
 val parse : string -> (t, string) result

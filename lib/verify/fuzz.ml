@@ -28,7 +28,8 @@ let apply_to_models models = function
       (fun (s, m) -> if s = source then s, { period; jitter } else s, m)
       models
   | Space.Cet_scale _ | Space.Task_priority _ | Space.Frame_priority _
-  | Space.Frame_tx _ | Space.Repack _ ->
+  | Space.Frame_tx _ | Space.Propagation_mode _ | Space.Repack _ ->
+    (* propagation edits change the analysis, not the event sources *)
     models
 
 let generators_of_models ~rng models =

@@ -450,6 +450,169 @@ let cache_agreement ?(jobs = 2) ~base variants =
                row.label cached direct))
 
 (* ------------------------------------------------------------------ *)
+(* oracle 6: propagation modes — conservative, ordered, invariant *)
+
+module Prop = Event_model.Propagation
+
+(* Force one propagation mode on the whole system: set the spec-wide
+   default and drop any per-task overrides, so the runs compared below
+   are pure single-mode analyses. *)
+let forced_mode mode spec =
+  let spec =
+    {
+      spec with
+      Spec.tasks =
+        List.map
+          (fun (t : Spec.task) -> { t with Spec.propagation = None })
+          spec.Spec.tasks;
+    }
+  in
+  Spec.with_propagation mode spec
+
+(* The mode-invariance claim only holds where the propagation operators
+   coincide analytically: jitter-free inputs (so nothing to subtract)
+   and point execution/transmission intervals (so outputs stay
+   jitter-free through the whole graph).  See the propagation qcheck
+   properties for the single-element version of the argument. *)
+let pure_periodic_point spec =
+  let point iv = Interval.lo iv = Interval.hi iv in
+  List.for_all
+    (fun (_, s) ->
+      List.for_all
+        (fun n -> Time.equal (Es.delta_min s n) (Es.delta_plus s n))
+        [ 2; 3; 5; 8; 17; 64; 513 ])
+    spec.Spec.sources
+  && List.for_all (fun (t : Spec.task) -> point t.Spec.cet) spec.Spec.tasks
+  && List.for_all
+       (fun (f : Spec.frame) -> point f.Spec.tx_time)
+       spec.Spec.frames
+
+let degraded (r : Engine.result) =
+  match r.Engine.status with
+  | Engine.Degraded _ -> true
+  | Engine.Converged | Engine.Overloaded -> false
+
+let propagation_dominance ?(seed = 42) ?(horizon = 200_000) ?generators spec
+    =
+  let runs =
+    List.map
+      (fun m ->
+        ( m,
+          Engine.analyse ~mode:Engine.Hierarchical ~incremental:false
+            (forced_mode m spec) ))
+      Prop.all_modes
+  in
+  let analysed =
+    List.filter_map
+      (fun (m, r) -> match r with Ok r -> Some (m, r) | Error _ -> None)
+      runs
+  in
+  let all_analyse =
+    forall ~name:"propagation:analyse" runs (fun (m, r) ->
+        match r with
+        | Ok _ -> None
+        | Error e ->
+          Some (Prop.mode_name m ^ ": " ^ Guard.Error.to_string e))
+  in
+  (* optimal is pointwise at least as tight as every single mode *)
+  let tightness =
+    match List.assoc_opt Prop.Optimal analysed with
+    | None -> []
+    | Some opt when degraded opt -> []
+    | Some opt ->
+      let opt_map = response_map opt in
+      List.filter_map
+        (fun (m, r) ->
+          if m = Prop.Optimal || degraded r then None
+          else
+            Some
+              (forall
+                 ~name:("propagation:optimal<=" ^ Prop.mode_name m)
+                 (response_map r)
+                 (fun (element, mode_r) ->
+                   match mode_r, List.assoc_opt element opt_map with
+                   | _, None ->
+                     Some (element ^ " missing from optimal result")
+                   | None, Some _ -> None (* mode unbounded: vacuous *)
+                   | Some mr, Some (Some o) ->
+                     if Interval.hi o <= Interval.hi mr then None
+                     else
+                       Some
+                         (Printf.sprintf "%s: optimal %s above %s %s" element
+                            (Interval.to_string o) (Prop.mode_name m)
+                            (Interval.to_string mr))
+                   | Some mr, Some None ->
+                     Some
+                       (Printf.sprintf
+                          "%s: optimal unbounded but %s bounded at %s" element
+                          (Prop.mode_name m) (Interval.to_string mr)))))
+        analysed
+  in
+  (* every mode's bounds dominate one shared simulation of the system
+     (the trace is mode-independent — modes only change the analysis) *)
+  let conservatism =
+    match generators with
+    | None -> []
+    | Some generators -> begin
+      match Des.Simulator.run ~seed ~generators ~horizon spec with
+      | Error e -> [ check ~name:"propagation:simulate" false e ]
+      | Ok trace ->
+        let elements =
+          List.map (fun (t : Spec.task) -> t.task_name) spec.Spec.tasks
+          @ List.map (fun (f : Spec.frame) -> f.frame_name) spec.Spec.frames
+        in
+        List.map
+          (fun (m, r) ->
+            let bounds = response_map r in
+            forall
+              ~name:("propagation:sim<=" ^ Prop.mode_name m)
+              elements
+              (fun element ->
+                match List.assoc_opt element bounds with
+                | None | Some None -> None (* unbounded: vacuously safe *)
+                | Some (Some bound) -> begin
+                  match Trace.worst_response trace element with
+                  | Some observed when observed > Interval.hi bound ->
+                    Some
+                      (Printf.sprintf "%s: observed %d above bound %s" element
+                         observed (Interval.to_string bound))
+                  | _ -> begin
+                    match Trace.best_response trace element with
+                    | Some best when best < Interval.lo bound ->
+                      Some
+                        (Printf.sprintf "%s: best %d below bound %s" element
+                           best (Interval.to_string bound))
+                    | _ -> None
+                  end
+                end))
+          analysed
+    end
+  in
+  (* on jitter-free periodic inputs with point intervals the modes are
+     one formula: rendered results must be byte-identical *)
+  let invariance =
+    if not (pure_periodic_point spec) then []
+    else
+      match analysed with
+      | (m0, r0) :: rest
+        when r0.Engine.status = Engine.Converged
+             && List.for_all (fun (_, r) -> not (degraded r)) rest ->
+        let reference = render_result r0 in
+        [
+          forall ~name:"propagation:pure-periodic-invariant" rest
+            (fun (m, r) ->
+              if String.equal (render_result r) reference then None
+              else
+                Some
+                  (Printf.sprintf "%s differs from %s:\n%s\n--\n%s"
+                     (Prop.mode_name m) (Prop.mode_name m0) (render_result r)
+                     reference));
+        ]
+      | _ -> []
+  in
+  (all_analyse :: tightness) @ conservatism @ invariance
+
+(* ------------------------------------------------------------------ *)
 (* full-system verification entry point *)
 
 let verify_spec ?(label = "system") ?(selfcheck = true) ?(seed = 42)
@@ -518,12 +681,15 @@ let verify_spec ?(label = "system") ?(selfcheck = true) ?(seed = 42)
                  @ simulation_dominance ~seed ~horizon ~generators
                      ~tag:"sim[flat_sem]" flat spec)
           in
+          let propagation =
+            propagation_dominance ~seed ~horizon ?generators spec
+          in
           (check ~name:"analyse[hierarchical]" true
              (Printf.sprintf "status=%s iterations=%d"
                 (Engine.status_name hem.Engine.status)
                 hem.Engine.iterations)
           :: incremental)
-          @ kernels @ batches @ tightness
+          @ kernels @ batches @ tightness @ propagation
       in
       { label; checks; violations = List.rev !violations })
 

@@ -23,6 +23,10 @@
     - {b simulation dominance}: analytic response bounds and arrival
       curves dominate the discrete-event simulator's observations, in
       both hierarchical and flat mode;
+    - {b propagation dominance}: every output-propagation mode yields
+      bounds dominating the simulator, [Optimal] is pointwise at least
+      as tight as every single mode, and all modes coincide
+      byte-identically on jitter-free periodic point-interval systems;
     - {b cache agreement}: exploration results served through the
       content-addressed cache render byte-identically to direct,
       cache-free evaluation.
@@ -104,6 +108,23 @@ val simulation_dominance :
 (** Simulates the system and checks observed responses against the
     result's bounds and observed source arrival counts against the
     declared eta_plus. *)
+
+val propagation_dominance :
+  ?seed:int ->
+  ?horizon:int ->
+  ?generators:(string * Des.Gen.t) list ->
+  Cpa_system.Spec.t ->
+  check list
+(** Analyses the system once per propagation mode (the mode forced
+    spec-wide, per-task overrides cleared) and checks, per element:
+    every mode analyses successfully; [Optimal]'s response bound is
+    pointwise at least as tight as every single mode's; when
+    [generators] are given, every mode's bounds dominate one shared
+    simulation of the system (the trace is mode-independent); and on
+    systems with jitter-free periodic sources and point execution /
+    transmission intervals the rendered results of all modes are
+    byte-identical.  Degraded runs are excluded from the tightness and
+    invariance comparisons (their widened bounds carry no claim). *)
 
 val cache_agreement :
   ?jobs:int ->

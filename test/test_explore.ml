@@ -218,6 +218,7 @@ let test_digest_reorder_invariant () =
   let spec = Paper.spec () in
   let permuted =
     {
+      spec with
       Spec.sources = List.rev spec.Spec.sources;
       resources = List.rev spec.Spec.resources;
       tasks = List.rev spec.Spec.tasks;

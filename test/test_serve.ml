@@ -57,6 +57,9 @@ let gen_edit : Space.edit QCheck.Gen.t =
        let* bits_per_signal = int_range 1 64 in
        let* bit_time = int_range 1 8 in
        return (Space.Repack { bus; groups; bits_per_signal; bit_time }));
+      (let* task = oneof [ return None; map Option.some gen_name ] in
+       let* mode = oneofl Event_model.Propagation.all_modes in
+       return (Space.Propagation_mode { task; mode }));
     ]
 
 let arb_edits =
@@ -173,9 +176,9 @@ let connect_retry path =
   in
   go 100
 
-let with_server ?(jobs = 2) f =
+let with_server ?(jobs = 2) ?max_sessions f =
   let path = fresh_socket_path () in
-  let cfg = Serve.Server.config ~unix_path:path ~jobs () in
+  let cfg = Serve.Server.config ~unix_path:path ~jobs ?max_sessions () in
   let th = Thread.create Serve.Server.run cfg in
   Fun.protect
     ~finally:(fun () ->
@@ -418,6 +421,86 @@ let protocol_fuzz () =
     Client.close c)
 
 (* ------------------------------------------------------------------ *)
+(* LRU eviction clears the victim's pinned-worker scratch: reloading
+   the same spec after an eviction must reply byte-identically to the
+   first load's analyse (modulo session id / process snapshot /
+   cache-hit — the cross-session analysis cache legitimately survives
+   eviction; the per-session scratch must not) *)
+
+let int_field what body key =
+  match Json.member key body with
+  | Some (Json.Int n) -> n
+  | _ -> Alcotest.failf "%s: no %s field" what key
+
+(* drop the fields that legitimately differ between the two rounds *)
+let evict_stable (r : Protocol.reply) =
+  match r.Protocol.body with
+  | Json.Obj fields ->
+    Json.to_string
+      (Json.Obj
+         (List.filter
+            (fun (k, _) ->
+              k <> "session" && k <> "process" && k <> "cache-hit")
+            fields))
+  | j -> Json.to_string j
+
+let evicted_session_scratch_cleared () =
+  let spec_text = read_file "paper_gateway.scm" in
+  with_server ~max_sessions:1 (fun path ->
+    let c = connect_retry path in
+    let session_of what r =
+      match Client.session_id r with
+      | Some id -> id
+      | None -> Alcotest.failf "%s: no session id" what
+    in
+    let load1 = reply_exn "load 1" (Client.load c ~spec:spec_text) in
+    let s1 = session_of "load 1" load1 in
+    let a1 = reply_exn "analyse 1" (Client.analyse c ~session:s1) in
+    Alcotest.(check int) "analyse 1 ok" 0 (Client.exit_code a1);
+    (* re-analyse: replayed from the pinned worker's scratch *)
+    let a1' = reply_exn "analyse 1 again" (Client.analyse c ~session:s1) in
+    Alcotest.(check string) "scratch replay is byte-identical"
+      (evict_stable a1) (evict_stable a1');
+    (* the table holds one session: loading again evicts s1 *)
+    let load2 = reply_exn "load 2" (Client.load c ~spec:spec_text) in
+    let s2 = session_of "load 2" load2 in
+    Alcotest.(check bool) "fresh session id" true (not (String.equal s1 s2));
+    let m = reply_exn "metrics" (Client.metrics c ~session:s2) in
+    Alcotest.(check int) "one eviction" 1
+      (int_field "metrics" m.Protocol.body "evictions");
+    Alcotest.(check int) "one live session" 1
+      (int_field "metrics" m.Protocol.body "sessions");
+    (* the evicted id is gone, and faults instead of crashing *)
+    let r =
+      reply_exn "edit evicted"
+        (Client.edit c ~session:s1
+           [ Space.Task_priority { task = "t3"; priority = 4 } ])
+    in
+    Alcotest.(check int) "evicted session faults" 1 (Client.exit_code r);
+    (* the reloaded session's analyse is byte-identical to the first
+       round — in particular it did not replay s1's scratch entries *)
+    let a2 = reply_exn "analyse 2" (Client.analyse c ~session:s2) in
+    Alcotest.(check string) "evict-then-reload analyse byte-identical"
+      (evict_stable a1) (evict_stable a2);
+    (* the eviction's scratch clear ran on the pinned worker and found
+       s1's memoised reply there (submitted asynchronously at evict
+       time, so poll briefly) *)
+    let cleared =
+      Obs.Metrics.counter "explore.pool.service.scratch_cleared"
+    in
+    let rec wait n =
+      if Obs.Metrics.total cleared > 0 then true
+      else if n = 0 then false
+      else begin
+        Thread.delay 0.05;
+        wait (n - 1)
+      end
+    in
+    Alcotest.(check bool) "worker scratch was cleared" true (wait 100);
+    ignore (reply_exn "close 2" (Client.close_session c ~session:s2));
+    Client.close c)
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end: load / edit / analyse on the daemon matches offline *)
 
 let daemon_matches_offline () =
@@ -493,5 +576,7 @@ let () =
           Alcotest.test_case "interleaved sessions are scope-exact" `Quick
             interleaved_sessions_scope_exact;
           Alcotest.test_case "protocol fuzz" `Quick protocol_fuzz;
+          Alcotest.test_case "eviction clears pinned-worker scratch" `Quick
+            evicted_session_scratch_cleared;
         ] );
     ]

@@ -217,16 +217,19 @@ let gen_description =
     in
     return { Spec_file.source_name = name; desc }
   in
+  let gen_mode = oneofl Event_model.Propagation.all_modes in
   let gen_task i n_sources =
     let* src = int_range 0 (n_sources - 1) in
     let* lo = int_range 1 20 in
     let* extra = int_range 0 10 in
+    let* propagation = opt gen_mode in
     return
       (Spec.task
          ~name:(Printf.sprintf "tsk%d" i)
          ~resource:"cpu"
          ~cet:(Interval.make ~lo ~hi:(lo + extra))
          ~priority:(i + 1)
+         ?propagation
          ~activation:(Spec.From_source (Printf.sprintf "src%d" src))
          ())
   in
@@ -238,12 +241,14 @@ let gen_description =
   let* tasks =
     flatten_l (List.init n_tasks (fun i -> gen_task i n_sources))
   in
+  let* default_propagation = gen_mode in
   return
     {
       Spec_file.sources;
       resources = [ { Spec.res_name = "cpu"; scheduler = Spec.Spp } ];
       tasks;
       frames = [];
+      default_propagation;
     }
 
 let arb_description =

