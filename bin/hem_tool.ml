@@ -3,9 +3,9 @@
 
    Commands:
      hem_tool analyse     [--mode flat|flat-stream|hem] [--s3-period N]
-                          [--propagation MODE] [--trace FILE]
-                          [--trace-level spans|full] [--deadline MS]
-                          [--budget N]
+                          [--propagation MODE] [--backend spec|cpa|rtc]
+                          [--trace FILE] [--trace-level spans|full]
+                          [--deadline MS] [--budget N]
      hem_tool convergence [--s3-period N] [--file FILE] [--propagation MODE]
                           [--trace FILE]
      hem_tool simulate    [--horizon N] [--seed N] [--s3-period N]
@@ -228,6 +228,37 @@ let apply_propagation propagation spec =
   | None -> spec
   | Some m -> Spec.with_propagation m spec
 
+(* backend: force every resource onto one local-analysis backend *)
+
+let backend_arg =
+  let choices = [ "spec", `Spec; "cpa", `Cpa; "rtc", `Rtc ] in
+  let doc =
+    "Local-analysis backend forced on every resource: $(b,cpa) \
+     (busy-window analysis), $(b,rtc) (workload/service curves; EDF \
+     resources stay on cpa, which keeps the only service model for \
+     dynamic deadlines), or $(b,spec) (keep each resource's declared \
+     backend — the default)."
+  in
+  Arg.(value & opt (enum choices) `Spec & info [ "backend" ] ~docv:"B" ~doc)
+
+let apply_backend backend spec =
+  let force b =
+    {
+      spec with
+      Spec.resources =
+        List.map
+          (fun (r : Spec.resource) ->
+            if r.Spec.scheduler = Spec.Edf then
+              { r with Spec.backend = Spec.Cpa }
+            else { r with Spec.backend = b })
+          spec.Spec.resources;
+    }
+  in
+  match backend with
+  | `Spec -> spec
+  | `Cpa -> force Spec.Cpa
+  | `Rtc -> force Spec.Rtc
+
 (* selfcheck: wire the Verify sanitizer into the engine's audit hook *)
 
 let selfcheck_arg =
@@ -285,15 +316,15 @@ let run_mode ?(stats = false) ?(convergence = false) ?selfcheck ?guard ~mode
     result
 
 let analyse_cmd =
-  let run mode s3_period file propagation stats trace trace_level metrics
-      selfcheck deadline budget =
+  let run mode s3_period file propagation backend stats trace trace_level
+      metrics selfcheck deadline budget =
     let guard = mk_guard deadline budget in
     let spec, is_paper =
       match file with
       | None -> Paper.spec ~s3_period (), true
       | Some _ -> load_spec file
     in
-    let spec = apply_propagation propagation spec in
+    let spec = apply_backend backend (apply_propagation propagation spec) in
     with_trace trace trace_level @@ fun () ->
     with_metrics metrics @@ fun () ->
     with_selfcheck selfcheck @@ fun selfcheck ->
@@ -327,8 +358,8 @@ let analyse_cmd =
   let doc = "Analyse a system (the paper's reference system by default)." in
   Cmd.v (Cmd.info "analyse" ~doc ~exits:guard_exits)
     Term.(const run $ mode_arg $ s3_period_arg $ file_arg $ propagation_arg
-          $ stats_arg $ trace_arg $ trace_level_arg $ metrics_arg
-          $ selfcheck_arg $ deadline_arg $ budget_arg)
+          $ backend_arg $ stats_arg $ trace_arg $ trace_level_arg
+          $ metrics_arg $ selfcheck_arg $ deadline_arg $ budget_arg)
 
 (* convergence *)
 

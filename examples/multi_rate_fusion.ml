@@ -43,9 +43,9 @@ let () =
         ]
       ~resources:
         [
-          { Spec.res_name = "fusion_cpu"; scheduler = Spec.Spp };
-          { Spec.res_name = "backbone"; scheduler = Spec.Tdma };
-          { Spec.res_name = "logger_cpu"; scheduler = Spec.Round_robin };
+          { Spec.res_name = "fusion_cpu"; scheduler = Spec.Spp; backend = Spec.Cpa };
+          { Spec.res_name = "backbone"; scheduler = Spec.Tdma; backend = Spec.Cpa };
+          { Spec.res_name = "logger_cpu"; scheduler = Spec.Round_robin; backend = Spec.Cpa };
         ]
       ~tasks:
         [

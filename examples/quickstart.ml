@@ -14,7 +14,7 @@ let () =
   let system =
     Spec.make
       ~sources:[ "sensor", Stream.periodic ~name:"sensor" ~period:100 ]
-      ~resources:[ { Spec.res_name = "ecu"; scheduler = Spec.Spp } ]
+      ~resources:[ { Spec.res_name = "ecu"; scheduler = Spec.Spp; backend = Spec.Cpa } ]
       ~tasks:
         [
           Spec.task ~name:"filter" ~resource:"ecu"

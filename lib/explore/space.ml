@@ -18,6 +18,10 @@ type edit =
       task : string option;
       mode : Event_model.Propagation.mode;
     }
+  | Backend of {
+      resource : string;
+      backend : Spec.backend;
+    }
   | Repack of packing
 
 and packing = {
@@ -47,6 +51,9 @@ let edit_label = function
   | Propagation_mode { task = Some task; mode } ->
     Printf.sprintf "%s.propagation=%s" task
       (Event_model.Propagation.mode_name mode)
+  | Backend { resource; backend } ->
+    Printf.sprintf "%s.backend=%s" resource
+      (match backend with Spec.Cpa -> "cpa" | Spec.Rtc -> "rtc")
   | Repack p -> "layout=" ^ packing_label p
 
 let replace_source spec ~source stream =
@@ -235,6 +242,20 @@ let apply spec = function
   | Propagation_mode { task = None; mode } -> Spec.with_propagation mode spec
   | Propagation_mode { task = Some task; mode } ->
     update_task spec ~task (fun k -> { k with propagation = Some mode })
+  | Backend { resource; backend } ->
+    let found = ref false in
+    let resources =
+      List.map
+        (fun (r : Spec.resource) ->
+          if String.equal r.res_name resource then begin
+            found := true;
+            { r with backend }
+          end
+          else r)
+        spec.Spec.resources
+    in
+    if not !found then raise Not_found;
+    { spec with resources }
   | Repack p -> apply_packing spec p
 
 let apply_all spec edits = List.fold_left apply spec edits
@@ -252,6 +273,18 @@ let touched spec = function
   | Propagation_mode { task = None; _ } ->
     (* a default-mode change can re-derive every task output *)
     [], List.map (fun (k : Spec.task) -> k.task_name) spec.Spec.tasks
+  | Backend { resource; _ } ->
+    (* swapping the local analysis re-derives every element mapped to
+       the resource *)
+    ( [],
+      List.filter_map
+        (fun (k : Spec.task) ->
+          if String.equal k.resource resource then Some k.task_name else None)
+        spec.Spec.tasks
+      @ List.filter_map
+          (fun (f : Spec.frame) ->
+            if String.equal f.bus resource then Some f.frame_name else None)
+          spec.Spec.frames )
   | Repack p ->
     let old_frames =
       List.filter_map

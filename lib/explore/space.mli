@@ -29,6 +29,12 @@ type edit =
     }
       (** set a task's output-propagation override, or ([task = None])
           the spec-wide default mode *)
+  | Backend of {
+      resource : string;
+      backend : Spec.backend;
+    }
+      (** switch the named resource's local analysis between the
+          busy-window ([Cpa]) and curve ([Rtc]) backends *)
   | Repack of packing
       (** reassign the signals of a bus to a new set of frames *)
 

@@ -3,6 +3,7 @@
    full value parser anyway (requests are JSON objects). *)
 
 module Interval = Timebase.Interval
+module Spec = Cpa_system.Spec
 
 module Json = struct
   type t =
@@ -289,6 +290,11 @@ let edit_to_json (e : Space.edit) =
        :: (match task with
            | Some t -> [ "task", Str t; "mode", mode ]
            | None -> [ "mode", mode ]))
+  | Space.Backend { resource; backend } ->
+    Obj
+      [ "edit", Str "backend"; "resource", Str resource;
+        "backend",
+        Str (match backend with Spec.Cpa -> "cpa" | Spec.Rtc -> "rtc") ]
   | Space.Repack { bus; groups; bits_per_signal; bit_time } ->
     Obj
       [ "edit", Str "repack"; "bus", Str bus;
@@ -360,6 +366,16 @@ let edit_of_json j =
       end
     in
     Ok (Space.Propagation_mode { task; mode })
+  | Some "backend" ->
+    let* resource = field "backend" "resource" to_str j in
+    let* name = field "backend" "backend" to_str j in
+    let* backend =
+      match name with
+      | "cpa" -> Ok Spec.Cpa
+      | "rtc" -> Ok Spec.Rtc
+      | other -> Error (Printf.sprintf "backend: unknown backend %S" other)
+    in
+    Ok (Space.Backend { resource; backend })
   | Some "repack" ->
     let* bus = field "repack" "bus" to_str j in
     let* groups =

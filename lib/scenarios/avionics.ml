@@ -13,10 +13,10 @@ let spec () =
   in
   let resources =
     [
-      { Spec.res_name = "canA"; scheduler = Spec.Spnp };
-      { Spec.res_name = "mission"; scheduler = Spec.Edf };
-      { Spec.res_name = "backbone"; scheduler = Spec.Tdma };
-      { Spec.res_name = "display"; scheduler = Spec.Round_robin };
+      { Spec.res_name = "canA"; scheduler = Spec.Spnp; backend = Spec.Cpa };
+      { Spec.res_name = "mission"; scheduler = Spec.Edf; backend = Spec.Cpa };
+      { Spec.res_name = "backbone"; scheduler = Spec.Tdma; backend = Spec.Cpa };
+      { Spec.res_name = "display"; scheduler = Spec.Round_robin; backend = Spec.Cpa };
     ]
   in
   let frames =

@@ -11,10 +11,10 @@ let spec ?(s1_period = 250) ?(s2_period = 450) () =
   in
   let resources =
     [
-      { Spec.res_name = "CAN1"; scheduler = Spec.Spnp };
-      { Spec.res_name = "GW"; scheduler = Spec.Spp };
-      { Spec.res_name = "CAN2"; scheduler = Spec.Spnp };
-      { Spec.res_name = "SINK"; scheduler = Spec.Spp };
+      { Spec.res_name = "CAN1"; scheduler = Spec.Spnp; backend = Spec.Cpa };
+      { Spec.res_name = "GW"; scheduler = Spec.Spp; backend = Spec.Cpa };
+      { Spec.res_name = "CAN2"; scheduler = Spec.Spnp; backend = Spec.Cpa };
+      { Spec.res_name = "SINK"; scheduler = Spec.Spp; backend = Spec.Cpa };
     ]
   in
   let g1 =

@@ -15,8 +15,8 @@ let spec ?(s3_period = s3_period) () =
   in
   let resources =
     [
-      { Spec.res_name = "CAN"; scheduler = Spec.Spnp };
-      { Spec.res_name = "CPU1"; scheduler = Spec.Spp };
+      { Spec.res_name = "CAN"; scheduler = Spec.Spnp; backend = Spec.Cpa };
+      { Spec.res_name = "CPU1"; scheduler = Spec.Spp; backend = Spec.Cpa };
     ]
   in
   let f1 =

@@ -44,8 +44,8 @@ let fan_in ?base_period ?(cet = 20) ?(tx_time = 4) ~signals ()  =
   Spec.make ~sources
     ~resources:
       [
-        { Spec.res_name = "CAN"; scheduler = Spec.Spnp };
-        { Spec.res_name = "CPU"; scheduler = Spec.Spp };
+        { Spec.res_name = "CAN"; scheduler = Spec.Spnp; backend = Spec.Cpa };
+        { Spec.res_name = "CPU"; scheduler = Spec.Spp; backend = Spec.Cpa };
       ]
     ~tasks ~frames:[ frame ] ()
 
@@ -75,8 +75,8 @@ let network ?(seed = 1) ?(ecus = 8) () =
         | 1 -> Spec.Spnp
         | _ -> Spec.Round_robin
       in
-      { Spec.res_name = cpu e; scheduler })
-    @ List.init buses (fun b -> { Spec.res_name = bus b; scheduler = Spec.Spnp })
+      { Spec.res_name = cpu e; scheduler; backend = Spec.Cpa })
+    @ List.init buses (fun b -> { Spec.res_name = bus b; scheduler = Spec.Spnp; backend = Spec.Cpa })
   in
   let service_of e = if e mod 3 = 2 then Some (rand 40 60) else None in
   let sources = ref [] in
@@ -186,7 +186,7 @@ let chain ?(period = 500) ?(stages = 4) () =
     ~sources:[ "src", Stream.periodic ~name:"src" ~period ]
     ~resources:
       [
-        { Spec.res_name = "cpu0"; scheduler = Spec.Spp };
-        { Spec.res_name = "cpu1"; scheduler = Spec.Spp };
+        { Spec.res_name = "cpu0"; scheduler = Spec.Spp; backend = Spec.Cpa };
+        { Spec.res_name = "cpu1"; scheduler = Spec.Spp; backend = Spec.Cpa };
       ]
     ~tasks ()

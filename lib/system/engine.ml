@@ -112,6 +112,13 @@ type ctx = {
       (* elements whose profile moved in the current iteration — folded
          into the changed set so downstream outputs are re-derived even
          when the response interval itself is stable *)
+  rtc_outputs : (string, Stream.t * string) Hashtbl.t;
+      (* converted output streams of tasks on RTC-backend resources,
+         with a behavioural fingerprint for change detection; these
+         replace the response-based output propagation for such tasks *)
+  mutable rtc_changed : S.t;
+      (* tasks whose converted output stream moved in the current
+         iteration — folded into the changed set like [profile_changed] *)
   in_progress : (string, unit) Hashtbl.t;
   mutable dep_acc : S.t;  (* responses consulted by the ongoing resolution *)
   selfcheck : (Stream.t -> unit) option;
@@ -129,6 +136,8 @@ let make_ctx ?selfcheck spec mode response_of =
     frames_post = Hashtbl.create 8;
     profiles = Hashtbl.create 16;
     profile_changed = S.empty;
+    rtc_outputs = Hashtbl.create 8;
+    rtc_changed = S.empty;
     in_progress = Hashtbl.create 16;
     dep_acc = S.empty;
     selfcheck;
@@ -227,6 +236,27 @@ and task_output ctx name =
     guarded ctx ("task:" ^ name) (fun () ->
       stream_span "task" name (fun () ->
         let k = find_task ctx.spec name in
+        (* tasks on RTC-backend resources emit the stream converted back
+           from the GPC output curve; the table is consulted only while
+           the mapping actually is RTC (a warm-session backend edit must
+           not serve a stale conversion), and until the resource's first
+           local analysis fills it the response-based propagation below
+           seeds the fixpoint exactly like a CPA task *)
+        let rtc_backed =
+          match
+            List.find_opt
+              (fun (r : Spec.resource) ->
+                String.equal r.Spec.res_name k.Spec.resource)
+              ctx.spec.Spec.resources
+          with
+          | Some { Spec.backend = Spec.Rtc; _ } -> true
+          | Some _ | None -> false
+        in
+        match
+          if rtc_backed then Hashtbl.find_opt ctx.rtc_outputs name else None
+        with
+        | Some (stream, _) -> stream
+        | None ->
         let input = resolve ctx k.Spec.activation in
         let response = ctx.response_of name in
         match Spec.task_propagation ctx.spec k with
@@ -284,6 +314,41 @@ let record_profiles ctx results =
       rt, outcome)
     results
 
+(* Converted output streams are opaque closures, so movement across
+   iterations is detected behaviourally, like [Spec]'s source
+   fingerprints: a prefix of both distance functions plus deep probes
+   that expose the periodic tail. *)
+let stream_fingerprint s =
+  let buffer = Buffer.create 256 in
+  let probe f n =
+    Buffer.add_string buffer (Timebase.Time.to_string (f s n));
+    Buffer.add_char buffer ' '
+  in
+  for n = 2 to 34 do
+    probe Stream.delta_min n
+  done;
+  List.iter (probe Stream.delta_min) [ 64; 101; 257 ];
+  for n = 2 to 34 do
+    probe Stream.delta_plus n
+  done;
+  List.iter (probe Stream.delta_plus) [ 64; 101; 257 ];
+  Buffer.contents buffer
+
+let record_rtc_output ctx name output =
+  match output with
+  | None ->
+    if Hashtbl.mem ctx.rtc_outputs name then begin
+      Hashtbl.remove ctx.rtc_outputs name;
+      ctx.rtc_changed <- S.add name ctx.rtc_changed
+    end
+  | Some stream ->
+    let fp = stream_fingerprint stream in
+    (match Hashtbl.find_opt ctx.rtc_outputs name with
+     | Some (_, old) when String.equal old fp -> ()
+     | Some _ | None ->
+       Hashtbl.replace ctx.rtc_outputs name (stream, fp);
+       ctx.rtc_changed <- S.add name ctx.rtc_changed)
+
 (* Local analysis of one resource under the streams of [ctx].  Returns
    the outcomes together with the set of responses the resource's
    activation streams depend on: the resource needs re-analysis only when
@@ -316,6 +381,53 @@ let analyse_resource ?window_limit ?q_limit ctx (res : Spec.resource) =
   let rt_tasks = List.map rt_of_task tasks @ rt_frames in
   let profiled = uses_profiles ctx.spec in
   let outcomes =
+    match res.backend with
+    | Spec.Rtc ->
+      let policy =
+        match res.scheduler with
+        | Spec.Spp -> Hybrid.Local.Spp
+        | Spec.Spnp -> Hybrid.Local.Spnp
+        | Spec.Tdma -> Hybrid.Local.Tdma
+        | Spec.Round_robin -> Hybrid.Local.Round_robin
+        | Spec.Edf ->
+          (* Spec.validate rejects this combination up front *)
+          invalid_arg
+            (Printf.sprintf "resource %s: EDF has no RTC backend"
+               res.res_name)
+      in
+      let services =
+        List.map (fun (k : Spec.task) -> k.Spec.service) tasks
+        @ List.map (fun (_ : Spec.frame) -> None) frames
+      in
+      let items =
+        List.map2
+          (fun service (rt : Rt_task.t) ->
+            {
+              Hybrid.Local.name = rt.Rt_task.name;
+              cet = rt.Rt_task.cet;
+              priority = rt.Rt_task.priority;
+              service;
+              activation = rt.Rt_task.activation;
+            })
+          services rt_tasks
+      in
+      let results = Hybrid.Local.analyse ~policy items in
+      (* only task outputs feed downstream activations through
+         [task_output]; frame outputs flow through the frame response
+         as in the CPA path *)
+      List.iter2
+        (fun (rt : Rt_task.t) (r : Hybrid.Local.outcome) ->
+          if
+            List.exists
+              (fun (k : Spec.task) ->
+                String.equal k.Spec.task_name rt.Rt_task.name)
+              tasks
+          then record_rtc_output ctx rt.Rt_task.name r.Hybrid.Local.output)
+        rt_tasks results;
+      List.map2
+        (fun rt (r : Hybrid.Local.outcome) -> rt, r.Hybrid.Local.response)
+        rt_tasks results
+    | Spec.Cpa ->
     match res.scheduler with
     | Spec.Spp ->
       if profiled then
@@ -465,11 +577,15 @@ let run_fixpoint ~mode ~incremental ~max_iterations ?window_limit ?q_limit
             end
           | Busy_window.Unbounded _ -> ())
         outcomes;
-      (* profile movements re-dirty their element even when the response
-         interval is unchanged — the next iteration re-derives the
-         memoized output stream from the new completion data *)
-      let changed = S.union !changed ctx.profile_changed in
+      (* profile and converted-output movements re-dirty their element
+         even when the response interval is unchanged — the next
+         iteration re-derives the memoized output stream from the new
+         completion data / conversion *)
+      let changed =
+        S.union !changed (S.union ctx.profile_changed ctx.rtc_changed)
+      in
       ctx.profile_changed <- S.empty;
+      ctx.rtc_changed <- S.empty;
       outcomes, all_bounded, changed, !residual
     in
     (* Snapshot of the last fully completed iteration — outcomes, the

@@ -16,10 +16,16 @@ type scheduler =
   | Round_robin
   | Edf
 
+type backend = Cpa | Rtc
+
 type resource = {
   res_name : string;
   scheduler : scheduler;
+  backend : backend;
 }
+
+let resource ?(backend = Cpa) ~name scheduler =
+  { res_name = name; scheduler; backend }
 
 type task = {
   task_name : string;
@@ -156,7 +162,10 @@ let canonical_into buffer t =
         | Round_robin -> "rr"
         | Edf -> "edf"
       in
-      add "resource %s %s;" r.res_name scheduler)
+      (* backend emitted only when non-default so pre-existing digests
+         stay stable: a pure-CPA spec renders exactly as before. *)
+      let backend = match r.backend with Cpa -> "" | Rtc -> " backend=rtc" in
+      add "resource %s %s%s;" r.res_name scheduler backend)
     (by_name (fun r -> r.res_name) t.resources);
   List.iter
     (fun k ->
@@ -306,6 +315,18 @@ let validate t =
       (fun () ->
         match find_duplicate resource_names with
         | Some d -> fail "duplicate resource name %s" d
+        | None -> Ok ());
+      (fun () ->
+        match
+          List.find_opt
+            (fun r -> r.backend = Rtc && r.scheduler = Edf)
+            t.resources
+        with
+        | Some r ->
+          fail
+            "resource %s: EDF resources require the cpa backend (no RTC \
+             service-curve model for dynamic deadlines)"
+            r.res_name
         | None -> Ok ());
     ]
     @ List.map (fun k () -> check_task k) t.tasks

@@ -30,10 +30,23 @@ type scheduler =
   | Round_robin  (** round robin; [service] is the quantum *)
   | Edf  (** earliest deadline first; tasks must declare [deadline] *)
 
+(** Analysis backend used for a resource's local analysis. *)
+type backend =
+  | Cpa  (** compositional busy-window analysis (the default) *)
+  | Rtc
+      (** real-time-calculus curves: activations are converted to
+          workload arrival curves, the resource model to service curves,
+          and outputs converted back to event streams for downstream
+          resources.  Not available for [Edf] resources. *)
+
 type resource = {
   res_name : string;
   scheduler : scheduler;
+  backend : backend;
 }
+
+val resource : ?backend:backend -> name:string -> scheduler -> resource
+(** Resource constructor; [backend] defaults to [Cpa]. *)
 
 type task = {
   task_name : string;

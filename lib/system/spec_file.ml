@@ -235,13 +235,27 @@ let parse_item description = function
         description.sources
         @ [ { source_name = as_atom name; desc = parse_source_desc desc } ];
     }
-  | List [ Atom "resource"; name; Atom scheduler ] ->
+  | List (Atom "resource" :: name :: Atom scheduler :: options) ->
+    let backend =
+      match options with
+      | [] -> Spec.Cpa
+      | [ List [ Atom "backend"; Atom "cpa" ] ] -> Spec.Cpa
+      | [ List [ Atom "backend"; Atom "rtc" ] ] -> Spec.Rtc
+      | [ List [ Atom "backend"; Atom other ] ] ->
+        fail "resource %s: unknown backend %s (expected rtc|cpa)"
+          (as_atom name) other
+      | _ ->
+        fail "resource %s: expected (resource NAME SCHEDULER [(backend \
+              rtc|cpa)])"
+          (as_atom name)
+    in
     {
       description with
       resources =
         description.resources
         @ [ { Spec.res_name = as_atom name;
-              scheduler = parse_scheduler scheduler } ];
+              scheduler = parse_scheduler scheduler;
+              backend } ];
     }
   | List (Atom "task" :: name :: fields) ->
     {
@@ -335,7 +349,10 @@ let print description =
         | Spec.Round_robin -> "round-robin"
         | Spec.Edf -> "edf"
       in
-      add "  (resource %s %s)\n" r.res_name scheduler)
+      let backend =
+        match r.backend with Spec.Cpa -> "" | Spec.Rtc -> " (backend rtc)"
+      in
+      add "  (resource %s %s%s)\n" r.res_name scheduler backend)
     description.resources;
   List.iter
     (fun (f : Spec.frame) ->

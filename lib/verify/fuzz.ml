@@ -28,8 +28,10 @@ let apply_to_models models = function
       (fun (s, m) -> if s = source then s, { period; jitter } else s, m)
       models
   | Space.Cet_scale _ | Space.Task_priority _ | Space.Frame_priority _
-  | Space.Frame_tx _ | Space.Propagation_mode _ | Space.Repack _ ->
-    (* propagation edits change the analysis, not the event sources *)
+  | Space.Frame_tx _ | Space.Propagation_mode _ | Space.Backend _
+  | Space.Repack _ ->
+    (* propagation and backend edits change the analysis, not the event
+       sources *)
     models
 
 let generators_of_models ~rng models =
@@ -43,7 +45,7 @@ let generators_of_models ~rng models =
 let case ~rng =
   let pick lo hi = lo + Random.State.int rng (hi - lo + 1) in
   let choose l = List.nth l (Random.State.int rng (List.length l)) in
-  let base_name, build_base, base_models, tasks, frames =
+  let base_name, build_base, base_models, tasks, frames, resources =
     if Random.State.bool rng then
       ( "paper",
         (fun () -> Scenarios.Paper_system.spec ()),
@@ -54,7 +56,8 @@ let case ~rng =
           "S4", { period = 400; jitter = 0 };
         ],
         Scenarios.Paper_system.cpu_tasks,
-        Scenarios.Paper_system.frames )
+        Scenarios.Paper_system.frames,
+        [ "CAN"; "CPU1" ] )
     else begin
       let signals = pick 2 5 in
       let base_period = 300 * signals in
@@ -64,12 +67,13 @@ let case ~rng =
             ( Printf.sprintf "S%d" (i + 1),
               { period = base_period + (50 * i); jitter = 0 } )),
         List.init signals (fun i -> Printf.sprintf "T%d" (i + 1)),
-        [ "F" ] )
+        [ "F" ],
+        [ "CAN"; "CPU" ] )
     end
   in
   let sources = List.map fst base_models in
   let random_edit () =
-    match Random.State.int rng 5 with
+    match Random.State.int rng 6 with
     | 0 -> Space.Source_period { source = choose sources; period = pick 200 1500 }
     | 1 ->
       let period = pick 250 1500 in
@@ -80,7 +84,12 @@ let case ~rng =
     | 3 ->
       Space.Task_priority
         { task = choose tasks; priority = pick 1 (List.length tasks) }
-    | _ -> Space.Frame_tx { frame = choose frames; tx = Interval.point (pick 1 8) }
+    | 4 -> Space.Frame_tx { frame = choose frames; tx = Interval.point (pick 1 8) }
+    | _ ->
+      (* mixed-backend coverage: flip one resource's local analysis to the
+         curve backend (or back), exercising the hybrid coupling *)
+      let backend = if Random.State.bool rng then Spec.Rtc else Spec.Cpa in
+      Space.Backend { resource = choose resources; backend }
   in
   let edits = List.init (pick 1 3) (fun _ -> random_edit ()) in
   let models = List.fold_left apply_to_models base_models edits in

@@ -613,6 +613,169 @@ let propagation_dominance ?(seed = 42) ?(horizon = 200_000) ?generators spec
   (all_analyse :: tightness) @ conservatism @ invariance
 
 (* ------------------------------------------------------------------ *)
+(* oracle 7: hybrid RTC<->CPA coupling soundness *)
+
+(* Force every resource onto one local-analysis backend.  EDF resources
+   stay on [Cpa]: the curve backend has no service model for dynamic
+   deadlines and [Spec.validate] rejects the combination. *)
+let forced_backend backend spec =
+  {
+    spec with
+    Spec.resources =
+      List.map
+        (fun (r : Spec.resource) ->
+          if r.Spec.scheduler = Spec.Edf then
+            { r with Spec.backend = Spec.Cpa }
+          else { r with Spec.backend = backend })
+        spec.Spec.resources;
+  }
+
+let roundtrip_ns = [ 2; 3; 4; 5; 8; 13; 21; 34; 64 ]
+
+(* Round trip every source stream through the conversion boundary:
+   stream -> certified workload curves -> stream again, with
+   [wcet = bcet] so the demand scaling cancels.  The returned stream
+   must be pointwise conservative (delta_min' <= delta_min,
+   delta_plus' >= delta_plus) everywhere, and exact on jitter-free
+   periodic sources within the sampled horizon.  The converted-back
+   stream runs under the {!Stream.wrap} sanitizer, so convention
+   violations (non-monotone distances, ordering flips) surface through
+   [push] as they are produced. *)
+let hybrid_roundtrip ~push spec =
+  let horizon = 512 and cost = 3 in
+  forall ~name:"hybrid:roundtrip" spec.Spec.sources (fun (name, s) ->
+      match Hybrid.Convert.of_stream ~horizon ~wcet:cost ~bcet:cost s with
+      | exception Invalid_argument e -> Some (name ^ ": " ^ e)
+      | curves ->
+        let back =
+          Stream.wrap ~on_violation:push
+            (Hybrid.Convert.to_stream ~name:(name ^ "~rt") ~wcet:cost
+               ~bcet:cost ~upper:curves.Hybrid.Convert.upper
+               ~lower:(Some curves.Hybrid.Convert.lower))
+        in
+        let jitter_free =
+          List.for_all
+            (fun n -> Time.equal (Es.delta_min s n) (Es.delta_plus s n))
+            roundtrip_ns
+        in
+        let h = Time.of_int horizon in
+        let rec scan = function
+          | [] -> None
+          | n :: rest ->
+            let dmin = Es.delta_min s n and dplus = Es.delta_plus s n in
+            let dmin' = Es.delta_min back n
+            and dplus' = Es.delta_plus back n in
+            if Time.(dmin' > dmin) then
+              Some
+                (Printf.sprintf "%s delta_min %d: round trip %s above %s"
+                   name n (Time.to_string dmin') (Time.to_string dmin))
+            else if Time.(dplus' < dplus) then
+              Some
+                (Printf.sprintf "%s delta_plus %d: round trip %s below %s"
+                   name n (Time.to_string dplus') (Time.to_string dplus))
+            else if
+              jitter_free
+              && Time.(dplus < h)
+              && not (Time.equal dmin' dmin && Time.equal dplus' dplus)
+            then
+              Some
+                (Printf.sprintf
+                   "%s n=%d: jitter-free periodic round trip not exact: \
+                    [%s,%s] vs [%s,%s]"
+                   name n (Time.to_string dmin') (Time.to_string dplus')
+                   (Time.to_string dmin) (Time.to_string dplus))
+            else scan rest
+        in
+        scan roundtrip_ns)
+
+(* On a single-resource SPP point system the curve backend's
+   fixed-priority service chain and the CPA busy window are the same
+   recurrence, so the pure-RTC and pure-CPA analyses must agree on
+   every worst-case response bound — not just dominate each other. *)
+let hybrid_pure_agreement spec =
+  let single_spp =
+    spec.Spec.frames = []
+    && (match spec.Spec.resources with
+       | [ r ] -> r.Spec.scheduler = Spec.Spp
+       | _ -> false)
+    && pure_periodic_point spec
+  in
+  if not single_spp then []
+  else
+    match
+      ( Engine.analyse ~mode:Engine.Hierarchical ~incremental:false
+          (forced_backend Spec.Rtc spec),
+        Engine.analyse ~mode:Engine.Hierarchical ~incremental:false
+          (forced_backend Spec.Cpa spec) )
+    with
+    | Ok rtc, Ok cpa ->
+      let cpa_map = response_map cpa in
+      [
+        forall ~name:"hybrid:pure-agreement" (response_map rtc)
+          (fun (element, rtc_r) ->
+            match rtc_r, List.assoc_opt element cpa_map with
+            | _, None -> Some (element ^ " missing from cpa result")
+            | None, Some None -> None
+            | Some r, Some (Some c) ->
+              if Interval.hi r = Interval.hi c then None
+              else
+                Some
+                  (Printf.sprintf "%s: rtc %s vs cpa %s" element
+                     (Interval.to_string r) (Interval.to_string c))
+            | Some r, Some None ->
+              Some
+                (Printf.sprintf "%s: rtc bounded %s, cpa unbounded" element
+                   (Interval.to_string r))
+            | None, Some (Some c) ->
+              Some
+                (Printf.sprintf "%s: rtc unbounded, cpa bounded %s" element
+                   (Interval.to_string c)));
+      ]
+    | Error e, _ ->
+      [
+        check ~name:"hybrid:pure-agreement" false
+          ("rtc analyse rejected: " ^ Guard.Error.to_string e);
+      ]
+    | _, Error e ->
+      [
+        check ~name:"hybrid:pure-agreement" false
+          ("cpa analyse rejected: " ^ Guard.Error.to_string e);
+      ]
+
+let hybrid_soundness ?(seed = 42) ?(horizon = 200_000) ?generators spec =
+  let violations = ref [] in
+  let push v = violations := Violation.to_string v :: !violations in
+  let roundtrip = hybrid_roundtrip ~push spec in
+  let sanitized =
+    check ~name:"hybrid:roundtrip-sanitizer"
+      (!violations = [])
+      (match !violations with
+      | [] -> "no violations"
+      | v :: _ ->
+        Printf.sprintf "%d violations; first: %s" (List.length !violations) v)
+  in
+  let dominance =
+    match generators with
+    | None -> []
+    | Some generators -> begin
+      let rtc_spec = forced_backend Spec.Rtc spec in
+      match
+        Engine.analyse ~mode:Engine.Hierarchical ~incremental:false rtc_spec
+      with
+      | Error e ->
+        [ check ~name:"hybrid:analyse" false (Guard.Error.to_string e) ]
+      | Ok r ->
+        check ~name:"hybrid:analyse" true
+          (Printf.sprintf "status=%s iterations=%d"
+             (Engine.status_name r.Engine.status)
+             r.Engine.iterations)
+        :: simulation_dominance ~seed ~horizon ~generators ~tag:"sim[hybrid]"
+             r rtc_spec
+    end
+  in
+  (roundtrip :: sanitized :: hybrid_pure_agreement spec) @ dominance
+
+(* ------------------------------------------------------------------ *)
 (* full-system verification entry point *)
 
 let verify_spec ?(label = "system") ?(selfcheck = true) ?(seed = 42)
@@ -684,12 +847,13 @@ let verify_spec ?(label = "system") ?(selfcheck = true) ?(seed = 42)
           let propagation =
             propagation_dominance ~seed ~horizon ?generators spec
           in
+          let hybrid = hybrid_soundness ~seed ~horizon ?generators spec in
           (check ~name:"analyse[hierarchical]" true
              (Printf.sprintf "status=%s iterations=%d"
                 (Engine.status_name hem.Engine.status)
                 hem.Engine.iterations)
           :: incremental)
-          @ kernels @ batches @ tightness @ propagation
+          @ kernels @ batches @ tightness @ propagation @ hybrid
       in
       { label; checks; violations = List.rev !violations })
 

@@ -27,6 +27,12 @@
       bounds dominating the simulator, [Optimal] is pointwise at least
       as tight as every single mode, and all modes coincide
       byte-identically on jitter-free periodic point-interval systems;
+    - {b hybrid soundness}: the RTC/CPA coupling boundary — every
+      source stream round-trips through the curve conversion pointwise
+      conservatively (exactly, for jitter-free periodic sources within
+      the sampled horizon) under the {!Stream.wrap} sanitizer; pure-RTC
+      and pure-CPA analyses agree on single-resource SPP point systems;
+      and the all-RTC analysis' bounds dominate the simulator;
     - {b cache agreement}: exploration results served through the
       content-addressed cache render byte-identically to direct,
       cache-free evaluation.
@@ -125,6 +131,27 @@ val propagation_dominance :
     transmission intervals the rendered results of all modes are
     byte-identical.  Degraded runs are excluded from the tightness and
     invariance comparisons (their widened bounds carry no claim). *)
+
+val hybrid_soundness :
+  ?seed:int ->
+  ?horizon:int ->
+  ?generators:(string * Des.Gen.t) list ->
+  Cpa_system.Spec.t ->
+  check list
+(** The curve-conversion soundness audit of the hybrid backend
+    coupling.  Round-trips every source stream through
+    {!Hybrid.Convert} ([stream -> workload curves -> stream], with
+    [wcet = bcet] so the demand scaling cancels) and checks the result
+    pointwise conservative — [delta_min' <= delta_min] and
+    [delta_plus' >= delta_plus] — and exact on jitter-free periodic
+    sources within the sampled horizon, evaluating the converted-back
+    stream under the {!Stream.wrap} sanitizer; on single-resource SPP
+    systems with jitter-free periodic point-interval elements, checks
+    the pure-RTC and pure-CPA analyses agree on every worst-case
+    response bound; and, when [generators] are given, checks the
+    analysis with {e every} resource forced onto the RTC backend (EDF
+    resources stay on CPA) yields bounds dominating the simulator
+    (tag ["sim[hybrid]"]). *)
 
 val cache_agreement :
   ?jobs:int ->

@@ -5,6 +5,8 @@
 # no-sink instrumentation overhead, a kernel no-regression gate vs the
 # committed BENCH_1.json, the propagation tightness table (BENCH_9.json,
 # with an optimal-dominance gate and a plumbing-overhead guard), the
+# hybrid backend table (BENCH_10.json, with pure-agreement/DES-dominance
+# gates and a pay-for-use guard on the pure-CPA path), the
 # kernel A/B + pool scaling benchmark
 # (BENCH_6.json), the exploration checks (jobs-determinism byte diff +
 # BENCH_3.json scaling sanity), the self-verification smoke
@@ -191,6 +193,50 @@ if [ "${PROP_GUARD:-1}" = 1 ]; then
   done
 fi
 echo "check: propagation tightness ok (strict wins: $(jq -cr '.strict_win_systems | join(", ")' BENCH_9.json))"
+
+# --- hybrid backend table (BENCH_10.json) -----------------------------
+# Refreshes BENCH_10.json.  The bench itself hard-fails when pure-RTC
+# and pure-CPA bounds differ on the paper point system or any backend's
+# bounds fall below DES observations; here we re-assert those claims
+# from the file, require the paper system to stay fully bounded under
+# the mixed backend, smoke the --backend flag and the (backend rtc)
+# spec syntax end to end, and — with the fresh BENCH_1.json still on
+# disk — require the pure-CPA kernel timings within HYBRID_KERNEL_TOL_PCT
+# of the perf run (the conversion layer must be pay-for-use; skip with
+# HYBRID_GUARD=0 on a noisy machine).
+dune exec bench/main.exe -- hybrid
+jq -e '.paper_pure_agreement == true' BENCH_10.json > /dev/null \
+  || { echo "check: rtc and cpa bounds differ on the paper system" >&2; exit 1; }
+jq -e '[.paper_dominance[]] | all' BENCH_10.json > /dev/null \
+  || { echo "check: a backend's bounds fall below DES observations" >&2; exit 1; }
+jq -e '[.systems[] | select(.name == "paper") | .backends[]
+        | .bounded == .elements and .status == "converged"] | all' BENCH_10.json > /dev/null \
+  || { echo "check: paper system not fully bounded under every backend" >&2; exit 1; }
+for b in spec cpa rtc; do
+  dune exec bin/hem_tool.exe -- analyse --backend "$b" > /dev/null \
+    || { echo "check: analyse --backend $b failed" >&2; exit 1; }
+done
+dune exec bin/hem_tool.exe -- analyse --file examples/hybrid.spec > /dev/null \
+  || { echo "check: mixed-backend spec file failed to analyse" >&2; exit 1; }
+dune exec bin/hem_tool.exe -- verify --file examples/hybrid.spec > /dev/null \
+  || { echo "check: mixed-backend spec file failed verification" >&2; exit 1; }
+if [ "${HYBRID_GUARD:-1}" = 1 ]; then
+  htol="${HYBRID_KERNEL_TOL_PCT:-10}"
+  for case_name in chain_16 paper_flat_sem; do
+    old=$(jq --arg n "$case_name" '[.cases[] | select(.name == $n)][0].full_ms' BENCH_1.json)
+    new=$(jq --arg n "$case_name" '[.kernel[] | select(.name == $n)][0].full_ms' BENCH_10.json)
+    if ! awk -v old="$old" -v new="$new" -v tol="$htol" -v name="$case_name" 'BEGIN {
+      limit = old * (1 + tol / 100.0);
+      printf "check: hybrid kernel case %s %.3f ms vs perf %.3f ms (limit %.3f ms)\n",
+        name, new, old, limit;
+      exit !(new <= limit)
+    }'; then
+      echo "check: backend plumbing slows ${case_name} more than ${htol}% vs perf run" >&2
+      exit 1
+    fi
+  done
+fi
+echo "check: hybrid backends ok (pure agreement + DES dominance on paper, mixed spec analyses + verifies)"
 
 # --- kernel A/B + pool scaling (BENCH_6.json) -------------------------
 # Refreshes BENCH_6.json.  The bench itself asserts scalar and batched

@@ -217,7 +217,7 @@ let test_baseline_models_as_sources () =
     Cpa_system.Spec.make
       ~sources:[ "bursty", vector_source; "pattern", sequence_source ]
       ~resources:
-        [ { Cpa_system.Spec.res_name = "cpu"; scheduler = Cpa_system.Spec.Spp } ]
+        [ { Cpa_system.Spec.res_name = "cpu"; scheduler = Cpa_system.Spec.Spp; backend = Cpa_system.Spec.Cpa } ]
       ~tasks:
         [
           Cpa_system.Spec.task ~name:"hp" ~resource:"cpu"

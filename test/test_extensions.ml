@@ -90,7 +90,7 @@ let test_edf_engine_integration () =
   let spec =
     Spec.make
       ~sources:[ "s", Stream.periodic ~name:"s" ~period:100 ]
-      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Edf } ]
+      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Edf; backend = Spec.Cpa } ]
       ~tasks:
         [
           Spec.task ~name:"t1" ~resource:"cpu" ~cet:(Interval.point 30)
@@ -111,7 +111,7 @@ let test_edf_engine_requires_deadline () =
   let spec =
     Spec.make
       ~sources:[ "s", Stream.periodic ~name:"s" ~period:100 ]
-      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Edf } ]
+      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Edf; backend = Spec.Cpa } ]
       ~tasks:
         [
           Spec.task ~name:"t1" ~resource:"cpu" ~cet:(Interval.point 30)
@@ -335,7 +335,7 @@ let test_sensitivity_schedulable () =
     (Sensitivity.schedulable
        (Spec.make
           ~sources:[ "s", Stream.periodic ~name:"s" ~period:10 ]
-          ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp } ]
+          ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp; backend = Spec.Cpa } ]
           ~tasks:
             [
               Spec.task ~name:"t" ~resource:"cpu" ~cet:(Interval.point 20)

@@ -387,7 +387,7 @@ let test_sensitivity_overloaded_no_margin () =
      [No_margin], serial and parallel alike *)
   let build () =
     Spec.make
-      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp } ]
+      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp; backend = Spec.Cpa } ]
       ~sources:[ "src", Event_model.Stream.periodic ~name:"src" ~period:5 ]
       ~tasks:
         [

@@ -1,0 +1,207 @@
+(* Tests for the hybrid RTC<->CPA coupling: stream<->curve round trips
+   (exact on jitter-free periodic input, conservative everywhere), the
+   pseudo-inversion primitive, per-resource backend agreement on
+   single-resource point systems, and mixed-backend convergence through
+   the global engine. *)
+
+module Time = Timebase.Time
+module Interval = Timebase.Interval
+module Stream = Event_model.Stream
+module Spec = Cpa_system.Spec
+module Engine = Cpa_system.Engine
+module Convert = Hybrid.Convert
+module Curve = Rtc.Curve
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "analysis failed: %s" (Guard.Error.to_string e)
+
+let roundtrip ~horizon ~wcet ~bcet stream =
+  let curves = Convert.of_stream ~horizon ~wcet ~bcet stream in
+  Convert.to_stream
+    ~name:(Stream.name stream ^ "~rt")
+    ~wcet ~bcet ~upper:curves.Convert.upper ~lower:(Some curves.Convert.lower)
+
+(* ------------------------------------------------------------------ *)
+(* conversion round trips *)
+
+let test_roundtrip_periodic_exact () =
+  let s = Stream.periodic ~name:"p" ~period:10 in
+  let s' = roundtrip ~horizon:200 ~wcet:3 ~bcet:3 s in
+  for n = 2 to 20 do
+    Alcotest.(check bool)
+      (Printf.sprintf "delta_min %d exact" n)
+      true
+      (Time.equal (Stream.delta_min s' n) (Stream.delta_min s n));
+    Alcotest.(check bool)
+      (Printf.sprintf "delta_plus %d exact" n)
+      true
+      (Time.equal (Stream.delta_plus s' n) (Stream.delta_plus s n))
+  done
+
+let test_roundtrip_jitter_conservative () =
+  (* jitter and wcet > bcet lose exactness but never conservativeness,
+     including well past the sampled horizon (n = 60 needs a window of
+     1165 against a horizon of 256, i.e. the certified tails) *)
+  let s = Stream.periodic_jitter ~name:"pj" ~period:20 ~jitter:15 () in
+  let s' = roundtrip ~horizon:256 ~wcet:5 ~bcet:2 s in
+  for n = 2 to 60 do
+    Alcotest.(check bool)
+      (Printf.sprintf "delta_min %d conservative" n)
+      true
+      Time.(Stream.delta_min s' n <= Stream.delta_min s n);
+    Alcotest.(check bool)
+      (Printf.sprintf "delta_plus %d conservative" n)
+      true
+      Time.(Stream.delta_plus s' n >= Stream.delta_plus s n)
+  done
+
+let prop_roundtrip_conservative =
+  QCheck.Test.make ~name:"stream round trip is conservative" ~count:60
+    (QCheck.pair
+       (QCheck.pair (QCheck.int_range 5 60) (QCheck.int_range 0 40))
+       (QCheck.pair (QCheck.int_range 1 6) (QCheck.int_range 0 5)))
+    (fun ((period, jitter), (bcet, extra)) ->
+      let wcet = bcet + extra in
+      let s = Stream.periodic_jitter ~name:"q" ~period ~jitter () in
+      let s' = roundtrip ~horizon:192 ~wcet ~bcet s in
+      List.for_all
+        (fun n ->
+          Time.(Stream.delta_min s' n <= Stream.delta_min s n)
+          && Time.(Stream.delta_plus s' n >= Stream.delta_plus s n))
+        (List.init 39 (fun i -> i + 2)))
+
+(* ------------------------------------------------------------------ *)
+(* pseudo-inversion primitive *)
+
+let test_first_reaching () =
+  let c = Curve.linear ~kind:Curve.Upper ~horizon:10 ~rate:(1, 2) in
+  (* eval dt = ceil (dt / 2) *)
+  Alcotest.(check (option int)) "zero target" (Some 0)
+    (Convert.first_reaching c 0);
+  Alcotest.(check (option int)) "within horizon" (Some 5)
+    (Convert.first_reaching c 3);
+  Alcotest.(check (option int)) "exactly at horizon" (Some 9)
+    (Convert.first_reaching c 5);
+  Alcotest.(check (option int)) "past horizon via tail" (Some 39)
+    (Convert.first_reaching c 20);
+  let z = Curve.create ~kind:Curve.Lower ~horizon:10 ~tail_rate:(0, 1) (fun _ -> 0) in
+  Alcotest.(check (option int)) "zero-rate curve never reaches" None
+    (Convert.first_reaching z 1)
+
+(* ------------------------------------------------------------------ *)
+(* backend agreement and mixed-backend convergence *)
+
+let point_spec backend =
+  Spec.make
+    ~sources:
+      [
+        "s1", Stream.periodic ~name:"s1" ~period:100;
+        "s2", Stream.periodic ~name:"s2" ~period:150;
+      ]
+    ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp; backend } ]
+    ~tasks:
+      [
+        Spec.task ~name:"t1" ~resource:"cpu" ~cet:(Interval.point 10)
+          ~priority:1 ~activation:(Spec.From_source "s1") ();
+        Spec.task ~name:"t2" ~resource:"cpu" ~cet:(Interval.point 20)
+          ~priority:2 ~activation:(Spec.From_source "s2") ();
+      ]
+    ()
+
+let test_pure_backend_agreement () =
+  (* on a single-resource SPP point system the RTC and CPA local
+     analyses must agree on every worst-case response *)
+  let cpa = ok (Engine.analyse ~mode:Engine.Hierarchical (point_spec Spec.Cpa)) in
+  let rtc = ok (Engine.analyse ~mode:Engine.Hierarchical (point_spec Spec.Rtc)) in
+  Alcotest.(check bool) "cpa converged" true cpa.Engine.converged;
+  Alcotest.(check bool) "rtc converged" true rtc.Engine.converged;
+  List.iter
+    (fun name ->
+      match Engine.response cpa name, Engine.response rtc name with
+      | Some a, Some b ->
+        Alcotest.(check int) (name ^ " worst case agrees") (Interval.hi a)
+          (Interval.hi b)
+      | _ -> Alcotest.failf "%s: missing response" name)
+    [ "t1"; "t2" ]
+
+let mixed_spec () =
+  (* a -> b -> c ping-pongs between an RTC resource and a CPA resource,
+     so the global fixed point crosses the conversion boundary twice *)
+  Spec.make
+    ~sources:[ "s", Stream.periodic ~name:"s" ~period:100 ]
+    ~resources:
+      [
+        { Spec.res_name = "cpu1"; scheduler = Spec.Spp; backend = Spec.Rtc };
+        { Spec.res_name = "cpu2"; scheduler = Spec.Spp; backend = Spec.Cpa };
+      ]
+    ~tasks:
+      [
+        Spec.task ~name:"a" ~resource:"cpu1"
+          ~cet:(Interval.make ~lo:5 ~hi:10)
+          ~priority:1 ~activation:(Spec.From_source "s") ();
+        Spec.task ~name:"b" ~resource:"cpu2"
+          ~cet:(Interval.make ~lo:10 ~hi:20)
+          ~priority:1 ~activation:(Spec.From_output "a") ();
+        Spec.task ~name:"c" ~resource:"cpu1"
+          ~cet:(Interval.make ~lo:2 ~hi:8)
+          ~priority:2 ~activation:(Spec.From_output "b") ();
+      ]
+    ()
+
+let test_mixed_backend_converges () =
+  let result =
+    ok (Engine.analyse ~mode:Engine.Hierarchical ~incremental:false (mixed_spec ()))
+  in
+  Alcotest.(check bool) "converged" true result.Engine.converged;
+  List.iter
+    (fun (name, cet_hi) ->
+      match Engine.response result name with
+      | Some r ->
+        Alcotest.(check bool)
+          (name ^ " bounded below by demand")
+          true
+          (Interval.hi r >= cet_hi)
+      | None -> Alcotest.failf "%s: missing response" name)
+    [ "a", 10; "b", 20; "c", 8 ]
+
+let test_edf_rtc_rejected () =
+  let spec =
+    Spec.make
+      ~sources:[ "s", Stream.periodic ~name:"s" ~period:100 ]
+      ~resources:
+        [ { Spec.res_name = "cpu"; scheduler = Spec.Edf; backend = Spec.Rtc } ]
+      ~tasks:
+        [
+          Spec.task ~name:"t" ~resource:"cpu" ~cet:(Interval.point 10)
+            ~priority:1 ~deadline:50 ~activation:(Spec.From_source "s") ();
+        ]
+      ()
+  in
+  match Spec.validate spec with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "edf resource with rtc backend must be rejected"
+
+let () =
+  Alcotest.run "hybrid"
+    [
+      ( "conversion",
+        [
+          Alcotest.test_case "periodic round trip exact" `Quick
+            test_roundtrip_periodic_exact;
+          Alcotest.test_case "jittery round trip conservative" `Quick
+            test_roundtrip_jitter_conservative;
+          Alcotest.test_case "first_reaching" `Quick test_first_reaching;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "pure backend agreement" `Quick
+            test_pure_backend_agreement;
+          Alcotest.test_case "mixed backend converges" `Quick
+            test_mixed_backend_converges;
+          Alcotest.test_case "edf rejects rtc backend" `Quick
+            test_edf_rtc_rejected;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_roundtrip_conservative ] );
+    ]

@@ -454,7 +454,7 @@ let test_interleaved_analyses_attribution () =
     let src = Stream.make ~name:"SB" ~delta_min ~delta_plus in
     Spec.make
       ~sources:[ "SB", src ]
-      ~resources:[ { Spec.res_name = "CPUB"; scheduler = Spec.Spp } ]
+      ~resources:[ { Spec.res_name = "CPUB"; scheduler = Spec.Spp; backend = Spec.Cpa } ]
       ~tasks:
         [
           Spec.task ~name:"TB" ~resource:"CPUB"

@@ -156,7 +156,7 @@ let simple_spec ?(priority2 = 2) () =
         "fast", Stream.periodic ~name:"fast" ~period:50;
         "slow", Stream.periodic ~name:"slow" ~period:200;
       ]
-    ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp } ]
+    ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp; backend = Spec.Cpa } ]
     ~tasks:
       [
         Spec.task ~name:"hi" ~resource:"cpu" ~cet:(Interval.point 10)
@@ -197,7 +197,7 @@ let test_sim_preemption_splits_execution () =
           "fast", Stream.periodic ~name:"fast" ~period:1000;
           "slow", Stream.periodic ~name:"slow" ~period:1000;
         ]
-      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp } ]
+      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp; backend = Spec.Cpa } ]
       ~tasks:
         [
           Spec.task ~name:"hi" ~resource:"cpu" ~cet:(Interval.point 10)
@@ -288,7 +288,7 @@ let test_sim_edf_order () =
   let spec =
     Spec.make
       ~sources:[ "s", Stream.periodic ~name:"s" ~period:1000 ]
-      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Edf } ]
+      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Edf; backend = Spec.Cpa } ]
       ~tasks:
         [
           Spec.task ~name:"lax" ~resource:"cpu" ~cet:(Interval.point 10)
@@ -317,7 +317,7 @@ let test_sim_edf_preemption () =
           "slow", Stream.periodic ~name:"slow" ~period:1000;
           "fast", Stream.periodic ~name:"fast" ~period:1000;
         ]
-      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Edf } ]
+      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Edf; backend = Spec.Cpa } ]
       ~tasks:
         [
           Spec.task ~name:"long" ~resource:"cpu" ~cet:(Interval.point 50)
@@ -350,7 +350,7 @@ let test_sim_tdma_slots () =
           "a", Stream.periodic ~name:"a" ~period:1000;
           "b", Stream.periodic ~name:"b" ~period:1000;
         ]
-      ~resources:[ { Spec.res_name = "link"; scheduler = Spec.Tdma } ]
+      ~resources:[ { Spec.res_name = "link"; scheduler = Spec.Tdma; backend = Spec.Cpa } ]
       ~tasks:
         [
           Spec.task ~name:"t1" ~resource:"link" ~cet:(Interval.point 5)
@@ -382,7 +382,7 @@ let test_sim_round_robin_rotation () =
           "a", Stream.periodic ~name:"a" ~period:1000;
           "b", Stream.periodic ~name:"b" ~period:1000;
         ]
-      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Round_robin } ]
+      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Round_robin; backend = Spec.Cpa } ]
       ~tasks:
         [
           Spec.task ~name:"t1" ~resource:"cpu" ~cet:(Interval.point 4)
@@ -421,7 +421,7 @@ let test_sim_deterministic_with_seed () =
                "fast", Stream.periodic ~name:"fast" ~period:50;
                "slow", Stream.periodic ~name:"slow" ~period:200;
              ]
-           ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp } ]
+           ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp; backend = Spec.Cpa } ]
            ~tasks:
              [
                Spec.task ~name:"hi" ~resource:"cpu"
@@ -525,7 +525,7 @@ let test_measured_sem () =
   let spec =
     Spec.make
       ~sources:[ "s", Stream.periodic ~name:"s" ~period:100 ]
-      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp } ]
+      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp; backend = Spec.Cpa } ]
       ~tasks:
         [
           Spec.task ~name:"t" ~resource:"cpu" ~cet:(Interval.point 5)
@@ -593,7 +593,7 @@ let test_sim_and_activation () =
           "a", Stream.periodic ~name:"a" ~period:1000;
           "b", Stream.periodic ~name:"b" ~period:1000;
         ]
-      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp } ]
+      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp; backend = Spec.Cpa } ]
       ~tasks:
         [
           Spec.task ~name:"join" ~resource:"cpu" ~cet:(Interval.point 5)
@@ -625,7 +625,7 @@ let test_segments_and_gantt () =
           "fast", Stream.periodic ~name:"fast" ~period:1000;
           "slow", Stream.periodic ~name:"slow" ~period:1000;
         ]
-      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp } ]
+      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp; backend = Spec.Cpa } ]
       ~tasks:
         [
           Spec.task ~name:"hi" ~resource:"cpu" ~cet:(Interval.point 10)

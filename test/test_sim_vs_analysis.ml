@@ -197,8 +197,8 @@ let random_system rng =
     Spec.make ~sources
       ~resources:
         [
-          { Spec.res_name = "CAN"; scheduler = Spec.Spnp };
-          { Spec.res_name = "CPU1"; scheduler = Spec.Spp };
+          { Spec.res_name = "CAN"; scheduler = Spec.Spnp; backend = Spec.Cpa };
+          { Spec.res_name = "CPU1"; scheduler = Spec.Spp; backend = Spec.Cpa };
         ]
       ~tasks:
         [
@@ -315,7 +315,7 @@ let service_system scheduler rng =
           "s2", Stream.periodic ~name:"s2" ~period:p2;
           "s3", Stream.periodic ~name:"s3" ~period:p3;
         ]
-      ~resources:[ { Spec.res_name = "r"; scheduler } ]
+      ~resources:[ { Spec.res_name = "r"; scheduler; backend = Spec.Cpa } ]
       ~tasks:
         [
           Spec.task ~name:"t1" ~resource:"r" ~cet:(Interval.point (pick 2 8))
@@ -405,7 +405,7 @@ let test_and_activation_conservative () =
           "a", Stream.periodic ~name:"a" ~period:100;
           "b", Stream.periodic ~name:"b" ~period:100;
         ]
-      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp } ]
+      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp; backend = Spec.Cpa } ]
       ~tasks:
         [
           Spec.task ~name:"join" ~resource:"cpu" ~cet:(Interval.point 5)

@@ -68,6 +68,41 @@ let test_all_source_kinds () =
   Alcotest.(check bool) "burst" true
     (desc "e" = Spec_file.Burst { period = 200; burst = 3; d_min = 10 })
 
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_backend_annotation () =
+  let d =
+    parse_ok
+      {|
+      (system
+        (resource cpu spp (backend rtc))
+        (resource bus spnp)
+        (resource io tdma (backend cpa)))
+      |}
+  in
+  let backend name =
+    (List.find (fun r -> r.Spec.res_name = name) d.Spec_file.resources)
+      .Spec.backend
+  in
+  Alcotest.(check bool) "explicit rtc" true (backend "cpu" = Spec.Rtc);
+  Alcotest.(check bool) "default cpa" true (backend "bus" = Spec.Cpa);
+  Alcotest.(check bool) "explicit cpa" true (backend "io" = Spec.Cpa);
+  let printed = Spec_file.print d in
+  Alcotest.(check bool) "roundtrip equal" true
+    (Spec_file.equal d (parse_ok printed));
+  Alcotest.(check bool) "rtc backend printed" true
+    (contains ~needle:"(backend rtc)" printed);
+  (* the default backend prints without an annotation, keeping digests
+     of pure-CPA descriptions stable *)
+  Alcotest.(check bool) "default backend not printed" false
+    (contains ~needle:"(backend cpa)" printed);
+  match Spec_file.parse "(system (resource cpu spp (backend magic)))" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown backend must be rejected"
+
 let test_parse_errors () =
   let fails text =
     match Spec_file.parse text with
@@ -245,7 +280,7 @@ let gen_description =
   return
     {
       Spec_file.sources;
-      resources = [ { Spec.res_name = "cpu"; scheduler = Spec.Spp } ];
+      resources = [ { Spec.res_name = "cpu"; scheduler = Spec.Spp; backend = Spec.Cpa } ];
       tasks;
       frames = [];
       default_propagation;
@@ -296,6 +331,8 @@ let () =
           Alcotest.test_case "minimal" `Quick test_parse_minimal;
           Alcotest.test_case "comments" `Quick test_parse_comments_and_whitespace;
           Alcotest.test_case "source kinds" `Quick test_all_source_kinds;
+          Alcotest.test_case "backend annotation" `Quick
+            test_backend_annotation;
           Alcotest.test_case "errors" `Quick test_parse_errors;
         ] );
       ( "roundtrip",

@@ -26,7 +26,7 @@ let single_cpu_chain () =
   (* source -> producer -> consumer on one CPU *)
   Spec.make
     ~sources:[ "src", Stream.periodic ~name:"src" ~period:100 ]
-    ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp } ]
+    ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp; backend = Spec.Cpa } ]
     ~tasks:
       [
         Spec.task ~name:"producer" ~resource:"cpu" ~cet:(Interval.point 10)
@@ -59,7 +59,7 @@ let test_or_activation () =
           "a", Stream.periodic ~name:"a" ~period:100;
           "b", Stream.periodic ~name:"b" ~period:150;
         ]
-      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp } ]
+      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp; backend = Spec.Cpa } ]
       ~tasks:
         [
           Spec.task ~name:"t" ~resource:"cpu" ~cet:(Interval.point 5)
@@ -76,7 +76,7 @@ let test_or_activation () =
 let test_validation_errors () =
   let bad_resource =
     Spec.make ~sources:[]
-      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp } ]
+      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp; backend = Spec.Cpa } ]
       ~tasks:
         [
           Spec.task ~name:"t" ~resource:"nope" ~cet:(Interval.point 1)
@@ -88,7 +88,7 @@ let test_validation_errors () =
     (match Engine.analyse bad_resource with Error _ -> true | Ok _ -> false);
   let bad_source =
     Spec.make ~sources:[]
-      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp } ]
+      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp; backend = Spec.Cpa } ]
       ~tasks:
         [
           Spec.task ~name:"t" ~resource:"cpu" ~cet:(Interval.point 1)
@@ -101,7 +101,7 @@ let test_validation_errors () =
   let duplicate =
     Spec.make
       ~sources:[ "x", Stream.periodic ~name:"x" ~period:10 ]
-      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp } ]
+      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp; backend = Spec.Cpa } ]
       ~tasks:
         [
           Spec.task ~name:"x" ~resource:"cpu" ~cet:(Interval.point 1)
@@ -115,7 +115,7 @@ let test_validation_errors () =
 let test_cycle_detected () =
   let spec =
     Spec.make ~sources:[]
-      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp } ]
+      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp; backend = Spec.Cpa } ]
       ~tasks:
         [
           Spec.task ~name:"a" ~resource:"cpu" ~cet:(Interval.point 1)
@@ -134,7 +134,7 @@ let test_overload_reported () =
   let spec =
     Spec.make
       ~sources:[ "s", Stream.periodic ~name:"s" ~period:10 ]
-      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp } ]
+      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp; backend = Spec.Cpa } ]
       ~tasks:
         [
           Spec.task ~name:"t1" ~resource:"cpu" ~cet:(Interval.point 6)
@@ -153,7 +153,7 @@ let test_tdma_resource () =
   let spec =
     Spec.make
       ~sources:[ "s", Stream.periodic ~name:"s" ~period:100 ]
-      ~resources:[ { Spec.res_name = "bus"; scheduler = Spec.Tdma } ]
+      ~resources:[ { Spec.res_name = "bus"; scheduler = Spec.Tdma; backend = Spec.Cpa } ]
       ~tasks:
         [
           Spec.task ~name:"t1" ~resource:"bus" ~cet:(Interval.point 2)
@@ -171,7 +171,7 @@ let test_tdma_requires_service () =
   let spec =
     Spec.make
       ~sources:[ "s", Stream.periodic ~name:"s" ~period:100 ]
-      ~resources:[ { Spec.res_name = "bus"; scheduler = Spec.Tdma } ]
+      ~resources:[ { Spec.res_name = "bus"; scheduler = Spec.Tdma; backend = Spec.Cpa } ]
       ~tasks:
         [
           Spec.task ~name:"t1" ~resource:"bus" ~cet:(Interval.point 2)
@@ -186,7 +186,7 @@ let test_round_robin_resource () =
   let spec =
     Spec.make
       ~sources:[ "s", Stream.periodic ~name:"s" ~period:100 ]
-      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Round_robin } ]
+      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Round_robin; backend = Spec.Cpa } ]
       ~tasks:
         [
           Spec.task ~name:"t1" ~resource:"cpu" ~cet:(Interval.point 4)
@@ -318,7 +318,7 @@ let test_and_activation () =
           "a", Stream.periodic ~name:"a" ~period:100;
           "b", Stream.periodic_jitter ~name:"b" ~period:100 ~jitter:30 ();
         ]
-      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp } ]
+      ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp; backend = Spec.Cpa } ]
       ~tasks:
         [
           Spec.task ~name:"join" ~resource:"cpu" ~cet:(Interval.point 5)
@@ -341,7 +341,7 @@ let test_and_activation () =
     (match
        Engine.analyse
          (Spec.make ~sources:[]
-            ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp } ]
+            ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp; backend = Spec.Cpa } ]
             ~tasks:
               [
                 Spec.task ~name:"t" ~resource:"cpu" ~cet:(Interval.point 1)
@@ -398,8 +398,8 @@ let test_periodic_frame_system () =
       ~sources:[ "fast", Stream.periodic ~name:"fast" ~period:30 ]
       ~resources:
         [
-          { Spec.res_name = "bus"; scheduler = Spec.Spnp };
-          { Spec.res_name = "cpu"; scheduler = Spec.Spp };
+          { Spec.res_name = "bus"; scheduler = Spec.Spnp; backend = Spec.Cpa };
+          { Spec.res_name = "cpu"; scheduler = Spec.Spp; backend = Spec.Cpa };
         ]
       ~frames:
         [
@@ -525,7 +525,7 @@ let prop_wcrt_monotone_in_cet =
       let build c =
         Spec.make
           ~sources:[ "s", Stream.periodic ~name:"s" ~period:200 ]
-          ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp } ]
+          ~resources:[ { Spec.res_name = "cpu"; scheduler = Spec.Spp; backend = Spec.Cpa } ]
           ~tasks:
             [
               Spec.task ~name:"hp" ~resource:"cpu" ~cet:(Interval.point c)

@@ -216,7 +216,7 @@ let test_negative_control () =
   let spec =
     Cpa_system.Spec.make
       ~sources:[ "s", crossed ]
-      ~resources:[ { Cpa_system.Spec.res_name = "cpu"; scheduler = Cpa_system.Spec.Spp } ]
+      ~resources:[ { Cpa_system.Spec.res_name = "cpu"; scheduler = Cpa_system.Spec.Spp; backend = Cpa_system.Spec.Cpa } ]
       ~tasks:
         [
           Cpa_system.Spec.task ~name:"t" ~resource:"cpu"
